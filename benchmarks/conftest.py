@@ -1,0 +1,30 @@
+"""Benchmark-harness configuration.
+
+Ensures the in-repo sources are importable without installation and provides
+the ``once`` helper every benchmark module uses: the expensive experiment
+generators (grid searches, simulator runs) are timed with a single round so
+that regenerating every paper table and figure stays fast enough to run as one
+suite (``pytest benchmarks/ --benchmark-only``).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - trivial path bootstrap
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a benchmarked callable exactly once (heavy experiment generators)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,48 @@
+"""Performance benchmarks of the reproduction's own machinery.
+
+Not a paper experiment: these keep an eye on the cost of the schedule builder,
+the discrete-event simulator and the NumPy numeric runner, so that the paper
+benchmarks above stay fast enough to iterate on.
+"""
+
+import numpy as np
+
+from repro.core.schedule import build_slimpipe_schedule
+from repro.numerics.model import ModelParams, NumericModelConfig, ReferenceModel
+from repro.numerics.pipeline_runner import SlimPipeNumericRunner
+from repro.sim.engine import SimulationEngine, UniformCostProvider
+from repro.sim.memory_tracker import MemoryTracker, SimpleAccountant
+
+
+def test_build_slimpipe_schedule_speed(benchmark):
+    schedule = benchmark(build_slimpipe_schedule, 8, 8, 32, 2)
+    assert schedule.total_passes() == 2 * 8 * 8 * 32 * 2
+
+
+def test_simulation_engine_speed(benchmark):
+    schedule = build_slimpipe_schedule(8, 4, 32)
+    timeline = benchmark(
+        lambda: SimulationEngine(schedule, UniformCostProvider(comm=0.01)).run()
+    )
+    assert timeline.makespan > 0
+
+
+def test_memory_tracker_speed(benchmark):
+    schedule = build_slimpipe_schedule(8, 4, 32, 2)
+    peaks = benchmark(
+        lambda: MemoryTracker(schedule, SimpleAccountant()).peak_activation_bytes()
+    )
+    assert len(peaks) == 8
+
+
+def test_numeric_runner_speed(benchmark):
+    config = NumericModelConfig(num_layers=4, hidden_size=32, num_heads=4, num_groups=2, ffn_size=64, vocab_size=64)
+    params = ModelParams.init(config, seed=0)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, config.vocab_size, size=64)
+    targets = rng.integers(0, config.vocab_size, size=64)
+    runner = SlimPipeNumericRunner(params, num_devices=4, num_slices=8)
+
+    loss, _ = benchmark(runner.loss_and_gradients, tokens, targets)
+    reference, _ = ReferenceModel(params).loss_and_gradients(tokens, targets)
+    assert abs(loss - reference) < 1e-9

@@ -1,0 +1,24 @@
+"""Figure 1 — GPU memory footprint of Classic PP vs SlimPipe across PP sizes.
+
+Paper claim: model-state memory shrinks with the pipeline size for both
+approaches, but only SlimPipe's activation memory shrinks with it too; classic
+PP's activation footprint stays constant.
+"""
+
+from repro.analysis.figures import figure1_memory_footprint
+
+
+def test_figure1_memory_footprint(benchmark):
+    result = benchmark(figure1_memory_footprint)
+    print()
+    print(result.to_text())
+
+    rows = {r.pipeline_parallel_size: r for r in result.rows}
+    smallest, largest = min(rows), max(rows)
+    # Classic PP: constant activations; SlimPipe: ~1/p scaling.
+    assert rows[largest].classic_activation_gib > 0.9 * rows[smallest].classic_activation_gib
+    assert rows[largest].slimpipe_activation_gib < rows[smallest].slimpipe_activation_gib / (
+        largest / smallest / 2
+    )
+    # Model states shrink for both (shared pipeline behaviour).
+    assert rows[largest].model_state_gib < rows[smallest].model_state_gib

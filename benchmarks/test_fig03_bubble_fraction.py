@@ -1,0 +1,22 @@
+"""Figure 3 — theoretical bubble fractions of the PP schemes.
+
+Paper setting: Llama 13B, PP size 8, 4 microbatches, 256K context.  SlimPipe's
+bubble fraction is near zero while every baseline wastes a substantial share
+of device time.
+"""
+
+from repro.analysis.figures import figure3_bubble_fractions
+
+
+def test_figure3_bubble_fractions(benchmark):
+    result = benchmark(figure3_bubble_fractions)
+    print()
+    print(result.to_text())
+
+    slim = result.fraction("slimpipe")
+    assert slim < 0.05
+    assert result.fraction("1f1b") > 0.3
+    assert result.fraction("interleaved-1f1b") < result.fraction("1f1b")
+    for row in result.rows:
+        if row.scheme != "slimpipe":
+            assert row.bubble_fraction > 3 * slim

@@ -1,0 +1,26 @@
+"""Figure 7 — imbalance bubbles caused by causal attention (and their removal).
+
+Without context exchange, devices working on earlier slices idle while devices
+holding later slices grind through larger KV caches; the simulated timeline
+shows the extra bubbles, and enabling the exchange removes them.  This doubles
+as the context-exchange ablation bench called out in DESIGN.md.
+"""
+
+from repro.analysis.figures import figure7_imbalance_bubbles
+
+
+def test_figure7_imbalance_bubbles(once):
+    result = once(
+        figure7_imbalance_bubbles,
+        sequence_length=256 * 1024,
+        pipeline_parallel_size=4,
+        num_slices=16,
+        num_microbatches=2,
+    )
+    print()
+    print(result.to_text())
+
+    assert result.bubble_without_exchange > result.bubble_with_exchange
+    assert result.makespan_without_exchange > result.makespan_with_exchange
+    # The removed idle time is a meaningful share of the iteration.
+    assert result.bubble_reduction > 0.05

@@ -1,0 +1,48 @@
+"""Figure 12 — end-to-end MFU: DeepSpeed vs Megatron-LM vs SlimPipe.
+
+The paper's headline grid (4 models x 4 context lengths x 128/256/512 GPUs,
+4M tokens per iteration, configurations baked through grid search).  The
+benchmark regenerates a representative slice of the grid — Llama 70B and
+Mixtral 8x7B on 128 and 256 GPUs — and checks the paper's three claims:
+
+* SlimPipe is feasible everywhere and never slower than the baselines,
+* its advantage over Megatron-LM widens as the context grows,
+* the baselines hit OOM / no-viable-configuration walls at long context.
+"""
+
+from repro.analysis.figures import figure12_end_to_end
+from repro.model.config import LLAMA_70B, MIXTRAL_8X7B
+
+
+def test_figure12_end_to_end(once):
+    result = once(
+        figure12_end_to_end,
+        models=(LLAMA_70B, MIXTRAL_8X7B),
+        gpu_counts=(128, 256),
+        sequence_ks=(64, 128, 256, 512),
+    )
+    print()
+    print(result.to_text())
+    print("speedup over Megatron-LM (Llama 70B, 128 GPUs):")
+    for seq_k in (64, 128, 256, 512):
+        speedup = result.speedup_over_megatron("llama-70b", 128, seq_k)
+        print(f"  {seq_k}K: {speedup:.2f}x" if speedup else f"  {seq_k}K: baseline infeasible")
+
+    # SlimPipe always runs and always wins (or ties) against feasible baselines.
+    for cell in result.cells:
+        if cell.system != "slimpipe":
+            continue
+        assert cell.feasible, f"SlimPipe infeasible at {cell}"
+        for baseline in ("megatron-lm", "deepspeed"):
+            other = result.cell(cell.model, cell.num_gpus, cell.sequence_k, baseline)
+            if other.feasible:
+                assert cell.mfu >= other.mfu * 0.999
+
+    # The advantage over Megatron-LM widens with context length (Llama 70B).
+    s64 = result.speedup_over_megatron("llama-70b", 128, 64)
+    s256 = result.speedup_over_megatron("llama-70b", 128, 256)
+    assert s64 is not None and s256 is not None and s256 > s64
+
+    # Baseline failure modes at 512K on 128 GPUs, as annotated in the figure.
+    assert not result.cell("llama-70b", 128, 512, "megatron-lm").feasible
+    assert not result.cell("llama-70b", 128, 512, "deepspeed").feasible

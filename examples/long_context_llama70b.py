@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Long-context training study: Llama 70B on 128 GPUs, 64K to 2048K tokens.
+
+The scenario the paper's introduction motivates: you have a 128-GPU Hopper
+cluster and want to extend a 70B model's context window as far as possible
+while keeping the cluster busy.  The script
+
+1. grid-searches the best configuration of DeepSpeed (ZeRO + Ulysses),
+   Megatron-LM (interleaved 1F1B) and SlimPipe at each context length
+   (4M tokens per iteration, as in Section 6.4), and
+2. pushes on to the ultra-long regime (Section 6.5) by enabling SlimPipe's
+   activation offloading, reporting the offload ratio the planner needs.
+
+Run with::
+
+    python examples/long_context_llama70b.py
+"""
+
+from repro.analysis.report import render_table
+from repro.constants import tokens_from_k
+from repro.hardware.topology import hopper_cluster
+from repro.model.config import LLAMA_70B
+from repro.model.memory import RecomputeMode
+from repro.parallel.config import WorkloadConfig
+from repro.systems import DeepSpeedSystem, MegatronSystem, SlimPipeSystem
+
+
+def best_rows(context_ks, cluster, tokens_per_iteration):
+    systems = (DeepSpeedSystem(), MegatronSystem(), SlimPipeSystem())
+    rows = []
+    for seq_k in context_ks:
+        seq = tokens_from_k(seq_k)
+        workload = WorkloadConfig(
+            sequence_length=seq, tokens_per_iteration=max(tokens_per_iteration, seq)
+        )
+        for system in systems:
+            estimate = system.best_configuration(LLAMA_70B, cluster, workload)
+            if estimate.feasible:
+                p = estimate.parallel
+                config = f"t={p.t} c={p.c} d={p.d} p={p.p}" + (
+                    f" n={p.num_slices}" if p.num_slices else ""
+                )
+                rows.append(
+                    (
+                        f"{seq_k}K",
+                        system.name,
+                        f"{estimate.mfu * 100:.1f}%",
+                        f"{estimate.peak_memory_gib:.0f} GiB",
+                        estimate.recompute.value,
+                        config,
+                    )
+                )
+            else:
+                rows.append((f"{seq_k}K", system.name, estimate.reason, "-", "-", "-"))
+    return rows
+
+
+def main() -> None:
+    cluster = hopper_cluster(128)
+    print(f"cluster: {cluster.total_gpus} x {cluster.gpu.name} "
+          f"({cluster.num_nodes} nodes)\n")
+
+    # ------------------------------------------------------------------
+    # 1. The Figure 12 regime: 64K - 512K, 4M tokens per iteration.
+    # ------------------------------------------------------------------
+    rows = best_rows((64, 128, 256, 512), cluster, 4 * 1024 * 1024)
+    print(
+        render_table(
+            ["context", "system", "MFU", "peak memory", "recompute", "best configuration"],
+            rows,
+            title="Llama 70B on 128 GPUs — best configuration per system",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. The ultra-long regime: SlimPipe + activation offloading (Table 4).
+    # ------------------------------------------------------------------
+    print("pushing further with SlimPipe's PP-aware activation offloading:")
+    offload_rows = []
+    for seq_k in (1024, 2048):
+        seq = tokens_from_k(seq_k)
+        workload = WorkloadConfig(
+            sequence_length=seq, tokens_per_iteration=max(16 * 1024 * 1024, seq)
+        )
+        system = SlimPipeSystem(allow_offload=True)
+        system.recompute_ladder = (RecomputeMode.SELECTIVE,)
+        estimate = system.best_configuration(LLAMA_70B, cluster, workload)
+        if estimate.feasible:
+            offload_rows.append(
+                (
+                    f"{seq_k}K",
+                    f"{estimate.mfu * 100:.1f}%",
+                    f"{estimate.details.get('offload_ratio', 0.0) * 100:.0f}%",
+                    f"{estimate.peak_memory_gib:.0f} GiB",
+                )
+            )
+        else:
+            offload_rows.append((f"{seq_k}K", estimate.reason, "-", "-"))
+    print(
+        render_table(
+            ["context", "MFU", "offload ratio", "peak memory"],
+            offload_rows,
+            title="SlimPipe + offloading (selective checkpointing, 16M tokens/iteration)",
+        )
+    )
+
+    print(
+        "Takeaway: the baselines stop (OOM / no viable configuration) before 512K,\n"
+        "while SlimPipe keeps the cluster above ~40% MFU and, with offloading,\n"
+        "extends the context into the multi-million-token regime — the behaviour\n"
+        "reported in Figure 12 and Table 4 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Numeric proof-of-correctness: sliced multi-device SlimPipe == reference.
+
+The schedule-level results (memory, bubbles, MFU) only matter if the sliced,
+exchanged, vocabulary-parallel execution still computes the *same model* as a
+plain single-device forward/backward.  This example demonstrates exactly that
+with the NumPy numeric engine:
+
+1. build a small Llama-style model and a reference (unsliced, single-device)
+   trainer;
+2. run the same weights through the SlimPipe numeric runner — 4 simulated
+   pipeline devices, 8 sequence slices, attention context exchange and
+   vocabulary parallelism all enabled — and compare loss and every gradient;
+3. train both for a few steps and show the loss curves stay identical;
+4. print the runner's telemetry: chunked-KV-cache behaviour and exchanged
+   bytes.
+
+Run with::
+
+    python examples/numeric_equivalence.py
+"""
+
+import numpy as np
+
+from repro.numerics.model import ModelParams, NumericModelConfig, ReferenceModel
+from repro.numerics.pipeline_runner import SlimPipeNumericRunner, SlimPipeRunnerOptions
+
+
+def apply_sgd(params: ModelParams, grads, lr: float) -> None:
+    """One in-place SGD step over every parameter."""
+    params.embedding -= lr * grads.embedding
+    params.final_norm -= lr * grads.final_norm
+    params.output_weight -= lr * grads.output_weight
+    for layer, layer_grads in zip(params.layers, grads.layers):
+        for name, grad in layer_grads.as_dict().items():
+            getattr(layer, name).__isub__(lr * grad)
+
+
+def main() -> None:
+    config = NumericModelConfig(
+        num_layers=4, hidden_size=32, num_heads=4, num_groups=2, ffn_size=64, vocab_size=128
+    )
+    rng = np.random.default_rng(0)
+    sequence_length = 64
+    tokens = rng.integers(0, config.vocab_size, size=sequence_length)
+    targets = np.roll(tokens, -1)  # next-token prediction
+
+    # Two independent copies of the same initial weights.
+    reference_params = ModelParams.init(config, seed=7)
+    slimpipe_params = ModelParams.init(config, seed=7)
+
+    reference = ReferenceModel(reference_params)
+    runner = SlimPipeNumericRunner(
+        slimpipe_params,
+        num_devices=4,
+        num_slices=8,
+        options=SlimPipeRunnerOptions(context_exchange=True, vocab_parallel=True),
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Single-step equivalence.
+    # ------------------------------------------------------------------
+    ref_loss, ref_grads = reference.loss_and_gradients(tokens, targets)
+    slim_loss, slim_grads = runner.loss_and_gradients(tokens, targets)
+    max_diff = max(
+        float(np.max(np.abs(a - b)))
+        for a, b in zip(ref_grads.flatten().values(), slim_grads.flatten().values())
+    )
+    print("single step:")
+    print(f"  reference loss : {ref_loss:.6f}")
+    print(f"  SlimPipe loss  : {slim_loss:.6f}   (|diff| = {abs(ref_loss - slim_loss):.2e})")
+    print(f"  max gradient difference over all parameters: {max_diff:.2e}")
+
+    # ------------------------------------------------------------------
+    # 2. A few training steps with each execution path.
+    # ------------------------------------------------------------------
+    print("\ntraining 5 steps with lr=0.5 on both paths:")
+    print(f"{'step':>4} {'reference loss':>16} {'SlimPipe loss':>15}")
+    for step in range(5):
+        ref_loss, ref_grads = reference.loss_and_gradients(tokens, targets)
+        slim_loss, slim_grads = runner.loss_and_gradients(tokens, targets)
+        print(f"{step:>4} {ref_loss:>16.6f} {slim_loss:>15.6f}")
+        apply_sgd(reference_params, ref_grads, lr=0.5)
+        apply_sgd(slimpipe_params, slim_grads, lr=0.5)
+
+    # ------------------------------------------------------------------
+    # 3. Telemetry of the last SlimPipe run.
+    # ------------------------------------------------------------------
+    telemetry = runner.telemetry
+    print("\nSlimPipe runner telemetry (last run):")
+    print(f"  slice lengths            : {telemetry.slice_lengths}")
+    print(f"  peak live KV chunks/devce: {telemetry.peak_live_kv_chunks}")
+    print(f"  KV chunk reuse fraction  : {[f'{f:.2f}' for f in telemetry.kv_chunk_reuse_fraction]}")
+    print(f"  context-exchange traffic : {telemetry.exchanged_bytes / 1024:.1f} KiB")
+    print(
+        "\nThe losses and gradients of the sliced, multi-device, context-exchanged,\n"
+        "vocabulary-parallel execution match the single-device reference to floating-\n"
+        "point precision — the correctness property SlimPipe's schedule relies on."
+    )
+
+
+if __name__ == "__main__":
+    main()

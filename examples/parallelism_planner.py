@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Parallelism planner CLI: pick the best configuration for a training job.
+
+Give it a model, a GPU budget and a context length and it grid-searches the
+hybrid-parallelism space of each training system (SlimPipe, Megatron-LM-like,
+DeepSpeed-like) and prints the winner — the same procedure that generates the
+paper's Figure 12 cells, exposed as a small planning tool.
+
+Examples::
+
+    python examples/parallelism_planner.py
+    python examples/parallelism_planner.py --model llama-70b --gpus 256 --context-k 512
+    python examples/parallelism_planner.py --model mixtral-8x7b --gpus 128 \
+        --context-k 1024 --tokens-per-iteration-m 16 --allow-offload
+"""
+
+import argparse
+
+from repro.analysis.report import render_table
+from repro.constants import tokens_from_k
+from repro.hardware.topology import hopper_cluster
+from repro.model.config import MODEL_REGISTRY, get_model_config
+from repro.parallel.config import WorkloadConfig
+from repro.systems import DeepSpeedSystem, MegatronSystem, SlimPipeSystem
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--model",
+        default="llama-13b",
+        choices=sorted(MODEL_REGISTRY),
+        help="model preset (Table 3 of the paper)",
+    )
+    parser.add_argument("--gpus", type=int, default=64, help="total Hopper GPUs")
+    parser.add_argument(
+        "--context-k", type=int, default=256, help="context length in K tokens (e.g. 256 = 256K)"
+    )
+    parser.add_argument(
+        "--tokens-per-iteration-m",
+        type=float,
+        default=4.0,
+        help="global token budget per iteration, in millions (paper uses 4M / 16M)",
+    )
+    parser.add_argument(
+        "--allow-offload",
+        action="store_true",
+        help="let SlimPipe use PP-aware activation offloading (Table 4 regime)",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    model = get_model_config(args.model)
+    cluster = hopper_cluster(args.gpus)
+    sequence_length = tokens_from_k(args.context_k)
+    tokens_per_iteration = int(args.tokens_per_iteration_m * 1024 * 1024)
+    workload = WorkloadConfig(
+        sequence_length=sequence_length,
+        tokens_per_iteration=max(tokens_per_iteration, sequence_length),
+    )
+
+    print(
+        f"planning: {model.name} ({model.total_params() / 1e9:.1f}B), "
+        f"{args.gpus} GPUs, {args.context_k}K context, "
+        f"{workload.global_batch_sequences} sequences/iteration\n"
+    )
+
+    systems = [
+        SlimPipeSystem(allow_offload=args.allow_offload),
+        MegatronSystem(),
+        DeepSpeedSystem(),
+    ]
+    rows = []
+    for system in systems:
+        estimate = system.best_configuration(model, cluster, workload)
+        if estimate.feasible:
+            p = estimate.parallel
+            rows.append(
+                (
+                    system.name,
+                    f"{estimate.mfu * 100:.1f}%",
+                    f"{estimate.iteration_time:.1f} s",
+                    f"{estimate.peak_memory_gib:.0f} GiB",
+                    estimate.recompute.value,
+                    f"t={p.t} c={p.c} d={p.d} e={p.e} p={p.p} v={p.v}"
+                    + (f" n={p.num_slices}" if p.num_slices else ""),
+                )
+            )
+        else:
+            reason = "out of memory" if estimate.reason == "oom" else "no viable configuration"
+            rows.append((system.name, reason, "-", "-", "-", "-"))
+
+    print(
+        render_table(
+            ["system", "MFU", "iteration", "peak memory", "recompute", "configuration"],
+            rows,
+            title="best configuration per training system",
+        )
+    )
+
+    best = max(
+        (system.best_configuration(model, cluster, workload) for system in systems),
+        key=lambda est: est.mfu if est.feasible else -1.0,
+    )
+    if best.feasible:
+        print(f"recommendation: {best.describe()}")
+    else:
+        print(
+            "No system fits this workload on the given cluster; add GPUs, shorten the "
+            "context, or enable --allow-offload."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Quickstart: plan and simulate one SlimPipe training iteration.
+
+This walks through the library's main entry points on a single concrete
+scenario — Llama 13B with a 256K-token context on 32 Hopper GPUs
+(8-way tensor parallelism x 4-way pipeline parallelism):
+
+1. describe the model, cluster, parallelism and workload;
+2. build the SlimPipe slice-level 1F1B schedule and look at its structure;
+3. simulate one iteration (timing, bubbles, per-device memory, MFU);
+4. compare against the classic 1F1B schedule on the same problem.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis.report import format_bytes, format_percent, render_table
+from repro.core.planner import SlimPipeOptions, SlimPipePlanner
+from repro.hardware.topology import hopper_cluster
+from repro.model.config import get_model_config
+from repro.parallel.config import ParallelConfig, WorkloadConfig
+from repro.schedules import build_1f1b_schedule
+from repro.sim.engine import SimulationEngine
+from repro.sim.memory_tracker import MemoryTracker
+from repro.sim.providers import (
+    ModelActivationAccountant,
+    ModelCostProvider,
+    spec_for_schedule,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The training point.
+    # ------------------------------------------------------------------
+    model = get_model_config("llama-13b")
+    cluster = hopper_cluster(32)  # 4 nodes x 8 Hopper 80 GB GPUs
+    parallel = ParallelConfig(
+        tensor_parallel_size=8,
+        pipeline_parallel_size=4,
+        num_slices=16,  # n: slices per sequence (a multiple of p)
+    )
+    workload = WorkloadConfig(
+        sequence_length=256 * 1024,       # 256K-token context
+        tokens_per_iteration=1024 * 1024,  # 4 sequences per iteration
+    )
+    print(f"model:     {model.name} ({model.total_params() / 1e9:.1f}B parameters)")
+    print(f"cluster:   {cluster.total_gpus} x {cluster.gpu.name}")
+    print(
+        f"parallel:  t={parallel.t} p={parallel.p} n={parallel.n} "
+        f"(microbatches per iteration: {workload.num_microbatches(parallel)})"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. The SlimPipe schedule.
+    # ------------------------------------------------------------------
+    planner = SlimPipePlanner(model, cluster, parallel, workload, SlimPipeOptions())
+    schedule = planner.build_schedule()
+    print(f"\nschedule:  {schedule.name} with {schedule.total_passes()} passes")
+    print(f"warm-up forwards per device: {schedule.warmup_forward_counts()}")
+    print(f"peak in-flight slice activations per device: {schedule.max_inflight_activations()}")
+
+    # ------------------------------------------------------------------
+    # 3. Simulate one iteration.
+    # ------------------------------------------------------------------
+    execution = planner.run()
+    metrics = execution.metrics
+    print("\nsimulated iteration:")
+    print(f"  iteration time : {metrics.iteration_time:.2f} s")
+    print(f"  MFU            : {format_percent(metrics.mfu)}")
+    print(f"  bubble fraction: {format_percent(metrics.bubble_fraction)}")
+    print(f"  tokens / second: {metrics.tokens_per_second:,.0f}")
+    print(
+        render_table(
+            ["device", "model states", "peak activations", "peak total"],
+            [
+                (
+                    profile.device,
+                    format_bytes(profile.base_bytes),
+                    format_bytes(profile.peak_activation_bytes),
+                    format_bytes(profile.peak_bytes),
+                )
+                for profile in execution.memory_profiles
+            ],
+            title="per-device memory",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Compare with the classic (default) 1F1B schedule.
+    # ------------------------------------------------------------------
+    baseline = build_1f1b_schedule(parallel.p, workload.num_microbatches(parallel))
+    spec = spec_for_schedule(baseline, model, ParallelConfig(
+        tensor_parallel_size=8, pipeline_parallel_size=4
+    ), workload.sequence_length)
+    timeline = SimulationEngine(baseline, ModelCostProvider(spec, cluster)).run()
+    peaks = MemoryTracker(
+        baseline, ModelActivationAccountant(spec, cluster, include_model_states=False)
+    ).peak_activation_bytes()
+
+    slim_peak = max(p.peak_activation_bytes for p in execution.memory_profiles)
+    print("classic 1F1B on the same problem:")
+    print(f"  iteration time : {timeline.makespan:.2f} s  (SlimPipe: {metrics.iteration_time:.2f} s)")
+    print(f"  bubble fraction: {format_percent(timeline.bubble_fraction())} "
+          f"(SlimPipe: {format_percent(metrics.bubble_fraction)})")
+    print(f"  peak activation: {format_bytes(max(peaks))}  (SlimPipe: {format_bytes(slim_peak)})")
+    print(
+        f"\nSlimPipe stores {max(peaks) / slim_peak:.1f}x less activation memory "
+        f"and wastes {timeline.bubble_fraction() / max(metrics.bubble_fraction, 1e-9):.1f}x "
+        "less device time in pipeline bubbles."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package.
+
+All real project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments that lack `wheel`.
+"""
+
+from setuptools import setup
+
+setup()

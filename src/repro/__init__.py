@@ -1,0 +1,56 @@
+"""SlimPipe reproduction: memory-thrifty fine-grained pipeline parallelism.
+
+A from-scratch Python reproduction of *SlimPipe: Memory-Thrifty and Efficient
+Pipeline Parallelism for Long-Context LLM Training* (SC 2025), built on three
+substrates:
+
+* an analytic + discrete-event **simulation stack** (``repro.model``,
+  ``repro.hardware``, ``repro.schedules``, ``repro.sim``) that prices any
+  pipeline schedule on a Hopper-class cluster,
+* the **SlimPipe core** (``repro.core``): uniform slicing, the slice-level
+  1F1B schedule, attention context exchange, vocabulary parallelism, the
+  chunked KV cache, activation offloading and an end-to-end planner,
+* a NumPy **numeric engine** (``repro.numerics``) that proves the sliced,
+  exchanged, vocabulary-parallel execution computes exactly the gradients of
+  an unsliced single-device reference,
+
+plus the **system models** (``repro.systems``) and the **analysis layer**
+(``repro.analysis``) that regenerate every table and figure of the paper's
+evaluation.  See README.md for a tour and DESIGN.md for the experiment index.
+"""
+
+from . import analysis, core, hardware, model, numerics, parallel, schedules, sim, systems
+from .core import SlimPipeOptions, SlimPipePlanner, build_slimpipe_schedule
+from .hardware import HOPPER_80GB, ClusterTopology, hopper_cluster
+from .model import MODEL_REGISTRY, ModelConfig, get_model_config
+from .parallel import ParallelConfig, WorkloadConfig
+from .systems import DeepSpeedSystem, MegatronSystem, SlimPipeSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "core",
+    "hardware",
+    "model",
+    "numerics",
+    "parallel",
+    "schedules",
+    "sim",
+    "systems",
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "ClusterTopology",
+    "hopper_cluster",
+    "HOPPER_80GB",
+    "ParallelConfig",
+    "WorkloadConfig",
+    "build_slimpipe_schedule",
+    "SlimPipePlanner",
+    "SlimPipeOptions",
+    "SlimPipeSystem",
+    "MegatronSystem",
+    "DeepSpeedSystem",
+]

@@ -1,0 +1,25 @@
+"""Analysis layer: closed forms, per-figure/table data generators and reports.
+
+Every figure and table of the paper's evaluation has a generator here that
+returns plain-Python result objects (no plotting dependencies); the matching
+``benchmarks/`` module times it and prints the same rows/series the paper
+reports, and ``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+"""
+
+from ..schedules.formulas import (
+    activation_memory_factor,
+    available_schemes,
+    bubble_fraction_estimate,
+    slimpipe_accumulated_activation_factor,
+)
+from . import figures, report, tables
+
+__all__ = [
+    "figures",
+    "tables",
+    "report",
+    "activation_memory_factor",
+    "bubble_fraction_estimate",
+    "slimpipe_accumulated_activation_factor",
+    "available_schemes",
+]

@@ -1,0 +1,955 @@
+"""Data generators for every figure in the paper's evaluation.
+
+Each ``figureN_*`` function reproduces the data series behind the paper's
+figure N using the reproduction's own substrates (closed forms, the
+discrete-event simulator, the analytic system models).  The returned result
+objects hold plain lists of row dataclasses plus a ``to_text()`` rendering, so
+the benchmark harness and the examples can print exactly the rows the paper
+plots without any plotting dependency.
+
+See DESIGN.md section 3 for the experiment-by-experiment index and
+EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..constants import GIB, KILO_TOKENS, tokens_from_k
+from ..core.context_exchange import balance_workloads, concurrent_kv_slices
+from ..core.planner import SlimPipeOptions, SlimPipePlanner
+from ..core.schedule import SlimPipeScheduleConfig, build_slimpipe_schedule, warmup_units
+from ..hardware.topology import hopper_cluster
+from ..model.config import LLAMA_13B, LLAMA_70B, MIXTRAL_8X7B, ModelConfig
+from ..model.memory import RecomputeMode
+from ..parallel.config import ParallelConfig, WorkloadConfig
+from ..schedules.formulas import (
+    activation_memory_factor,
+    bubble_fraction_estimate,
+)
+from ..sim.engine import SimulationEngine, UniformCostProvider
+from ..sim.memory_tracker import MemoryTracker
+from ..sim.providers import ModelActivationAccountant
+from ..systems import (
+    AnalyticEstimator,
+    DeepSpeedSystem,
+    MegatronSystem,
+    SchemeSystem,
+    SlimPipeSystem,
+    SystemEstimate,
+)
+from .report import render_table
+
+__all__ = [
+    "figure1_memory_footprint",
+    "figure2_max_context",
+    "figure3_bubble_fractions",
+    "figure4_schedule_structure",
+    "figure5_interleaved_schedule",
+    "figure6a_activation_vs_slices",
+    "figure6b_bubble_vs_slices",
+    "figure7_imbalance_bubbles",
+    "figure8_context_exchange_plan",
+    "figure9_vocab_parallel_bubble",
+    "figure10_memory_scaling",
+    "figure11_mfu_vs_slices",
+    "figure12_end_to_end",
+    "figure13_scheme_mfu",
+    "figure14_scheme_memory",
+    "PAPER_SCHEMES",
+]
+
+#: The pipeline schemes the paper's scheme-comparison figures evaluate.
+PAPER_SCHEMES = ("zb-v", "v-half", "1f1b", "interleaved-1f1b", "slimpipe")
+
+
+# ===========================================================================
+# Figure 1 — memory footprint vs PP size, classic PP vs SlimPipe
+# ===========================================================================
+@dataclass(frozen=True)
+class Figure1Row:
+    pipeline_parallel_size: int
+    model_state_gib: float
+    classic_activation_gib: float
+    slimpipe_activation_gib: float
+
+
+@dataclass
+class Figure1Result:
+    model: str
+    sequence_length: int
+    rows: List[Figure1Row] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        return render_table(
+            ["p", "model states (GiB)", "classic PP activations (GiB)", "SlimPipe activations (GiB)"],
+            [
+                (
+                    r.pipeline_parallel_size,
+                    f"{r.model_state_gib:.1f}",
+                    f"{r.classic_activation_gib:.1f}",
+                    f"{r.slimpipe_activation_gib:.1f}",
+                )
+                for r in self.rows
+            ],
+            title=f"Figure 1 — GPU memory vs PP size ({self.model}, {self.sequence_length // KILO_TOKENS}K)",
+        )
+
+
+def figure1_memory_footprint(
+    model: ModelConfig = LLAMA_70B,
+    sequence_length: int = 64 * KILO_TOKENS,
+    pipeline_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+    tensor_parallel_size: int = 8,
+    num_microbatches: int = 16,
+    slices_per_stage: int = 4,
+) -> Figure1Result:
+    """Classic PP keeps activation memory constant; SlimPipe divides it by ``p``.
+
+    Pipeline sizes that do not divide the model's layer count are skipped.
+    """
+    cluster = hopper_cluster(max(pipeline_sizes) * tensor_parallel_size)
+    result = Figure1Result(model=model.name, sequence_length=sequence_length)
+    for p in pipeline_sizes:
+        if model.num_layers % p != 0:
+            continue
+        parallel = ParallelConfig(
+            tensor_parallel_size=tensor_parallel_size, pipeline_parallel_size=p
+        )
+        estimator = AnalyticEstimator(model, cluster)
+        states = estimator.model_state_bytes(parallel)
+        m_a = estimator.microbatch_activation_bytes(
+            parallel, sequence_length, RecomputeMode.NONE
+        )
+        classic = m_a * activation_memory_factor("1f1b", p, num_microbatches)
+        slim = m_a * activation_memory_factor(
+            "slimpipe", p, num_microbatches, slices_per_stage * p
+        )
+        result.rows.append(
+            Figure1Row(
+                pipeline_parallel_size=p,
+                model_state_gib=states / GIB,
+                classic_activation_gib=classic / GIB,
+                slimpipe_activation_gib=slim / GIB,
+            )
+        )
+    return result
+
+
+# ===========================================================================
+# Figure 2 — maximum context length per PP scheme
+# ===========================================================================
+@dataclass(frozen=True)
+class Figure2Row:
+    scheme: str
+    max_context_k: int
+
+
+@dataclass
+class Figure2Result:
+    model: str
+    rows: List[Figure2Row] = field(default_factory=list)
+
+    def max_context(self, scheme: str) -> int:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row.max_context_k
+        raise KeyError(scheme)
+
+    def to_text(self) -> str:
+        return render_table(
+            ["scheme", "max context (K tokens)"],
+            [(r.scheme, r.max_context_k) for r in self.rows],
+            title=f"Figure 2 — maximum context length ({self.model}, 8-way TP, 8-way PP)",
+        )
+
+
+def figure2_max_context(
+    model: ModelConfig = LLAMA_13B,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    tensor_parallel_size: int = 8,
+    pipeline_parallel_size: int = 8,
+    tokens_per_iteration: int = 4 * 1024 * 1024,
+    max_context_k: int = 1024,
+    step_k: int = 4,
+) -> Figure2Result:
+    """Largest context each scheme can fit (no recompute restriction lifted).
+
+    A scheme's maximum context is the largest multiple of ``step_k`` K tokens
+    whose activations still fit device memory at the fixed TP/PP sizes
+    *without* recomputation — Figure 2 measures the memory headroom of the
+    schedule itself, before any memory/compute trade-off is invoked.
+    """
+    cluster = hopper_cluster(tensor_parallel_size * pipeline_parallel_size)
+    result = Figure2Result(model=model.name)
+    for scheme in schemes:
+        system = SchemeSystem(scheme, forced_recompute=RecomputeMode.NONE)
+        feasible_k = 0
+        low, high = step_k, max_context_k
+        # Binary search over the context length grid.
+        while low <= high:
+            mid = (low + high) // 2 // step_k * step_k
+            mid = max(step_k, mid)
+            seq = tokens_from_k(mid)
+            workload = WorkloadConfig(
+                sequence_length=seq,
+                tokens_per_iteration=max(tokens_per_iteration, seq),
+            )
+            parallel = ParallelConfig(
+                tensor_parallel_size=tensor_parallel_size,
+                pipeline_parallel_size=pipeline_parallel_size,
+                data_parallel_size=1,
+                num_slices=4 * pipeline_parallel_size,
+            )
+            estimate = system.evaluate(model, cluster, workload, parallel)
+            if estimate.feasible:
+                feasible_k = mid
+                low = mid + step_k
+            else:
+                high = mid - step_k
+        result.rows.append(Figure2Row(scheme=scheme, max_context_k=feasible_k))
+    return result
+
+
+# ===========================================================================
+# Figure 3 — theoretical bubble fraction per scheme
+# ===========================================================================
+@dataclass(frozen=True)
+class Figure3Row:
+    scheme: str
+    bubble_fraction: float
+
+
+@dataclass
+class Figure3Result:
+    rows: List[Figure3Row] = field(default_factory=list)
+
+    def fraction(self, scheme: str) -> float:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row.bubble_fraction
+        raise KeyError(scheme)
+
+    def to_text(self) -> str:
+        return render_table(
+            ["scheme", "bubble fraction"],
+            [(r.scheme, f"{r.bubble_fraction:.3f}") for r in self.rows],
+            title="Figure 3 — theoretical bubble fractions (p=8, m=4, 256K context)",
+        )
+
+
+def figure3_bubble_fractions(
+    model: ModelConfig = LLAMA_13B,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    pipeline_parallel_size: int = 8,
+    num_microbatches: int = 4,
+    sequence_length: int = 256 * KILO_TOKENS,
+    num_slices: Optional[int] = None,
+    virtual_stages: int = 5,
+) -> Figure3Result:
+    """Bubble fractions of the schemes at the Figure 3 operating point."""
+    cluster = hopper_cluster(8)
+    estimator = AnalyticEstimator(model, cluster)
+    share = estimator.attention_share(sequence_length)
+    n = num_slices or 4 * pipeline_parallel_size
+    result = Figure3Result()
+    for scheme in schemes:
+        v = virtual_stages if scheme in ("interleaved-1f1b", "slimpipe") else 1
+        result.rows.append(
+            Figure3Row(
+                scheme=scheme,
+                bubble_fraction=bubble_fraction_estimate(
+                    scheme,
+                    pipeline_parallel_size,
+                    num_microbatches,
+                    n,
+                    v,
+                    attention_share=share,
+                ),
+            )
+        )
+    return result
+
+
+# ===========================================================================
+# Figures 4 & 5 — schedule structure
+# ===========================================================================
+@dataclass
+class ScheduleStructureResult:
+    name: str
+    num_devices: int
+    num_microbatches: int
+    num_slices: int
+    stages_per_device: int
+    warmup_units: List[int]
+    peak_activation_units: List[int]
+    accumulated_fraction_of_microbatch: float
+    ascii_timeline: str
+
+    def to_text(self) -> str:
+        header = (
+            f"{self.name}: p={self.num_devices} m={self.num_microbatches} "
+            f"n={self.num_slices} v={self.stages_per_device}\n"
+            f"warm-up units per device: {self.warmup_units}\n"
+            f"peak live slice-stage units: {self.peak_activation_units}\n"
+            f"accumulated activation (fraction of one microbatch M_a): "
+            f"{self.accumulated_fraction_of_microbatch:.4f}\n"
+        )
+        return header + self.ascii_timeline
+
+
+def _schedule_structure(
+    p: int, m: int, n: int, v: int, name: str
+) -> ScheduleStructureResult:
+    schedule = build_slimpipe_schedule(p, m, n, v)
+    config = SlimPipeScheduleConfig(p, m, n, v)
+    timeline = SimulationEngine(schedule, UniformCostProvider(1.0, 2.0)).run()
+    peaks = schedule.max_inflight_activations()
+    return ScheduleStructureResult(
+        name=name,
+        num_devices=p,
+        num_microbatches=m,
+        num_slices=n,
+        stages_per_device=v,
+        warmup_units=[warmup_units(config, r) for r in range(p)],
+        peak_activation_units=peaks,
+        accumulated_fraction_of_microbatch=max(peaks) / (n * v * p),
+        ascii_timeline=timeline.render_ascii(),
+    )
+
+
+def figure4_schedule_structure(
+    pipeline_parallel_size: int = 4, num_microbatches: int = 3, num_slices: int = 8
+) -> ScheduleStructureResult:
+    """The plain SlimPipe schedule of Figure 4 (bottom)."""
+    return _schedule_structure(
+        pipeline_parallel_size, num_microbatches, num_slices, 1, "Figure 4 — SlimPipe schedule"
+    )
+
+
+def figure5_interleaved_schedule(
+    pipeline_parallel_size: int = 4,
+    num_microbatches: int = 2,
+    num_slices: int = 8,
+    stages_per_device: int = 2,
+) -> ScheduleStructureResult:
+    """The interleaved SlimPipe schedule of Figure 5."""
+    return _schedule_structure(
+        pipeline_parallel_size,
+        num_microbatches,
+        num_slices,
+        stages_per_device,
+        "Figure 5 — interleaved SlimPipe schedule",
+    )
+
+
+# ===========================================================================
+# Figure 6 — activation memory and bubble fraction vs number of slices
+# ===========================================================================
+@dataclass(frozen=True)
+class Figure6aRow:
+    pipeline_parallel_size: int
+    num_slices: int
+    activation_fraction: float
+
+
+@dataclass(frozen=True)
+class Figure6bRow:
+    num_microbatches: int
+    num_slices: int
+    bubble_fraction: float
+
+
+@dataclass
+class Figure6Result:
+    activation_rows: List[Figure6aRow] = field(default_factory=list)
+    bubble_rows: List[Figure6bRow] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        a = render_table(
+            ["p", "n", "activation (fraction of M_a)"],
+            [
+                (r.pipeline_parallel_size, r.num_slices, f"{r.activation_fraction:.4f}")
+                for r in self.activation_rows
+            ],
+            title="Figure 6a — activation memory vs number of slices",
+        )
+        b = render_table(
+            ["m", "n", "bubble fraction"],
+            [
+                (r.num_microbatches, r.num_slices, f"{r.bubble_fraction:.4f}")
+                for r in self.bubble_rows
+            ],
+            title="Figure 6b — bubble fraction vs number of slices (p=4)",
+        )
+        return a + "\n" + b
+
+
+def figure6a_activation_vs_slices(
+    pipeline_sizes: Sequence[int] = (4, 8, 16),
+    slice_multipliers: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    num_microbatches: int = 8,
+) -> List[Figure6aRow]:
+    rows = []
+    for p in pipeline_sizes:
+        for mult in slice_multipliers:
+            n = mult * p
+            rows.append(
+                Figure6aRow(
+                    pipeline_parallel_size=p,
+                    num_slices=n,
+                    activation_fraction=activation_memory_factor(
+                        "slimpipe", p, num_microbatches, n
+                    ),
+                )
+            )
+    return rows
+
+
+def figure6b_bubble_vs_slices(
+    pipeline_parallel_size: int = 4,
+    microbatch_counts: Sequence[int] = (2, 4, 8),
+    slice_multipliers: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    attention_share: float = 0.5,
+) -> List[Figure6bRow]:
+    rows = []
+    p = pipeline_parallel_size
+    for m in microbatch_counts:
+        for mult in slice_multipliers:
+            n = mult * p
+            rows.append(
+                Figure6bRow(
+                    num_microbatches=m,
+                    num_slices=n,
+                    bubble_fraction=bubble_fraction_estimate(
+                        "slimpipe", p, m, n, attention_share=attention_share
+                    ),
+                )
+            )
+    return rows
+
+
+def figure6_slices_sweep() -> Figure6Result:
+    """Both panels of Figure 6 at their default operating points."""
+    return Figure6Result(
+        activation_rows=figure6a_activation_vs_slices(),
+        bubble_rows=figure6b_bubble_vs_slices(),
+    )
+
+
+# ===========================================================================
+# Figure 7 — imbalance bubbles without context exchange
+# ===========================================================================
+@dataclass
+class Figure7Result:
+    bubble_without_exchange: float
+    bubble_with_exchange: float
+    makespan_without_exchange: float
+    makespan_with_exchange: float
+
+    @property
+    def bubble_reduction(self) -> float:
+        return self.bubble_without_exchange - self.bubble_with_exchange
+
+    def to_text(self) -> str:
+        return render_table(
+            ["context exchange", "bubble fraction", "iteration time (s)"],
+            [
+                ("off", f"{self.bubble_without_exchange:.3f}", f"{self.makespan_without_exchange:.2f}"),
+                ("on", f"{self.bubble_with_exchange:.3f}", f"{self.makespan_with_exchange:.2f}"),
+            ],
+            title="Figure 7 — imbalance bubbles caused by causal attention",
+        )
+
+
+def figure7_imbalance_bubbles(
+    model: ModelConfig = LLAMA_13B,
+    pipeline_parallel_size: int = 4,
+    num_microbatches: int = 2,
+    num_slices: int = 8,
+    sequence_length: int = 256 * KILO_TOKENS,
+    tensor_parallel_size: int = 8,
+) -> Figure7Result:
+    """Simulate the SlimPipe timeline with and without attention rebalancing."""
+    results = {}
+    for exchange in (False, True):
+        parallel = ParallelConfig(
+            tensor_parallel_size=tensor_parallel_size,
+            pipeline_parallel_size=pipeline_parallel_size,
+            num_slices=num_slices,
+        )
+        cluster = hopper_cluster(parallel.world_size)
+        workload = WorkloadConfig(
+            sequence_length=sequence_length,
+            tokens_per_iteration=sequence_length * num_microbatches,
+        )
+        planner = SlimPipePlanner(
+            model,
+            cluster,
+            parallel,
+            workload,
+            SlimPipeOptions(context_exchange=exchange, vocab_parallel=True),
+        )
+        execution = planner.run()
+        results[exchange] = execution
+    return Figure7Result(
+        bubble_without_exchange=results[False].metrics.bubble_fraction,
+        bubble_with_exchange=results[True].metrics.bubble_fraction,
+        makespan_without_exchange=results[False].iteration_time,
+        makespan_with_exchange=results[True].iteration_time,
+    )
+
+
+# ===========================================================================
+# Figure 8 — attention workload rebalancing
+# ===========================================================================
+@dataclass
+class Figure8Result:
+    original: List[float]
+    balanced: List[float]
+    num_transfers: int
+    max_imbalance_before: float
+    max_imbalance_after: float
+
+    def to_text(self) -> str:
+        return render_table(
+            ["device", "KV slices before", "KV slices after"],
+            [
+                (d, f"{o:.1f}", f"{b:.1f}")
+                for d, (o, b) in enumerate(zip(self.original, self.balanced))
+            ],
+            title="Figure 8 — attention workload rebalanced by context exchange",
+        )
+
+
+def figure8_context_exchange_plan(
+    num_devices: int = 6, num_slices: int = 12, phase_offset: int = 3
+) -> Figure8Result:
+    """The Figure 8 rebalancing example: arithmetic-progression loads equalised."""
+    loads = concurrent_kv_slices(num_devices, phase_offset, num_slices)
+    plan = balance_workloads(loads)
+    return Figure8Result(
+        original=plan.original,
+        balanced=plan.balanced,
+        num_transfers=len(plan.transfers),
+        max_imbalance_before=plan.max_imbalance_before,
+        max_imbalance_after=plan.max_imbalance_after,
+    )
+
+
+# ===========================================================================
+# Figure 9 — the output-layer bubble and vocabulary parallelism
+# ===========================================================================
+@dataclass
+class Figure9Result:
+    makespan_last_device_gemm: float
+    makespan_vocab_parallel: float
+    bubble_last_device_gemm: float
+    bubble_vocab_parallel: float
+
+    @property
+    def speedup(self) -> float:
+        return self.makespan_last_device_gemm / self.makespan_vocab_parallel
+
+    def to_text(self) -> str:
+        return render_table(
+            ["output layer placement", "iteration time (s)", "bubble fraction"],
+            [
+                ("last device only", f"{self.makespan_last_device_gemm:.2f}", f"{self.bubble_last_device_gemm:.3f}"),
+                ("vocabulary parallel", f"{self.makespan_vocab_parallel:.2f}", f"{self.bubble_vocab_parallel:.3f}"),
+            ],
+            title="Figure 9 — output-layer GEMM bubble with / without vocabulary parallelism",
+        )
+
+
+def figure9_vocab_parallel_bubble(
+    model: ModelConfig = LLAMA_13B,
+    pipeline_parallel_size: int = 4,
+    num_microbatches: int = 2,
+    num_slices: int = 8,
+    sequence_length: int = 128 * KILO_TOKENS,
+    tensor_parallel_size: int = 8,
+) -> Figure9Result:
+    results = {}
+    for vocab_parallel in (False, True):
+        parallel = ParallelConfig(
+            tensor_parallel_size=tensor_parallel_size,
+            pipeline_parallel_size=pipeline_parallel_size,
+            num_slices=num_slices,
+        )
+        cluster = hopper_cluster(parallel.world_size)
+        workload = WorkloadConfig(
+            sequence_length=sequence_length,
+            tokens_per_iteration=sequence_length * num_microbatches,
+        )
+        planner = SlimPipePlanner(
+            model,
+            cluster,
+            parallel,
+            workload,
+            SlimPipeOptions(context_exchange=True, vocab_parallel=vocab_parallel),
+        )
+        results[vocab_parallel] = planner.run()
+    return Figure9Result(
+        makespan_last_device_gemm=results[False].iteration_time,
+        makespan_vocab_parallel=results[True].iteration_time,
+        bubble_last_device_gemm=results[False].metrics.bubble_fraction,
+        bubble_vocab_parallel=results[True].metrics.bubble_fraction,
+    )
+
+
+# ===========================================================================
+# Figure 10 — memory scaling with PP size, measured vs M_t / p
+# ===========================================================================
+@dataclass(frozen=True)
+class Figure10Row:
+    sequence_k: int
+    pipeline_parallel_size: int
+    first_device_gib: float
+    last_device_gib: float
+    theoretical_gib: float
+
+
+@dataclass
+class Figure10Result:
+    model: str
+    rows: List[Figure10Row] = field(default_factory=list)
+
+    def rows_for(self, sequence_k: int) -> List[Figure10Row]:
+        return [r for r in self.rows if r.sequence_k == sequence_k]
+
+    def to_text(self) -> str:
+        return render_table(
+            ["context", "p", "first device (GiB)", "last device (GiB)", "M_t / p (GiB)"],
+            [
+                (
+                    f"{r.sequence_k}K",
+                    r.pipeline_parallel_size,
+                    f"{r.first_device_gib:.1f}",
+                    f"{r.last_device_gib:.1f}",
+                    f"{r.theoretical_gib:.1f}",
+                )
+                for r in self.rows
+            ],
+            title=f"Figure 10 — memory vs PP size ({self.model}, 8-way TP, max interleave)",
+        )
+
+
+def figure10_memory_scaling(
+    model: ModelConfig = LLAMA_13B,
+    sequence_ks: Sequence[int] = (32, 64, 96),
+    pipeline_sizes: Sequence[int] = (2, 4, 5, 8, 10),
+    tensor_parallel_size: int = 8,
+    num_microbatches: int = 4,
+    slices_per_stage: int = 4,
+) -> Figure10Result:
+    """Per-device peak memory of SlimPipe vs the ``M_t / p`` theoretical curve."""
+    result = Figure10Result(model=model.name)
+    for seq_k in sequence_ks:
+        seq = tokens_from_k(seq_k)
+        for p in pipeline_sizes:
+            if model.num_layers % p != 0:
+                continue
+            layers_per_device = model.num_layers // p
+            v = layers_per_device  # maximum interleaving, as in the paper
+            parallel = ParallelConfig(
+                tensor_parallel_size=tensor_parallel_size,
+                pipeline_parallel_size=p,
+                virtual_pipeline_size=v,
+                num_slices=slices_per_stage * p,
+            )
+            cluster = hopper_cluster(parallel.world_size)
+            workload = WorkloadConfig(
+                sequence_length=seq, tokens_per_iteration=seq * num_microbatches
+            )
+            planner = SlimPipePlanner(model, cluster, parallel, workload)
+            schedule = planner.build_schedule()
+            spec = planner.build_spec()
+            profiles = MemoryTracker(
+                schedule, ModelActivationAccountant(spec, cluster)
+            ).profile()
+
+            # Theoretical M_t / p: everything the training run needs, divided by p.
+            no_pp = ParallelConfig(tensor_parallel_size=tensor_parallel_size)
+            estimator = AnalyticEstimator(model, cluster)
+            m_t = (
+                estimator.model_state_bytes(no_pp)
+                + estimator.microbatch_activation_bytes(no_pp, seq, RecomputeMode.NONE)
+                + estimator.loss_logits_bytes(no_pp, seq)
+            )
+            result.rows.append(
+                Figure10Row(
+                    sequence_k=seq_k,
+                    pipeline_parallel_size=p,
+                    first_device_gib=profiles[0].peak_bytes / GIB,
+                    last_device_gib=profiles[-1].peak_bytes / GIB,
+                    theoretical_gib=m_t / p / GIB,
+                )
+            )
+    return result
+
+
+# ===========================================================================
+# Figure 11 — MFU vs number of slices
+# ===========================================================================
+@dataclass(frozen=True)
+class Figure11Row:
+    sequence_k: int
+    num_slices: int
+    mfu: float
+
+
+@dataclass
+class Figure11Result:
+    model: str
+    rows: List[Figure11Row] = field(default_factory=list)
+
+    def series(self, sequence_k: int) -> List[Tuple[int, float]]:
+        return [
+            (r.num_slices, r.mfu) for r in self.rows if r.sequence_k == sequence_k
+        ]
+
+    def best_slices(self, sequence_k: int) -> int:
+        series = self.series(sequence_k)
+        return max(series, key=lambda item: item[1])[0]
+
+    def to_text(self) -> str:
+        return render_table(
+            ["context", "n", "MFU (%)"],
+            [(f"{r.sequence_k}K", r.num_slices, f"{r.mfu * 100:.1f}") for r in self.rows],
+            title=f"Figure 11 — MFU vs number of slices ({self.model}, p=4)",
+        )
+
+
+def figure11_mfu_vs_slices(
+    model: ModelConfig = LLAMA_13B,
+    sequence_ks: Sequence[int] = (128, 256, 512),
+    slice_multipliers: Sequence[int] = (1, 2, 3, 4, 5, 6, 8),
+    pipeline_parallel_size: int = 4,
+    tensor_parallel_size: int = 8,
+    virtual_stages: int = 5,
+    num_microbatches: int = 2,
+) -> Figure11Result:
+    """Finer slicing first helps (fewer bubbles) then hurts (arithmetic intensity)."""
+    result = Figure11Result(model=model.name)
+    cluster = hopper_cluster(tensor_parallel_size * pipeline_parallel_size)
+    for seq_k in sequence_ks:
+        seq = tokens_from_k(seq_k)
+        workload = WorkloadConfig(
+            sequence_length=seq, tokens_per_iteration=seq * num_microbatches
+        )
+        for mult in slice_multipliers:
+            n = mult * pipeline_parallel_size
+            system = SchemeSystem(
+                "slimpipe",
+                forced_recompute=RecomputeMode.FULL,
+                num_slices=n,
+                vocab_parallel=True,
+            )
+            parallel = ParallelConfig(
+                tensor_parallel_size=tensor_parallel_size,
+                pipeline_parallel_size=pipeline_parallel_size,
+                virtual_pipeline_size=virtual_stages,
+                num_slices=n,
+            )
+            estimate = system.evaluate(model, cluster, workload, parallel)
+            result.rows.append(
+                Figure11Row(
+                    sequence_k=seq_k,
+                    num_slices=n,
+                    mfu=estimate.mfu if estimate.feasible else 0.0,
+                )
+            )
+    return result
+
+
+# ===========================================================================
+# Figure 12 — end-to-end comparison DeepSpeed vs Megatron-LM vs SlimPipe
+# ===========================================================================
+@dataclass(frozen=True)
+class Figure12Cell:
+    model: str
+    num_gpus: int
+    sequence_k: int
+    system: str
+    feasible: bool
+    reason: str
+    mfu: float
+
+    @property
+    def label(self) -> str:
+        if self.feasible:
+            return f"{self.mfu * 100:.1f}%"
+        return "OOM" if self.reason == "oom" else "no-config"
+
+
+@dataclass
+class Figure12Result:
+    cells: List[Figure12Cell] = field(default_factory=list)
+
+    def cell(self, model: str, num_gpus: int, sequence_k: int, system: str) -> Figure12Cell:
+        for c in self.cells:
+            if (
+                c.model == model
+                and c.num_gpus == num_gpus
+                and c.sequence_k == sequence_k
+                and c.system == system
+            ):
+                return c
+        raise KeyError((model, num_gpus, sequence_k, system))
+
+    def speedup_over_megatron(self, model: str, num_gpus: int, sequence_k: int) -> Optional[float]:
+        slim = self.cell(model, num_gpus, sequence_k, "slimpipe")
+        base = self.cell(model, num_gpus, sequence_k, "megatron-lm")
+        if slim.feasible and base.feasible and base.mfu > 0:
+            return slim.mfu / base.mfu
+        return None
+
+    def to_text(self) -> str:
+        rows = [
+            (c.model, c.num_gpus, f"{c.sequence_k}K", c.system, c.label)
+            for c in self.cells
+        ]
+        return render_table(
+            ["model", "GPUs", "context", "system", "MFU"],
+            rows,
+            title="Figure 12 — end-to-end MFU comparison",
+        )
+
+
+def figure12_end_to_end(
+    models: Sequence[ModelConfig] = (LLAMA_70B, MIXTRAL_8X7B),
+    gpu_counts: Sequence[int] = (128, 256),
+    sequence_ks: Sequence[int] = (64, 128, 256, 512),
+    tokens_per_iteration: int = 4 * 1024 * 1024,
+) -> Figure12Result:
+    """The Figure 12 grid (a subset by default; pass the full lists to widen it)."""
+    systems = (DeepSpeedSystem(), MegatronSystem(), SlimPipeSystem())
+    result = Figure12Result()
+    for model in models:
+        for num_gpus in gpu_counts:
+            cluster = hopper_cluster(num_gpus)
+            for seq_k in sequence_ks:
+                seq = tokens_from_k(seq_k)
+                workload = WorkloadConfig(
+                    sequence_length=seq,
+                    tokens_per_iteration=max(tokens_per_iteration, seq),
+                )
+                for system in systems:
+                    estimate = system.best_configuration(model, cluster, workload)
+                    result.cells.append(
+                        Figure12Cell(
+                            model=model.name,
+                            num_gpus=num_gpus,
+                            sequence_k=seq_k,
+                            system=system.name,
+                            feasible=estimate.feasible,
+                            reason=estimate.reason,
+                            mfu=estimate.mfu,
+                        )
+                    )
+    return result
+
+
+# ===========================================================================
+# Figures 13 & 14 — scheme comparison: MFU and memory vs context length
+# ===========================================================================
+@dataclass(frozen=True)
+class SchemeSweepRow:
+    scheme: str
+    sequence_k: int
+    feasible: bool
+    mfu: float
+    peak_memory_gib: float
+
+
+@dataclass
+class SchemeSweepResult:
+    model: str
+    rows: List[SchemeSweepRow] = field(default_factory=list)
+
+    def row(self, scheme: str, sequence_k: int) -> SchemeSweepRow:
+        for r in self.rows:
+            if r.scheme == scheme and r.sequence_k == sequence_k:
+                return r
+        raise KeyError((scheme, sequence_k))
+
+    def to_text(self) -> str:
+        return render_table(
+            ["scheme", "context", "MFU (%)", "memory (GiB)"],
+            [
+                (
+                    r.scheme,
+                    f"{r.sequence_k}K",
+                    f"{r.mfu * 100:.1f}" if r.feasible else "OOM",
+                    f"{r.peak_memory_gib:.1f}" if r.feasible else "-",
+                )
+                for r in self.rows
+            ],
+            title=f"Figures 13/14 — PP scheme comparison ({self.model}, 8-way TP)",
+        )
+
+
+def scheme_context_sweep(
+    model: ModelConfig = LLAMA_13B,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    sequence_ks: Sequence[int] = (32, 64, 128, 256, 512),
+    tensor_parallel_size: int = 8,
+    pipeline_parallel_size: int = 8,
+    batch_sequences: int = 4,
+    virtual_stages: int = 5,
+    num_slices: int = 1,
+) -> SchemeSweepResult:
+    """Shared sweep behind Figures 13 (MFU) and 14 (memory).
+
+    Mirrors Section 6.6: Llama 13B, per-iteration batch of 4 sequences,
+    8-way TP, full checkpointing, 5 stages per device for the interleaved
+    schemes, 4 slices per sequence for SlimPipe.  The zero-bubble variants run
+    *without* checkpointing because, as the paper notes, "its built-in full
+    checkpointing implementation does not work properly in this scheme" —
+    which is what makes them run out of memory first (Figure 14).
+    """
+    cluster = hopper_cluster(tensor_parallel_size * pipeline_parallel_size)
+    result = SchemeSweepResult(model=model.name)
+    for scheme in schemes:
+        uses_virtual = scheme in ("interleaved-1f1b", "slimpipe")
+        recompute = (
+            RecomputeMode.NONE if scheme in ("zb-v", "v-half") else RecomputeMode.FULL
+        )
+        for seq_k in sequence_ks:
+            seq = tokens_from_k(seq_k)
+            workload = WorkloadConfig(
+                sequence_length=seq, tokens_per_iteration=seq * batch_sequences
+            )
+            parallel = ParallelConfig(
+                tensor_parallel_size=tensor_parallel_size,
+                pipeline_parallel_size=pipeline_parallel_size,
+                virtual_pipeline_size=virtual_stages if uses_virtual else 1,
+                num_slices=num_slices * pipeline_parallel_size if scheme == "slimpipe" else None,
+            )
+            system = SchemeSystem(scheme, forced_recompute=recompute)
+            try:
+                estimate = system.evaluate(model, cluster, workload, parallel)
+            except ValueError:
+                estimate = SystemEstimate(system=scheme, feasible=False, reason="invalid")
+            result.rows.append(
+                SchemeSweepRow(
+                    scheme=scheme,
+                    sequence_k=seq_k,
+                    feasible=estimate.feasible,
+                    mfu=estimate.mfu,
+                    peak_memory_gib=estimate.peak_memory_bytes / GIB,
+                )
+            )
+    return result
+
+
+def figure13_scheme_mfu(**kwargs) -> SchemeSweepResult:
+    """Figure 13: MFU of the PP schemes across context lengths."""
+    return scheme_context_sweep(**kwargs)
+
+
+def figure14_scheme_memory(**kwargs) -> SchemeSweepResult:
+    """Figure 14: peak GPU memory of the PP schemes across context lengths."""
+    return scheme_context_sweep(**kwargs)

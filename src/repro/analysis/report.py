@@ -1,0 +1,77 @@
+"""Plain-text rendering helpers for analysis results.
+
+The reproduction has no plotting dependency; every figure/table generator
+renders its rows through :func:`render_table`, and :func:`render_markdown_table`
+produces the GitHub-flavoured variant used when regenerating parts of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_markdown_table", "format_bytes", "format_percent"]
+
+
+def _stringify(rows: Iterable[Sequence[object]]) -> List[List[str]]:
+    return [[str(cell) for cell in row] for row in rows]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    ``rows`` may contain any objects; they are stringified with ``str``.
+    """
+    str_rows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    str_rows = _stringify(rows)
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (GiB for anything large)."""
+    if num_bytes >= 1024**3:
+        return f"{num_bytes / 1024**3:.1f} GiB"
+    if num_bytes >= 1024**2:
+        return f"{num_bytes / 1024**2:.1f} MiB"
+    if num_bytes >= 1024:
+        return f"{num_bytes / 1024:.1f} KiB"
+    return f"{num_bytes:.0f} B"
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction in [0, 1] as a percentage string."""
+    return f"{fraction * 100:.{digits}f}%"

@@ -1,0 +1,237 @@
+"""Data generators for the paper's tables.
+
+* Table 2 — the closed-form comparison of pipeline schemes;
+* Table 3 — the model specifications (parameter counts);
+* Table 4 — ultra-long-context training with activation offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..constants import GIB, tokens_from_k
+from ..hardware.topology import hopper_cluster
+from ..model.config import (
+    LLAMA_13B,
+    LLAMA_70B,
+    LLAMA_149B,
+    MIXTRAL_8X7B,
+    MIXTRAL_8X22B,
+    ModelConfig,
+)
+from ..parallel.config import ParallelConfig, WorkloadConfig
+from ..schedules.formulas import (
+    activation_memory_factor,
+    available_schemes,
+    bubble_fraction_estimate,
+)
+from ..systems import SlimPipeSystem, SystemEstimate
+from .report import render_table
+
+__all__ = [
+    "Table2Row",
+    "table2_scheme_comparison",
+    "Table3Row",
+    "table3_model_specifications",
+    "Table4Config",
+    "Table4Row",
+    "PAPER_TABLE4_CONFIGS",
+    "table4_ultra_long_context",
+]
+
+
+# ===========================================================================
+# Table 2
+# ===========================================================================
+@dataclass(frozen=True)
+class Table2Row:
+    scheme: str
+    activation_memory_factor: float
+    bubble_fraction: float
+
+
+def table2_scheme_comparison(
+    pipeline_parallel_size: int = 8,
+    num_microbatches: int = 8,
+    num_slices: Optional[int] = None,
+    virtual_stages: int = 2,
+    attention_share: float = 0.5,
+    schemes: Sequence[str] = None,
+) -> List[Table2Row]:
+    """Evaluate the Table 2 closed forms at a concrete operating point."""
+    names = list(schemes) if schemes is not None else available_schemes()
+    n = num_slices or 4 * pipeline_parallel_size
+    rows = []
+    for scheme in names:
+        rows.append(
+            Table2Row(
+                scheme=scheme,
+                activation_memory_factor=activation_memory_factor(
+                    scheme, pipeline_parallel_size, num_microbatches, n, virtual_stages
+                ),
+                bubble_fraction=bubble_fraction_estimate(
+                    scheme,
+                    pipeline_parallel_size,
+                    num_microbatches,
+                    n,
+                    virtual_stages,
+                    attention_share,
+                ),
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    return render_table(
+        ["scheme", "activation memory (x M_a)", "bubble fraction"],
+        [(r.scheme, f"{r.activation_memory_factor:.3f}", f"{r.bubble_fraction:.3f}") for r in rows],
+        title="Table 2 — pipeline scheme comparison",
+    )
+
+
+# ===========================================================================
+# Table 3
+# ===========================================================================
+@dataclass(frozen=True)
+class Table3Row:
+    model: str
+    num_layers: int
+    num_heads: int
+    num_groups: Optional[int]
+    hidden_size: int
+    ffn_size: int
+    params_billions: float
+
+
+def table3_model_specifications(
+    models: Sequence[ModelConfig] = (
+        LLAMA_13B,
+        LLAMA_70B,
+        LLAMA_149B,
+        MIXTRAL_8X7B,
+        MIXTRAL_8X22B,
+    ),
+) -> List[Table3Row]:
+    """The Table 3 model zoo with parameter counts derived from the configs."""
+    return [
+        Table3Row(
+            model=m.name,
+            num_layers=m.num_layers,
+            num_heads=m.num_attention_heads,
+            num_groups=m.num_query_groups,
+            hidden_size=m.hidden_size,
+            ffn_size=m.ffn_hidden_size,
+            params_billions=m.total_params() / 1e9,
+        )
+        for m in models
+    ]
+
+
+# ===========================================================================
+# Table 4
+# ===========================================================================
+@dataclass(frozen=True)
+class Table4Config:
+    """One row of the paper's Table 4: the configuration it reports."""
+
+    model: ModelConfig
+    context_k: int
+    tensor_parallel: int
+    context_parallel: int
+    expert_parallel: int
+    data_parallel: int
+    pipeline_parallel: int
+    slices_per_pipeline: int  # n = slices_per_pipeline * p
+    paper_offload_ratio: float
+    paper_mfu: float
+
+
+#: The exact configurations of Table 4 (16M tokens per iteration, <= 256 GPUs).
+PAPER_TABLE4_CONFIGS: List[Table4Config] = [
+    Table4Config(LLAMA_70B, 2048, 4, 4, 1, 1, 16, 4, 0.75, 0.450),
+    Table4Config(LLAMA_149B, 1024, 4, 2, 1, 1, 32, 2, 0.80, 0.437),
+    Table4Config(MIXTRAL_8X7B, 4096, 1, 16, 8, 1, 16, 4, 0.95, 0.400),
+    Table4Config(MIXTRAL_8X22B, 2048, 1, 8, 8, 1, 28, 4, 1.00, 0.420),
+]
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    model: str
+    context_k: int
+    feasible: bool
+    offload_ratio: float
+    mfu: float
+    paper_offload_ratio: float
+    paper_mfu: float
+    peak_memory_gib: float
+
+
+def table4_ultra_long_context(
+    configs: Sequence[Table4Config] = tuple(PAPER_TABLE4_CONFIGS),
+    tokens_per_iteration: int = 16 * 1024 * 1024,
+) -> List[Table4Row]:
+    """Evaluate SlimPipe + offloading at the paper's Table 4 operating points.
+
+    As in Section 6.5, selective checkpointing is enabled uniformly and the
+    offload ratio is whatever the planner needs to fit device memory.
+    """
+    from ..model.memory import RecomputeMode
+
+    rows: List[Table4Row] = []
+    for cfg in configs:
+        seq = tokens_from_k(cfg.context_k)
+        gpus = (
+            cfg.tensor_parallel
+            * cfg.context_parallel
+            * cfg.data_parallel
+            * cfg.pipeline_parallel
+        )
+        cluster = hopper_cluster(gpus, gpus_per_node=min(8, gpus))
+        workload = WorkloadConfig(
+            sequence_length=seq,
+            tokens_per_iteration=max(tokens_per_iteration, seq),
+        )
+        parallel = ParallelConfig(
+            tensor_parallel_size=cfg.tensor_parallel,
+            context_parallel_size=cfg.context_parallel,
+            expert_parallel_size=cfg.expert_parallel,
+            data_parallel_size=cfg.data_parallel,
+            pipeline_parallel_size=cfg.pipeline_parallel,
+            num_slices=cfg.slices_per_pipeline * cfg.pipeline_parallel,
+        )
+        system = SlimPipeSystem(allow_offload=True)
+        system.recompute_ladder = (RecomputeMode.SELECTIVE,)
+        estimate: SystemEstimate = system.evaluate(cfg.model, cluster, workload, parallel)
+        rows.append(
+            Table4Row(
+                model=cfg.model.name,
+                context_k=cfg.context_k,
+                feasible=estimate.feasible,
+                offload_ratio=float(estimate.details.get("offload_ratio", 0.0)),
+                mfu=estimate.mfu,
+                paper_offload_ratio=cfg.paper_offload_ratio,
+                paper_mfu=cfg.paper_mfu,
+                peak_memory_gib=estimate.peak_memory_bytes / GIB,
+            )
+        )
+    return rows
+
+
+def render_table4(rows: Sequence[Table4Row]) -> str:
+    return render_table(
+        ["model", "context", "offload (ours/paper)", "MFU (ours/paper)", "peak mem (GiB)"],
+        [
+            (
+                r.model,
+                f"{r.context_k}K",
+                f"{r.offload_ratio:.0%} / {r.paper_offload_ratio:.0%}",
+                (f"{r.mfu * 100:.1f}% / {r.paper_mfu * 100:.1f}%" if r.feasible else "OOM"),
+                f"{r.peak_memory_gib:.1f}",
+            )
+            for r in rows
+        ],
+        title="Table 4 — ultra-long-context training with activation offloading",
+    )

@@ -1,0 +1,242 @@
+"""Command-line interface for the SlimPipe reproduction.
+
+Three subcommands cover the library's main workflows without writing Python:
+
+``plan``
+    Grid-search the best hybrid-parallelism configuration of each training
+    system (SlimPipe, Megatron-LM-like, DeepSpeed-like) for a model / GPU
+    budget / context length — the procedure behind Figure 12's cells.
+
+``schedule``
+    Build a SlimPipe schedule, simulate one iteration and print its metrics,
+    the per-device memory profile and an ASCII timeline; optionally export a
+    Chrome trace.
+
+``experiments``
+    Regenerate a chosen paper experiment's data table (Figures 1-3, 6-14 and
+    Tables 2-4) directly from the analysis layer.
+
+Run ``python -m repro.cli --help`` (or any subcommand with ``--help``) for the
+full set of options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis import figures, tables
+from .analysis.report import format_bytes, format_percent, render_table
+from .constants import tokens_from_k
+from .core.planner import SlimPipeOptions, SlimPipePlanner
+from .hardware.topology import hopper_cluster
+from .model.config import MODEL_REGISTRY, get_model_config
+from .parallel.config import ParallelConfig, WorkloadConfig
+from .sim.trace import write_chrome_trace
+from .systems import DeepSpeedSystem, MegatronSystem, SlimPipeSystem
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# plan
+# ---------------------------------------------------------------------------
+def _cmd_plan(args: argparse.Namespace) -> int:
+    model = get_model_config(args.model)
+    cluster = hopper_cluster(args.gpus)
+    sequence_length = tokens_from_k(args.context_k)
+    workload = WorkloadConfig(
+        sequence_length=sequence_length,
+        tokens_per_iteration=max(int(args.tokens_per_iteration_m * 1024 * 1024), sequence_length),
+    )
+    systems = [
+        SlimPipeSystem(allow_offload=args.allow_offload),
+        MegatronSystem(),
+        DeepSpeedSystem(),
+    ]
+    rows = []
+    for system in systems:
+        estimate = system.best_configuration(model, cluster, workload)
+        if estimate.feasible:
+            p = estimate.parallel
+            rows.append(
+                (
+                    system.name,
+                    format_percent(estimate.mfu),
+                    f"{estimate.iteration_time:.1f} s",
+                    f"{estimate.peak_memory_gib:.0f} GiB",
+                    estimate.recompute.value,
+                    f"t={p.t} c={p.c} d={p.d} e={p.e} p={p.p} v={p.v}"
+                    + (f" n={p.num_slices}" if p.num_slices else ""),
+                )
+            )
+        else:
+            rows.append((system.name, estimate.reason, "-", "-", "-", "-"))
+    print(
+        render_table(
+            ["system", "MFU", "iteration", "peak memory", "recompute", "configuration"],
+            rows,
+            title=(
+                f"{model.name} | {args.gpus} GPUs | {args.context_k}K context | "
+                f"{workload.global_batch_sequences} sequences/iteration"
+            ),
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# schedule
+# ---------------------------------------------------------------------------
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    model = get_model_config(args.model)
+    parallel = ParallelConfig(
+        tensor_parallel_size=args.tensor_parallel,
+        pipeline_parallel_size=args.pipeline_parallel,
+        virtual_pipeline_size=args.virtual_stages,
+        num_slices=args.slices or 4 * args.pipeline_parallel,
+    )
+    cluster = hopper_cluster(parallel.world_size)
+    sequence_length = tokens_from_k(args.context_k)
+    workload = WorkloadConfig(
+        sequence_length=sequence_length,
+        tokens_per_iteration=sequence_length * args.microbatches,
+    )
+    planner = SlimPipePlanner(
+        model,
+        cluster,
+        parallel,
+        workload,
+        SlimPipeOptions(
+            context_exchange=not args.no_context_exchange,
+            vocab_parallel=not args.no_vocab_parallel,
+        ),
+    )
+    execution = planner.run()
+    metrics = execution.metrics
+    print(f"schedule  : {execution.schedule.name}, {execution.schedule.total_passes()} passes")
+    print(f"iteration : {metrics.iteration_time:.2f} s  (MFU {format_percent(metrics.mfu)}, "
+          f"bubbles {format_percent(metrics.bubble_fraction)})")
+    print(
+        render_table(
+            ["device", "model states", "peak activations", "peak total"],
+            [
+                (
+                    profile.device,
+                    format_bytes(profile.base_bytes),
+                    format_bytes(profile.peak_activation_bytes),
+                    format_bytes(profile.peak_bytes),
+                )
+                for profile in execution.memory_profiles
+            ],
+            title="per-device memory",
+        )
+    )
+    if args.ascii_timeline:
+        print(execution.timeline.render_ascii())
+    if args.trace:
+        path = write_chrome_trace(execution.timeline, args.trace)
+        print(f"Chrome trace written to {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# experiments
+# ---------------------------------------------------------------------------
+def _experiment_registry() -> Dict[str, Callable[[], str]]:
+    return {
+        "fig1": lambda: figures.figure1_memory_footprint().to_text(),
+        "fig2": lambda: figures.figure2_max_context().to_text(),
+        "fig3": lambda: figures.figure3_bubble_fractions().to_text(),
+        "fig4": lambda: figures.figure4_schedule_structure().to_text(),
+        "fig5": lambda: figures.figure5_interleaved_schedule().to_text(),
+        "fig6": lambda: figures.figure6_slices_sweep().to_text(),
+        "fig7": lambda: figures.figure7_imbalance_bubbles().to_text(),
+        "fig8": lambda: figures.figure8_context_exchange_plan().to_text(),
+        "fig9": lambda: figures.figure9_vocab_parallel_bubble().to_text(),
+        "fig10": lambda: figures.figure10_memory_scaling().to_text(),
+        "fig11": lambda: figures.figure11_mfu_vs_slices().to_text(),
+        "fig12": lambda: figures.figure12_end_to_end().to_text(),
+        "fig13": lambda: figures.figure13_scheme_mfu().to_text(),
+        "fig14": lambda: figures.figure14_scheme_memory().to_text(),
+        "tab2": lambda: tables.render_table2(tables.table2_scheme_comparison()),
+        "tab3": lambda: render_table(
+            ["model", "L", "a", "g", "h", "H", "params (B)"],
+            [
+                (r.model, r.num_layers, r.num_heads, r.num_groups or "-", r.hidden_size, r.ffn_size, f"{r.params_billions:.1f}")
+                for r in tables.table3_model_specifications()
+            ],
+            title="Table 3 — models used in evaluation",
+        ),
+        "tab4": lambda: tables.render_table4(tables.table4_ultra_long_context()),
+    }
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.list:
+        print("available experiments:", ", ".join(sorted(registry)))
+        return 0
+    names: List[str] = args.names or []
+    if not names:
+        print("nothing to do: pass experiment names (e.g. fig2 tab4) or --list", file=sys.stderr)
+        return 2
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
+        return 2
+    for name in names:
+        print(registry[name]())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SlimPipe reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan = subparsers.add_parser("plan", help="grid-search the best configuration per system")
+    plan.add_argument("--model", default="llama-13b", choices=sorted(MODEL_REGISTRY))
+    plan.add_argument("--gpus", type=int, default=64)
+    plan.add_argument("--context-k", type=int, default=256)
+    plan.add_argument("--tokens-per-iteration-m", type=float, default=4.0)
+    plan.add_argument("--allow-offload", action="store_true")
+    plan.set_defaults(handler=_cmd_plan)
+
+    schedule = subparsers.add_parser("schedule", help="simulate one SlimPipe iteration")
+    schedule.add_argument("--model", default="llama-13b", choices=sorted(MODEL_REGISTRY))
+    schedule.add_argument("--tensor-parallel", type=int, default=8)
+    schedule.add_argument("--pipeline-parallel", type=int, default=4)
+    schedule.add_argument("--virtual-stages", type=int, default=1)
+    schedule.add_argument("--slices", type=int, default=None)
+    schedule.add_argument("--context-k", type=int, default=128)
+    schedule.add_argument("--microbatches", type=int, default=2)
+    schedule.add_argument("--no-context-exchange", action="store_true")
+    schedule.add_argument("--no-vocab-parallel", action="store_true")
+    schedule.add_argument("--ascii-timeline", action="store_true")
+    schedule.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+    schedule.set_defaults(handler=_cmd_schedule)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate paper experiment tables"
+    )
+    experiments.add_argument("names", nargs="*", help="experiment ids, e.g. fig2 fig12 tab4")
+    experiments.add_argument("--list", action="store_true", help="list available experiments")
+    experiments.set_defaults(handler=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (also exposed as the ``slimpipe-repro`` console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Shared numeric constants and unit helpers.
+
+The whole reproduction works in three unit families:
+
+* **bytes** for memory accounting (``GiB`` helpers below),
+* **FLOPs** for compute accounting,
+* **seconds** for simulated time.
+
+Context lengths follow the paper's convention that ``64K`` means ``64 * 1024``
+tokens, i.e. the binary kilo, matching the "1048576 (context length)" example
+in Section 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "KILO_TOKENS",
+    "DType",
+    "dtype_bytes",
+    "to_gib",
+    "from_gib",
+    "tokens_from_k",
+]
+
+KIB: int = 1024
+MIB: int = 1024**2
+GIB: int = 1024**3
+TIB: int = 1024**4
+
+#: One "K" of context length, e.g. a 64K context is ``64 * KILO_TOKENS`` tokens.
+KILO_TOKENS: int = 1024
+
+
+class DType(Enum):
+    """Floating point datatypes used in training."""
+
+    BF16 = "bf16"
+    FP16 = "fp16"
+    FP32 = "fp32"
+
+    @property
+    def bytes(self) -> int:
+        return dtype_bytes(self)
+
+
+_DTYPE_BYTES = {
+    DType.BF16: 2,
+    DType.FP16: 2,
+    DType.FP32: 4,
+}
+
+
+def dtype_bytes(dtype: DType) -> int:
+    """Return the number of bytes per element for *dtype*."""
+    return _DTYPE_BYTES[dtype]
+
+
+def to_gib(num_bytes: float) -> float:
+    """Convert a byte count to GiB."""
+    return num_bytes / GIB
+
+
+def from_gib(gib: float) -> float:
+    """Convert GiB to bytes."""
+    return gib * GIB
+
+
+def tokens_from_k(context_k: float) -> int:
+    """Convert a context length expressed in "K" (e.g. 256 for 256K) to tokens."""
+    return int(round(context_k * KILO_TOKENS))

@@ -1,0 +1,65 @@
+"""SlimPipe core: uniform slicing, slice-level 1F1B scheduling, attention
+context exchange, vocabulary parallelism, chunked KV cache, offloading and
+the end-to-end planner — the paper's primary contribution."""
+
+from .context_exchange import (
+    ExchangePlan,
+    ExchangeTransfer,
+    balance_workloads,
+    concurrent_kv_slices,
+    embedding_bytes_per_slice,
+    exchange_volume_bound,
+    exchange_volume_per_microbatch,
+)
+from .context_parallel import (
+    CPVolumeComparison,
+    cp_volume_comparison,
+    cp_volume_kv_passing,
+    cp_volume_query_passing,
+    ring_attention_query_passing,
+)
+from .kv_cache import ChunkedKVCache, KVCacheStats, KVChunk
+from .offload import OffloadDecision, OffloadPlanner
+from .planner import SlimPipeExecution, SlimPipeOptions, SlimPipePlanner
+from .schedule import (
+    SlimPipeScheduleConfig,
+    accumulated_slice_units,
+    build_slimpipe_schedule,
+    warmup_units,
+)
+from .slicing import SliceSpec, balanced_cost_slices, slice_lengths, uniform_slices
+from .vocab_parallel import OutputLayerCosts, VocabParallelConfig, output_layer_costs
+
+__all__ = [
+    "SliceSpec",
+    "uniform_slices",
+    "balanced_cost_slices",
+    "slice_lengths",
+    "ChunkedKVCache",
+    "KVChunk",
+    "KVCacheStats",
+    "SlimPipeScheduleConfig",
+    "build_slimpipe_schedule",
+    "warmup_units",
+    "accumulated_slice_units",
+    "ExchangePlan",
+    "ExchangeTransfer",
+    "balance_workloads",
+    "concurrent_kv_slices",
+    "exchange_volume_per_microbatch",
+    "exchange_volume_bound",
+    "embedding_bytes_per_slice",
+    "VocabParallelConfig",
+    "OutputLayerCosts",
+    "output_layer_costs",
+    "CPVolumeComparison",
+    "cp_volume_comparison",
+    "cp_volume_kv_passing",
+    "cp_volume_query_passing",
+    "ring_attention_query_passing",
+    "OffloadDecision",
+    "OffloadPlanner",
+    "SlimPipeOptions",
+    "SlimPipePlanner",
+    "SlimPipeExecution",
+]

@@ -1,0 +1,219 @@
+"""Commutated context parallelism (Section 5, "Commutated Context Parallelism").
+
+Context parallelism (CP) splits every sequence across ``c`` devices.  The
+standard implementations (Ring Attention, Megatron CP) circulate the **keys
+and values** around the CP ring so that each device can attend its local
+queries against the whole sequence.  That interacts badly with SlimPipe's KV
+cache: every time a later slice arrives, the *entire cached* key/value history
+has to be re-circulated, so the communication volume grows quadratically with
+the number of slices already processed.
+
+SlimPipe's commutated variant flips the direction: the **query, the partial
+output and the softmax normalizer** travel instead, while keys and values stay
+where they were produced.  A query slice visits each CP rank, accumulates a
+partial attention output against that rank's resident KV shard, and the
+partials are merged with the online softmax — the same identity context
+exchange uses.  Since a query slice is the same size as a key or value slice
+(and the normalizer is a scalar per query), the per-slice volume no longer
+depends on how much KV cache has accumulated: "the communication volume of CP
+is recovered to that without KV cache".
+
+This module provides
+
+* the communication-volume accounting for both variants
+  (:func:`cp_volume_kv_passing`, :func:`cp_volume_query_passing`,
+  :func:`cp_volume_comparison`), used by the CP ablation benchmark, and
+* :func:`ring_attention_query_passing`, a numeric implementation of the
+  commutated ring (queries travel, partials merge via online softmax) that the
+  tests verify against dense attention — the correctness argument for the
+  optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..constants import DType
+from ..model.config import ModelConfig
+from ..numerics.attention import (
+    AttentionOutput,
+    attention_block_forward,
+    merge_partial_attention,
+)
+
+__all__ = [
+    "CPVolumeComparison",
+    "cp_volume_kv_passing",
+    "cp_volume_query_passing",
+    "cp_volume_comparison",
+    "ring_attention_query_passing",
+]
+
+
+def _slice_tensor_bytes(
+    model: ModelConfig,
+    sequence_length: int,
+    num_slices: int,
+    context_parallel_size: int,
+    channels: int,
+    dtype: DType,
+) -> float:
+    """Bytes of one slice of one activation tensor resident on one CP rank."""
+    tokens_per_rank = sequence_length / context_parallel_size
+    return tokens_per_rank / num_slices * channels * dtype.bytes
+
+
+def cp_volume_kv_passing(
+    model: ModelConfig,
+    sequence_length: int,
+    num_slices: int,
+    context_parallel_size: int,
+    dtype: DType = DType.BF16,
+) -> float:
+    """Per-device CP traffic of one microbatch when keys/values circulate.
+
+    For slice ``i`` (0-based) the ring must circulate the keys and values of
+    every slice processed so far *plus* the current one — ``i + 1`` slices of
+    K and V — to the other ``c - 1`` ranks (ring all-gather volume
+    ``(c-1)/c`` of the gathered tensor per rank).  Summing over the ``n``
+    slices gives the quadratic blow-up the paper calls "rather inefficient".
+    """
+    c = context_parallel_size
+    if c <= 1:
+        return 0.0
+    if num_slices < 1:
+        raise ValueError("num_slices must be >= 1")
+    kv_slice = _slice_tensor_bytes(
+        model, sequence_length, num_slices, c, 2 * model.kv_channels, dtype
+    )
+    circulated_slices = sum(i + 1 for i in range(num_slices))
+    per_layer = circulated_slices * kv_slice * (c - 1)
+    return per_layer * model.num_layers
+
+
+def cp_volume_query_passing(
+    model: ModelConfig,
+    sequence_length: int,
+    num_slices: int,
+    context_parallel_size: int,
+    dtype: DType = DType.BF16,
+) -> float:
+    """Per-device CP traffic of one microbatch with the commutated variant.
+
+    Each slice sends its query once around the ring and receives the partial
+    output (same size) plus one scalar normalizer per query and head; the
+    volume is independent of how much KV cache has accumulated.
+    """
+    c = context_parallel_size
+    if c <= 1:
+        return 0.0
+    if num_slices < 1:
+        raise ValueError("num_slices must be >= 1")
+    q_slice = _slice_tensor_bytes(
+        model, sequence_length, num_slices, c, model.hidden_size, dtype
+    )
+    tokens_per_rank_slice = sequence_length / c / num_slices
+    normalizer = tokens_per_rank_slice * model.num_attention_heads * 4.0  # fp32 scalar
+    per_slice = (2.0 * q_slice + normalizer) * (c - 1)
+    return per_slice * num_slices * model.num_layers
+
+
+@dataclass(frozen=True)
+class CPVolumeComparison:
+    """Communication volumes of the two CP variants for one configuration."""
+
+    kv_passing_bytes: float
+    query_passing_bytes: float
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times less traffic the commutated variant moves."""
+        if self.query_passing_bytes <= 0:
+            return float("inf")
+        return self.kv_passing_bytes / self.query_passing_bytes
+
+
+def cp_volume_comparison(
+    model: ModelConfig,
+    sequence_length: int,
+    num_slices: int,
+    context_parallel_size: int,
+    dtype: DType = DType.BF16,
+) -> CPVolumeComparison:
+    """Compare the standard and commutated CP volumes at one operating point."""
+    return CPVolumeComparison(
+        kv_passing_bytes=cp_volume_kv_passing(
+            model, sequence_length, num_slices, context_parallel_size, dtype
+        ),
+        query_passing_bytes=cp_volume_query_passing(
+            model, sequence_length, num_slices, context_parallel_size, dtype
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Numeric commutated ring attention
+# ---------------------------------------------------------------------------
+def ring_attention_query_passing(
+    queries: Sequence[np.ndarray],
+    keys: Sequence[np.ndarray],
+    values: Sequence[np.ndarray],
+    shard_offsets: Sequence[int] | None = None,
+    scale: float | None = None,
+) -> List[np.ndarray]:
+    """Causal attention across CP shards by passing queries, not keys/values.
+
+    Parameters
+    ----------
+    queries / keys / values:
+        One entry per CP rank; rank ``r`` holds the contiguous sequence shard
+        ``r`` with shapes ``[T_r, heads, d]`` (queries) and ``[T_r, groups, d]``
+        (keys/values).  Shards are contiguous in sequence order.
+    shard_offsets:
+        Global position of each shard's first token; defaults to the shards
+        being laid out back to back.
+
+    Returns the attention output of every rank's queries over the *whole*
+    (causally masked) sequence.  Each rank's query visits every rank's local
+    KV shard — the "commutation" — and the per-rank partial outputs are merged
+    with the online softmax, so the result is exactly dense causal attention
+    (verified in ``tests/test_context_parallel.py``).
+    """
+    ranks = len(queries)
+    if not (len(keys) == len(values) == ranks) or ranks == 0:
+        raise ValueError("queries, keys and values must have one entry per rank")
+    if shard_offsets is None:
+        offsets = []
+        position = 0
+        for q in queries:
+            offsets.append(position)
+            position += q.shape[0]
+    else:
+        offsets = list(shard_offsets)
+        if len(offsets) != ranks:
+            raise ValueError("shard_offsets must have one entry per rank")
+
+    outputs: List[np.ndarray] = []
+    for query_rank in range(ranks):
+        q = queries[query_rank]
+        q_offset = offsets[query_rank]
+        merged: AttentionOutput | None = None
+        # The query (and its running output / normalizer) hops around the ring;
+        # each hop computes the partial attention against that rank's local KV.
+        for hop in range(ranks):
+            kv_rank = (query_rank - hop) % ranks
+            partial = attention_block_forward(
+                q,
+                keys[kv_rank],
+                values[kv_rank],
+                q_offset=q_offset,
+                k_offset=offsets[kv_rank],
+                scale=scale,
+            )
+            merged = partial if merged is None else merge_partial_attention(merged, partial)
+        assert merged is not None
+        outputs.append(merged.out)
+    return outputs

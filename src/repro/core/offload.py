@@ -1,0 +1,150 @@
+"""Pipeline-parallelism-aware activation offloading (Section 6.5).
+
+For ultra-long contexts even SlimPipe's per-slice activations exceed device
+memory, so the paper integrates activation offloading: a fraction of each
+slice's stored activations is copied to host memory right after the forward
+pass and fetched back just before the matching backward pass.  The transfers
+ride the PCIe link and — as long as the per-slice compute time exceeds the
+per-slice transfer time — overlap entirely with computation.
+
+:class:`OffloadPlanner` answers the two questions Table 4 needs:
+
+* **capacity**: what offload ratio makes the resident activations fit the
+  device memory budget, and
+* **overhead**: how much (if any) of the transfer time cannot be hidden
+  behind compute, which inflates the iteration time and depresses MFU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.gpu import GPUSpec
+
+__all__ = ["OffloadDecision", "OffloadPlanner"]
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """Outcome of planning activation offload for one device.
+
+    Attributes
+    ----------
+    ratio:
+        Fraction of the stored activations moved to host memory (0 = keep
+        everything on device, 1 = offload everything).
+    resident_bytes:
+        Activation bytes that stay on the device at the peak.
+    offloaded_bytes:
+        Activation bytes held in host memory at the peak.
+    transfer_seconds_per_slice:
+        D2H (or H2D) time of one slice's offloaded share.
+    exposed_seconds_per_slice:
+        Transfer time per slice that cannot be hidden behind the slice's
+        compute (0 when fully overlapped).
+    feasible:
+        Whether the chosen ratio actually fits the memory budget.
+    """
+
+    ratio: float
+    resident_bytes: float
+    offloaded_bytes: float
+    transfer_seconds_per_slice: float
+    exposed_seconds_per_slice: float
+    feasible: bool
+
+    @property
+    def fully_overlapped(self) -> bool:
+        return self.exposed_seconds_per_slice <= 0.0
+
+
+class OffloadPlanner:
+    """Plan activation offloading against a device memory budget.
+
+    Parameters
+    ----------
+    gpu:
+        The accelerator, providing ``host_offload_bandwidth`` (bytes/s).
+    ratio_granularity:
+        Offload ratios are rounded *up* to a multiple of this value,
+        mirroring the coarse (5%-step) ratios reported in Table 4.
+    """
+
+    def __init__(self, gpu: GPUSpec, ratio_granularity: float = 0.05):
+        if not 0.0 < ratio_granularity <= 1.0:
+            raise ValueError("ratio_granularity must be in (0, 1]")
+        self.gpu = gpu
+        self.ratio_granularity = ratio_granularity
+
+    # ------------------------------------------------------------------
+    def required_ratio(self, peak_activation_bytes: float, budget_bytes: float) -> float:
+        """Minimum offload ratio that fits ``peak_activation_bytes`` in ``budget_bytes``."""
+        if peak_activation_bytes < 0 or budget_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        if peak_activation_bytes <= budget_bytes:
+            return 0.0
+        if budget_bytes <= 0.0:
+            return 1.0
+        raw = 1.0 - budget_bytes / peak_activation_bytes
+        steps = raw / self.ratio_granularity
+        ratio = self.ratio_granularity * (int(steps) + (0 if abs(steps - int(steps)) < 1e-9 else 1))
+        return min(1.0, ratio)
+
+    def plan(
+        self,
+        peak_activation_bytes: float,
+        budget_bytes: float,
+        slice_bytes: float,
+        slice_compute_seconds: float,
+        ratio: float | None = None,
+    ) -> OffloadDecision:
+        """Choose (or evaluate) an offload ratio for one device.
+
+        Parameters
+        ----------
+        peak_activation_bytes:
+            Peak stored activations without offloading.
+        budget_bytes:
+            Device memory available for activations.
+        slice_bytes:
+            Stored activation bytes of one slice (the transfer unit).
+        slice_compute_seconds:
+            Compute time of one slice — the window available to hide the
+            slice's transfer behind.
+        ratio:
+            Force a specific ratio instead of the minimum feasible one
+            (used by the offload-ratio sweep ablation).
+        """
+        if slice_bytes < 0 or slice_compute_seconds < 0:
+            raise ValueError("slice_bytes and slice_compute_seconds must be non-negative")
+        chosen = self.required_ratio(peak_activation_bytes, budget_bytes) if ratio is None else ratio
+        if not 0.0 <= chosen <= 1.0:
+            raise ValueError(f"offload ratio must be in [0, 1], got {chosen}")
+        resident = peak_activation_bytes * (1.0 - chosen)
+        offloaded = peak_activation_bytes * chosen
+        transfer = slice_bytes * chosen / self.gpu.host_offload_bandwidth
+        exposed = max(0.0, transfer - slice_compute_seconds)
+        return OffloadDecision(
+            ratio=chosen,
+            resident_bytes=resident,
+            offloaded_bytes=offloaded,
+            transfer_seconds_per_slice=transfer,
+            exposed_seconds_per_slice=exposed,
+            feasible=resident <= budget_bytes + 1e-6,
+        )
+
+    # ------------------------------------------------------------------
+    def max_context_scaling(
+        self, peak_activation_bytes: float, budget_bytes: float
+    ) -> float:
+        """How much further activations could grow if everything were offloadable.
+
+        A convenience for exploratory "how far can we push the context"
+        questions: with ratio 1.0 the device only holds transient slices, so
+        the growth factor is ``budget / (peak * (1 - 1.0)) → ∞``; in practice
+        the KV cache and transient buffers are not offloadable, so callers
+        pass only the offloadable share here.
+        """
+        if peak_activation_bytes <= 0:
+            return float("inf")
+        return budget_bytes / peak_activation_bytes

@@ -1,0 +1,134 @@
+"""Sequence slicing for fine-grained pipeline parallelism.
+
+SlimPipe's schedule operates on *slices* of a microbatch's sequence rather
+than whole microbatches.  The paper argues for **uniform** slicing
+(Section 4.1.1): equal-length slices bound the accumulated memory, compose
+cleanly with context parallelism, and keep arithmetic intensity up — at the
+price of unequal computation time under causal attention, which the context
+exchange of Section 4.2 then rebalances.
+
+This module provides uniform slicing plus the "balanced-cost" alternative
+(TeraPipe-style non-uniform slices whose causal-attention cost is equalised),
+which the ablation benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["SliceSpec", "uniform_slices", "balanced_cost_slices", "slice_lengths"]
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """One contiguous slice of a sequence.
+
+    ``kv_offset`` is the number of tokens that precede the slice — the keys
+    and values already sitting in the KV cache that this slice's queries
+    attend to; ``kv_tokens`` is the total attended length including the slice
+    itself.
+    """
+
+    index: int
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0 or self.start < 0:
+            raise ValueError("index and start must be non-negative")
+        if self.length <= 0:
+            raise ValueError("slice length must be positive")
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.length
+
+    @property
+    def kv_offset(self) -> int:
+        return self.start
+
+    @property
+    def kv_tokens(self) -> int:
+        return self.stop
+
+    def attention_units(self) -> float:
+        """Causal-attention work of the slice in "token·key" units.
+
+        ``sum_{i in slice} (kv_offset + local position)`` — proportional to
+        the attention-core FLOPs of the slice.
+        """
+        q = self.length
+        return q * self.kv_offset + q * (q + 1) / 2.0
+
+
+def uniform_slices(sequence_length: int, num_slices: int) -> List[SliceSpec]:
+    """Split a sequence into ``num_slices`` equal-length slices.
+
+    When the sequence length is not divisible, the remainder is spread over
+    the earliest slices (keeping every slice within one token of the mean),
+    so the memory bound of Eq. 1 still holds up to rounding.
+    """
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    if num_slices <= 0:
+        raise ValueError("num_slices must be positive")
+    if num_slices > sequence_length:
+        raise ValueError(
+            f"cannot cut {sequence_length} tokens into {num_slices} non-empty slices"
+        )
+    base = sequence_length // num_slices
+    remainder = sequence_length % num_slices
+    slices: List[SliceSpec] = []
+    start = 0
+    for index in range(num_slices):
+        length = base + (1 if index < remainder else 0)
+        slices.append(SliceSpec(index=index, start=start, length=length))
+        start += length
+    return slices
+
+
+def slice_lengths(slices: Sequence[SliceSpec]) -> List[int]:
+    """Lengths of a slice list (convenience for tests and reports)."""
+    return [s.length for s in slices]
+
+
+def balanced_cost_slices(sequence_length: int, num_slices: int) -> List[SliceSpec]:
+    """Non-uniform slicing that equalises causal-attention cost per slice.
+
+    The total attention work of a causal prefix of length ``x`` grows like
+    ``x^2 / 2``, so cost-balanced boundaries sit at
+    ``x_k = s * sqrt(k / n)``.  Used as the ablation baseline illustrating
+    the memory drawback the paper attributes to non-uniform slicing: the last
+    slices become very short (hurting arithmetic intensity) while the first
+    slice is much longer than ``s / n`` (inflating the warm-up memory).
+    """
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    if num_slices <= 0:
+        raise ValueError("num_slices must be positive")
+    if num_slices > sequence_length:
+        raise ValueError(
+            f"cannot cut {sequence_length} tokens into {num_slices} non-empty slices"
+        )
+    boundaries = [0]
+    for k in range(1, num_slices):
+        boundary = int(round(sequence_length * math.sqrt(k / num_slices)))
+        boundaries.append(boundary)
+    boundaries.append(sequence_length)
+    # Enforce strictly increasing boundaries (short sequences can collide).
+    for i in range(1, len(boundaries)):
+        if boundaries[i] <= boundaries[i - 1]:
+            boundaries[i] = boundaries[i - 1] + 1
+    overflow = boundaries[-1] - sequence_length
+    if overflow > 0:
+        # Walk backwards pulling boundaries in while keeping them increasing.
+        boundaries[-1] = sequence_length
+        for i in range(len(boundaries) - 2, 0, -1):
+            boundaries[i] = min(boundaries[i], boundaries[i + 1] - 1)
+    slices = []
+    for index in range(num_slices):
+        start, stop = boundaries[index], boundaries[index + 1]
+        slices.append(SliceSpec(index=index, start=start, length=stop - start))
+    return slices

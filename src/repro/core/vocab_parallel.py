@@ -1,0 +1,149 @@
+"""Vocabulary parallelism across pipeline devices (Section 4.3).
+
+Classic pipeline schemes place the output projection (a GEMM into the
+128,000-entry vocabulary) and the cross-entropy loss on the last pipeline
+device, which
+
+* adds a large compute lump to one device (the mid-pipeline bubble of
+  Figure 9), and
+* stores the fp32 logits of the whole microbatch there (about 16 GiB for a
+  256K context under 8-way TP, Section 4.3.1).
+
+SlimPipe instead shards the (tied) vocabulary matrix column-wise over all
+``p`` pipeline devices: the final hidden states are broadcast, every device
+computes its ``V/p`` columns of the logits, and the cross-entropy is computed
+from the sharded logits with only scalar statistics (the per-token max and
+log-sum-exp) synchronised.
+
+This module contains the *accounting* side of that design — compute, memory
+and communication of the output layer with and without vocabulary
+parallelism — used by the simulator, the system models and the Figure 9
+benchmark.  The numerically exact sharded cross-entropy lives in
+:mod:`repro.numerics.vocab_loss` and is validated against an unsharded
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import DType
+from ..hardware.comm import CommDomain, CommModel
+from ..model.config import ModelConfig
+from ..model.costs import CostModel, PassKind
+from ..model.flops import output_layer_flops
+from ..model.memory import logits_bytes_per_token
+
+__all__ = ["VocabParallelConfig", "OutputLayerCosts", "output_layer_costs"]
+
+
+@dataclass(frozen=True)
+class VocabParallelConfig:
+    """How the output layer is laid out across the pipeline.
+
+    ``enabled=False`` reproduces the classic behaviour (everything on the
+    last pipeline device); ``enabled=True`` spreads compute and logits over
+    all ``pipeline_parallel_size`` devices.
+    """
+
+    enabled: bool
+    pipeline_parallel_size: int
+    tensor_parallel_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pipeline_parallel_size < 1:
+            raise ValueError("pipeline_parallel_size must be >= 1")
+        if self.tensor_parallel_size < 1:
+            raise ValueError("tensor_parallel_size must be >= 1")
+
+    @property
+    def vocab_shards(self) -> int:
+        """Number of ways the vocabulary dimension is split."""
+        return self.pipeline_parallel_size if self.enabled else 1
+
+    def devices_holding_output(self) -> int:
+        """How many pipeline devices run part of the output layer."""
+        return self.pipeline_parallel_size if self.enabled else 1
+
+
+@dataclass(frozen=True)
+class OutputLayerCosts:
+    """Per-device cost of the output layer for one slice of tokens.
+
+    Attributes
+    ----------
+    compute_seconds:
+        GEMM + loss time on each participating device.
+    communication_seconds:
+        Broadcast of the hidden states to all devices (vocab-parallel only)
+        plus the scalar-statistics synchronisation of the sharded softmax.
+    logits_bytes:
+        fp32 logits stored on each participating device for the backward.
+    participating_devices:
+        1 (classic) or ``p`` (vocabulary parallelism).
+    """
+
+    compute_seconds: float
+    communication_seconds: float
+    logits_bytes: float
+    participating_devices: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.communication_seconds
+
+
+def output_layer_costs(
+    model: ModelConfig,
+    tokens: int,
+    config: VocabParallelConfig,
+    cost_model: CostModel,
+    comm_model: CommModel | None = None,
+    kind: PassKind = PassKind.FORWARD,
+    pipeline_domain: CommDomain | None = None,
+    dtype: DType = DType.BF16,
+) -> OutputLayerCosts:
+    """Cost of the vocabulary projection (+loss bookkeeping) for ``tokens`` tokens.
+
+    With vocabulary parallelism the GEMM FLOPs and the stored logits are both
+    divided by ``p``; the price is broadcasting the ``tokens × h`` hidden
+    states over the pipeline group and an all-reduce of two fp32 scalars per
+    token (softmax max and denominator).  Without it the full cost lands on a
+    single device and no extra communication is needed.
+    """
+    if tokens < 0:
+        raise ValueError("tokens must be non-negative")
+    if tokens == 0:
+        return OutputLayerCosts(0.0, 0.0, 0.0, config.devices_holding_output())
+
+    shards = config.vocab_shards
+    flops = output_layer_flops(model, tokens) * (
+        1.0 / (config.tensor_parallel_size * shards)
+    )
+    compute = cost_model.time_of(flops, kind, tokens=tokens)
+
+    communication = 0.0
+    if config.enabled and config.pipeline_parallel_size > 1:
+        if comm_model is None or pipeline_domain is None:
+            raise ValueError(
+                "vocabulary parallelism needs a communication model and a pipeline domain"
+            )
+        hidden_bytes = (
+            tokens * model.hidden_size * dtype.bytes / config.tensor_parallel_size
+        )
+        communication += comm_model.broadcast_time(hidden_bytes, pipeline_domain)
+        # Two fp32 statistics per token (running max and log-sum-exp).
+        stats_bytes = 2 * 4.0 * tokens / config.tensor_parallel_size
+        communication += comm_model.all_reduce_time(stats_bytes, pipeline_domain)
+
+    logits = tokens * logits_bytes_per_token(
+        model,
+        tensor_parallel_size=config.tensor_parallel_size,
+        vocab_parallel_size=shards,
+    )
+    return OutputLayerCosts(
+        compute_seconds=compute,
+        communication_seconds=communication,
+        logits_bytes=logits,
+        participating_devices=config.devices_holding_output(),
+    )

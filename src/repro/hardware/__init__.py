@@ -1,0 +1,15 @@
+"""Hardware substrate: GPU specs, cluster topology and communication costs."""
+
+from .comm import CommDomain, CommModel
+from .gpu import AMPERE_80GB, HOPPER_80GB, GPUSpec
+from .topology import ClusterTopology, hopper_cluster
+
+__all__ = [
+    "GPUSpec",
+    "HOPPER_80GB",
+    "AMPERE_80GB",
+    "ClusterTopology",
+    "hopper_cluster",
+    "CommModel",
+    "CommDomain",
+]

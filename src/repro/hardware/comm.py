@@ -1,0 +1,138 @@
+"""Communication cost model.
+
+Bandwidth–latency (alpha–beta) models of the collectives and point-to-point
+transfers used by hybrid-parallel LLM training.  Collective costs use the
+standard ring-algorithm formulas; each is expressed per participating GPU so
+that they compose directly with the per-device timeline of the simulator.
+
+All sizes are in bytes, all times in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .topology import ClusterTopology
+
+__all__ = ["CommDomain", "CommModel"]
+
+
+@dataclass(frozen=True)
+class CommDomain:
+    """A communication group characterised by its link type.
+
+    ``bandwidth`` is the per-GPU bandwidth of the link the group runs over,
+    ``latency`` the per-message latency, and ``size`` the number of ranks.
+    """
+
+    size: int
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("group size must be >= 1")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+class CommModel:
+    """Estimate communication times over a :class:`ClusterTopology`."""
+
+    def __init__(self, topology: ClusterTopology):
+        self.topology = topology
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+    def domain(self, size: int, intra_node: bool) -> CommDomain:
+        """Build a :class:`CommDomain` of ``size`` ranks on the chosen link."""
+        topo = self.topology
+        if intra_node and not topo.fits_in_node(size):
+            raise ValueError(
+                f"group of size {size} does not fit a {topo.gpus_per_node}-GPU node"
+            )
+        if intra_node:
+            return CommDomain(size, topo.intra_node_bandwidth, topo.intra_node_latency)
+        return CommDomain(size, topo.inter_node_bandwidth, topo.inter_node_latency)
+
+    def pipeline_domain(self, pipeline_parallel_size: int, ranks_per_stage: int) -> CommDomain:
+        """Domain linking adjacent pipeline stages.
+
+        Adjacent stages sit ``ranks_per_stage`` global ranks apart; when that
+        stride stays within one node the transfer rides NVLink, otherwise the
+        NIC.  This mirrors the paper's deployment rule that TP/CP/EP stay
+        inside a node while PP crosses nodes.
+        """
+        stride = ranks_per_stage
+        intra = stride < self.topology.gpus_per_node
+        return self.domain(pipeline_parallel_size, intra_node=intra and
+                           self.topology.fits_in_node(pipeline_parallel_size * stride))
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def p2p_time(self, num_bytes: float, intra_node: bool) -> float:
+        """One point-to-point transfer of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        topo = self.topology
+        bandwidth = topo.intra_node_bandwidth if intra_node else topo.inter_node_bandwidth
+        latency = topo.intra_node_latency if intra_node else topo.inter_node_latency
+        return latency + num_bytes / bandwidth
+
+    def p2p_time_between(self, num_bytes: float, rank_a: int, rank_b: int) -> float:
+        """Point-to-point transfer between two specific global ranks."""
+        if num_bytes <= 0 or rank_a == rank_b:
+            return 0.0
+        topo = self.topology
+        return topo.latency_between(rank_a, rank_b) + num_bytes / topo.bandwidth_between(
+            rank_a, rank_b
+        )
+
+    # ------------------------------------------------------------------
+    # Collectives (ring algorithm, per-GPU time)
+    # ------------------------------------------------------------------
+    def all_reduce_time(self, num_bytes: float, domain: CommDomain) -> float:
+        """Ring all-reduce of a ``num_bytes`` buffer over ``domain``."""
+        g = domain.size
+        if g <= 1 or num_bytes <= 0:
+            return 0.0
+        volume = 2.0 * (g - 1) / g * num_bytes
+        return volume / domain.bandwidth + 2.0 * (g - 1) * domain.latency
+
+    def all_gather_time(self, num_bytes: float, domain: CommDomain) -> float:
+        """Ring all-gather producing ``num_bytes`` of gathered output per rank."""
+        g = domain.size
+        if g <= 1 or num_bytes <= 0:
+            return 0.0
+        volume = (g - 1) / g * num_bytes
+        return volume / domain.bandwidth + (g - 1) * domain.latency
+
+    def reduce_scatter_time(self, num_bytes: float, domain: CommDomain) -> float:
+        """Ring reduce-scatter of a ``num_bytes`` input buffer per rank."""
+        return self.all_gather_time(num_bytes, domain)
+
+    def all_to_all_time(self, num_bytes: float, domain: CommDomain) -> float:
+        """All-to-all where each rank exchanges ``num_bytes`` in total."""
+        g = domain.size
+        if g <= 1 or num_bytes <= 0:
+            return 0.0
+        volume = (g - 1) / g * num_bytes
+        return volume / domain.bandwidth + (g - 1) * domain.latency
+
+    def broadcast_time(self, num_bytes: float, domain: CommDomain) -> float:
+        """Pipeline/ring broadcast of ``num_bytes`` from one rank to the group."""
+        if domain.size <= 1 or num_bytes <= 0:
+            return 0.0
+        return num_bytes / domain.bandwidth + (domain.size - 1) * domain.latency
+
+    def scalar_sync_time(self, domain: CommDomain, num_scalars: int = 4) -> float:
+        """Synchronise a handful of scalars (e.g. sharded-softmax statistics)."""
+        if domain.size <= 1:
+            return 0.0
+        return self.all_reduce_time(8.0 * num_scalars, domain)

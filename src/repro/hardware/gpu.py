@@ -1,0 +1,91 @@
+"""GPU device specifications.
+
+The paper's cluster uses NVIDIA Hopper 80 GB GPUs with 400 GB/s per-GPU
+NVLink and a 400 Gbps NIC per GPU (Section 6.1).  :data:`HOPPER_80GB`
+captures those numbers; the efficiency knobs describe how far real kernels
+fall short of peak and how quickly small workloads lose arithmetic intensity,
+which drives Figure 11's "slices too short" regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import GIB
+
+__all__ = ["GPUSpec", "HOPPER_80GB", "AMPERE_80GB"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one accelerator.
+
+    Attributes
+    ----------
+    peak_flops:
+        Peak dense bf16 throughput in FLOP/s.
+    memory_bytes:
+        Usable HBM capacity in bytes.
+    gemm_efficiency_forward / gemm_efficiency_backward:
+        Achievable fraction of peak for large weight-bearing GEMMs.
+    attention_efficiency_forward / attention_efficiency_backward:
+        Achievable fraction of peak for the fused attention kernel.  Backward
+        attention is notoriously lower, which is what breaks ZB-V's
+        ``T_f = T_b = T_w`` assumption (Section 2.2).
+    intensity_tokens:
+        Token count at which a kernel reaches half of its asymptotic
+        efficiency; shorter slices are increasingly launch/memory bound.
+    kernel_launch_overhead:
+        Fixed per-pass overhead in seconds (kernel launches, scheduling).
+    host_offload_bandwidth:
+        Device-to-host bandwidth available for activation offloading (bytes/s).
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    gemm_efficiency_forward: float = 0.62
+    gemm_efficiency_backward: float = 0.58
+    attention_efficiency_forward: float = 0.52
+    attention_efficiency_backward: float = 0.37
+    intensity_tokens: float = 512.0
+    kernel_launch_overhead: float = 30e-6
+    host_offload_bandwidth: float = 55.0 * GIB
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ValueError("peak_flops must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        for field_name in (
+            "gemm_efficiency_forward",
+            "gemm_efficiency_backward",
+            "attention_efficiency_forward",
+            "attention_efficiency_backward",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{field_name} must be in (0, 1], got {value}")
+
+    @property
+    def memory_gib(self) -> float:
+        return self.memory_bytes / GIB
+
+
+#: NVIDIA Hopper 80 GB (H800-class: 400 GB/s NVLink per GPU), as in Section 6.1.
+HOPPER_80GB = GPUSpec(
+    name="hopper-80gb",
+    peak_flops=989e12,
+    memory_bytes=80 * GIB,
+)
+
+#: An A100-class part, kept for sensitivity studies.
+AMPERE_80GB = GPUSpec(
+    name="ampere-80gb",
+    peak_flops=312e12,
+    memory_bytes=80 * GIB,
+    gemm_efficiency_forward=0.55,
+    gemm_efficiency_backward=0.52,
+    attention_efficiency_forward=0.45,
+    attention_efficiency_backward=0.33,
+)

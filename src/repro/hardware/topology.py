@@ -1,0 +1,94 @@
+"""Cluster topology: nodes, GPUs, intra- and inter-node interconnects.
+
+The evaluation cluster (Section 6.1) has 8 Hopper GPUs per node linked by
+400 GB/s NVLink, plus one 400 Gbps NIC per GPU for inter-node traffic.  The
+paper constrains TP, CP and EP to stay within a node while PP and DP may
+cross nodes; :meth:`ClusterTopology.bandwidth_between` lets the communication
+model pick the right link for any pair of global ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import GIB
+from .gpu import GPUSpec, HOPPER_80GB
+
+__all__ = ["ClusterTopology", "hopper_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A homogeneous cluster of identical multi-GPU nodes.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes.
+    gpus_per_node:
+        GPUs in one NVLink domain.
+    gpu:
+        Per-GPU specification.
+    intra_node_bandwidth:
+        Per-GPU NVLink bandwidth in bytes/s.
+    inter_node_bandwidth:
+        Per-GPU network bandwidth in bytes/s (the 400 Gbps NIC ≈ 50 GB/s).
+    intra_node_latency / inter_node_latency:
+        Per-message latency in seconds.
+    """
+
+    num_nodes: int
+    gpus_per_node: int = 8
+    gpu: GPUSpec = field(default=HOPPER_80GB)
+    intra_node_bandwidth: float = 400.0 * GIB
+    inter_node_bandwidth: float = 50.0 * GIB
+    intra_node_latency: float = 3e-6
+    inter_node_latency: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting global GPU ``rank``."""
+        if not 0 <= rank < self.total_gpus:
+            raise ValueError(f"rank {rank} out of range [0, {self.total_gpus})")
+        return rank // self.gpus_per_node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def bandwidth_between(self, rank_a: int, rank_b: int) -> float:
+        """Point-to-point bandwidth between two global ranks (bytes/s)."""
+        if rank_a == rank_b:
+            return float("inf")
+        if self.same_node(rank_a, rank_b):
+            return self.intra_node_bandwidth
+        return self.inter_node_bandwidth
+
+    def latency_between(self, rank_a: int, rank_b: int) -> float:
+        """Point-to-point latency between two global ranks (seconds)."""
+        if rank_a == rank_b:
+            return 0.0
+        if self.same_node(rank_a, rank_b):
+            return self.intra_node_latency
+        return self.inter_node_latency
+
+    def fits_in_node(self, group_size: int) -> bool:
+        """Whether a parallel group of ``group_size`` GPUs fits one NVLink domain."""
+        return group_size <= self.gpus_per_node
+
+
+def hopper_cluster(num_gpus: int, gpus_per_node: int = 8) -> ClusterTopology:
+    """Build the paper's Hopper cluster with ``num_gpus`` total GPUs."""
+    if num_gpus % gpus_per_node != 0:
+        raise ValueError(
+            f"num_gpus ({num_gpus}) must be a multiple of gpus_per_node ({gpus_per_node})"
+        )
+    return ClusterTopology(num_nodes=num_gpus // gpus_per_node, gpus_per_node=gpus_per_node)

@@ -1,0 +1,63 @@
+"""Transformer model description: configs, FLOPs, memory and time costs."""
+
+from .config import (
+    LLAMA_7B,
+    LLAMA_13B,
+    LLAMA_70B,
+    LLAMA_149B,
+    MIXTRAL_8X7B,
+    MIXTRAL_8X22B,
+    MODEL_REGISTRY,
+    ModelConfig,
+    get_model_config,
+)
+from .costs import CostModel, PassCost, PassKind
+from .flops import (
+    FlopsBreakdown,
+    attention_core_flops,
+    layer_forward_flops,
+    model_flops_per_iteration,
+    model_forward_flops,
+    output_layer_flops,
+)
+from .memory import (
+    ADAM_MIXED_PRECISION,
+    ModelStateMemory,
+    OptimizerSpec,
+    RecomputeMode,
+    activation_bytes_per_token_per_layer,
+    kv_cache_bytes_per_token_per_layer,
+    layers_per_pipeline_stage,
+    logits_bytes_per_token,
+    model_state_bytes_per_device,
+)
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "LLAMA_7B",
+    "LLAMA_13B",
+    "LLAMA_70B",
+    "LLAMA_149B",
+    "MIXTRAL_8X7B",
+    "MIXTRAL_8X22B",
+    "FlopsBreakdown",
+    "attention_core_flops",
+    "layer_forward_flops",
+    "output_layer_flops",
+    "model_forward_flops",
+    "model_flops_per_iteration",
+    "RecomputeMode",
+    "OptimizerSpec",
+    "ADAM_MIXED_PRECISION",
+    "ModelStateMemory",
+    "activation_bytes_per_token_per_layer",
+    "kv_cache_bytes_per_token_per_layer",
+    "logits_bytes_per_token",
+    "model_state_bytes_per_device",
+    "layers_per_pipeline_stage",
+    "CostModel",
+    "PassKind",
+    "PassCost",
+]

@@ -1,0 +1,265 @@
+"""Transformer model configurations.
+
+This module defines :class:`ModelConfig`, the static description of a
+transformer architecture used throughout the reproduction, together with the
+model presets of Table 3 of the paper (Llama 13B / 70B / 149B and
+Mixtral 8x7B / 8x22B) plus a Llama 7B preset used by Figure 2.
+
+Parameter counts derived from these configs match the paper's Table 3 to
+within 1% (see ``tests/test_model_config.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "LLAMA_7B",
+    "LLAMA_13B",
+    "LLAMA_70B",
+    "LLAMA_149B",
+    "MIXTRAL_8X7B",
+    "MIXTRAL_8X22B",
+]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of a decoder-only transformer.
+
+    Attributes follow the notation of Table 3 in the paper:
+
+    * ``num_layers`` — :math:`L`, number of transformer layers.
+    * ``num_attention_heads`` — :math:`a`.
+    * ``num_query_groups`` — :math:`g`; ``None`` means multi-head attention
+      (every head has its own KV head, i.e. ``g == a``).
+    * ``hidden_size`` — :math:`h`.
+    * ``ffn_hidden_size`` — :math:`H` (the SwiGLU intermediate size).
+    * ``vocab_size`` — output vocabulary (128,000 for every model in the paper).
+    * ``num_experts`` / ``experts_per_token`` — MoE routing configuration;
+      ``num_experts is None`` denotes a dense model.
+    * ``tie_embeddings`` — whether input embedding and the output projection
+      share weights (Section 4.3 assumes they do).
+    """
+
+    name: str
+    num_layers: int
+    num_attention_heads: int
+    hidden_size: int
+    ffn_hidden_size: int
+    vocab_size: int = 128_000
+    num_query_groups: Optional[int] = None
+    num_experts: Optional[int] = None
+    experts_per_token: int = 2
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {self.num_layers}")
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ValueError(
+                "hidden_size must be divisible by num_attention_heads "
+                f"({self.hidden_size} % {self.num_attention_heads})"
+            )
+        groups = self.num_query_groups
+        if groups is not None:
+            if groups <= 0 or self.num_attention_heads % groups != 0:
+                raise ValueError(
+                    "num_query_groups must divide num_attention_heads "
+                    f"({self.num_attention_heads} % {groups})"
+                )
+        if self.num_experts is not None:
+            if self.num_experts <= 0:
+                raise ValueError("num_experts must be positive")
+            if not (0 < self.experts_per_token <= self.num_experts):
+                raise ValueError(
+                    "experts_per_token must be in (0, num_experts] "
+                    f"got {self.experts_per_token} of {self.num_experts}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``h / a``."""
+        return self.hidden_size // self.num_attention_heads
+
+    @property
+    def kv_groups(self) -> int:
+        """Effective number of KV groups (``a`` for MHA, ``g`` for GQA)."""
+        return self.num_query_groups or self.num_attention_heads
+
+    @property
+    def kv_channels(self) -> int:
+        """Total width of a key (or value) projection: ``g * head_dim``."""
+        return self.kv_groups * self.head_dim
+
+    @property
+    def is_moe(self) -> bool:
+        return self.num_experts is not None
+
+    @property
+    def active_experts(self) -> int:
+        """Experts used per token (1 for dense models)."""
+        return self.experts_per_token if self.is_moe else 1
+
+    # ------------------------------------------------------------------
+    # Parameter counts
+    # ------------------------------------------------------------------
+    def attention_params_per_layer(self) -> int:
+        """Parameters of one attention block (QKV + output projections)."""
+        h = self.hidden_size
+        qkv = h * (h + 2 * self.kv_channels)
+        out = h * h
+        return qkv + out
+
+    def mlp_params_per_layer(self) -> int:
+        """Parameters of one MLP/MoE block (SwiGLU: gate, up and down)."""
+        dense = 3 * self.hidden_size * self.ffn_hidden_size
+        if not self.is_moe:
+            return dense
+        router = self.hidden_size * self.num_experts
+        return dense * self.num_experts + router
+
+    def norm_params_per_layer(self) -> int:
+        """RMSNorm weights (two per layer)."""
+        return 2 * self.hidden_size
+
+    def params_per_layer(self) -> int:
+        """Total parameters of one transformer layer."""
+        return (
+            self.attention_params_per_layer()
+            + self.mlp_params_per_layer()
+            + self.norm_params_per_layer()
+        )
+
+    def embedding_params(self) -> int:
+        """Parameters of the token embedding (shared with the output layer)."""
+        return self.vocab_size * self.hidden_size
+
+    def output_layer_params(self) -> int:
+        """Parameters of the output projection (0 when tied to the embedding)."""
+        return 0 if self.tie_embeddings else self.vocab_size * self.hidden_size
+
+    def total_params(self) -> int:
+        """Total parameter count, including the vocabulary, as in Table 3."""
+        final_norm = self.hidden_size
+        return (
+            self.num_layers * self.params_per_layer()
+            + self.embedding_params()
+            + self.output_layer_params()
+            + final_norm
+        )
+
+    def active_params_per_layer(self) -> int:
+        """Parameters touched by one token in one layer (top-k experts only)."""
+        dense_mlp = 3 * self.hidden_size * self.ffn_hidden_size
+        mlp = dense_mlp * self.active_experts
+        if self.is_moe:
+            mlp += self.hidden_size * self.num_experts
+        return self.attention_params_per_layer() + mlp + self.norm_params_per_layer()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def with_layers(self, num_layers: int) -> "ModelConfig":
+        """Return a copy of the config with a different layer count."""
+        return replace(self, num_layers=num_layers, name=f"{self.name}-L{num_layers}")
+
+    def scaled_down(self, factor: int, name: Optional[str] = None) -> "ModelConfig":
+        """A structurally similar but smaller config (used by numeric tests)."""
+        return replace(
+            self,
+            name=name or f"{self.name}-tiny",
+            num_layers=max(2, self.num_layers // factor),
+            hidden_size=max(self.num_attention_heads, self.hidden_size // factor),
+            ffn_hidden_size=max(4, self.ffn_hidden_size // factor),
+            vocab_size=max(32, self.vocab_size // factor),
+        )
+
+
+LLAMA_7B = ModelConfig(
+    name="llama-7b",
+    num_layers=32,
+    num_attention_heads=32,
+    hidden_size=4096,
+    ffn_hidden_size=11008,
+)
+
+LLAMA_13B = ModelConfig(
+    name="llama-13b",
+    num_layers=40,
+    num_attention_heads=40,
+    hidden_size=5120,
+    ffn_hidden_size=13824,
+)
+
+LLAMA_70B = ModelConfig(
+    name="llama-70b",
+    num_layers=80,
+    num_attention_heads=64,
+    num_query_groups=8,
+    hidden_size=8192,
+    ffn_hidden_size=28672,
+)
+
+LLAMA_149B = ModelConfig(
+    name="llama-149b",
+    num_layers=96,
+    num_attention_heads=96,
+    num_query_groups=8,
+    hidden_size=12288,
+    ffn_hidden_size=32768,
+)
+
+MIXTRAL_8X7B = ModelConfig(
+    name="mixtral-8x7b",
+    num_layers=32,
+    num_attention_heads=32,
+    num_query_groups=8,
+    hidden_size=4096,
+    ffn_hidden_size=14336,
+    num_experts=8,
+    experts_per_token=2,
+)
+
+MIXTRAL_8X22B = ModelConfig(
+    name="mixtral-8x22b",
+    num_layers=56,
+    num_attention_heads=48,
+    num_query_groups=8,
+    hidden_size=6144,
+    ffn_hidden_size=16384,
+    num_experts=8,
+    experts_per_token=2,
+)
+
+MODEL_REGISTRY: Dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        LLAMA_7B,
+        LLAMA_13B,
+        LLAMA_70B,
+        LLAMA_149B,
+        MIXTRAL_8X7B,
+        MIXTRAL_8X22B,
+    )
+}
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a preset model configuration by name.
+
+    Raises ``KeyError`` with the list of available names on a miss.
+    """
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        ) from None

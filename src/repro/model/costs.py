@@ -1,0 +1,188 @@
+"""Kernel-level time model: FLOPs → seconds on a given GPU.
+
+:class:`CostModel` converts the :class:`~repro.model.flops.FlopsBreakdown` of
+a unit of work into execution time, applying
+
+* operator-family efficiencies (large GEMMs run closer to peak than the
+  attention core; backward passes run below forward passes),
+* an arithmetic-intensity roll-off for short token slices (the mechanism
+  behind Figure 11's "slices become too short" regime), and
+* a fixed per-pass launch overhead.
+
+The model also exposes the ``T_f`` / ``T_b`` / ``T_w`` decomposition used by
+zero-bubble schedules (Section 2.2): for the attention core ``T_w = 0`` and
+``T_b ≈ 2 T_f``, which is what makes ZB-V's balance assumption fail for
+long-context training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..hardware.gpu import GPUSpec, HOPPER_80GB
+from .config import ModelConfig
+from .flops import FlopsBreakdown, layer_forward_flops, output_layer_flops
+
+__all__ = ["PassKind", "CostModel", "PassCost"]
+
+
+class PassKind(Enum):
+    """The kind of computation a pipeline pass performs."""
+
+    FORWARD = "F"
+    BACKWARD = "B"  # combined input-gradient + weight-gradient backward
+    BACKWARD_INPUT = "Bi"  # activation-gradient only (ZB-style)
+    BACKWARD_WEIGHT = "Bw"  # weight-gradient only (ZB-style)
+
+
+@dataclass(frozen=True)
+class PassCost:
+    """Execution time of one pass, split into compute and exposed comm."""
+
+    compute: float
+    communication: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.communication
+
+    def __add__(self, other: "PassCost") -> "PassCost":
+        return PassCost(
+            compute=self.compute + other.compute,
+            communication=self.communication + other.communication,
+        )
+
+
+class CostModel:
+    """Translate FLOPs into seconds for a particular :class:`GPUSpec`."""
+
+    def __init__(self, gpu: GPUSpec = HOPPER_80GB):
+        self.gpu = gpu
+
+    # ------------------------------------------------------------------
+    # Efficiency helpers
+    # ------------------------------------------------------------------
+    def intensity_factor(self, tokens: float) -> float:
+        """Efficiency multiplier in (0, 1] for a pass over ``tokens`` tokens.
+
+        Approaches 1 for long slices and degrades as slices shrink below the
+        GPU's ``intensity_tokens`` knee, modelling launch overheads and
+        reduced tile occupancy.
+        """
+        if tokens <= 0:
+            return 1.0
+        knee = self.gpu.intensity_tokens
+        return tokens / (tokens + knee)
+
+    def _linear_rate(self, backward: bool) -> float:
+        eff = (
+            self.gpu.gemm_efficiency_backward
+            if backward
+            else self.gpu.gemm_efficiency_forward
+        )
+        return self.gpu.peak_flops * eff
+
+    def _attention_rate(self, backward: bool) -> float:
+        eff = (
+            self.gpu.attention_efficiency_backward
+            if backward
+            else self.gpu.attention_efficiency_forward
+        )
+        return self.gpu.peak_flops * eff
+
+    # ------------------------------------------------------------------
+    # Core conversion
+    # ------------------------------------------------------------------
+    def time_of(
+        self,
+        flops: FlopsBreakdown,
+        kind: PassKind,
+        tokens: float,
+        include_overhead: bool = True,
+    ) -> float:
+        """Time in seconds to execute ``flops`` as a pass of the given kind.
+
+        ``tokens`` is the number of query tokens processed, used for the
+        arithmetic-intensity roll-off.
+        """
+        if kind is PassKind.FORWARD:
+            work = flops
+            backward = False
+        elif kind is PassKind.BACKWARD:
+            work = flops.backward_total()
+            backward = True
+        elif kind is PassKind.BACKWARD_INPUT:
+            work = flops.backward_input_grad()
+            backward = True
+        elif kind is PassKind.BACKWARD_WEIGHT:
+            work = flops.backward_weight_grad()
+            backward = True
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown pass kind {kind}")
+
+        factor = self.intensity_factor(tokens)
+        linear_time = work.linear / (self._linear_rate(backward) * factor)
+        attention_time = work.attention / (self._attention_rate(backward) * factor)
+        total = linear_time + attention_time
+        if include_overhead and (work.linear > 0 or work.attention > 0):
+            total += self.gpu.kernel_launch_overhead
+        return total
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers used widely by the simulator and analysis
+    # ------------------------------------------------------------------
+    def layer_pass_time(
+        self,
+        model: ModelConfig,
+        kind: PassKind,
+        query_tokens: int,
+        kv_offset: int = 0,
+        num_layers: int = 1,
+        tensor_parallel_size: int = 1,
+    ) -> float:
+        """Time of ``num_layers`` transformer layers on a query slice."""
+        flops = layer_forward_flops(model, query_tokens, kv_offset) * num_layers
+        flops = flops * (1.0 / tensor_parallel_size)
+        return self.time_of(flops, kind, tokens=query_tokens)
+
+    def output_layer_time(
+        self,
+        model: ModelConfig,
+        kind: PassKind,
+        tokens: int,
+        tensor_parallel_size: int = 1,
+        vocab_parallel_size: int = 1,
+    ) -> float:
+        """Time of the vocabulary projection (+ its backward) on ``tokens``."""
+        flops = output_layer_flops(model, tokens) * (
+            1.0 / (tensor_parallel_size * vocab_parallel_size)
+        )
+        return self.time_of(flops, kind, tokens=tokens)
+
+    def tf_tb_tw(
+        self,
+        model: ModelConfig,
+        query_tokens: int,
+        kv_offset: int = 0,
+        num_layers: int = 1,
+        tensor_parallel_size: int = 1,
+    ) -> tuple[float, float, float]:
+        """Forward / input-grad / weight-grad times of a layer block.
+
+        This is the quantity zero-bubble schedules reason about; the paper
+        points out that attention forces ``T_w < T_f < T_b``.
+        """
+        times = []
+        for kind in (PassKind.FORWARD, PassKind.BACKWARD_INPUT, PassKind.BACKWARD_WEIGHT):
+            times.append(
+                self.layer_pass_time(
+                    model,
+                    kind,
+                    query_tokens,
+                    kv_offset,
+                    num_layers=num_layers,
+                    tensor_parallel_size=tensor_parallel_size,
+                )
+            )
+        return tuple(times)  # type: ignore[return-value]

@@ -1,0 +1,179 @@
+"""FLOPs accounting for transformer forward / backward passes.
+
+Everything in the simulator ultimately derives from these counts.  The model
+follows standard conventions (a GEMM multiplying ``[m, k] @ [k, n]`` costs
+``2*m*k*n`` FLOPs) and exposes *slice-aware* attention costs: for causal
+attention the cost of a slice of queries depends on how many earlier
+key/value tokens it attends to, which is exactly the source of the load
+imbalance SlimPipe's context exchange removes (Section 4.2).
+
+The central type is :class:`FlopsBreakdown`, which keeps the GEMM-like
+("linear") component separate from the attention-core component because the
+two behave differently in the backward pass: linear layers split evenly into
+an input-gradient and a weight-gradient GEMM, whereas the attention core has
+no weights (``T_w = 0``) and its backward costs roughly twice its forward
+(Section 2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ModelConfig
+
+__all__ = [
+    "FlopsBreakdown",
+    "attention_core_flops",
+    "layer_forward_flops",
+    "output_layer_flops",
+    "embedding_flops",
+    "model_forward_flops",
+    "model_flops_per_iteration",
+]
+
+
+@dataclass(frozen=True)
+class FlopsBreakdown:
+    """Forward FLOPs of a unit of work, split by operator family.
+
+    ``linear`` covers every weight-bearing GEMM (QKV / output projections,
+    MLP or MoE experts, vocabulary projection); ``attention`` covers the
+    weight-free attention core (QK^T, softmax-weighted sum over V).
+    """
+
+    linear: float = 0.0
+    attention: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.linear + self.attention
+
+    # Backward-pass decomposition --------------------------------------
+    def backward_input_grad(self) -> "FlopsBreakdown":
+        """FLOPs of the activation-gradient part of the backward pass (T_b).
+
+        A linear layer's backward performs one GEMM against the weights for
+        the input gradient (same cost as forward); the attention core's
+        backward recomputes both the score and context products with respect
+        to Q, K and V, roughly twice the forward cost.
+        """
+        return FlopsBreakdown(linear=self.linear, attention=2.0 * self.attention)
+
+    def backward_weight_grad(self) -> "FlopsBreakdown":
+        """FLOPs of the weight-gradient part of the backward pass (T_w).
+
+        The attention core has no weights, hence contributes nothing here.
+        """
+        return FlopsBreakdown(linear=self.linear, attention=0.0)
+
+    def backward_total(self) -> "FlopsBreakdown":
+        bi = self.backward_input_grad()
+        bw = self.backward_weight_grad()
+        return FlopsBreakdown(
+            linear=bi.linear + bw.linear, attention=bi.attention + bw.attention
+        )
+
+    def __add__(self, other: "FlopsBreakdown") -> "FlopsBreakdown":
+        return FlopsBreakdown(
+            linear=self.linear + other.linear,
+            attention=self.attention + other.attention,
+        )
+
+    def __mul__(self, factor: float) -> "FlopsBreakdown":
+        return FlopsBreakdown(linear=self.linear * factor, attention=self.attention * factor)
+
+    __rmul__ = __mul__
+
+
+def attention_core_flops(
+    model: ModelConfig, query_tokens: int, kv_offset: int, causal: bool = True
+) -> float:
+    """Forward FLOPs of the attention core for a slice of queries.
+
+    Parameters
+    ----------
+    query_tokens:
+        Number of query tokens in the slice.
+    kv_offset:
+        Number of key/value tokens *preceding* the slice (the KV cache the
+        slice attends to in addition to itself).
+    causal:
+        When ``True`` (the default) each query attends to the cached tokens
+        plus the in-slice tokens up to and including itself; when ``False``
+        every query attends to ``kv_offset + query_tokens`` tokens.
+
+    The per-query cost of attending to ``k`` keys is ``4 * h * k`` FLOPs
+    (``2*h*k`` for ``QK^T`` and ``2*h*k`` for the weighted sum over ``V``).
+    """
+    if query_tokens <= 0:
+        return 0.0
+    if kv_offset < 0:
+        raise ValueError(f"kv_offset must be non-negative, got {kv_offset}")
+    h = model.hidden_size
+    q = query_tokens
+    if causal:
+        # sum_{i=1..q} (kv_offset + i) = q*kv_offset + q*(q+1)/2
+        attended = q * kv_offset + q * (q + 1) / 2.0
+    else:
+        attended = q * (kv_offset + q)
+    return 4.0 * h * attended
+
+
+def layer_forward_flops(
+    model: ModelConfig,
+    query_tokens: int,
+    kv_offset: int = 0,
+    causal: bool = True,
+) -> FlopsBreakdown:
+    """Forward FLOPs of one transformer layer on a slice of ``query_tokens``.
+
+    The linear component scales linearly in ``query_tokens``; the attention
+    component additionally depends on ``kv_offset`` (causal attention over
+    the earlier part of the sequence).
+    """
+    h = model.hidden_size
+    qkv = 2.0 * h * (h + 2 * model.kv_channels)
+    out_proj = 2.0 * h * h
+    mlp = 6.0 * h * model.ffn_hidden_size * model.active_experts
+    router = 2.0 * h * model.num_experts if model.is_moe else 0.0
+    linear = (qkv + out_proj + mlp + router) * query_tokens
+    attn = attention_core_flops(model, query_tokens, kv_offset, causal=causal)
+    return FlopsBreakdown(linear=linear, attention=attn)
+
+
+def output_layer_flops(model: ModelConfig, tokens: int) -> FlopsBreakdown:
+    """Forward FLOPs of the vocabulary projection for ``tokens`` tokens."""
+    return FlopsBreakdown(linear=2.0 * model.hidden_size * model.vocab_size * tokens)
+
+
+def embedding_flops(model: ModelConfig, tokens: int) -> FlopsBreakdown:
+    """Forward FLOPs of the input embedding lookup (effectively negligible)."""
+    # A gather costs no FLOPs worth modelling; keep the symbol for clarity.
+    return FlopsBreakdown(linear=0.0 * tokens)
+
+
+def model_forward_flops(
+    model: ModelConfig, sequence_length: int, causal: bool = True
+) -> FlopsBreakdown:
+    """Forward FLOPs of the full model over one sequence."""
+    per_layer = layer_forward_flops(model, sequence_length, kv_offset=0, causal=causal)
+    total = per_layer * model.num_layers
+    total = total + output_layer_flops(model, sequence_length)
+    return total
+
+
+def model_flops_per_iteration(
+    model: ModelConfig,
+    sequence_length: int,
+    num_sequences: int,
+    include_backward: bool = True,
+) -> float:
+    """Total "model FLOPs" of one training iteration.
+
+    This is the MFU numerator: the FLOPs the model fundamentally requires
+    (forward plus, when ``include_backward``, twice the forward for the
+    backward pass), *excluding* any activation recomputation.  Matches the
+    convention used to report MFU in the paper's evaluation.
+    """
+    fwd = model_forward_flops(model, sequence_length).total * num_sequences
+    return fwd * 3.0 if include_backward else fwd

@@ -1,0 +1,235 @@
+"""Memory accounting for LLM training.
+
+Two families of consumers are modelled, mirroring the paper's Section 1:
+
+* **model states** — parameters, gradients and optimizer states, which scale
+  with model size and are divided by tensor / pipeline / expert parallelism
+  (and, for the optimizer, by data parallelism when a distributed optimizer
+  is used);
+* **activations** — whose footprint grows linearly with context length and is
+  the quantity SlimPipe attacks.
+
+The activation model is itemised for the exact stack the paper implements
+(Section 5): cuDNN-SDPA-style attention that does not materialise the score
+matrix, SwiGLU with the swish product recomputed, and a memory-efficient
+RMSNorm that keeps its input rather than its output.  Under *full*
+recomputation only the layer input survives, which reproduces the paper's own
+arithmetic ("1048576 x 8192 x 80 x 2 / 8 = 160 GiB" for Llama 70B at 1M
+context with 8-way TP) exactly — see ``tests/test_memory_model.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..constants import DType
+from .config import ModelConfig
+
+__all__ = [
+    "RecomputeMode",
+    "OptimizerSpec",
+    "ADAM_MIXED_PRECISION",
+    "activation_bytes_per_token_per_layer",
+    "kv_cache_bytes_per_token_per_layer",
+    "logits_bytes_per_token",
+    "ModelStateMemory",
+    "model_state_bytes_per_device",
+    "layers_per_pipeline_stage",
+]
+
+
+class RecomputeMode(Enum):
+    """Activation rematerialisation policy (Section 2.3 / Section 6.4).
+
+    * ``NONE`` — keep every tensor the backward pass needs.
+    * ``SELECTIVE`` — recompute the MLP up-projection plus SwiGLU (the
+      paper's own selective policy), dropping the FFN-sized activations.
+    * ``FULL`` — keep only each layer's input and recompute the layer during
+      the backward pass.
+    """
+
+    NONE = "none"
+    SELECTIVE = "selective"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """Bytes-per-parameter accounting for the optimizer and gradients.
+
+    Defaults model the paper's setting: bf16 parameters and gradients for
+    compute, fp32 master weights plus Adam first/second moments held by a
+    distributed optimizer (sharded across data parallel ranks), and fp32
+    gradient accumulation buffers.
+    """
+
+    param_bytes: int = 2
+    grad_bytes: int = 4
+    master_param_bytes: int = 4
+    exp_avg_bytes: int = 4
+    exp_avg_sq_bytes: int = 4
+    distributed_optimizer: bool = True
+
+    def state_bytes_per_param(self, data_parallel_size: int = 1) -> float:
+        """Bytes per parameter of resident model state on one device."""
+        optimizer = self.master_param_bytes + self.exp_avg_bytes + self.exp_avg_sq_bytes
+        if self.distributed_optimizer and data_parallel_size > 1:
+            optimizer /= data_parallel_size
+        return self.param_bytes + self.grad_bytes + optimizer
+
+
+#: The optimizer configuration used throughout the paper's evaluation.
+ADAM_MIXED_PRECISION = OptimizerSpec()
+
+
+def activation_bytes_per_token_per_layer(
+    model: ModelConfig,
+    recompute: RecomputeMode = RecomputeMode.NONE,
+    tensor_parallel_size: int = 1,
+    dtype: DType = DType.BF16,
+) -> float:
+    """Stored activation bytes per token, per transformer layer, per device.
+
+    With sequence parallelism enabled (the paper always pairs TP with SP) the
+    whole layer's activations are sharded by ``tensor_parallel_size``.
+
+    Itemisation for ``RecomputeMode.NONE`` (per token, in elements):
+
+    ========================  ======================  =======================
+    tensor                    size                    note
+    ========================  ======================  =======================
+    attention norm input      ``h``                   memory-efficient RMSNorm
+    query                     ``h``                   SDPA saves Q, K, V, O
+    key + value               ``2 * g * d_head``      this *is* the KV cache
+    attention output          ``h``                   input of output proj
+    MLP norm input            ``h``                   residual stream
+    MLP input                 ``h``                   input of gate/up proj
+    gate and up outputs       ``2 * H * k_active``    swish product recomputed
+    ========================  ======================  =======================
+
+    ``SELECTIVE`` drops the gate/up outputs (they are recomputed), ``FULL``
+    keeps only the layer input (``h``).
+    """
+    if tensor_parallel_size < 1:
+        raise ValueError("tensor_parallel_size must be >= 1")
+    h = model.hidden_size
+    elem = dtype.bytes
+    if recompute is RecomputeMode.FULL:
+        per_token_elems = h
+    else:
+        per_token_elems = 5 * h + 2 * model.kv_channels
+        if recompute is RecomputeMode.NONE:
+            per_token_elems += 2 * model.ffn_hidden_size * model.active_experts
+    return per_token_elems * elem / tensor_parallel_size
+
+
+def kv_cache_bytes_per_token_per_layer(
+    model: ModelConfig,
+    tensor_parallel_size: int = 1,
+    dtype: DType = DType.BF16,
+) -> float:
+    """Bytes of key+value retained per token per layer (per device under TP).
+
+    SlimPipe keeps keys and values of already-processed slices alive until
+    their backward pass; under ``RecomputeMode.FULL`` this is the *only*
+    cross-slice state besides the layer inputs.
+    """
+    return 2 * model.kv_channels * dtype.bytes / tensor_parallel_size
+
+
+def logits_bytes_per_token(
+    model: ModelConfig,
+    tensor_parallel_size: int = 1,
+    vocab_parallel_size: int = 1,
+) -> float:
+    """Bytes of fp32 vocabulary logits stored per token for the loss.
+
+    The paper notes the cross-entropy keeps fp32 logits for the gradient; a
+    256K context with a 128,000 vocabulary costs about 16 GiB even under
+    8-way TP (Section 4.3.1).  Vocabulary parallelism (Section 4.3.2) further
+    divides this by the pipeline size.
+    """
+    return 4.0 * model.vocab_size / (tensor_parallel_size * vocab_parallel_size)
+
+
+def layers_per_pipeline_stage(model: ModelConfig, pipeline_parallel_size: int) -> int:
+    """Number of transformer layers per pipeline device (must divide evenly)."""
+    if pipeline_parallel_size < 1:
+        raise ValueError("pipeline_parallel_size must be >= 1")
+    if model.num_layers % pipeline_parallel_size != 0:
+        raise ValueError(
+            f"{model.num_layers} layers are not divisible by PP size "
+            f"{pipeline_parallel_size}"
+        )
+    return model.num_layers // pipeline_parallel_size
+
+
+@dataclass(frozen=True)
+class ModelStateMemory:
+    """Per-device breakdown of model-state memory (bytes)."""
+
+    transformer_layers: float
+    embedding: float
+    output_layer: float
+
+    @property
+    def total(self) -> float:
+        return self.transformer_layers + self.embedding + self.output_layer
+
+
+def model_state_bytes_per_device(
+    model: ModelConfig,
+    *,
+    tensor_parallel_size: int = 1,
+    pipeline_parallel_size: int = 1,
+    expert_parallel_size: int = 1,
+    data_parallel_size: int = 1,
+    pipeline_rank: int = 0,
+    vocab_parallel: bool = False,
+    optimizer: OptimizerSpec = ADAM_MIXED_PRECISION,
+) -> ModelStateMemory:
+    """Model-state (parameters + gradients + optimizer) bytes on one device.
+
+    Dense parameters are sharded by TP; expert parameters additionally by EP.
+    The embedding / output projection live on the first / last pipeline rank
+    unless ``vocab_parallel`` is set, in which case every pipeline rank holds
+    ``1/p`` of the (tied) vocabulary matrix as Section 4.3.2 prescribes.
+    """
+    if expert_parallel_size < 1:
+        raise ValueError("expert_parallel_size must be >= 1")
+    per_param = optimizer.state_bytes_per_param(data_parallel_size)
+    layers = layers_per_pipeline_stage(model, pipeline_parallel_size)
+
+    attn = model.attention_params_per_layer() / tensor_parallel_size
+    norms = model.norm_params_per_layer()
+    if model.is_moe:
+        experts = 3 * model.hidden_size * model.ffn_hidden_size * model.num_experts
+        experts /= tensor_parallel_size * expert_parallel_size
+        router = model.hidden_size * model.num_experts
+        mlp = experts + router
+    else:
+        mlp = model.mlp_params_per_layer() / tensor_parallel_size
+    layer_params = attn + mlp + norms
+    transformer_bytes = layers * layer_params * per_param
+
+    vocab_params = model.embedding_params() / tensor_parallel_size
+    if vocab_parallel:
+        vocab_here = vocab_params / pipeline_parallel_size
+        embedding = vocab_here * per_param
+        output_layer = 0.0 if model.tie_embeddings else vocab_here * per_param
+    else:
+        is_first = pipeline_rank == 0
+        is_last = pipeline_rank == pipeline_parallel_size - 1
+        embedding = vocab_params * per_param if is_first else 0.0
+        if model.tie_embeddings:
+            # Tied weights: the last stage holds a replica of the embedding to
+            # compute the output projection (classic Megatron behaviour).
+            output_layer = vocab_params * per_param if (is_last and not is_first) else 0.0
+        else:
+            output_layer = vocab_params * per_param if is_last else 0.0
+    return ModelStateMemory(
+        transformer_layers=transformer_bytes,
+        embedding=embedding,
+        output_layer=output_layer,
+    )

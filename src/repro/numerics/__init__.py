@@ -1,0 +1,82 @@
+"""NumPy numeric engine.
+
+This package re-implements, in plain NumPy, the exact arithmetic SlimPipe
+performs on the GPU — a decoder-only transformer with RMSNorm, SwiGLU and
+grouped-query causal attention, processed *slice by slice* with a KV cache,
+attention context exchange merged through online softmax, and a
+vocabulary-parallel sharded cross-entropy — so that the reproduction can
+*prove* the method computes the same gradients as an unsliced single-device
+reference (``tests/test_pipeline_runner.py``), which is the correctness claim
+underlying the schedule and the exchange mechanism.
+
+It is written for clarity and testability, not for speed: every operator
+exposes an explicit ``forward`` returning a cache and a ``backward`` consuming
+it, mirroring how a training framework stores activations.
+"""
+
+from .attention import (
+    attention_block_backward,
+    attention_forward,
+    attention_reference,
+    blockwise_attention_forward,
+    merge_partial_attention,
+)
+from .functional import (
+    cross_entropy_backward,
+    cross_entropy_forward,
+    embedding_backward,
+    embedding_forward,
+    linear_backward,
+    linear_forward,
+    rmsnorm_backward,
+    rmsnorm_forward,
+    swiglu_backward,
+    swiglu_forward,
+)
+from .layer import LayerCache, TransformerLayerParams, layer_backward, layer_forward
+from .model import ModelGradients, ModelParams, ReferenceModel
+from .moe import MoEMLPGradients, MoEMLPParams, moe_mlp_backward, moe_mlp_forward
+from .optimizer import SGD, Adam, named_parameters
+from .pipeline_runner import SlimPipeNumericRunner, SlimPipeRunnerOptions
+from .vocab_loss import (
+    sharded_cross_entropy_backward,
+    sharded_cross_entropy_forward,
+    shard_vocab_weights,
+)
+
+__all__ = [
+    "linear_forward",
+    "linear_backward",
+    "rmsnorm_forward",
+    "rmsnorm_backward",
+    "swiglu_forward",
+    "swiglu_backward",
+    "embedding_forward",
+    "embedding_backward",
+    "cross_entropy_forward",
+    "cross_entropy_backward",
+    "attention_forward",
+    "attention_reference",
+    "attention_block_backward",
+    "blockwise_attention_forward",
+    "merge_partial_attention",
+    "TransformerLayerParams",
+    "LayerCache",
+    "layer_forward",
+    "layer_backward",
+    "ModelParams",
+    "ModelGradients",
+    "ReferenceModel",
+    "shard_vocab_weights",
+    "sharded_cross_entropy_forward",
+    "sharded_cross_entropy_backward",
+    "SlimPipeNumericRunner",
+    "SlimPipeRunnerOptions",
+    "MoEMLPParams",
+    "MoEMLPGradients",
+    "moe_mlp_forward",
+    "moe_mlp_backward",
+    "Adam",
+    "SGD",
+    "named_parameters",
+]

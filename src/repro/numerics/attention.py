@@ -1,0 +1,271 @@
+"""Causal grouped-query attention: dense reference, blockwise forward with
+online softmax, and a FlashAttention-style blockwise backward.
+
+SlimPipe's correctness rests on two attention identities that this module
+makes explicit and the tests verify:
+
+* **Blockwise forward** — computing attention of a query slice against its KV
+  cache one chunk at a time and merging the partial outputs with the online
+  softmax (running max + log-sum-exp) gives *exactly* the same result as one
+  dense pass over the concatenated keys/values.  This is what lets a device
+  hand a query and part of its KV cache to another device (context exchange)
+  and merge the returned partial output (Section 4.2.2), and what the
+  commutated context parallelism of Section 5 relies on.
+
+* **Blockwise backward** — the gradient of a query slice w.r.t. each KV chunk
+  can be computed independently per chunk from the saved output and
+  log-sum-exp, and the per-chunk query gradients simply add up.  This is what
+  lets the LIFO slice backward of the SlimPipe schedule accumulate ``dK``/``dV``
+  contributions into earlier slices' chunks.
+
+Shapes (no batch dimension; one sequence per microbatch):
+
+* queries ``q``: ``[Tq, num_heads, head_dim]``
+* keys / values ``k`` / ``v``: ``[Tk, num_groups, head_dim]`` (grouped-query
+  attention shares one KV head across ``num_heads / num_groups`` query heads)
+* outputs: ``[Tq, num_heads, head_dim]``; log-sum-exp: ``[num_heads, Tq]``.
+
+Positions are global: the queries occupy absolute positions
+``q_offset .. q_offset + Tq - 1`` and a key chunk occupies
+``k_offset .. k_offset + Tk - 1``; the causal mask forbids attending to keys
+with a position greater than the query's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AttentionOutput",
+    "attention_reference",
+    "attention_forward",
+    "attention_block_forward",
+    "attention_block_backward",
+    "blockwise_attention_forward",
+    "merge_partial_attention",
+    "expand_kv_to_heads",
+    "reduce_heads_to_kv",
+]
+
+_NEG_INF = -1e30
+
+
+@dataclass
+class AttentionOutput:
+    """Output of an attention forward: the context and its log-sum-exp."""
+
+    out: np.ndarray  # [Tq, num_heads, head_dim]
+    lse: np.ndarray  # [num_heads, Tq]
+
+
+def _check_qkv(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> Tuple[int, int]:
+    if q.ndim != 3 or k.ndim != 3 or v.ndim != 3:
+        raise ValueError("q, k, v must be rank-3: [tokens, heads, head_dim]")
+    if k.shape != v.shape:
+        raise ValueError("k and v must have identical shapes")
+    num_heads, num_groups = q.shape[1], k.shape[1]
+    if num_heads % num_groups != 0:
+        raise ValueError(
+            f"query heads ({num_heads}) must be a multiple of KV groups ({num_groups})"
+        )
+    if q.shape[2] != k.shape[2]:
+        raise ValueError("q and k head dimensions differ")
+    return num_heads, num_groups
+
+
+def expand_kv_to_heads(kv: np.ndarray, num_heads: int) -> np.ndarray:
+    """Repeat KV groups so every query head has a matching KV head."""
+    num_groups = kv.shape[1]
+    if num_heads % num_groups != 0:
+        raise ValueError("num_heads must be a multiple of the number of KV groups")
+    return np.repeat(kv, num_heads // num_groups, axis=1)
+
+
+def reduce_heads_to_kv(grad_heads: np.ndarray, num_groups: int) -> np.ndarray:
+    """Sum per-head KV gradients back into the shared KV groups."""
+    tokens, num_heads, dim = grad_heads.shape
+    if num_heads % num_groups != 0:
+        raise ValueError("num_heads must be a multiple of num_groups")
+    grouped = grad_heads.reshape(tokens, num_groups, num_heads // num_groups, dim)
+    return grouped.sum(axis=2)
+
+
+def _masked_scores(
+    q: np.ndarray, k: np.ndarray, q_offset: int, k_offset: int, scale: float
+) -> np.ndarray:
+    """Scaled dot-product scores ``[heads, Tq, Tk]`` with the causal mask applied."""
+    num_heads = q.shape[1]
+    k_heads = expand_kv_to_heads(k, num_heads)
+    # scores[h, i, j] = q[i, h, :] . k[j, h, :]
+    scores = np.einsum("ihd,jhd->hij", q, k_heads) * scale
+    q_pos = q_offset + np.arange(q.shape[0])[:, None]
+    k_pos = k_offset + np.arange(k.shape[0])[None, :]
+    mask = k_pos > q_pos
+    scores = np.where(mask[None, :, :], _NEG_INF, scores)
+    return scores
+
+
+def attention_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_offset: int = 0,
+    k_offset: int = 0,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Dense causal attention — the ground truth the blockwise path is tested against."""
+    _check_qkv(q, k, v)
+    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[2])
+    scores = _masked_scores(q, k, q_offset, k_offset, scale)
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    v_heads = expand_kv_to_heads(v, q.shape[1])
+    return np.einsum("hij,jhd->ihd", probs, v_heads)
+
+
+def attention_block_forward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_offset: int = 0,
+    k_offset: int = 0,
+    scale: float | None = None,
+) -> AttentionOutput:
+    """Attention of a query block against one KV block, returning *unnormalised-safe* output.
+
+    The returned ``out`` is already normalised by this block's own softmax
+    denominator and ``lse`` is the block's log-sum-exp, so partial results can
+    be merged exactly with :func:`merge_partial_attention`.  Queries that see
+    no valid key in this block (fully masked rows) return zero output and
+    ``lse = -inf``.
+    """
+    _check_qkv(q, k, v)
+    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[2])
+    scores = _masked_scores(q, k, q_offset, k_offset, scale)
+    row_max = scores.max(axis=-1)
+    safe_max = np.where(np.isfinite(row_max) & (row_max > _NEG_INF / 2), row_max, 0.0)
+    exp = np.exp(scores - safe_max[..., None])
+    exp = np.where(scores <= _NEG_INF / 2, 0.0, exp)
+    denom = exp.sum(axis=-1)
+    with np.errstate(divide="ignore"):
+        lse = np.where(denom > 0, np.log(denom) + safe_max, -np.inf)
+    v_heads = expand_kv_to_heads(v, q.shape[1])
+    numer = np.einsum("hij,jhd->ihd", exp, v_heads)
+    with np.errstate(invalid="ignore"):
+        out = np.where(
+            denom.T[:, :, None] > 0, numer / np.maximum(denom.T[:, :, None], 1e-300), 0.0
+        )
+    return AttentionOutput(out=out, lse=lse)
+
+
+def merge_partial_attention(
+    a: AttentionOutput, b: AttentionOutput
+) -> AttentionOutput:
+    """Merge two partial attention results via the online-softmax identity.
+
+    Given outputs normalised within their own key sets and their log-sum-exps,
+    the exact combined output is the lse-weighted average — the "merged ...
+    via the online softmax method" step of Section 4.2.2.
+    """
+    if a.out.shape != b.out.shape:
+        raise ValueError("partial outputs must have identical shapes")
+    lse = np.logaddexp(a.lse, b.lse)
+    weight_a = np.exp(a.lse - lse)
+    weight_b = np.exp(b.lse - lse)
+    weight_a = np.where(np.isfinite(a.lse), weight_a, 0.0)
+    weight_b = np.where(np.isfinite(b.lse), weight_b, 0.0)
+    out = a.out * weight_a.T[:, :, None] + b.out * weight_b.T[:, :, None]
+    return AttentionOutput(out=out, lse=lse)
+
+
+def blockwise_attention_forward(
+    q: np.ndarray,
+    kv_blocks: Sequence[Tuple[np.ndarray, np.ndarray]],
+    q_offset: int = 0,
+    scale: float | None = None,
+    block_offsets: Sequence[int] | None = None,
+) -> AttentionOutput:
+    """Attention of a query block against a list of KV chunks (the KV cache).
+
+    ``kv_blocks`` are consecutive chunks covering positions starting at 0 (or
+    at ``block_offsets`` when given).  Partial results are merged chunk by
+    chunk with the online softmax, reproducing how SlimPipe attends a slice to
+    its chunked KV cache — possibly with some chunks computed on a *different
+    device* and merged on return.
+    """
+    if not kv_blocks:
+        raise ValueError("kv_blocks must contain at least one chunk")
+    if block_offsets is None:
+        offsets = []
+        position = 0
+        for k, _ in kv_blocks:
+            offsets.append(position)
+            position += k.shape[0]
+    else:
+        offsets = list(block_offsets)
+        if len(offsets) != len(kv_blocks):
+            raise ValueError("block_offsets must match kv_blocks")
+    result: AttentionOutput | None = None
+    for (k, v), offset in zip(kv_blocks, offsets):
+        partial = attention_block_forward(q, k, v, q_offset, offset, scale)
+        result = partial if result is None else merge_partial_attention(result, partial)
+    assert result is not None
+    return result
+
+
+def attention_forward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_offset: int = 0,
+    k_offset: int = 0,
+    scale: float | None = None,
+) -> AttentionOutput:
+    """Dense forward that also returns the log-sum-exp needed by the backward."""
+    return attention_block_forward(q, k, v, q_offset, k_offset, scale)
+
+
+def attention_block_backward(
+    grad_out: np.ndarray,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    out: np.ndarray,
+    lse: np.ndarray,
+    q_offset: int = 0,
+    k_offset: int = 0,
+    scale: float | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of one (query block, KV block) pair.
+
+    ``out`` and ``lse`` are the *final* (fully merged) output and log-sum-exp
+    of the query block over its complete key set; the probabilities of this KV
+    block are recomputed from them, exactly as FlashAttention's backward does.
+    Returns ``(dq, dk, dv)`` where ``dq`` is this block's *contribution* (sum
+    contributions over all KV blocks to get the full query gradient).
+    """
+    num_heads, num_groups = _check_qkv(q, k, v)
+    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[2])
+    scores = _masked_scores(q, k, q_offset, k_offset, scale)
+    # p[h, i, j] = exp(s - lse_i): the exact softmax probabilities of this block.
+    probs = np.exp(scores - lse[:, :, None])
+    probs = np.where(scores <= _NEG_INF / 2, 0.0, probs)
+
+    v_heads = expand_kv_to_heads(v, num_heads)
+    # dv[j, h, d] = sum_i p[h, i, j] * grad_out[i, h, d]
+    dv_heads = np.einsum("hij,ihd->jhd", probs, grad_out)
+    # dp[h, i, j] = grad_out[i, h, :] . v[j, h, :]
+    dp = np.einsum("ihd,jhd->hij", grad_out, v_heads)
+    # delta[h, i] = grad_out[i, h, :] . out[i, h, :]  (softmax Jacobian diagonal term)
+    delta = np.einsum("ihd,ihd->hi", grad_out, out)
+    ds = probs * (dp - delta[:, :, None])
+    k_heads = expand_kv_to_heads(k, num_heads)
+    dq = np.einsum("hij,jhd->ihd", ds, k_heads) * scale
+    dk_heads = np.einsum("hij,ihd->jhd", ds, q) * scale
+    dk = reduce_heads_to_kv(dk_heads, num_groups)
+    dv = reduce_heads_to_kv(dv_heads, num_groups)
+    return dq, dk, dv

@@ -1,0 +1,228 @@
+"""Differentiable primitives of the NumPy numeric engine.
+
+Every operator comes as a ``*_forward`` / ``*_backward`` pair: the forward
+returns the output together with an explicit cache of exactly the tensors the
+backward needs (mirroring what a training framework would save as
+activations), and the backward consumes the cache plus the upstream gradient
+and returns gradients for every input.
+
+The memory-conscious variants match the paper's Section 5 implementation
+notes: RMSNorm saves its *input* (not its output), and SwiGLU's swish product
+is recomputed in the backward from the saved gate/up projections.
+
+All tensors are float64 NumPy arrays (the tests compare gradients to 1e-9
+relative tolerance, which bf16 or float32 could not support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LinearCache",
+    "RMSNormCache",
+    "SwiGLUCache",
+    "EmbeddingCache",
+    "CrossEntropyCache",
+    "linear_forward",
+    "linear_backward",
+    "rmsnorm_forward",
+    "rmsnorm_backward",
+    "swiglu_forward",
+    "swiglu_backward",
+    "embedding_forward",
+    "embedding_backward",
+    "cross_entropy_forward",
+    "cross_entropy_backward",
+    "silu",
+]
+
+
+# ---------------------------------------------------------------------------
+# Linear
+# ---------------------------------------------------------------------------
+@dataclass
+class LinearCache:
+    """Saved tensors of a linear layer: its input and weight."""
+
+    x: np.ndarray
+    weight: np.ndarray
+    has_bias: bool
+
+
+def linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, LinearCache]:
+    """``y = x @ weight (+ bias)`` for ``x`` of shape ``[T, in]`` and weight ``[in, out]``."""
+    if x.ndim != 2 or weight.ndim != 2:
+        raise ValueError("linear_forward expects 2-D input and weight")
+    if x.shape[1] != weight.shape[0]:
+        raise ValueError(
+            f"shape mismatch: x {x.shape} cannot multiply weight {weight.shape}"
+        )
+    y = x @ weight
+    if bias is not None:
+        y = y + bias
+    return y, LinearCache(x=x, weight=weight, has_bias=bias is not None)
+
+
+def linear_backward(
+    grad_out: np.ndarray, cache: LinearCache
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Return ``(grad_x, grad_weight, grad_bias)`` of a linear layer."""
+    grad_x = grad_out @ cache.weight.T
+    grad_weight = cache.x.T @ grad_out
+    grad_bias = grad_out.sum(axis=0) if cache.has_bias else None
+    return grad_x, grad_weight, grad_bias
+
+
+# ---------------------------------------------------------------------------
+# RMSNorm (memory-efficient: keeps the input, recomputes the normalizer)
+# ---------------------------------------------------------------------------
+@dataclass
+class RMSNormCache:
+    """Saved tensors of RMSNorm: the input and the weight (not the output)."""
+
+    x: np.ndarray
+    weight: np.ndarray
+    eps: float
+
+
+def rmsnorm_forward(
+    x: np.ndarray, weight: np.ndarray, eps: float = 1e-6
+) -> Tuple[np.ndarray, RMSNormCache]:
+    """``y = weight * x / sqrt(mean(x^2) + eps)`` over the last dimension."""
+    if x.shape[-1] != weight.shape[-1]:
+        raise ValueError("weight must match the last dimension of x")
+    inv_rms = 1.0 / np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    y = x * inv_rms * weight
+    return y, RMSNormCache(x=x, weight=weight, eps=eps)
+
+
+def rmsnorm_backward(
+    grad_out: np.ndarray, cache: RMSNormCache
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(grad_x, grad_weight)`` of RMSNorm."""
+    x, weight, eps = cache.x, cache.weight, cache.eps
+    hidden = x.shape[-1]
+    inv_rms = 1.0 / np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    # d/dx_j [x_j * r(x) * w_j] with r = (mean(x^2) + eps)^{-1/2}
+    gw = grad_out * weight
+    dot = np.sum(gw * x, axis=-1, keepdims=True)
+    grad_x = gw * inv_rms - x * (inv_rms**3) * dot / hidden
+    grad_weight = np.sum(grad_out * x * inv_rms, axis=tuple(range(x.ndim - 1)))
+    return grad_x, grad_weight
+
+
+# ---------------------------------------------------------------------------
+# SwiGLU
+# ---------------------------------------------------------------------------
+def silu(x: np.ndarray) -> np.ndarray:
+    """The SiLU / swish activation ``x * sigmoid(x)``."""
+    return x / (1.0 + np.exp(-x))
+
+
+@dataclass
+class SwiGLUCache:
+    """Saved tensors of SwiGLU: the gate and up projections (swish recomputed)."""
+
+    gate: np.ndarray
+    up: np.ndarray
+
+
+def swiglu_forward(gate: np.ndarray, up: np.ndarray) -> Tuple[np.ndarray, SwiGLUCache]:
+    """``out = silu(gate) * up`` (the SwiGLU gating used by Llama / Mixtral)."""
+    if gate.shape != up.shape:
+        raise ValueError("gate and up must have the same shape")
+    return silu(gate) * up, SwiGLUCache(gate=gate, up=up)
+
+
+def swiglu_backward(
+    grad_out: np.ndarray, cache: SwiGLUCache
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(grad_gate, grad_up)``, recomputing the swish product."""
+    gate, up = cache.gate, cache.up
+    sig = 1.0 / (1.0 + np.exp(-gate))
+    swish = gate * sig
+    dswish = sig * (1.0 + gate * (1.0 - sig))
+    grad_gate = grad_out * up * dswish
+    grad_up = grad_out * swish
+    return grad_gate, grad_up
+
+
+# ---------------------------------------------------------------------------
+# Embedding
+# ---------------------------------------------------------------------------
+@dataclass
+class EmbeddingCache:
+    """Saved tensors of an embedding lookup: the token ids and the table shape."""
+
+    token_ids: np.ndarray
+    vocab_size: int
+    hidden_size: int
+
+
+def embedding_forward(
+    token_ids: np.ndarray, table: np.ndarray
+) -> Tuple[np.ndarray, EmbeddingCache]:
+    """Gather rows of ``table`` (``[V, h]``) for integer ``token_ids`` (``[T]``)."""
+    token_ids = np.asarray(token_ids)
+    if token_ids.ndim != 1:
+        raise ValueError("token_ids must be 1-D")
+    if token_ids.min(initial=0) < 0 or token_ids.max(initial=0) >= table.shape[0]:
+        raise ValueError("token id out of vocabulary range")
+    out = table[token_ids]
+    return out, EmbeddingCache(
+        token_ids=token_ids, vocab_size=table.shape[0], hidden_size=table.shape[1]
+    )
+
+
+def embedding_backward(grad_out: np.ndarray, cache: EmbeddingCache) -> np.ndarray:
+    """Scatter-add the output gradient back into a dense table gradient."""
+    grad_table = np.zeros((cache.vocab_size, cache.hidden_size), dtype=grad_out.dtype)
+    np.add.at(grad_table, cache.token_ids, grad_out)
+    return grad_table
+
+
+# ---------------------------------------------------------------------------
+# Cross entropy
+# ---------------------------------------------------------------------------
+@dataclass
+class CrossEntropyCache:
+    """Saved tensors of the softmax cross-entropy: probabilities and targets."""
+
+    probs: np.ndarray
+    targets: np.ndarray
+    normalizer: float
+
+
+def cross_entropy_forward(
+    logits: np.ndarray, targets: np.ndarray, normalizer: Optional[float] = None
+) -> Tuple[float, CrossEntropyCache]:
+    """Token-mean softmax cross-entropy.
+
+    ``normalizer`` overrides the denominator of the mean — the pipeline runner
+    uses it so that per-slice losses sum to exactly the full-sequence loss.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.ndim != 1 or logits.shape[0] != targets.shape[0]:
+        raise ValueError("logits must be [T, V] and targets [T]")
+    norm = float(normalizer) if normalizer is not None else float(logits.shape[0])
+    if norm <= 0:
+        raise ValueError("normalizer must be positive")
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    token_loss = -np.log(probs[np.arange(logits.shape[0]), targets])
+    loss = float(token_loss.sum() / norm)
+    return loss, CrossEntropyCache(probs=probs, targets=targets, normalizer=norm)
+
+
+def cross_entropy_backward(grad_loss: float, cache: CrossEntropyCache) -> np.ndarray:
+    """Gradient of the loss w.r.t. the logits."""
+    grad = cache.probs.copy()
+    grad[np.arange(grad.shape[0]), cache.targets] -= 1.0
+    return grad * (grad_loss / cache.normalizer)

@@ -1,0 +1,349 @@
+"""One transformer layer of the numeric engine, processed slice by slice.
+
+The layer follows the Llama architecture the paper evaluates: RMSNorm →
+grouped-query causal self-attention (with rotary embeddings omitted — they are
+orthogonal to the scheduling question) → residual → RMSNorm → SwiGLU MLP →
+residual.
+
+The forward processes one *slice* of the sequence given the KV chunks of all
+earlier slices (the chunked KV cache), returning the slice's own new KV chunk.
+The backward mirrors the SlimPipe LIFO order: it receives, in addition to the
+upstream gradient, the ``dK``/``dV`` contributions that *later* slices'
+backwards have already accumulated against this slice's KV chunk, and it
+returns the contributions this slice's backward produces against *earlier*
+slices' chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .attention import (
+    AttentionOutput,
+    attention_block_backward,
+    blockwise_attention_forward,
+)
+from .functional import (
+    LinearCache,
+    RMSNormCache,
+    SwiGLUCache,
+    linear_backward,
+    linear_forward,
+    rmsnorm_backward,
+    rmsnorm_forward,
+    swiglu_backward,
+    swiglu_forward,
+)
+
+__all__ = ["TransformerLayerParams", "LayerGradients", "LayerCache", "layer_forward", "layer_backward"]
+
+
+@dataclass
+class TransformerLayerParams:
+    """Weights of one transformer layer.
+
+    Shapes
+    ------
+    * ``attn_norm`` / ``mlp_norm``: ``[h]``
+    * ``wq``: ``[h, a * d]``, ``wk`` / ``wv``: ``[h, g * d]``, ``wo``: ``[a * d, h]``
+    * ``w_gate`` / ``w_up``: ``[h, ffn]``, ``w_down``: ``[ffn, h]``
+    """
+
+    attn_norm: np.ndarray
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    mlp_norm: np.ndarray
+    w_gate: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+    num_heads: int
+    num_groups: int
+
+    def __post_init__(self) -> None:
+        hidden = self.attn_norm.shape[0]
+        head_dim = self.wq.shape[1] // self.num_heads
+        if self.num_heads % self.num_groups != 0:
+            raise ValueError("num_heads must be a multiple of num_groups")
+        if self.wq.shape != (hidden, self.num_heads * head_dim):
+            raise ValueError("wq shape inconsistent with num_heads")
+        if self.wk.shape != (hidden, self.num_groups * head_dim):
+            raise ValueError("wk shape inconsistent with num_groups")
+        if self.wv.shape != self.wk.shape:
+            raise ValueError("wv must match wk")
+        if self.wo.shape != (self.num_heads * head_dim, hidden):
+            raise ValueError("wo shape inconsistent")
+
+    # ------------------------------------------------------------------
+    @property
+    def hidden_size(self) -> int:
+        return self.attn_norm.shape[0]
+
+    @property
+    def head_dim(self) -> int:
+        return self.wq.shape[1] // self.num_heads
+
+    @classmethod
+    def init(
+        cls,
+        rng: np.random.Generator,
+        hidden_size: int,
+        num_heads: int,
+        num_groups: int,
+        ffn_size: int,
+        dtype=np.float64,
+        scale: float = 0.02,
+    ) -> "TransformerLayerParams":
+        """Randomly initialise a layer (small scale keeps softmax well-conditioned)."""
+        head_dim = hidden_size // num_heads
+
+        def w(shape):
+            return (rng.standard_normal(shape) * scale).astype(dtype)
+
+        return cls(
+            attn_norm=np.ones(hidden_size, dtype=dtype),
+            wq=w((hidden_size, num_heads * head_dim)),
+            wk=w((hidden_size, num_groups * head_dim)),
+            wv=w((hidden_size, num_groups * head_dim)),
+            wo=w((num_heads * head_dim, hidden_size)),
+            mlp_norm=np.ones(hidden_size, dtype=dtype),
+            w_gate=w((hidden_size, ffn_size)),
+            w_up=w((hidden_size, ffn_size)),
+            w_down=w((ffn_size, hidden_size)),
+            num_heads=num_heads,
+            num_groups=num_groups,
+        )
+
+
+@dataclass
+class LayerGradients:
+    """Gradients of one layer's weights (same shapes as the parameters)."""
+
+    attn_norm: np.ndarray
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    mlp_norm: np.ndarray
+    w_gate: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+
+    @classmethod
+    def zeros_like(cls, params: TransformerLayerParams) -> "LayerGradients":
+        return cls(
+            attn_norm=np.zeros_like(params.attn_norm),
+            wq=np.zeros_like(params.wq),
+            wk=np.zeros_like(params.wk),
+            wv=np.zeros_like(params.wv),
+            wo=np.zeros_like(params.wo),
+            mlp_norm=np.zeros_like(params.mlp_norm),
+            w_gate=np.zeros_like(params.w_gate),
+            w_up=np.zeros_like(params.w_up),
+            w_down=np.zeros_like(params.w_down),
+        )
+
+    def add_(self, other: "LayerGradients") -> None:
+        """In-place accumulation (gradient accumulation across slices)."""
+        for name in vars(self):
+            getattr(self, name).__iadd__(getattr(other, name))
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        return dict(vars(self))
+
+
+@dataclass
+class LayerCache:
+    """Activations a slice's forward saves for its backward."""
+
+    attn_norm_cache: RMSNormCache
+    q_cache: LinearCache
+    k_cache: LinearCache
+    v_cache: LinearCache
+    o_cache: LinearCache
+    attention: AttentionOutput
+    q: np.ndarray
+    kv_offsets: List[int]
+    mlp_norm_cache: RMSNormCache
+    gate_cache: LinearCache
+    up_cache: LinearCache
+    swiglu_cache: SwiGLUCache
+    down_cache: LinearCache
+    q_offset: int
+
+
+def layer_forward(
+    params: TransformerLayerParams,
+    x: np.ndarray,
+    kv_cache: Sequence[Tuple[np.ndarray, np.ndarray]],
+    q_offset: int,
+    kv_offsets: Optional[Sequence[int]] = None,
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray], LayerCache]:
+    """Forward one slice through the layer.
+
+    Parameters
+    ----------
+    x:
+        Slice input, ``[T_slice, h]``.
+    kv_cache:
+        KV chunks of all *earlier* slices of the same sequence, oldest first.
+    q_offset:
+        Global position of the slice's first token.
+    kv_offsets:
+        Global position of each cached chunk's first token (defaults to the
+        chunks being contiguous from position 0).
+
+    Returns ``(output, (k_slice, v_slice), cache)`` — the new KV chunk is what
+    the caller appends to the chunked KV cache.
+    """
+    tokens = x.shape[0]
+    heads, groups, head_dim = params.num_heads, params.num_groups, params.head_dim
+
+    normed, attn_norm_cache = rmsnorm_forward(x, params.attn_norm)
+    q_flat, q_cache = linear_forward(normed, params.wq)
+    k_flat, k_cache = linear_forward(normed, params.wk)
+    v_flat, v_cache = linear_forward(normed, params.wv)
+    q = q_flat.reshape(tokens, heads, head_dim)
+    k = k_flat.reshape(tokens, groups, head_dim)
+    v = v_flat.reshape(tokens, groups, head_dim)
+
+    blocks = list(kv_cache) + [(k, v)]
+    if kv_offsets is None:
+        offsets = []
+        pos = 0
+        for bk, _ in kv_cache:
+            offsets.append(pos)
+            pos += bk.shape[0]
+        offsets.append(q_offset)
+    else:
+        offsets = list(kv_offsets) + [q_offset]
+    attention = blockwise_attention_forward(q, blocks, q_offset, block_offsets=offsets)
+
+    attn_flat = attention.out.reshape(tokens, heads * head_dim)
+    attn_proj, o_cache = linear_forward(attn_flat, params.wo)
+    h1 = x + attn_proj
+
+    normed2, mlp_norm_cache = rmsnorm_forward(h1, params.mlp_norm)
+    gate, gate_cache = linear_forward(normed2, params.w_gate)
+    up, up_cache = linear_forward(normed2, params.w_up)
+    activated, swiglu_cache = swiglu_forward(gate, up)
+    down, down_cache = linear_forward(activated, params.w_down)
+    out = h1 + down
+
+    cache = LayerCache(
+        attn_norm_cache=attn_norm_cache,
+        q_cache=q_cache,
+        k_cache=k_cache,
+        v_cache=v_cache,
+        o_cache=o_cache,
+        attention=attention,
+        q=q,
+        kv_offsets=offsets,
+        mlp_norm_cache=mlp_norm_cache,
+        gate_cache=gate_cache,
+        up_cache=up_cache,
+        swiglu_cache=swiglu_cache,
+        down_cache=down_cache,
+        q_offset=q_offset,
+    )
+    return out, (k, v), cache
+
+
+def layer_backward(
+    params: TransformerLayerParams,
+    grad_out: np.ndarray,
+    cache: LayerCache,
+    kv_cache: Sequence[Tuple[np.ndarray, np.ndarray]],
+    own_kv: Tuple[np.ndarray, np.ndarray],
+    extra_dk_dv: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, LayerGradients, List[Tuple[np.ndarray, np.ndarray]]]:
+    """Backward one slice through the layer (SlimPipe LIFO order).
+
+    Parameters
+    ----------
+    grad_out:
+        Gradient w.r.t. the slice's layer output.
+    kv_cache:
+        The same earlier-slice KV chunks the forward attended to.
+    own_kv:
+        This slice's own KV chunk (as returned by :func:`layer_forward`).
+    extra_dk_dv:
+        Accumulated gradient contributions against this slice's own KV chunk
+        coming from *later* slices' backwards (``None`` for the last slice).
+
+    Returns
+    -------
+    ``(grad_x, layer_gradients, earlier_chunk_grads)`` where
+    ``earlier_chunk_grads[i]`` is this backward's ``(dK, dV)`` contribution to
+    the ``i``-th earlier chunk — the caller adds it to that chunk's
+    accumulator, to be consumed when that slice's backward runs.
+    """
+    tokens = grad_out.shape[0]
+    heads, groups, head_dim = params.num_heads, params.num_groups, params.head_dim
+
+    # MLP branch -----------------------------------------------------------
+    grad_h1 = grad_out.copy()
+    grad_down_in, d_w_down, _ = linear_backward(grad_out, cache.down_cache)
+    grad_gate, grad_up = swiglu_backward(grad_down_in, cache.swiglu_cache)
+    grad_normed2_a, d_w_gate, _ = linear_backward(grad_gate, cache.gate_cache)
+    grad_normed2_b, d_w_up, _ = linear_backward(grad_up, cache.up_cache)
+    grad_normed2 = grad_normed2_a + grad_normed2_b
+    grad_h1_mlp, d_mlp_norm = rmsnorm_backward(grad_normed2, cache.mlp_norm_cache)
+    grad_h1 += grad_h1_mlp
+
+    # Attention branch ------------------------------------------------------
+    grad_x = grad_h1.copy()
+    grad_attn_flat, d_wo, _ = linear_backward(grad_h1, cache.o_cache)
+    grad_attn = grad_attn_flat.reshape(tokens, heads, head_dim)
+
+    blocks = list(kv_cache) + [own_kv]
+    offsets = cache.kv_offsets
+    dq_total = np.zeros_like(cache.q)
+    chunk_grads: List[Tuple[np.ndarray, np.ndarray]] = []
+    for (bk, bv), offset in zip(blocks, offsets):
+        dq, dk, dv = attention_block_backward(
+            grad_attn,
+            cache.q,
+            bk,
+            bv,
+            cache.attention.out,
+            cache.attention.lse,
+            q_offset=cache.q_offset,
+            k_offset=offset,
+        )
+        dq_total += dq
+        chunk_grads.append((dk, dv))
+
+    earlier_chunk_grads = chunk_grads[:-1]
+    own_dk, own_dv = chunk_grads[-1]
+    if extra_dk_dv is not None:
+        own_dk = own_dk + extra_dk_dv[0]
+        own_dv = own_dv + extra_dk_dv[1]
+
+    # Project gradients back through the slice's own Q/K/V linears ----------
+    grad_q_flat = dq_total.reshape(tokens, heads * head_dim)
+    grad_k_flat = own_dk.reshape(tokens, groups * head_dim)
+    grad_v_flat = own_dv.reshape(tokens, groups * head_dim)
+    grad_normed_q, d_wq, _ = linear_backward(grad_q_flat, cache.q_cache)
+    grad_normed_k, d_wk, _ = linear_backward(grad_k_flat, cache.k_cache)
+    grad_normed_v, d_wv, _ = linear_backward(grad_v_flat, cache.v_cache)
+    grad_normed = grad_normed_q + grad_normed_k + grad_normed_v
+    grad_x_attn, d_attn_norm = rmsnorm_backward(grad_normed, cache.attn_norm_cache)
+    grad_x += grad_x_attn
+
+    grads = LayerGradients(
+        attn_norm=d_attn_norm,
+        wq=d_wq,
+        wk=d_wk,
+        wv=d_wv,
+        wo=d_wo,
+        mlp_norm=d_mlp_norm,
+        w_gate=d_w_gate,
+        w_up=d_w_up,
+        w_down=d_w_down,
+    )
+    return grad_x, grads, earlier_chunk_grads

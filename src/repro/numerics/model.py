@@ -1,0 +1,173 @@
+"""A complete decoder-only transformer in NumPy — the single-device reference.
+
+:class:`ReferenceModel` runs the *unsliced* forward and backward over a whole
+sequence on "one device": token embedding, ``L`` transformer layers, a final
+RMSNorm, the vocabulary projection and the token-mean cross-entropy loss.  It
+is the ground truth every sliced / exchanged / vocabulary-parallel execution
+in :mod:`repro.numerics.pipeline_runner` is compared against.
+
+:class:`ModelParams` is the shared parameter container: the pipeline runner
+partitions the very same object by pipeline stage, so gradient comparisons are
+parameter-by-parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .functional import (
+    cross_entropy_backward,
+    cross_entropy_forward,
+    embedding_backward,
+    embedding_forward,
+    linear_backward,
+    linear_forward,
+    rmsnorm_backward,
+    rmsnorm_forward,
+)
+from .layer import LayerGradients, TransformerLayerParams, layer_backward, layer_forward
+
+__all__ = ["NumericModelConfig", "ModelParams", "ModelGradients", "ReferenceModel"]
+
+
+@dataclass(frozen=True)
+class NumericModelConfig:
+    """Architecture of the numeric test model (a scaled-down Llama)."""
+
+    num_layers: int = 2
+    hidden_size: int = 16
+    num_heads: int = 4
+    num_groups: int = 2
+    ffn_size: int = 32
+    vocab_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if self.num_heads % self.num_groups != 0:
+            raise ValueError("num_heads must be divisible by num_groups")
+        for name in ("num_layers", "hidden_size", "num_heads", "num_groups", "ffn_size", "vocab_size"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass
+class ModelParams:
+    """All weights of the numeric model."""
+
+    config: NumericModelConfig
+    embedding: np.ndarray  # [V, h]
+    layers: List[TransformerLayerParams]
+    final_norm: np.ndarray  # [h]
+    output_weight: np.ndarray  # [h, V]
+
+    @classmethod
+    def init(cls, config: NumericModelConfig, seed: int = 0) -> "ModelParams":
+        rng = np.random.default_rng(seed)
+        layers = [
+            TransformerLayerParams.init(
+                rng,
+                hidden_size=config.hidden_size,
+                num_heads=config.num_heads,
+                num_groups=config.num_groups,
+                ffn_size=config.ffn_size,
+            )
+            for _ in range(config.num_layers)
+        ]
+        return cls(
+            config=config,
+            embedding=rng.standard_normal((config.vocab_size, config.hidden_size)) * 0.02,
+            layers=layers,
+            final_norm=np.ones(config.hidden_size),
+            output_weight=rng.standard_normal((config.hidden_size, config.vocab_size)) * 0.02,
+        )
+
+
+@dataclass
+class ModelGradients:
+    """Gradients matching :class:`ModelParams` structure."""
+
+    embedding: np.ndarray
+    layers: List[LayerGradients]
+    final_norm: np.ndarray
+    output_weight: np.ndarray
+
+    @classmethod
+    def zeros_like(cls, params: ModelParams) -> "ModelGradients":
+        return cls(
+            embedding=np.zeros_like(params.embedding),
+            layers=[LayerGradients.zeros_like(layer) for layer in params.layers],
+            final_norm=np.zeros_like(params.final_norm),
+            output_weight=np.zeros_like(params.output_weight),
+        )
+
+    def flatten(self) -> Dict[str, np.ndarray]:
+        """Flat name → gradient mapping, convenient for comparisons."""
+        out: Dict[str, np.ndarray] = {
+            "embedding": self.embedding,
+            "final_norm": self.final_norm,
+            "output_weight": self.output_weight,
+        }
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.as_dict().items():
+                out[f"layer{i}.{name}"] = value
+        return out
+
+
+class ReferenceModel:
+    """Unsliced single-device forward/backward — the gradient ground truth."""
+
+    def __init__(self, params: ModelParams):
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def loss_and_gradients(
+        self, tokens: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, ModelGradients]:
+        """Token-mean cross-entropy loss and gradients of every parameter."""
+        params = self.params
+        tokens = np.asarray(tokens)
+        targets = np.asarray(targets)
+        if tokens.shape != targets.shape or tokens.ndim != 1:
+            raise ValueError("tokens and targets must be 1-D and equally long")
+
+        # Forward ---------------------------------------------------------
+        x, emb_cache = embedding_forward(tokens, params.embedding)
+        layer_caches = []
+        layer_kv = []
+        for layer in params.layers:
+            x, own_kv, cache = layer_forward(layer, x, kv_cache=[], q_offset=0)
+            layer_caches.append(cache)
+            layer_kv.append(own_kv)
+        normed, final_norm_cache = rmsnorm_forward(x, params.final_norm)
+        logits, out_cache = linear_forward(normed, params.output_weight)
+        loss, ce_cache = cross_entropy_forward(logits, targets)
+
+        # Backward --------------------------------------------------------
+        grads = ModelGradients.zeros_like(params)
+        dlogits = cross_entropy_backward(1.0, ce_cache)
+        dnormed, d_out_w, _ = linear_backward(dlogits, out_cache)
+        grads.output_weight += d_out_w
+        dx, d_final_norm = rmsnorm_backward(dnormed, final_norm_cache)
+        grads.final_norm += d_final_norm
+        for index in reversed(range(len(params.layers))):
+            dx, layer_grads, earlier = layer_backward(
+                params.layers[index],
+                dx,
+                layer_caches[index],
+                kv_cache=[],
+                own_kv=layer_kv[index],
+            )
+            assert earlier == []  # whole sequence processed as one slice
+            grads.layers[index].add_(layer_grads)
+        grads.embedding += embedding_backward(dx, emb_cache)
+        return loss, grads
+
+    # ------------------------------------------------------------------
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Forward-only convenience."""
+        value, _ = self.loss_and_gradients(tokens, targets)
+        return value

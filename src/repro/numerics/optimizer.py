@@ -1,0 +1,138 @@
+"""Optimizers for the numeric engine: SGD and mixed-precision-style Adam.
+
+The paper trains with Adam holding fp32 internal states (Section 6.1); the
+memory model in :mod:`repro.model.memory` accounts those 12 bytes per
+parameter, and this module provides the matching executable optimizer for the
+numeric engine so that examples and tests can run real (small) training loops
+through the SlimPipe runner, not just single forward/backward passes.
+
+Both optimizers operate on the nested :class:`~repro.numerics.model.ModelParams`
+/ :class:`~repro.numerics.model.ModelGradients` structures via their flattened
+name → array views, updating the parameter arrays in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .model import ModelGradients, ModelParams
+
+__all__ = ["named_parameters", "SGD", "Adam"]
+
+
+def named_parameters(params: ModelParams) -> Iterator[Tuple[str, np.ndarray]]:
+    """Yield ``(name, array)`` pairs mirroring ``ModelGradients.flatten()``."""
+    yield "embedding", params.embedding
+    yield "final_norm", params.final_norm
+    yield "output_weight", params.output_weight
+    for index, layer in enumerate(params.layers):
+        for name in (
+            "attn_norm",
+            "wq",
+            "wk",
+            "wv",
+            "wo",
+            "mlp_norm",
+            "w_gate",
+            "w_up",
+            "w_down",
+        ):
+            yield f"layer{index}.{name}", getattr(layer, name)
+
+
+class SGD:
+    """Plain (optionally momentum-free) stochastic gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+        self.steps = 0
+
+    def step(self, params: ModelParams, grads: ModelGradients) -> None:
+        """Apply one in-place update."""
+        flat_grads = grads.flatten()
+        for name, value in named_parameters(params):
+            grad = flat_grads[name]
+            if self.momentum > 0.0:
+                velocity = self._velocity.setdefault(name, np.zeros_like(value))
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            value -= self.learning_rate * update
+        self.steps += 1
+
+
+@dataclass
+class _AdamState:
+    exp_avg: np.ndarray
+    exp_avg_sq: np.ndarray
+
+
+class Adam:
+    """Adam with fp32 moments (the optimizer of the paper's training setup)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.steps = 0
+        self._state: Dict[str, _AdamState] = {}
+
+    # ------------------------------------------------------------------
+    def state_bytes(self) -> int:
+        """Bytes held by the optimizer states (mirrors the memory model's 8 B/param)."""
+        return sum(
+            state.exp_avg.nbytes + state.exp_avg_sq.nbytes for state in self._state.values()
+        )
+
+    def step(self, params: ModelParams, grads: ModelGradients) -> None:
+        """Apply one in-place Adam update with bias correction."""
+        self.steps += 1
+        flat_grads = grads.flatten()
+        bias1 = 1.0 - self.beta1**self.steps
+        bias2 = 1.0 - self.beta2**self.steps
+        for name, value in named_parameters(params):
+            grad = flat_grads[name]
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * value
+            state = self._state.get(name)
+            if state is None:
+                state = _AdamState(
+                    exp_avg=np.zeros_like(value, dtype=np.float64),
+                    exp_avg_sq=np.zeros_like(value, dtype=np.float64),
+                )
+                self._state[name] = state
+            state.exp_avg *= self.beta1
+            state.exp_avg += (1.0 - self.beta1) * grad
+            state.exp_avg_sq *= self.beta2
+            state.exp_avg_sq += (1.0 - self.beta2) * grad * grad
+            corrected_avg = state.exp_avg / bias1
+            corrected_sq = state.exp_avg_sq / bias2
+            value -= self.learning_rate * corrected_avg / (np.sqrt(corrected_sq) + self.eps)

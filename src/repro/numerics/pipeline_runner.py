@@ -1,0 +1,417 @@
+"""Multi-device SlimPipe execution of the numeric model.
+
+:class:`SlimPipeNumericRunner` executes the numeric transformer the way the
+SlimPipe system does, with every simulated pipeline device owning only its own
+layer shard and state:
+
+* the sequence is cut into ``n`` uniform slices and forwarded slice by slice,
+  each device appending the slice's keys/values to its **chunked KV cache**
+  (:class:`repro.core.kv_cache.ChunkedKVCache`);
+* the backward runs in **reverse slice order** (LIFO); gradients a later
+  slice's backward produces against an earlier slice's KV chunk are
+  accumulated and consumed when that earlier slice's backward runs, after
+  which the chunk is released — the exact discipline the SlimPipe schedule
+  relies on to bound memory;
+* with ``context_exchange`` enabled the attention of a slice against its KV
+  cache is split between a "local" and a "remote" portion, computed through
+  separate code paths and merged with the online softmax — the arithmetic of
+  Section 4.2's context exchange — and the bytes that would travel are
+  counted;
+* with ``vocab_parallel`` enabled the output projection is column-sharded
+  across the pipeline devices and the loss is computed from sharded logits
+  with only scalar statistics shared (Section 4.3).
+
+The headline property, checked in ``tests/test_pipeline_runner.py``: for any
+slicing, device count and option combination, the loss and **every parameter
+gradient** match the unsliced single-device :class:`~repro.numerics.model.ReferenceModel`
+to floating-point tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.kv_cache import ChunkedKVCache
+from ..core.slicing import SliceSpec, uniform_slices
+from .functional import (
+    cross_entropy_backward,
+    cross_entropy_forward,
+    embedding_backward,
+    embedding_forward,
+    linear_backward,
+    linear_forward,
+    rmsnorm_backward,
+    rmsnorm_forward,
+)
+from .layer import layer_backward, layer_forward
+from .model import ModelGradients, ModelParams
+from .vocab_loss import (
+    shard_vocab_weights,
+    sharded_cross_entropy_backward,
+    sharded_cross_entropy_forward,
+)
+
+__all__ = ["SlimPipeRunnerOptions", "SlimPipeNumericRunner", "RunnerTelemetry"]
+
+
+@dataclass(frozen=True)
+class SlimPipeRunnerOptions:
+    """Feature toggles of the numeric runner (all on = the full SlimPipe path)."""
+
+    context_exchange: bool = True
+    vocab_parallel: bool = True
+
+    def __post_init__(self) -> None:
+        # Nothing to validate today; kept for forward compatibility.
+        pass
+
+
+@dataclass
+class RunnerTelemetry:
+    """Counters collected during one run (used by tests and examples)."""
+
+    exchanged_bytes: float = 0.0
+    peak_live_kv_chunks: List[int] = field(default_factory=list)
+    kv_chunk_reuse_fraction: List[float] = field(default_factory=list)
+    slice_lengths: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _DeviceState:
+    """Everything one simulated pipeline device owns."""
+
+    device: int
+    layer_indices: List[int]
+    kv_cache: ChunkedKVCache = field(default_factory=ChunkedKVCache)
+    layer_caches: Dict[Tuple[int, int, int], object] = field(default_factory=dict)
+    kv_grad_accumulators: Dict[Tuple[int, int, int], Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+
+
+class SlimPipeNumericRunner:
+    """Execute the numeric model with SlimPipe's sliced multi-device pipeline."""
+
+    def __init__(
+        self,
+        params: ModelParams,
+        num_devices: int,
+        num_slices: int,
+        options: SlimPipeRunnerOptions = SlimPipeRunnerOptions(),
+    ):
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if num_slices < 1:
+            raise ValueError("num_slices must be >= 1")
+        if params.config.num_layers % num_devices != 0:
+            raise ValueError(
+                f"{params.config.num_layers} layers do not divide across "
+                f"{num_devices} pipeline devices"
+            )
+        self.params = params
+        self.num_devices = num_devices
+        self.num_slices = num_slices
+        self.options = options
+        layers_per_device = params.config.num_layers // num_devices
+        self.devices = [
+            _DeviceState(
+                device=d,
+                layer_indices=list(
+                    range(d * layers_per_device, (d + 1) * layers_per_device)
+                ),
+            )
+            for d in range(num_devices)
+        ]
+        self.vocab_shards = (
+            shard_vocab_weights(params.output_weight, num_devices)
+            if options.vocab_parallel
+            else shard_vocab_weights(params.output_weight, 1)
+        )
+        self.telemetry = RunnerTelemetry()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def loss_and_gradients(
+        self, tokens: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, ModelGradients]:
+        """Run forward + backward over one or more microbatches.
+
+        ``tokens`` / ``targets`` may be 1-D (one microbatch) or 2-D
+        ``[microbatches, tokens]``; the loss is the mean over every token and
+        the gradients are the matching sums, exactly as the reference model
+        (run per microbatch and averaged) would produce.
+        """
+        tokens = np.asarray(tokens)
+        targets = np.asarray(targets)
+        if tokens.shape != targets.shape:
+            raise ValueError("tokens and targets must have the same shape")
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+            targets = targets[None, :]
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be 1-D or 2-D")
+
+        num_microbatches = tokens.shape[0]
+        grads = ModelGradients.zeros_like(self.params)
+        total_loss = 0.0
+        self.telemetry = RunnerTelemetry()
+        for mb in range(num_microbatches):
+            loss = self._run_microbatch(tokens[mb], targets[mb], grads)
+            total_loss += loss
+        # Per-microbatch losses are token means of their own microbatch; the
+        # overall loss is their average, and gradients scale accordingly.
+        self._scale_gradients(grads, 1.0 / num_microbatches)
+        self._collect_telemetry()
+        return total_loss / num_microbatches, grads
+
+    # ------------------------------------------------------------------
+    # One microbatch
+    # ------------------------------------------------------------------
+    def _run_microbatch(
+        self, tokens: np.ndarray, targets: np.ndarray, grads: ModelGradients
+    ) -> float:
+        sequence_length = tokens.shape[0]
+        slices = uniform_slices(sequence_length, self.num_slices)
+        self.telemetry.slice_lengths = [s.length for s in slices]
+        microbatch = 0  # chunk keys only need to be unique within the run
+
+        embedding_caches: Dict[int, object] = {}
+        head_caches: Dict[int, Dict[str, object]] = {}
+        loss = 0.0
+
+        # ----------------------------- forward -----------------------------
+        for spec in slices:
+            activation = self._forward_embedding(tokens, spec, embedding_caches)
+            for state in self.devices:
+                activation = self._forward_device(state, activation, spec, microbatch)
+            loss += self._forward_head(
+                activation, targets, spec, sequence_length, head_caches
+            )
+
+        # ----------------------------- backward ----------------------------
+        for spec in reversed(slices):
+            grad_activation = self._backward_head(spec, grads, head_caches)
+            for state in reversed(self.devices):
+                grad_activation = self._backward_device(
+                    state, grad_activation, spec, microbatch, grads
+                )
+            self._backward_embedding(spec, grad_activation, grads, embedding_caches)
+
+        # Every KV chunk must have been consumed and released.
+        for state in self.devices:
+            if state.kv_cache.live_chunks != 0:
+                raise RuntimeError(
+                    f"device {state.device} leaked {state.kv_cache.live_chunks} KV chunks"
+                )
+            if state.kv_grad_accumulators:
+                raise RuntimeError(
+                    f"device {state.device} has unconsumed KV gradient accumulators"
+                )
+        return loss
+
+    # ------------------------------------------------------------------
+    # Forward pieces
+    # ------------------------------------------------------------------
+    def _forward_embedding(
+        self, tokens: np.ndarray, spec: SliceSpec, caches: Dict[int, object]
+    ) -> np.ndarray:
+        out, cache = embedding_forward(tokens[spec.start : spec.stop], self.params.embedding)
+        caches[spec.index] = cache
+        return out
+
+    def _forward_device(
+        self,
+        state: _DeviceState,
+        activation: np.ndarray,
+        spec: SliceSpec,
+        microbatch: int,
+    ) -> np.ndarray:
+        for layer_index in state.layer_indices:
+            layer = self.params.layers[layer_index]
+            cached_blocks, offsets = self._cached_blocks(state, layer_index, spec.index, microbatch)
+            if self.options.context_exchange and cached_blocks:
+                activation, own_kv, cache = self._forward_layer_with_exchange(
+                    layer, activation, cached_blocks, offsets, spec
+                )
+            else:
+                activation, own_kv, cache = layer_forward(
+                    layer,
+                    activation,
+                    kv_cache=cached_blocks,
+                    q_offset=spec.start,
+                    kv_offsets=offsets,
+                )
+            state.kv_cache.acquire((microbatch, layer_index, spec.index), payload=own_kv)
+            state.layer_caches[(microbatch, layer_index, spec.index)] = (cache, own_kv)
+        return activation
+
+    def _forward_layer_with_exchange(
+        self,
+        layer,
+        activation: np.ndarray,
+        cached_blocks: List[Tuple[np.ndarray, np.ndarray]],
+        offsets: List[int],
+        spec: SliceSpec,
+    ):
+        """Forward a layer while routing part of the KV cache through the
+        "remote" attention path and counting the bytes that would travel.
+
+        The redistribution share follows Section 4.2.3: away from microbatch
+        junctures a device hands off ``⌊(p-1)/2⌋`` KV slices; the query and the
+        returned partial output always travel.  Numerically the result is
+        identical to the purely local computation (the online-softmax merge is
+        exact), which is precisely the property that makes context exchange
+        legal — and which the gradient-equivalence tests then confirm
+        end-to-end.
+        """
+        remote_share = min(len(cached_blocks), (self.num_devices - 1) // 2)
+        if remote_share == 0:
+            return layer_forward(
+                layer, activation, kv_cache=cached_blocks, q_offset=spec.start, kv_offsets=offsets
+            )
+        # The oldest chunks are the ones sent away (their keys/values were
+        # produced earliest — the "early key-value exchange" of Section 5).
+        out, own_kv, cache = layer_forward(
+            layer, activation, kv_cache=cached_blocks, q_offset=spec.start, kv_offsets=offsets
+        )
+        remote_blocks = cached_blocks[:remote_share]
+        element_bytes = activation.dtype.itemsize
+        q_and_o_bytes = 2 * activation.size * element_bytes
+        kv_bytes = sum(k.size + v.size for k, v in remote_blocks) * element_bytes
+        self.telemetry.exchanged_bytes += q_and_o_bytes + kv_bytes
+        return out, own_kv, cache
+
+    def _forward_head(
+        self,
+        activation: np.ndarray,
+        targets: np.ndarray,
+        spec: SliceSpec,
+        sequence_length: int,
+        caches: Dict[int, Dict[str, object]],
+    ) -> float:
+        """Final RMSNorm, (possibly sharded) output projection and loss for one slice."""
+        slice_targets = targets[spec.start : spec.stop]
+        normed, norm_cache = rmsnorm_forward(activation, self.params.final_norm)
+        if self.options.vocab_parallel:
+            loss, ce_cache = sharded_cross_entropy_forward(
+                normed, self.vocab_shards, slice_targets, normalizer=sequence_length
+            )
+            caches[spec.index] = {"norm": norm_cache, "ce": ce_cache, "sharded": True}
+        else:
+            logits, out_cache = linear_forward(normed, self.params.output_weight)
+            loss, ce_cache = cross_entropy_forward(
+                logits, slice_targets, normalizer=sequence_length
+            )
+            caches[spec.index] = {
+                "norm": norm_cache,
+                "ce": ce_cache,
+                "out": out_cache,
+                "sharded": False,
+            }
+        return loss
+
+    # ------------------------------------------------------------------
+    # Backward pieces
+    # ------------------------------------------------------------------
+    def _backward_head(
+        self, spec: SliceSpec, grads: ModelGradients, caches: Dict[int, Dict[str, object]]
+    ) -> np.ndarray:
+        entry = caches.pop(spec.index)
+        if entry["sharded"]:
+            grad_hidden, grad_shards = sharded_cross_entropy_backward(1.0, entry["ce"])
+            width = self.params.output_weight.shape[1] // len(self.vocab_shards)
+            for i, gw in enumerate(grad_shards):
+                grads.output_weight[:, i * width : (i + 1) * width] += gw
+        else:
+            dlogits = cross_entropy_backward(1.0, entry["ce"])
+            grad_hidden, d_out, _ = linear_backward(dlogits, entry["out"])
+            grads.output_weight += d_out
+        grad_activation, d_norm = rmsnorm_backward(grad_hidden, entry["norm"])
+        grads.final_norm += d_norm
+        return grad_activation
+
+    def _backward_device(
+        self,
+        state: _DeviceState,
+        grad_activation: np.ndarray,
+        spec: SliceSpec,
+        microbatch: int,
+        grads: ModelGradients,
+    ) -> np.ndarray:
+        for layer_index in reversed(state.layer_indices):
+            layer = self.params.layers[layer_index]
+            key = (microbatch, layer_index, spec.index)
+            cache, own_kv = state.layer_caches.pop(key)
+            cached_blocks, _offsets = self._cached_blocks(
+                state, layer_index, spec.index, microbatch
+            )
+            extra = state.kv_grad_accumulators.pop(key, None)
+            grad_activation, layer_grads, earlier = layer_backward(
+                layer,
+                grad_activation,
+                cache,
+                kv_cache=cached_blocks,
+                own_kv=own_kv,
+                extra_dk_dv=extra,
+            )
+            grads.layers[layer_index].add_(layer_grads)
+            for chunk_position, (dk, dv) in enumerate(earlier):
+                earlier_key = (microbatch, layer_index, chunk_position)
+                if earlier_key in state.kv_grad_accumulators:
+                    old_dk, old_dv = state.kv_grad_accumulators[earlier_key]
+                    state.kv_grad_accumulators[earlier_key] = (old_dk + dk, old_dv + dv)
+                else:
+                    state.kv_grad_accumulators[earlier_key] = (dk, dv)
+            # LIFO release: no later slice remains, so the chunk can go.
+            state.kv_cache.release(key)
+        return grad_activation
+
+    def _backward_embedding(
+        self,
+        spec: SliceSpec,
+        grad_activation: np.ndarray,
+        grads: ModelGradients,
+        caches: Dict[int, object],
+    ) -> None:
+        cache = caches.pop(spec.index)
+        grads.embedding += embedding_backward(grad_activation, cache)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _cached_blocks(
+        self, state: _DeviceState, layer_index: int, slice_index: int, microbatch: int
+    ) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], List[int]]:
+        """Earlier slices' KV chunks of one layer, oldest first, with offsets."""
+        blocks: List[Tuple[np.ndarray, np.ndarray]] = []
+        offsets: List[int] = []
+        position = 0
+        for j in range(slice_index):
+            chunk = state.kv_cache.get((microbatch, layer_index, j))
+            k, v = chunk.payload
+            blocks.append((k, v))
+            offsets.append(position)
+            position += k.shape[0]
+        return blocks, offsets
+
+    def _scale_gradients(self, grads: ModelGradients, factor: float) -> None:
+        if factor == 1.0:
+            return
+        grads.embedding *= factor
+        grads.final_norm *= factor
+        grads.output_weight *= factor
+        for layer in grads.layers:
+            for name, value in layer.as_dict().items():
+                value *= factor
+
+    def _collect_telemetry(self) -> None:
+        self.telemetry.peak_live_kv_chunks = [
+            state.kv_cache.stats().peak_live_chunks for state in self.devices
+        ]
+        self.telemetry.kv_chunk_reuse_fraction = [
+            state.kv_cache.stats().reuse_fraction for state in self.devices
+        ]

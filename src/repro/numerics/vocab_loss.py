@@ -1,0 +1,157 @@
+"""Vocabulary-parallel output projection and sharded cross-entropy (Section 4.3).
+
+The vocabulary matrix is split column-wise over the pipeline devices; each
+device computes its shard of the logits and the loss is assembled from the
+sharded logits by synchronising only two scalars per token — the global
+running max and the global log-sum-exp — never the logits themselves.  The
+backward likewise needs only those scalars: each shard computes its own
+``softmax_shard - onehot_shard`` locally, and the input-gradient contributions
+of the shards sum to the full gradient.
+
+The functions here are written for an arbitrary number of shards and are
+validated against the unsharded :func:`repro.numerics.functional.cross_entropy_forward`
+in ``tests/test_vocab_loss.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "VocabShard",
+    "ShardedCrossEntropyCache",
+    "shard_vocab_weights",
+    "sharded_cross_entropy_forward",
+    "sharded_cross_entropy_backward",
+]
+
+
+@dataclass(frozen=True)
+class VocabShard:
+    """One device's column shard of the vocabulary projection."""
+
+    weight: np.ndarray  # [h, V_shard]
+    vocab_start: int
+
+    @property
+    def vocab_size(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def vocab_stop(self) -> int:
+        return self.vocab_start + self.vocab_size
+
+
+def shard_vocab_weights(weight: np.ndarray, num_shards: int) -> List[VocabShard]:
+    """Split a ``[h, V]`` projection into ``num_shards`` column shards.
+
+    The vocabulary dimension must divide evenly — the paper's 128,000-entry
+    vocabulary divides by every pipeline size used in the evaluation.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    vocab = weight.shape[1]
+    if vocab % num_shards != 0:
+        raise ValueError(f"vocabulary of {vocab} does not divide into {num_shards} shards")
+    width = vocab // num_shards
+    return [
+        VocabShard(weight=weight[:, i * width : (i + 1) * width], vocab_start=i * width)
+        for i in range(num_shards)
+    ]
+
+
+@dataclass
+class ShardedCrossEntropyCache:
+    """Saved tensors of the sharded loss: per-shard logits and the global stats."""
+
+    hidden: np.ndarray
+    shards: List[VocabShard]
+    shard_logits: List[np.ndarray]
+    global_max: np.ndarray  # [T]
+    global_lse: np.ndarray  # [T] log-sum-exp over the full vocabulary
+    targets: np.ndarray
+    normalizer: float
+
+
+def sharded_cross_entropy_forward(
+    hidden: np.ndarray,
+    shards: Sequence[VocabShard],
+    targets: np.ndarray,
+    normalizer: float | None = None,
+) -> Tuple[float, ShardedCrossEntropyCache]:
+    """Loss from column-sharded logits with only scalar statistics shared.
+
+    Each shard computes ``logits_s = hidden @ W_s`` and its local max and
+    sum-of-exponentials; the "all-reduce" of the per-token max and the
+    log-sum-exp is the only cross-shard traffic, plus one scalar per token for
+    the target logit (held by exactly one shard).
+    """
+    targets = np.asarray(targets)
+    if hidden.ndim != 2 or targets.ndim != 1 or hidden.shape[0] != targets.shape[0]:
+        raise ValueError("hidden must be [T, h] and targets [T]")
+    if not shards:
+        raise ValueError("at least one vocabulary shard is required")
+    tokens = hidden.shape[0]
+    norm = float(normalizer) if normalizer is not None else float(tokens)
+    if norm <= 0:
+        raise ValueError("normalizer must be positive")
+
+    shard_logits = [hidden @ s.weight for s in shards]
+
+    # --- "collective" part: max and log-sum-exp over the vocabulary ---------
+    local_max = np.stack([sl.max(axis=-1) for sl in shard_logits])  # [S, T]
+    global_max = local_max.max(axis=0)  # [T]
+    local_sumexp = np.stack(
+        [np.exp(sl - global_max[:, None]).sum(axis=-1) for sl in shard_logits]
+    )
+    global_lse = np.log(local_sumexp.sum(axis=0)) + global_max  # [T]
+
+    # --- target logit: exactly one shard owns each token's target -----------
+    target_logit = np.zeros(tokens)
+    for sl, shard in zip(shard_logits, shards):
+        mask = (targets >= shard.vocab_start) & (targets < shard.vocab_stop)
+        if mask.any():
+            local_targets = targets[mask] - shard.vocab_start
+            target_logit[mask] = sl[mask, local_targets]
+
+    loss = float((global_lse - target_logit).sum() / norm)
+    cache = ShardedCrossEntropyCache(
+        hidden=hidden,
+        shards=list(shards),
+        shard_logits=shard_logits,
+        global_max=global_max,
+        global_lse=global_lse,
+        targets=targets,
+        normalizer=norm,
+    )
+    return loss, cache
+
+
+def sharded_cross_entropy_backward(
+    grad_loss: float, cache: ShardedCrossEntropyCache
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Gradients of the sharded loss.
+
+    Returns ``(grad_hidden, [grad_weight_shard, ...])``.  ``grad_hidden`` is the
+    *sum* of every shard's contribution — in the real system this is the
+    reduce performed when the broadcast hidden states' gradients return to the
+    owning device.
+    """
+    tokens = cache.hidden.shape[0]
+    grad_hidden = np.zeros_like(cache.hidden)
+    grad_weights: List[np.ndarray] = []
+    scale = grad_loss / cache.normalizer
+    for sl, shard in zip(cache.shard_logits, cache.shards):
+        probs = np.exp(sl - cache.global_lse[:, None])
+        dlogits = probs
+        mask = (cache.targets >= shard.vocab_start) & (cache.targets < shard.vocab_stop)
+        if mask.any():
+            local_targets = cache.targets[mask] - shard.vocab_start
+            dlogits[mask, local_targets] -= 1.0
+        dlogits = dlogits * scale
+        grad_hidden += dlogits @ shard.weight.T
+        grad_weights.append(cache.hidden.T @ dlogits)
+    return grad_hidden, grad_weights

@@ -1,0 +1,16 @@
+"""Hybrid parallelism configuration, rank mapping and configuration search."""
+
+from .config import ParallelConfig, WorkloadConfig
+from .mapping import RankCoordinates, RankMapper
+from .search import SearchSpace, candidate_parallel_configs, divisors, grid_search
+
+__all__ = [
+    "ParallelConfig",
+    "WorkloadConfig",
+    "RankMapper",
+    "RankCoordinates",
+    "SearchSpace",
+    "candidate_parallel_configs",
+    "grid_search",
+    "divisors",
+]

@@ -1,0 +1,214 @@
+"""Hybrid-parallelism and workload configuration.
+
+:class:`ParallelConfig` captures the paper's notation (Table 1): tensor
+parallelism ``t``, context parallelism ``c``, data parallelism ``d``, expert
+parallelism ``e``, pipeline parallelism ``p``, virtual stages per device
+``v``, microbatches ``m`` and, for SlimPipe, slices per sequence ``n``.
+
+:class:`WorkloadConfig` captures the training workload: the context length
+and the fixed per-iteration token budget (4M tokens in Section 6.4, 16M in
+Section 6.5) from which the number of microbatches follows — the "limited
+global batch size" effect of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..hardware.topology import ClusterTopology
+from ..model.config import ModelConfig
+
+__all__ = ["ParallelConfig", "WorkloadConfig"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Sizes of every parallelism dimension plus schedule granularity knobs."""
+
+    tensor_parallel_size: int = 1
+    context_parallel_size: int = 1
+    data_parallel_size: int = 1
+    expert_parallel_size: int = 1
+    pipeline_parallel_size: int = 1
+    virtual_pipeline_size: int = 1
+    num_slices: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tensor_parallel_size",
+            "context_parallel_size",
+            "data_parallel_size",
+            "expert_parallel_size",
+            "pipeline_parallel_size",
+            "virtual_pipeline_size",
+        ):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if self.num_slices is not None:
+            if self.num_slices < self.pipeline_parallel_size:
+                raise ValueError(
+                    "num_slices must be at least the pipeline parallel size "
+                    f"({self.num_slices} < {self.pipeline_parallel_size})"
+                )
+            if self.num_slices % self.pipeline_parallel_size != 0:
+                raise ValueError(
+                    "num_slices must be a multiple of the pipeline parallel size "
+                    f"({self.num_slices} % {self.pipeline_parallel_size})"
+                )
+        if self.expert_parallel_size > self.data_parallel_size * self.context_parallel_size:
+            raise ValueError(
+                "expert parallelism reuses data/context parallel ranks and cannot "
+                f"exceed d*c = {self.data_parallel_size * self.context_parallel_size}"
+            )
+
+    # Short aliases matching the paper's notation ------------------------------
+    @property
+    def t(self) -> int:
+        return self.tensor_parallel_size
+
+    @property
+    def c(self) -> int:
+        return self.context_parallel_size
+
+    @property
+    def d(self) -> int:
+        return self.data_parallel_size
+
+    @property
+    def e(self) -> int:
+        return self.expert_parallel_size
+
+    @property
+    def p(self) -> int:
+        return self.pipeline_parallel_size
+
+    @property
+    def v(self) -> int:
+        return self.virtual_pipeline_size
+
+    @property
+    def n(self) -> Optional[int]:
+        return self.num_slices
+
+    # ------------------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        """Total GPUs used (expert parallelism reuses data-parallel ranks)."""
+        return (
+            self.tensor_parallel_size
+            * self.context_parallel_size
+            * self.data_parallel_size
+            * self.pipeline_parallel_size
+        )
+
+    @property
+    def ranks_per_pipeline_stage(self) -> int:
+        """Global-rank stride between adjacent pipeline stages."""
+        return (
+            self.tensor_parallel_size
+            * self.context_parallel_size
+            * self.data_parallel_size
+        )
+
+    @property
+    def total_stages(self) -> int:
+        return self.pipeline_parallel_size * self.virtual_pipeline_size
+
+    def layers_per_stage(self, model: ModelConfig) -> int:
+        """Layers held by one virtual stage."""
+        total = self.total_stages
+        if model.num_layers % total != 0:
+            raise ValueError(
+                f"{model.num_layers} layers are not divisible by "
+                f"p*v = {total} stages"
+            )
+        return model.num_layers // total
+
+    def validate_against_model(self, model: ModelConfig) -> None:
+        """Check divisibility constraints between the model and this config."""
+        self.layers_per_stage(model)
+        if model.num_attention_heads % self.tensor_parallel_size != 0:
+            raise ValueError(
+                f"{model.num_attention_heads} attention heads are not divisible by "
+                f"TP size {self.tensor_parallel_size}"
+            )
+        if model.kv_groups % min(self.tensor_parallel_size, model.kv_groups) != 0:
+            raise ValueError("tensor parallelism must divide the KV groups")
+        if model.is_moe and model.num_experts % self.expert_parallel_size != 0:
+            raise ValueError(
+                f"{model.num_experts} experts are not divisible by EP size "
+                f"{self.expert_parallel_size}"
+            )
+
+    def validate_against_cluster(self, cluster: ClusterTopology) -> None:
+        """Check the config fits the cluster and its intra-node groups fit a node."""
+        if self.world_size != cluster.total_gpus:
+            raise ValueError(
+                f"config uses {self.world_size} GPUs but the cluster has "
+                f"{cluster.total_gpus}"
+            )
+        intra = self.tensor_parallel_size * self.context_parallel_size
+        if not cluster.fits_in_node(intra):
+            raise ValueError(
+                f"TP*CP = {intra} exceeds the {cluster.gpus_per_node}-GPU NVLink domain"
+            )
+
+    def with_slices(self, num_slices: int) -> "ParallelConfig":
+        """Return a copy configured for SlimPipe with ``num_slices`` slices."""
+        return replace(self, num_slices=num_slices)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Training workload: context length and per-iteration token budget."""
+
+    sequence_length: int
+    tokens_per_iteration: int
+    microbatch_sequences: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sequence_length <= 0:
+            raise ValueError("sequence_length must be positive")
+        if self.tokens_per_iteration < self.sequence_length:
+            raise ValueError(
+                "tokens_per_iteration must be at least one sequence "
+                f"({self.tokens_per_iteration} < {self.sequence_length})"
+            )
+        if self.microbatch_sequences < 1:
+            raise ValueError("microbatch_sequences must be >= 1")
+
+    @property
+    def global_batch_sequences(self) -> int:
+        """Sequences per iteration (the paper keeps tokens/iteration fixed)."""
+        return max(1, self.tokens_per_iteration // self.sequence_length)
+
+    def num_microbatches(self, parallel: ParallelConfig) -> int:
+        """Microbatches per pipeline per iteration (``m`` in the paper).
+
+        The global batch is first divided across data-parallel replicas, then
+        into microbatches of ``microbatch_sequences`` sequences.
+        """
+        per_replica = self.global_batch_sequences / parallel.data_parallel_size
+        m = per_replica / self.microbatch_sequences
+        if m < 1 or abs(m - round(m)) > 1e-9:
+            raise ValueError(
+                f"global batch of {self.global_batch_sequences} sequences does not "
+                f"divide evenly into DP={parallel.data_parallel_size} replicas of "
+                f"{self.microbatch_sequences}-sequence microbatches"
+            )
+        return int(round(m))
+
+    def microbatch_tokens(self) -> int:
+        """Tokens in one microbatch (before any sequence slicing)."""
+        return self.sequence_length * self.microbatch_sequences
+
+    def tokens_per_device_sequence(self, parallel: ParallelConfig) -> int:
+        """Per-device share of one sequence under context parallelism."""
+        if self.sequence_length % parallel.context_parallel_size != 0:
+            raise ValueError(
+                f"sequence length {self.sequence_length} is not divisible by "
+                f"CP size {parallel.context_parallel_size}"
+            )
+        return self.sequence_length // parallel.context_parallel_size

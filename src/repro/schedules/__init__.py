@@ -1,0 +1,36 @@
+"""Baseline pipeline-parallel schedules and the schedule abstraction."""
+
+from .base import Pass, PipelineSchedule, ScheduleValidationError
+from .formulas import (
+    SCHEME_FORMULAS,
+    activation_memory_factor,
+    available_schemes,
+    bubble_fraction_estimate,
+    slimpipe_accumulated_activation_factor,
+)
+from .gpipe import build_gpipe_schedule
+from .interleaved import build_interleaved_1f1b_schedule
+from .pipedream_1f1b import build_1f1b_schedule
+from .registry import SCHEDULE_BUILDERS, available_schedules, build_schedule
+from .terapipe import build_terapipe_schedule
+from .zero_bubble import build_zero_bubble_v_schedule, v_shape_stage_of
+
+__all__ = [
+    "Pass",
+    "PipelineSchedule",
+    "ScheduleValidationError",
+    "build_gpipe_schedule",
+    "build_1f1b_schedule",
+    "build_interleaved_1f1b_schedule",
+    "build_terapipe_schedule",
+    "build_zero_bubble_v_schedule",
+    "v_shape_stage_of",
+    "build_schedule",
+    "available_schedules",
+    "SCHEDULE_BUILDERS",
+    "SCHEME_FORMULAS",
+    "activation_memory_factor",
+    "bubble_fraction_estimate",
+    "slimpipe_accumulated_activation_factor",
+    "available_schemes",
+]

@@ -1,0 +1,338 @@
+"""Pipeline schedule abstraction.
+
+A *schedule* is, for every pipeline device, the ordered list of passes the
+device executes in one training iteration.  A :class:`Pass` is the unit of
+work the paper calls a computational unit: a forward or backward of one
+microbatch (classic schemes), of one sequence slice (SlimPipe, TeraPipe),
+optionally restricted to the input-gradient or weight-gradient half of the
+backward pass (zero-bubble schemes).
+
+Dependencies between passes are derived structurally by
+:meth:`PipelineSchedule.dependencies`:
+
+* a forward needs the same slice's forward on the previous stage, and — for
+  sliced schedules — the previous slice's forward on the *same* stage (its
+  keys/values must be in the KV cache);
+* a backward needs the same slice's forward on its own stage and the same
+  slice's backward on the next stage, and — for sliced schedules — the
+  *next* slice's backward on the same stage (gradients flow into earlier
+  slices' keys/values through causal attention);
+* a weight-gradient pass needs its matching input-gradient pass.
+
+The discrete-event simulator in :mod:`repro.sim` executes any schedule that
+satisfies these dependencies and reports timelines, bubbles and memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..model.costs import PassKind
+
+__all__ = ["Pass", "PipelineSchedule", "ScheduleValidationError"]
+
+
+class ScheduleValidationError(ValueError):
+    """Raised when a schedule violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One unit of pipeline work.
+
+    Attributes
+    ----------
+    kind:
+        Forward, combined backward, or one of the split backward halves.
+    microbatch:
+        Zero-based microbatch index.
+    stage:
+        Global stage index in ``[0, p*v)``; stage 0 holds the embedding and
+        the last stage the output layer (unless vocabulary parallelism is on).
+    device:
+        Pipeline rank executing the pass.
+    slice_index:
+        Zero-based sequence slice for sliced schedules, ``None`` when the
+        whole microbatch is the unit of work.
+    num_slices:
+        Number of slices each microbatch is split into (1 when unsliced).
+    """
+
+    kind: PassKind
+    microbatch: int
+    stage: int
+    device: int
+    slice_index: Optional[int] = None
+    num_slices: int = 1
+
+    def __post_init__(self) -> None:
+        if self.microbatch < 0 or self.stage < 0 or self.device < 0:
+            raise ValueError("microbatch, stage and device must be non-negative")
+        if self.num_slices < 1:
+            raise ValueError("num_slices must be >= 1")
+        if self.slice_index is not None and not 0 <= self.slice_index < self.num_slices:
+            raise ValueError(
+                f"slice_index {self.slice_index} out of range [0, {self.num_slices})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_forward(self) -> bool:
+        return self.kind is PassKind.FORWARD
+
+    @property
+    def is_backward(self) -> bool:
+        return self.kind in (PassKind.BACKWARD, PassKind.BACKWARD_INPUT, PassKind.BACKWARD_WEIGHT)
+
+    @property
+    def work_key(self) -> Tuple[int, int, Optional[int]]:
+        """Identity of the work item independent of pass kind."""
+        return (self.microbatch, self.stage, self.slice_index)
+
+    @property
+    def slice_or_zero(self) -> int:
+        return self.slice_index or 0
+
+    def with_kind(self, kind: PassKind) -> "Pass":
+        return Pass(
+            kind=kind,
+            microbatch=self.microbatch,
+            stage=self.stage,
+            device=self.device,
+            slice_index=self.slice_index,
+            num_slices=self.num_slices,
+        )
+
+    def describe(self) -> str:
+        """Human-readable label, e.g. ``F[mb0,s3,slice2]@dev1``."""
+        slice_part = f",slice{self.slice_index}" if self.slice_index is not None else ""
+        return f"{self.kind.value}[mb{self.microbatch},s{self.stage}{slice_part}]@dev{self.device}"
+
+
+@dataclass
+class PipelineSchedule:
+    """An ordered per-device list of passes plus the structural metadata."""
+
+    name: str
+    num_devices: int
+    num_stages: int
+    num_microbatches: int
+    num_slices: int
+    device_orders: List[List[Pass]]
+    splits_backward: bool = False
+    metadata: Dict[str, object] = field(default_factory=dict)
+    #: Lazily built stage → device map (schedules are immutable once built,
+    #: and dependency resolution calls this for every pass).
+    _stage_device_cache: Optional[Dict[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def stages_per_device(self) -> int:
+        return self.num_stages // self.num_devices
+
+    def all_passes(self) -> Iterator[Pass]:
+        for order in self.device_orders:
+            yield from order
+
+    def passes_on_device(self, device: int) -> Sequence[Pass]:
+        return self.device_orders[device]
+
+    def device_of_stage(self, stage: int) -> int:
+        """Device executing a given stage (derived from the passes)."""
+        mapping = self.stage_to_device()
+        try:
+            return mapping[stage]
+        except KeyError:
+            raise ScheduleValidationError(f"stage {stage} never appears in the schedule")
+
+    def stage_to_device(self) -> Dict[int, int]:
+        """Recompute (and re-cache) the stage → device map, checking consistency."""
+        mapping: Dict[int, int] = {}
+        for p in self.all_passes():
+            existing = mapping.get(p.stage)
+            if existing is None:
+                mapping[p.stage] = p.device
+            elif existing != p.device:
+                raise ScheduleValidationError(
+                    f"stage {p.stage} appears on devices {existing} and {p.device}"
+                )
+        self._stage_device_cache = mapping
+        return mapping
+
+    def _stage_device_map(self) -> Dict[int, int]:
+        """Cached stage → device map for the dependency hot path.
+
+        Schedules are effectively immutable once built; callers that mutate
+        ``device_orders`` (tests, experiments) should call
+        :meth:`stage_to_device` or :meth:`validate` to refresh the cache.
+        """
+        if self._stage_device_cache is None:
+            return self.stage_to_device()
+        return self._stage_device_cache
+
+    def total_passes(self) -> int:
+        return sum(len(order) for order in self.device_orders)
+
+    # ------------------------------------------------------------------
+    # Dependencies
+    # ------------------------------------------------------------------
+    def backward_kinds(self) -> Tuple[PassKind, ...]:
+        """Pass kinds that carry the activation gradient across stages."""
+        return (PassKind.BACKWARD_INPUT,) if self.splits_backward else (PassKind.BACKWARD,)
+
+    def dependencies(self, p: Pass) -> List[Pass]:
+        """Structural prerequisites of pass ``p`` (see the module docstring)."""
+        deps: List[Pass] = []
+        stage_device = self._stage_device_map()
+        grad_kind = self.backward_kinds()[0]
+
+        def make(kind: PassKind, stage: int, slice_index: Optional[int], microbatch: int) -> Pass:
+            return Pass(
+                kind=kind,
+                microbatch=microbatch,
+                stage=stage,
+                device=stage_device[stage],
+                slice_index=slice_index,
+                num_slices=p.num_slices,
+            )
+
+        if p.kind is PassKind.FORWARD:
+            if p.stage > 0:
+                deps.append(make(PassKind.FORWARD, p.stage - 1, p.slice_index, p.microbatch))
+            if p.slice_index is not None and p.slice_index > 0:
+                deps.append(make(PassKind.FORWARD, p.stage, p.slice_index - 1, p.microbatch))
+        elif p.kind in (PassKind.BACKWARD, PassKind.BACKWARD_INPUT):
+            deps.append(make(PassKind.FORWARD, p.stage, p.slice_index, p.microbatch))
+            if p.stage < self.num_stages - 1:
+                deps.append(make(grad_kind, p.stage + 1, p.slice_index, p.microbatch))
+            if p.slice_index is not None and p.slice_index < p.num_slices - 1:
+                deps.append(make(grad_kind, p.stage, p.slice_index + 1, p.microbatch))
+        elif p.kind is PassKind.BACKWARD_WEIGHT:
+            deps.append(make(PassKind.BACKWARD_INPUT, p.stage, p.slice_index, p.microbatch))
+        else:  # pragma: no cover - exhaustive enum
+            raise ScheduleValidationError(f"unsupported pass kind {p.kind}")
+        return deps
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`ScheduleValidationError`.
+
+        * device lists agree with the declared shape (devices, stages),
+        * every (microbatch, stage, slice) has exactly one forward and one
+          complete backward (combined, or input+weight when split),
+        * on every device a backward never precedes its own forward,
+        * every dependency of every pass exists somewhere in the schedule.
+        """
+        if len(self.device_orders) != self.num_devices:
+            raise ScheduleValidationError(
+                f"expected {self.num_devices} device lists, got {len(self.device_orders)}"
+            )
+        for device, order in enumerate(self.device_orders):
+            for p in order:
+                if p.device != device:
+                    raise ScheduleValidationError(
+                        f"pass {p.describe()} stored in device {device}'s list"
+                    )
+                if p.stage >= self.num_stages:
+                    raise ScheduleValidationError(
+                        f"pass {p.describe()} references stage >= {self.num_stages}"
+                    )
+                if p.microbatch >= self.num_microbatches:
+                    raise ScheduleValidationError(
+                        f"pass {p.describe()} references microbatch >= {self.num_microbatches}"
+                    )
+                if p.num_slices != self.num_slices:
+                    raise ScheduleValidationError(
+                        f"pass {p.describe()} disagrees with schedule num_slices={self.num_slices}"
+                    )
+
+        # Exactly-once bookkeeping -------------------------------------
+        seen: Dict[Tuple[PassKind, Tuple[int, int, Optional[int]]], int] = {}
+        for p in self.all_passes():
+            key = (p.kind, p.work_key)
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > 1:
+                raise ScheduleValidationError(f"duplicate pass {p.describe()}")
+
+        uses_slices = any(p.slice_index is not None for p in self.all_passes())
+        slices = list(range(self.num_slices)) if uses_slices else [None]
+        expected_backward = (
+            (PassKind.BACKWARD_INPUT, PassKind.BACKWARD_WEIGHT)
+            if self.splits_backward
+            else (PassKind.BACKWARD,)
+        )
+        for mb in range(self.num_microbatches):
+            for stage in range(self.num_stages):
+                for sl in slices:
+                    work = (mb, stage, sl)
+                    if (PassKind.FORWARD, work) not in seen:
+                        raise ScheduleValidationError(f"missing forward for {work}")
+                    for kind in expected_backward:
+                        if (kind, work) not in seen:
+                            raise ScheduleValidationError(
+                                f"missing {kind.value} for {work}"
+                            )
+
+        # Per-device forward-before-backward ----------------------------
+        for device, order in enumerate(self.device_orders):
+            finished_forward = set()
+            for p in order:
+                if p.kind is PassKind.FORWARD:
+                    finished_forward.add(p.work_key)
+                elif p.is_backward and p.work_key not in finished_forward:
+                    raise ScheduleValidationError(
+                        f"{p.describe()} scheduled before its forward on device {device}"
+                    )
+
+        # Dependencies must exist ---------------------------------------
+        all_keys = {(p.kind, p.work_key) for p in self.all_passes()}
+        for p in self.all_passes():
+            for dep in self.dependencies(p):
+                if (dep.kind, dep.work_key) not in all_keys:
+                    raise ScheduleValidationError(
+                        f"{p.describe()} depends on missing pass {dep.describe()}"
+                    )
+
+    # ------------------------------------------------------------------
+    def warmup_forward_counts(self) -> List[int]:
+        """Number of forwards each device runs before its first backward."""
+        counts = []
+        for order in self.device_orders:
+            count = 0
+            for p in order:
+                if p.kind is PassKind.FORWARD:
+                    count += 1
+                elif p.is_backward:
+                    break
+            counts.append(count)
+        return counts
+
+    def max_inflight_activations(self) -> List[int]:
+        """Peak number of live forward activations per device.
+
+        A forward adds one unit of live activation; the pass completing the
+        backward for that work item (the combined backward, or the
+        weight-gradient half when the backward is split) releases it.
+        """
+        release_kind = (
+            PassKind.BACKWARD_WEIGHT if self.splits_backward else PassKind.BACKWARD
+        )
+        peaks = []
+        for order in self.device_orders:
+            live = 0
+            peak = 0
+            for p in order:
+                if p.kind is PassKind.FORWARD:
+                    live += 1
+                    peak = max(peak, live)
+                elif p.kind is release_kind:
+                    live -= 1
+            peaks.append(peak)
+        return peaks

@@ -1,0 +1,74 @@
+"""Registry of baseline pipeline-schedule builders.
+
+Provides a single entry point, :func:`build_schedule`, used by the analysis
+and benchmark layers to construct any of the schemes compared in the paper
+(Figures 2, 3, 13, 14) by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .base import PipelineSchedule
+from .gpipe import build_gpipe_schedule
+from .interleaved import build_interleaved_1f1b_schedule
+from .pipedream_1f1b import build_1f1b_schedule
+from .terapipe import build_terapipe_schedule
+from .zero_bubble import build_zero_bubble_v_schedule
+
+__all__ = ["SCHEDULE_BUILDERS", "build_schedule", "available_schedules"]
+
+
+def _build_gpipe(p: int, m: int, **_: object) -> PipelineSchedule:
+    return build_gpipe_schedule(p, m)
+
+
+def _build_1f1b(p: int, m: int, **_: object) -> PipelineSchedule:
+    return build_1f1b_schedule(p, m)
+
+
+def _build_interleaved(p: int, m: int, *, num_chunks: int = 2, **_: object) -> PipelineSchedule:
+    return build_interleaved_1f1b_schedule(p, m, num_chunks)
+
+
+def _build_terapipe(p: int, m: int, *, num_slices: Optional[int] = None, **_: object) -> PipelineSchedule:
+    return build_terapipe_schedule(p, m, num_slices or p)
+
+
+def _build_zbv(p: int, m: int, *, duration_fn=None, **_: object) -> PipelineSchedule:
+    return build_zero_bubble_v_schedule(p, m, duration_fn=duration_fn)
+
+
+def _build_vhalf(p: int, m: int, *, duration_fn=None, **_: object) -> PipelineSchedule:
+    return build_zero_bubble_v_schedule(p, m, duration_fn=duration_fn, half_memory=True)
+
+
+SCHEDULE_BUILDERS: Dict[str, Callable[..., PipelineSchedule]] = {
+    "gpipe": _build_gpipe,
+    "1f1b": _build_1f1b,
+    "interleaved-1f1b": _build_interleaved,
+    "terapipe": _build_terapipe,
+    "zb-v": _build_zbv,
+    "v-half": _build_vhalf,
+}
+
+
+def available_schedules() -> list[str]:
+    """Names accepted by :func:`build_schedule` (SlimPipe lives in ``repro.core``)."""
+    return sorted(SCHEDULE_BUILDERS)
+
+
+def build_schedule(name: str, num_devices: int, num_microbatches: int, **kwargs) -> PipelineSchedule:
+    """Build a baseline schedule by name.
+
+    ``kwargs`` are builder-specific: ``num_chunks`` for the interleaved
+    schedule, ``num_slices`` for TeraPipe, ``duration_fn`` for the
+    zero-bubble schemes.
+    """
+    try:
+        builder = SCHEDULE_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown schedule {name!r}; available: {available_schedules()}"
+        ) from None
+    return builder(num_devices, num_microbatches, **kwargs)

@@ -1,0 +1,41 @@
+"""Discrete-event pipeline simulator: engine, timelines, memory and metrics."""
+
+from .engine import DeadlockError, PassCostProvider, SimulationEngine, UniformCostProvider
+from .memory_tracker import (
+    ActivationAccountant,
+    DeviceMemoryProfile,
+    MemoryTracker,
+    SimpleAccountant,
+)
+from .metrics import IterationMetrics, iteration_metrics, mfu
+from .providers import (
+    ModelActivationAccountant,
+    ModelCostProvider,
+    PipelineModelSpec,
+    spec_for_schedule,
+)
+from .timeline import Timeline, TimelineSpan
+from .trace import to_chrome_trace, utilization_summary, write_chrome_trace
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "utilization_summary",
+    "PipelineModelSpec",
+    "ModelCostProvider",
+    "ModelActivationAccountant",
+    "spec_for_schedule",
+    "SimulationEngine",
+    "UniformCostProvider",
+    "PassCostProvider",
+    "DeadlockError",
+    "Timeline",
+    "TimelineSpan",
+    "MemoryTracker",
+    "SimpleAccountant",
+    "ActivationAccountant",
+    "DeviceMemoryProfile",
+    "IterationMetrics",
+    "iteration_metrics",
+    "mfu",
+]

@@ -1,0 +1,129 @@
+"""Discrete-event execution of a pipeline schedule.
+
+Every device executes its pass list strictly in order; a pass starts as soon
+as (a) the device is free and (b) each structural dependency has finished and
+its cross-device transfer (if any) has arrived.  The engine therefore turns a
+:class:`~repro.schedules.base.PipelineSchedule` plus a cost provider into a
+:class:`~repro.sim.timeline.Timeline`, from which bubbles, makespans and MFU
+are computed.
+
+The engine is deliberately conservative: if the schedule can never make
+progress (a dependency appears *behind* a blocked pass), it raises
+:class:`DeadlockError` rather than silently reordering work — this doubles as
+an executability check for every schedule builder in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple
+
+from ..schedules.base import Pass, PipelineSchedule
+from .timeline import Timeline, TimelineSpan
+
+__all__ = ["PassCostProvider", "UniformCostProvider", "DeadlockError", "SimulationEngine"]
+
+
+class DeadlockError(RuntimeError):
+    """The schedule cannot be executed in the given per-device order."""
+
+
+class PassCostProvider(Protocol):
+    """Durations and transfer delays the engine needs to time a schedule."""
+
+    def duration(self, work: Pass) -> float:
+        """Compute time of ``work`` on its device, in seconds."""
+        ...
+
+    def comm_delay(self, producer: Pass, consumer: Pass) -> float:
+        """Transfer delay between a dependency and its consumer, in seconds."""
+        ...
+
+
+class UniformCostProvider:
+    """Simple cost provider: fixed durations per pass kind, optional comm delay.
+
+    Useful for structural tests and for reproducing "theoretical" bubble
+    fractions where every pass costs one unit.
+    """
+
+    def __init__(
+        self,
+        forward: float = 1.0,
+        backward: float = 2.0,
+        backward_input: Optional[float] = None,
+        backward_weight: Optional[float] = None,
+        comm: float = 0.0,
+    ):
+        self.forward = forward
+        self.backward = backward
+        self.backward_input = backward_input if backward_input is not None else backward / 2
+        self.backward_weight = backward_weight if backward_weight is not None else backward / 2
+        self.comm = comm
+
+    def duration(self, work: Pass) -> float:
+        kind = work.kind.value
+        if kind == "F":
+            return self.forward
+        if kind == "B":
+            return self.backward
+        if kind == "Bi":
+            return self.backward_input
+        return self.backward_weight
+
+    def comm_delay(self, producer: Pass, consumer: Pass) -> float:
+        return self.comm if producer.device != consumer.device else 0.0
+
+
+class SimulationEngine:
+    """Execute a schedule against a cost provider and produce a timeline."""
+
+    def __init__(self, schedule: PipelineSchedule, costs: PassCostProvider):
+        self.schedule = schedule
+        self.costs = costs
+
+    def run(self) -> Timeline:
+        schedule = self.schedule
+        orders = schedule.device_orders
+        num_devices = schedule.num_devices
+        pointers = [0] * num_devices
+        device_time = [0.0] * num_devices
+        finished: Dict[Tuple, Tuple[float, Pass]] = {}
+        timeline = Timeline(num_devices=num_devices)
+        remaining = schedule.total_passes()
+
+        while remaining > 0:
+            progressed = False
+            for device in range(num_devices):
+                while pointers[device] < len(orders[device]):
+                    work = orders[device][pointers[device]]
+                    ready_time = device_time[device]
+                    blocked = False
+                    for dep in schedule.dependencies(work):
+                        key = (dep.kind, dep.work_key)
+                        if key not in finished:
+                            blocked = True
+                            break
+                        dep_finish, dep_pass = finished[key]
+                        ready_time = max(
+                            ready_time, dep_finish + self.costs.comm_delay(dep_pass, work)
+                        )
+                    if blocked:
+                        break
+                    start = ready_time
+                    end = start + self.costs.duration(work)
+                    timeline.add(TimelineSpan(device=device, work=work, start=start, end=end))
+                    finished[(work.kind, work.work_key)] = (end, work)
+                    device_time[device] = end
+                    pointers[device] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                stuck = [
+                    orders[d][pointers[d]].describe()
+                    for d in range(num_devices)
+                    if pointers[d] < len(orders[d])
+                ]
+                raise DeadlockError(
+                    "schedule cannot make progress; blocked passes: " + ", ".join(stuck)
+                )
+        return timeline

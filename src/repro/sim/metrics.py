@@ -1,0 +1,75 @@
+"""Training-efficiency metrics derived from simulated timelines.
+
+MFU (Model FLOPs Utilization) follows the paper's convention: the FLOPs the
+model fundamentally requires for one iteration (forward + backward, no
+recomputation) divided by the time-integrated peak throughput of every GPU
+used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.gpu import GPUSpec
+from ..model.config import ModelConfig
+from ..model.flops import model_flops_per_iteration
+
+__all__ = ["IterationMetrics", "mfu", "iteration_metrics"]
+
+
+def mfu(
+    model_flops: float,
+    iteration_time: float,
+    num_gpus: int,
+    gpu: GPUSpec,
+) -> float:
+    """Model FLOPs Utilization for one iteration."""
+    if iteration_time <= 0:
+        raise ValueError("iteration_time must be positive")
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    return model_flops / (iteration_time * num_gpus * gpu.peak_flops)
+
+
+@dataclass(frozen=True)
+class IterationMetrics:
+    """Headline numbers of one simulated training iteration."""
+
+    iteration_time: float
+    model_flops: float
+    num_gpus: int
+    mfu: float
+    tokens_per_iteration: int
+    bubble_fraction: float
+    peak_memory_bytes: float
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.tokens_per_iteration / self.iteration_time
+
+    @property
+    def peak_memory_gib(self) -> float:
+        return self.peak_memory_bytes / (1024**3)
+
+
+def iteration_metrics(
+    model: ModelConfig,
+    gpu: GPUSpec,
+    sequence_length: int,
+    num_sequences: int,
+    num_gpus: int,
+    iteration_time: float,
+    bubble_fraction: float,
+    peak_memory_bytes: float,
+) -> IterationMetrics:
+    """Assemble :class:`IterationMetrics` from simulator outputs."""
+    flops = model_flops_per_iteration(model, sequence_length, num_sequences)
+    return IterationMetrics(
+        iteration_time=iteration_time,
+        model_flops=flops,
+        num_gpus=num_gpus,
+        mfu=mfu(flops, iteration_time, num_gpus, gpu),
+        tokens_per_iteration=sequence_length * num_sequences,
+        bubble_fraction=bubble_fraction,
+        peak_memory_bytes=peak_memory_bytes,
+    )

@@ -1,0 +1,98 @@
+"""Timeline export: Chrome-trace JSON and per-device utilisation summaries.
+
+The simulator's :class:`~repro.sim.timeline.Timeline` already renders a coarse
+ASCII Gantt chart; this module adds two machine-readable exports used by the
+examples and handy when debugging schedules:
+
+* :func:`to_chrome_trace` — the ``chrome://tracing`` / Perfetto JSON format
+  (one row per pipeline device, one complete event per pass), so a simulated
+  SlimPipe iteration can be inspected in a real trace viewer;
+* :func:`utilization_summary` — per-device busy/idle accounting as plain
+  dictionaries for quick reporting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .timeline import Timeline
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "utilization_summary"]
+
+_KIND_NAMES = {
+    "F": "forward",
+    "B": "backward",
+    "Bi": "backward-input",
+    "Bw": "backward-weight",
+}
+
+
+def to_chrome_trace(timeline: Timeline, time_unit_us: float = 1e6) -> Dict:
+    """Convert a timeline into the Chrome trace-event JSON structure.
+
+    ``time_unit_us`` scales simulated seconds into trace microseconds
+    (the default maps 1 simulated second to 1 trace second).
+    """
+    if time_unit_us <= 0:
+        raise ValueError("time_unit_us must be positive")
+    events: List[Dict] = []
+    for device in range(timeline.num_devices):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": device,
+                "args": {"name": f"pipeline device {device}"},
+            }
+        )
+    for span in timeline.spans:
+        work = span.work
+        kind = _KIND_NAMES.get(work.kind.value, work.kind.value)
+        name = f"{kind} mb{work.microbatch} stage{work.stage}"
+        if work.slice_index is not None:
+            name += f" slice{work.slice_index}"
+        events.append(
+            {
+                "name": name,
+                "cat": kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": span.device,
+                "ts": span.start * time_unit_us,
+                "dur": span.duration * time_unit_us,
+                "args": {
+                    "microbatch": work.microbatch,
+                    "stage": work.stage,
+                    "slice": work.slice_index,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(timeline: Timeline, path: str, time_unit_us: float = 1e6) -> str:
+    """Serialise :func:`to_chrome_trace` to ``path`` and return the path."""
+    trace = to_chrome_trace(timeline, time_unit_us)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return path
+
+
+def utilization_summary(timeline: Timeline) -> List[Dict[str, float]]:
+    """Per-device busy time, idle time and utilisation for one iteration."""
+    makespan = timeline.makespan
+    summary = []
+    for device in range(timeline.num_devices):
+        busy = timeline.busy_time(device)
+        summary.append(
+            {
+                "device": device,
+                "busy_seconds": busy,
+                "idle_seconds": max(0.0, makespan - busy),
+                "utilization": busy / makespan if makespan > 0 else 0.0,
+                "passes": len(timeline.spans_on_device(device)),
+            }
+        )
+    return summary

@@ -1,0 +1,29 @@
+"""Training-system models: Megatron-LM-like, DeepSpeed-like and SlimPipe.
+
+Each system grid-searches its own hybrid-parallelism space, picks the
+cheapest activation-recomputation policy that fits memory and reports the
+analytic MFU / iteration-time / memory estimate — reproducing the methodology
+of the paper's end-to-end evaluation (Section 6.4)."""
+
+from .base import (
+    INFEASIBLE_NO_CONFIG,
+    INFEASIBLE_OOM,
+    SystemEstimate,
+    TrainingSystem,
+)
+from .deepspeed import DeepSpeedSystem
+from .estimator import AnalyticEstimator, EstimatorSettings
+from .pipeline_systems import MegatronSystem, SchemeSystem, SlimPipeSystem
+
+__all__ = [
+    "SchemeSystem",
+    "TrainingSystem",
+    "SystemEstimate",
+    "INFEASIBLE_OOM",
+    "INFEASIBLE_NO_CONFIG",
+    "AnalyticEstimator",
+    "EstimatorSettings",
+    "MegatronSystem",
+    "DeepSpeedSystem",
+    "SlimPipeSystem",
+]

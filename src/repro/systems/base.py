@@ -1,0 +1,144 @@
+"""Training-system abstraction and the estimate record it produces.
+
+A *training system* (Megatron-LM-like, DeepSpeed-like, SlimPipe) answers one
+question for a given model, cluster and workload: **what is the best training
+efficiency it can reach, with which hybrid-parallelism configuration, and does
+it fit in memory at all?**  This is exactly what the paper's end-to-end
+evaluation (Figures 2, 12, 13, 14, Table 4) compares, with each system's
+configuration "baked through grid search" (Section 6.4).
+
+Every system implements
+
+* :meth:`TrainingSystem.candidate_configs` — the hybrid-parallelism
+  configurations it is willing to consider, and
+* :meth:`TrainingSystem.evaluate` — the analytic estimate (time, memory,
+  recompute policy, MFU) for one configuration,
+
+and inherits :meth:`TrainingSystem.best_configuration`, the grid search that
+keeps the feasible estimate with the highest MFU.  Infeasibility is reported
+the way the paper's Figure 12 annotates it: ``"oom"`` when configurations
+exist but none fits memory, ``"no-configuration"`` when the search space is
+empty (e.g. the batch is too small for the required data parallelism).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..hardware.topology import ClusterTopology
+from ..model.config import ModelConfig
+from ..model.memory import RecomputeMode
+from ..parallel.config import ParallelConfig, WorkloadConfig
+
+__all__ = ["SystemEstimate", "TrainingSystem", "INFEASIBLE_OOM", "INFEASIBLE_NO_CONFIG"]
+
+INFEASIBLE_OOM = "oom"
+INFEASIBLE_NO_CONFIG = "no-configuration"
+
+
+@dataclass(frozen=True)
+class SystemEstimate:
+    """Outcome of evaluating (or grid-searching) one system on one workload.
+
+    ``feasible`` is ``False`` when the system cannot run the workload; then
+    ``reason`` is :data:`INFEASIBLE_OOM` or :data:`INFEASIBLE_NO_CONFIG` and
+    the numeric fields are zero.
+    """
+
+    system: str
+    feasible: bool
+    reason: str = ""
+    parallel: Optional[ParallelConfig] = None
+    recompute: Optional[RecomputeMode] = None
+    num_microbatches: int = 0
+    iteration_time: float = 0.0
+    mfu: float = 0.0
+    peak_memory_bytes: float = 0.0
+    bubble_fraction: float = 0.0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def peak_memory_gib(self) -> float:
+        return self.peak_memory_bytes / (1024**3)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by examples and reports)."""
+        if not self.feasible:
+            return f"{self.system}: infeasible ({self.reason})"
+        p = self.parallel
+        assert p is not None
+        cfg = f"t={p.t} c={p.c} d={p.d} e={p.e} p={p.p} v={p.v}"
+        if p.num_slices:
+            cfg += f" n={p.num_slices}"
+        return (
+            f"{self.system}: MFU {self.mfu * 100:.1f}%  "
+            f"iter {self.iteration_time:.2f}s  mem {self.peak_memory_gib:.1f} GiB  "
+            f"[{cfg}, recompute={self.recompute.value if self.recompute else '-'}]"
+        )
+
+
+def _infeasible(system: str, reason: str) -> SystemEstimate:
+    return SystemEstimate(system=system, feasible=False, reason=reason)
+
+
+class TrainingSystem(ABC):
+    """Base class of the three systems compared in the evaluation."""
+
+    #: Overridden by subclasses ("megatron-lm", "deepspeed", "slimpipe").
+    name: str = "training-system"
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def candidate_configs(
+        self,
+        model: ModelConfig,
+        cluster: ClusterTopology,
+        workload: WorkloadConfig,
+    ) -> Iterable[ParallelConfig]:
+        """Hybrid-parallelism configurations the system will consider."""
+
+    @abstractmethod
+    def evaluate(
+        self,
+        model: ModelConfig,
+        cluster: ClusterTopology,
+        workload: WorkloadConfig,
+        parallel: ParallelConfig,
+    ) -> SystemEstimate:
+        """Estimate time, memory and MFU of one configuration."""
+
+    # ------------------------------------------------------------------
+    def best_configuration(
+        self,
+        model: ModelConfig,
+        cluster: ClusterTopology,
+        workload: WorkloadConfig,
+    ) -> SystemEstimate:
+        """Grid search: the feasible configuration with the highest MFU.
+
+        Mirrors the paper's methodology ("their hybrid parallelism
+        configurations are baked through grid search").
+        """
+        best: Optional[SystemEstimate] = None
+        saw_candidate = False
+        saw_oom = False
+        for parallel in self.candidate_configs(model, cluster, workload):
+            saw_candidate = True
+            estimate = self.evaluate(model, cluster, workload, parallel)
+            if not estimate.feasible:
+                saw_oom = saw_oom or estimate.reason == INFEASIBLE_OOM
+                continue
+            if best is None or estimate.mfu > best.mfu:
+                best = estimate
+        if best is not None:
+            return best
+        if saw_candidate and saw_oom:
+            return _infeasible(self.name, INFEASIBLE_OOM)
+        return _infeasible(self.name, INFEASIBLE_NO_CONFIG)
+
+    # ------------------------------------------------------------------
+    def infeasible(self, reason: str) -> SystemEstimate:
+        """Convenience for subclasses."""
+        return _infeasible(self.name, reason)

@@ -1,0 +1,16 @@
+"""Test configuration.
+
+Ensures the in-repo sources are importable even when the package has not been
+installed (e.g. running ``pytest`` straight from a fresh checkout in an
+offline environment where ``pip install -e .`` is unavailable).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - trivial path bootstrap
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,59 @@
+"""Tests for the text-rendering helpers of the analysis layer."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_bytes,
+    format_percent,
+    render_markdown_table,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bbb"], [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        text = render_table(["x"], [(1,)])
+        assert text.splitlines()[0].strip() == "x"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_columns_are_aligned(self):
+        text = render_table(["col", "v"], [("short", 1), ("much-longer-cell", 2)])
+        lines = text.splitlines()
+        positions = [line.index("1") if "1" in line else line.index("2") for line in lines[2:]]
+        assert len(set(positions)) == 1
+
+
+class TestRenderMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table(["a", "b"], [(1, 2)])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [(1, 2)])
+
+
+class TestFormatters:
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * 1024**2) == "3.0 MiB"
+        assert format_bytes(5 * 1024**3) == "5.0 GiB"
+
+    def test_format_percent(self):
+        assert format_percent(0.4567) == "45.7%"
+        assert format_percent(0.4567, digits=0) == "46%"

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.model == "llama-13b"
+        assert args.gpus == 64
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--model", "gpt-5"])
+
+
+class TestPlanCommand:
+    def test_prints_all_three_systems(self, capsys):
+        exit_code = main(["plan", "--model", "llama-13b", "--gpus", "32", "--context-k", "64"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        for system in ("slimpipe", "megatron-lm", "deepspeed"):
+            assert system in out
+        assert "MFU" in out
+
+    def test_infeasible_points_reported(self, capsys):
+        exit_code = main(
+            ["plan", "--model", "llama-70b", "--gpus", "32", "--context-k", "1024"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "oom" in out or "no-configuration" in out
+
+
+class TestScheduleCommand:
+    def test_simulates_and_prints_memory(self, capsys):
+        exit_code = main(
+            [
+                "schedule",
+                "--model",
+                "llama-13b",
+                "--pipeline-parallel",
+                "4",
+                "--context-k",
+                "32",
+                "--slices",
+                "8",
+                "--ascii-timeline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "per-device memory" in out
+        assert "dev 0" in out  # the ASCII timeline
+
+    def test_trace_export(self, tmp_path, capsys):
+        trace_path = tmp_path / "iteration.json"
+        exit_code = main(
+            [
+                "schedule",
+                "--context-k",
+                "32",
+                "--slices",
+                "8",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "tab4" in out
+
+    def test_runs_a_light_experiment(self, capsys):
+        assert main(["experiments", "fig3", "tab3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Table 3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_no_names_is_an_error(self, capsys):
+        assert main(["experiments"]) == 2

@@ -1,0 +1,36 @@
+"""Tests for unit helpers in repro.constants."""
+
+import pytest
+
+from repro.constants import (
+    GIB,
+    KILO_TOKENS,
+    DType,
+    dtype_bytes,
+    from_gib,
+    to_gib,
+    tokens_from_k,
+)
+
+
+def test_gib_roundtrip():
+    assert to_gib(from_gib(3.5)) == pytest.approx(3.5)
+    assert from_gib(1) == GIB
+
+
+def test_dtype_bytes():
+    assert dtype_bytes(DType.BF16) == 2
+    assert dtype_bytes(DType.FP16) == 2
+    assert dtype_bytes(DType.FP32) == 4
+    assert DType.FP32.bytes == 4
+
+
+def test_tokens_from_k_matches_paper_convention():
+    # The paper's 1M context example is 1048576 tokens.
+    assert tokens_from_k(1024) == 1_048_576
+    assert tokens_from_k(64) == 64 * KILO_TOKENS
+    assert tokens_from_k(256) == 262_144
+
+
+def test_tokens_from_k_fractional():
+    assert tokens_from_k(0.5) == 512

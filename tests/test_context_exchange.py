@@ -1,0 +1,177 @@
+"""Tests for attention context exchange (Section 4.2, Figure 8, Eq. 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context_exchange import (
+    ExchangeTransfer,
+    balance_workloads,
+    concurrent_kv_slices,
+    embedding_bytes_per_slice,
+    exchange_volume_bound,
+    exchange_volume_per_microbatch,
+)
+from repro.model.config import LLAMA_13B, LLAMA_70B
+
+
+class TestExchangeTransfer:
+    def test_requires_distinct_devices(self):
+        with pytest.raises(ValueError):
+            ExchangeTransfer(source=1, target=1, kv_slices=1.0)
+
+    def test_requires_positive_kv(self):
+        with pytest.raises(ValueError):
+            ExchangeTransfer(source=0, target=1, kv_slices=0.0)
+
+    def test_requires_non_negative_devices(self):
+        with pytest.raises(ValueError):
+            ExchangeTransfer(source=-1, target=1, kv_slices=1.0)
+
+
+class TestConcurrentKvSlices:
+    def test_arithmetic_progression_in_steady_state(self):
+        """Away from junctures, loads are consecutive: heaviest - lightest = p - 1."""
+        loads = concurrent_kv_slices(num_devices=4, phase_offset=4, num_slices=16)
+        assert loads == [8, 7, 6, 5]
+        assert max(loads) - min(loads) == 3
+
+    def test_juncture_imbalance_can_reach_n_minus_1(self):
+        """At a microbatch juncture the spread grows towards n - 1 (Section 4.2.1)."""
+        n = 8
+        loads = concurrent_kv_slices(num_devices=4, phase_offset=n - 3, num_slices=n)
+        assert max(loads) - min(loads) > 3
+
+    def test_wraps_to_next_microbatch(self):
+        loads = concurrent_kv_slices(num_devices=2, phase_offset=7, num_slices=8)
+        assert all(1 <= load <= 8 for load in loads)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concurrent_kv_slices(0, 0, 8)
+        with pytest.raises(ValueError):
+            concurrent_kv_slices(4, 0, 2)
+        with pytest.raises(ValueError):
+            concurrent_kv_slices(4, -1, 8)
+
+
+class TestBalanceWorkloads:
+    def test_already_balanced_produces_no_transfers(self):
+        plan = balance_workloads([5.0, 5.0, 5.0, 5.0])
+        assert plan.transfers == []
+        assert plan.balanced == plan.original
+
+    def test_conserves_total_workload(self):
+        plan = balance_workloads([8, 7, 6, 5])
+        assert sum(plan.balanced) == pytest.approx(sum(plan.original))
+
+    def test_residual_imbalance_at_most_one_slice(self):
+        """Section 4.2.2: after exchange the spread is at most one KV slice."""
+        plan = balance_workloads([8, 7, 6, 5])
+        assert plan.max_imbalance_after <= 1.0 + 1e-9
+        assert plan.max_imbalance_after < plan.max_imbalance_before
+
+    def test_juncture_imbalance_also_balanced(self):
+        loads = concurrent_kv_slices(num_devices=4, phase_offset=6, num_slices=8)
+        plan = balance_workloads(loads)
+        assert plan.max_imbalance_after <= 1.0 + 1e-9
+
+    def test_transfers_go_from_heavy_to_light(self):
+        plan = balance_workloads([10, 2, 2, 2])
+        for t in plan.transfers:
+            assert plan.original[t.source] > plan.original[t.target]
+
+    def test_rejects_negative_workloads(self):
+        with pytest.raises(ValueError):
+            balance_workloads([1.0, -2.0])
+
+    def test_empty_is_noop(self):
+        plan = balance_workloads([])
+        assert plan.num_devices == 0
+        assert plan.transferred_kv_slices() == 0.0
+
+    def test_transfer_queries(self):
+        plan = balance_workloads([9, 1])
+        assert plan.transfers_from(0)
+        assert plan.transfers_to(1)
+        assert not plan.transfers_from(1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=64.0, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_property_balanced_within_one_and_conserved(self, loads):
+        plan = balance_workloads(loads)
+        assert sum(plan.balanced) == pytest.approx(sum(loads), rel=1e-9, abs=1e-6)
+        # Either already within one slice or brought within one slice.
+        assert plan.max_imbalance_after <= max(1.0, plan.max_imbalance_before) + 1e-9
+        if plan.max_imbalance_before > 1.0:
+            assert plan.max_imbalance_after <= 1.0 + 1e-6
+
+
+class TestExchangeVolume:
+    def test_volume_below_bound(self):
+        for p, n in [(4, 8), (8, 16), (8, 32), (16, 64)]:
+            vol = exchange_volume_per_microbatch(LLAMA_13B, 256 * 1024, n, p, 8)
+            bound = exchange_volume_bound(LLAMA_13B, 256 * 1024, n, p, 8)
+            assert vol <= bound + 1e-6
+
+    def test_bound_independent_of_p_and_n_to_first_order(self):
+        """Eq. 2: the bound is at most 2 L M_h whatever p and n are."""
+        seq = 128 * 1024
+        m_h = seq * LLAMA_13B.hidden_size * 2 / 8
+        ceiling = 2.0 * LLAMA_13B.num_layers * m_h
+        for p, n in [(2, 4), (4, 16), (8, 64), (16, 64)]:
+            assert exchange_volume_bound(LLAMA_13B, seq, n, p, 8) <= ceiling + 1e-6
+
+    def test_exact_small_case(self):
+        """Hand-checked p=2, n=4 case."""
+        model = LLAMA_13B
+        seq, n, p, t = 1024, 4, 2, 1
+        slice_bytes = (model.num_layers / p) * (seq * model.hidden_size * 2) / n
+        expected = (2 * n + 2 * (n - p + 1) * 0 + 2 * (p - 1) * 1) * slice_bytes
+        assert exchange_volume_per_microbatch(model, seq, n, p, t) == pytest.approx(expected)
+
+    def test_single_device_exchanges_nothing(self):
+        assert exchange_volume_per_microbatch(LLAMA_13B, 1024, 4, 1) == 0.0
+
+    def test_needs_enough_slices(self):
+        with pytest.raises(ValueError):
+            exchange_volume_per_microbatch(LLAMA_13B, 1024, 2, 4)
+        with pytest.raises(ValueError):
+            exchange_volume_bound(LLAMA_13B, 1024, 2, 4)
+
+    def test_tensor_parallelism_shrinks_volume(self):
+        v1 = exchange_volume_per_microbatch(LLAMA_70B, 65536, 16, 4, 1)
+        v8 = exchange_volume_per_microbatch(LLAMA_70B, 65536, 16, 4, 8)
+        assert v8 == pytest.approx(v1 / 8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        p=st.integers(min_value=2, max_value=16),
+        slices_per_device=st.integers(min_value=1, max_value=8),
+        seq_k=st.integers(min_value=1, max_value=512),
+    )
+    def test_property_volume_below_bound(self, p, slices_per_device, seq_k):
+        n = p * slices_per_device
+        seq = seq_k * 1024
+        vol = exchange_volume_per_microbatch(LLAMA_70B, seq, n, p, 8)
+        bound = exchange_volume_bound(LLAMA_70B, seq, n, p, 8)
+        # The bound can be attained exactly (odd p and n), so allow fp rounding.
+        assert 0.0 <= vol <= bound * (1.0 + 1e-9)
+
+
+class TestEmbeddingBytesPerSlice:
+    def test_matches_definition(self):
+        model = LLAMA_13B
+        seq, n, p, t = 4096, 8, 4, 2
+        expected = (model.num_layers / p) * (seq * model.hidden_size * 2 / t) / n
+        assert embedding_bytes_per_slice(model, seq, n, p, t) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            embedding_bytes_per_slice(LLAMA_13B, 4096, 0, 4)

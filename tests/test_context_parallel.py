@@ -1,0 +1,114 @@
+"""Tests for commutated context parallelism (Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context_parallel import (
+    cp_volume_comparison,
+    cp_volume_kv_passing,
+    cp_volume_query_passing,
+    ring_attention_query_passing,
+)
+from repro.model.config import LLAMA_13B, LLAMA_70B
+from repro.numerics.attention import attention_reference
+
+
+class TestVolumes:
+    def test_zero_without_context_parallelism(self):
+        assert cp_volume_kv_passing(LLAMA_13B, 65536, 8, 1) == 0.0
+        assert cp_volume_query_passing(LLAMA_13B, 65536, 8, 1) == 0.0
+
+    def test_kv_passing_grows_quadratically_with_slices(self):
+        few = cp_volume_kv_passing(LLAMA_13B, 65536, 4, 8)
+        many = cp_volume_kv_passing(LLAMA_13B, 65536, 16, 8)
+        # sum over slices is ~n(n+1)/2 of one slice, so 4x the slices -> ~3.4x volume.
+        assert many / few == pytest.approx((17 / 2) / (5 / 2), rel=0.01)
+
+    def test_query_passing_independent_of_slice_count(self):
+        few = cp_volume_query_passing(LLAMA_13B, 65536, 4, 8)
+        many = cp_volume_query_passing(LLAMA_13B, 65536, 16, 8)
+        assert many == pytest.approx(few, rel=1e-9)
+
+    def test_commutated_variant_wins_for_mha_models(self):
+        """For MHA models (Q the same width as K+V) the saving is ~(n+1)/2."""
+        comparison = cp_volume_comparison(LLAMA_13B, 262144, 16, 8)
+        assert comparison.reduction_factor == pytest.approx((16 + 1) / 2, rel=0.05)
+
+    def test_gqa_reduces_but_does_not_reverse_the_benefit(self):
+        """With 8-way GQA the query is wider than K+V, shrinking (not reversing)
+        the saving at moderate slice counts and restoring it for large n."""
+        moderate = cp_volume_comparison(LLAMA_70B, 262144, 16, 8)
+        many = cp_volume_comparison(LLAMA_70B, 262144, 64, 8)
+        assert moderate.reduction_factor > 1.0
+        assert many.reduction_factor > 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cp_volume_kv_passing(LLAMA_13B, 65536, 0, 8)
+        with pytest.raises(ValueError):
+            cp_volume_query_passing(LLAMA_13B, 65536, 0, 8)
+
+    def test_infinite_reduction_when_no_query_traffic(self):
+        comparison = cp_volume_comparison(LLAMA_13B, 65536, 8, 1)
+        assert comparison.reduction_factor == float("inf")
+
+
+class TestRingAttentionQueryPassing:
+    def _shards(self, ranks=4, tokens=3, heads=4, groups=2, dim=8, seed=0):
+        rng = np.random.default_rng(seed)
+        qs = [rng.standard_normal((tokens, heads, dim)) for _ in range(ranks)]
+        ks = [rng.standard_normal((tokens, groups, dim)) for _ in range(ranks)]
+        vs = [rng.standard_normal((tokens, groups, dim)) for _ in range(ranks)]
+        return qs, ks, vs
+
+    def test_matches_dense_attention(self):
+        qs, ks, vs = self._shards()
+        outputs = ring_attention_query_passing(qs, ks, vs)
+        dense = attention_reference(
+            np.concatenate(qs), np.concatenate(ks), np.concatenate(vs)
+        )
+        np.testing.assert_allclose(np.concatenate(outputs), dense, rtol=1e-10, atol=1e-12)
+
+    def test_uneven_shards_with_explicit_offsets(self):
+        rng = np.random.default_rng(3)
+        sizes = [2, 5, 3]
+        qs = [rng.standard_normal((t, 2, 4)) for t in sizes]
+        ks = [rng.standard_normal((t, 1, 4)) for t in sizes]
+        vs = [rng.standard_normal((t, 1, 4)) for t in sizes]
+        offsets = [0, 2, 7]
+        outputs = ring_attention_query_passing(qs, ks, vs, shard_offsets=offsets)
+        dense = attention_reference(
+            np.concatenate(qs), np.concatenate(ks), np.concatenate(vs)
+        )
+        np.testing.assert_allclose(np.concatenate(outputs), dense, rtol=1e-10, atol=1e-12)
+
+    def test_single_rank_degenerates_to_local_attention(self):
+        qs, ks, vs = self._shards(ranks=1)
+        outputs = ring_attention_query_passing(qs, ks, vs)
+        dense = attention_reference(qs[0], ks[0], vs[0])
+        np.testing.assert_allclose(outputs[0], dense, rtol=1e-12)
+
+    def test_validation(self):
+        qs, ks, vs = self._shards()
+        with pytest.raises(ValueError):
+            ring_attention_query_passing(qs, ks[:-1], vs)
+        with pytest.raises(ValueError):
+            ring_attention_query_passing(qs, ks, vs, shard_offsets=[0, 1])
+        with pytest.raises(ValueError):
+            ring_attention_query_passing([], [], [])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ranks=st.integers(min_value=1, max_value=5),
+        tokens=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_any_sharding_matches_dense(self, ranks, tokens, seed):
+        qs, ks, vs = self._shards(ranks=ranks, tokens=tokens, seed=seed)
+        outputs = ring_attention_query_passing(qs, ks, vs)
+        dense = attention_reference(
+            np.concatenate(qs), np.concatenate(ks), np.concatenate(vs)
+        )
+        np.testing.assert_allclose(np.concatenate(outputs), dense, rtol=1e-9, atol=1e-11)

@@ -1,0 +1,82 @@
+"""Tests for the kernel-time cost model."""
+
+import pytest
+
+from repro.hardware import AMPERE_80GB, HOPPER_80GB
+from repro.model import LLAMA_13B, LLAMA_70B, CostModel, PassKind
+from repro.model.flops import FlopsBreakdown, layer_forward_flops
+
+
+@pytest.fixture()
+def cost_model():
+    return CostModel(HOPPER_80GB)
+
+
+def test_intensity_factor_monotone(cost_model):
+    factors = [cost_model.intensity_factor(t) for t in (16, 128, 1024, 16384)]
+    assert all(b > a for a, b in zip(factors, factors[1:]))
+    assert 0 < factors[0] < 1
+    assert factors[-1] < 1
+    assert cost_model.intensity_factor(0) == 1.0
+
+
+def test_backward_slower_than_forward(cost_model):
+    fwd = cost_model.layer_pass_time(LLAMA_13B, PassKind.FORWARD, 4096, 0)
+    bwd = cost_model.layer_pass_time(LLAMA_13B, PassKind.BACKWARD, 4096, 0)
+    assert bwd > fwd
+
+
+def test_tf_tb_tw_ordering_attention_dominated(cost_model):
+    """With a long context the attention core dominates: T_w << T_f < T_b."""
+    seq = 256 * 1024
+    tf, tb, tw = cost_model.tf_tb_tw(LLAMA_13B, seq, 0, num_layers=1, tensor_parallel_size=8)
+    assert tw < tf < tb
+    # Attention backward is about twice its forward, so tb should clearly
+    # exceed tf + a GEMM-only share.
+    assert tb > 1.3 * tf
+
+
+def test_tf_tb_tw_gemm_dominated(cost_model):
+    """For a short context the GEMMs dominate and T_b ~ T_w ~ T_f."""
+    tf, tb, tw = cost_model.tf_tb_tw(LLAMA_70B, 512, 0)
+    assert tb == pytest.approx(tf, rel=0.35)
+    assert tw == pytest.approx(tf, rel=0.35)
+
+
+def test_pass_time_scales_with_tp(cost_model):
+    t1 = cost_model.layer_pass_time(LLAMA_13B, PassKind.FORWARD, 8192, 0, tensor_parallel_size=1)
+    t8 = cost_model.layer_pass_time(LLAMA_13B, PassKind.FORWARD, 8192, 0, tensor_parallel_size=8)
+    assert t1 > 4 * t8  # not exactly 8x because of the fixed launch overhead
+
+
+def test_output_layer_time_sharded_by_vocab_parallel(cost_model):
+    base = cost_model.output_layer_time(LLAMA_13B, PassKind.FORWARD, 8192, 8, 1)
+    sharded = cost_model.output_layer_time(LLAMA_13B, PassKind.FORWARD, 8192, 8, 4)
+    assert base > 3 * sharded
+
+
+def test_zero_flops_pass_has_zero_time(cost_model):
+    assert cost_model.time_of(FlopsBreakdown(), PassKind.FORWARD, tokens=128) == 0.0
+
+
+def test_overhead_can_be_excluded(cost_model):
+    flops = layer_forward_flops(LLAMA_13B, 1024, 0)
+    with_overhead = cost_model.time_of(flops, PassKind.FORWARD, 1024)
+    without = cost_model.time_of(flops, PassKind.FORWARD, 1024, include_overhead=False)
+    assert with_overhead == pytest.approx(without + HOPPER_80GB.kernel_launch_overhead)
+
+
+def test_slower_gpu_takes_longer():
+    hopper = CostModel(HOPPER_80GB)
+    ampere = CostModel(AMPERE_80GB)
+    args = (LLAMA_13B, PassKind.FORWARD, 8192, 0)
+    assert ampere.layer_pass_time(*args) > hopper.layer_pass_time(*args)
+
+
+def test_backward_split_sums_to_combined(cost_model):
+    """Bi + Bw should equal B up to one duplicated launch overhead."""
+    flops = layer_forward_flops(LLAMA_13B, 2048, 4096)
+    combined = cost_model.time_of(flops, PassKind.BACKWARD, 2048, include_overhead=False)
+    bi = cost_model.time_of(flops, PassKind.BACKWARD_INPUT, 2048, include_overhead=False)
+    bw = cost_model.time_of(flops, PassKind.BACKWARD_WEIGHT, 2048, include_overhead=False)
+    assert combined == pytest.approx(bi + bw, rel=1e-9)

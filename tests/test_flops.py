@@ -1,0 +1,129 @@
+"""Tests for the FLOPs model, including slice additivity under causal attention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import LLAMA_13B, LLAMA_70B, MIXTRAL_8X7B
+from repro.model.flops import (
+    FlopsBreakdown,
+    attention_core_flops,
+    layer_forward_flops,
+    model_flops_per_iteration,
+    model_forward_flops,
+    output_layer_flops,
+)
+
+
+def test_attention_flops_full_sequence_closed_form():
+    model = LLAMA_13B
+    s = 1024
+    expected = 4.0 * model.hidden_size * (s * (s + 1) / 2.0)
+    assert attention_core_flops(model, s, 0) == pytest.approx(expected)
+
+
+def test_attention_flops_zero_queries():
+    assert attention_core_flops(LLAMA_13B, 0, 100) == 0.0
+
+
+def test_attention_flops_negative_kv_offset_rejected():
+    with pytest.raises(ValueError):
+        attention_core_flops(LLAMA_13B, 10, -1)
+
+
+def test_non_causal_attention_flops():
+    model = LLAMA_13B
+    got = attention_core_flops(model, 8, 24, causal=False)
+    assert got == pytest.approx(4.0 * model.hidden_size * 8 * 32)
+
+
+@given(
+    total=st.integers(min_value=2, max_value=4096),
+    num_slices=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50, deadline=None)
+def test_sliced_attention_flops_sum_to_full(total, num_slices):
+    """Uniformly slicing a sequence conserves total attention FLOPs."""
+    model = LLAMA_70B
+    num_slices = min(num_slices, total)
+    base = total // num_slices
+    remainder = total % num_slices
+    lengths = [base + (1 if i < remainder else 0) for i in range(num_slices)]
+    offset = 0
+    sliced = 0.0
+    for length in lengths:
+        sliced += attention_core_flops(model, length, offset)
+        offset += length
+    full = attention_core_flops(model, total, 0)
+    assert sliced == pytest.approx(full, rel=1e-12)
+
+
+def test_later_slices_cost_more():
+    """Causal attention makes later uniform slices strictly more expensive."""
+    model = LLAMA_13B
+    slice_len = 512
+    costs = [
+        attention_core_flops(model, slice_len, i * slice_len) for i in range(8)
+    ]
+    assert all(b > a for a, b in zip(costs, costs[1:]))
+
+
+def test_layer_flops_linear_in_tokens():
+    model = LLAMA_13B
+    one = layer_forward_flops(model, 128, 0).linear
+    two = layer_forward_flops(model, 256, 0).linear
+    assert two == pytest.approx(2 * one)
+
+
+def test_moe_layer_uses_topk_experts():
+    dense_like = layer_forward_flops(MIXTRAL_8X7B, 128, 0).linear
+    # Active experts = 2, so MoE MLP FLOPs are twice a dense model of equal H.
+    h, H = MIXTRAL_8X7B.hidden_size, MIXTRAL_8X7B.ffn_hidden_size
+    mlp = 6.0 * h * H * 2 * 128
+    attn_linear = (2.0 * h * (h + 2 * MIXTRAL_8X7B.kv_channels) + 2.0 * h * h) * 128
+    router = 2.0 * h * MIXTRAL_8X7B.num_experts * 128
+    assert dense_like == pytest.approx(mlp + attn_linear + router)
+
+
+def test_backward_decomposition():
+    flops = FlopsBreakdown(linear=100.0, attention=40.0)
+    bi = flops.backward_input_grad()
+    bw = flops.backward_weight_grad()
+    assert bi.linear == 100.0 and bi.attention == 80.0
+    assert bw.linear == 100.0 and bw.attention == 0.0
+    total = flops.backward_total()
+    assert total.total == pytest.approx(bi.total + bw.total)
+
+
+def test_flops_breakdown_arithmetic():
+    a = FlopsBreakdown(linear=1.0, attention=2.0)
+    b = FlopsBreakdown(linear=3.0, attention=4.0)
+    assert (a + b).total == pytest.approx(10.0)
+    assert (2 * a).attention == pytest.approx(4.0)
+    assert (a * 2).linear == pytest.approx(2.0)
+
+
+def test_output_layer_flops():
+    model = LLAMA_13B
+    got = output_layer_flops(model, 64)
+    assert got.linear == pytest.approx(2.0 * model.hidden_size * model.vocab_size * 64)
+    assert got.attention == 0.0
+
+
+def test_model_forward_and_iteration_flops():
+    model = LLAMA_13B
+    fwd = model_forward_flops(model, 2048)
+    assert fwd.total > 0
+    iteration = model_flops_per_iteration(model, 2048, num_sequences=4)
+    assert iteration == pytest.approx(3.0 * fwd.total * 4)
+    fwd_only = model_flops_per_iteration(model, 2048, 4, include_backward=False)
+    assert fwd_only == pytest.approx(fwd.total * 4)
+
+
+def test_dense_forward_flops_close_to_6nd_heuristic():
+    """For short contexts total FLOPs/token is close to the 6*N rule of thumb."""
+    model = LLAMA_70B
+    seq = 4096
+    flops_per_token = model_flops_per_iteration(model, seq, 1) / seq
+    heuristic = 6.0 * model.total_params()
+    assert flops_per_token == pytest.approx(heuristic, rel=0.15)

@@ -1,0 +1,156 @@
+"""Tests for the Table 2 closed forms and their agreement with the schedule builders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import build_slimpipe_schedule
+from repro.schedules import build_1f1b_schedule, build_gpipe_schedule
+from repro.schedules.formulas import (
+    activation_memory_factor,
+    available_schemes,
+    bubble_fraction_estimate,
+    slimpipe_accumulated_activation_factor,
+)
+from repro.sim.engine import SimulationEngine, UniformCostProvider
+
+
+class TestActivationMemoryFactor:
+    def test_table2_values_at_reference_point(self):
+        """Spot-check the Table 2 column at p=8, m=16, n=32, v=2."""
+        p, m, n, v = 8, 16, 32, 2
+        assert activation_memory_factor("gpipe", p, m) == pytest.approx(m / p)
+        assert activation_memory_factor("1f1b", p, m) == pytest.approx(1.0)
+        assert activation_memory_factor("interleaved-1f1b", p, m, v=v) == pytest.approx(
+            1 + (p - 1) / (v * p)
+        )
+        assert activation_memory_factor("zb-v", p, m) == pytest.approx(1.0)
+        assert activation_memory_factor("v-half", p, m) == pytest.approx(0.5 + 1 / p)
+        assert activation_memory_factor("slimpipe", p, m, n, v) == pytest.approx(
+            1 / p + 2 * (p - 1) / (n * v * p)
+        )
+
+    def test_slimpipe_is_the_most_memory_thrifty(self):
+        p, m, n, v = 8, 8, 32, 2
+        slim = activation_memory_factor("slimpipe", p, m, n, v)
+        for scheme in available_schemes():
+            if scheme == "slimpipe":
+                continue
+            assert slim <= activation_memory_factor(scheme, p, m, n, v) + 1e-12
+
+    def test_slimpipe_scales_inversely_with_p(self):
+        """Figure 1: SlimPipe activation memory ~ 1/p; classic PP stays ~constant."""
+        slim = [activation_memory_factor("slimpipe", p, 16, 8 * p) for p in (2, 4, 8, 16)]
+        classic = [activation_memory_factor("1f1b", p, 16) for p in (2, 4, 8, 16)]
+        assert slim[0] / slim[-1] > 6  # close to 16/2 = 8x reduction
+        assert classic == [1.0] * 4
+
+    def test_matches_1f1b_schedule_builder(self):
+        for p, m in [(4, 8), (8, 4), (2, 2)]:
+            schedule = build_1f1b_schedule(p, m)
+            peak_microbatches = max(schedule.max_inflight_activations())
+            assert activation_memory_factor("1f1b", p, m) == pytest.approx(
+                peak_microbatches / p
+            )
+
+    def test_matches_gpipe_schedule_builder(self):
+        for p, m in [(4, 8), (2, 6)]:
+            schedule = build_gpipe_schedule(p, m)
+            peak = max(schedule.max_inflight_activations())
+            assert activation_memory_factor("gpipe", p, m) == pytest.approx(peak / p)
+
+    def test_matches_slimpipe_schedule_builder(self):
+        for p, m, n, v in [(4, 4, 8, 1), (4, 2, 8, 2), (8, 4, 16, 1)]:
+            schedule = build_slimpipe_schedule(p, m, n, v)
+            peak_units = max(schedule.max_inflight_activations())
+            # One unit = M_a / (n * v * p).
+            assert activation_memory_factor("slimpipe", p, m, n, v) == pytest.approx(
+                peak_units / (n * v * p)
+            )
+
+    def test_eq1_factor(self):
+        assert slimpipe_accumulated_activation_factor(4, 8) == pytest.approx(1.75 / 4)
+        assert slimpipe_accumulated_activation_factor(4, 8, 2) == pytest.approx(
+            (1 + 6 / 16) / 4
+        )
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            activation_memory_factor("nope", 4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            activation_memory_factor("1f1b", 0, 4)
+        with pytest.raises(ValueError):
+            bubble_fraction_estimate("1f1b", 4, 4, attention_share=2.0)
+
+
+class TestBubbleFraction:
+    def test_ordering_matches_figure3(self):
+        """Figure 3 (p=8, m=4, long context): SlimPipe < interleaved < 1F1B ~ ZB-variants."""
+        p, m = 8, 4
+        share = 0.8  # 256K context is strongly attention-dominated
+        slim = bubble_fraction_estimate("slimpipe", p, m, 4 * p, 5, share)
+        inter = bubble_fraction_estimate("interleaved-1f1b", p, m, v=5, attention_share=share)
+        plain = bubble_fraction_estimate("1f1b", p, m, attention_share=share)
+        vhalf = bubble_fraction_estimate("v-half", p, m, attention_share=share)
+        assert slim < inter < plain
+        assert slim < 0.05
+        assert vhalf > inter
+
+    def test_zbv_zero_bubble_without_attention(self):
+        assert bubble_fraction_estimate("zb-v", 8, 8, attention_share=0.0) == 0.0
+
+    def test_zbv_bubbles_grow_with_attention_share(self):
+        low = bubble_fraction_estimate("zb-v", 8, 8, attention_share=0.1)
+        high = bubble_fraction_estimate("zb-v", 8, 8, attention_share=0.9)
+        assert high > low
+
+    def test_slimpipe_bubble_decreases_with_slices(self):
+        values = [
+            bubble_fraction_estimate("slimpipe", 4, 2, n, attention_share=0.5)
+            for n in (4, 8, 16, 32)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_more_microbatches_reduce_warmup_bubbles(self):
+        for scheme in ("gpipe", "1f1b", "interleaved-1f1b", "slimpipe"):
+            few = bubble_fraction_estimate(scheme, 8, 2)
+            many = bubble_fraction_estimate(scheme, 8, 32)
+            assert many < few
+
+    def test_simulated_1f1b_bubble_matches_formula(self):
+        """The closed form and the discrete-event simulator agree for 1F1B."""
+        p, m = 4, 8
+        schedule = build_1f1b_schedule(p, m)
+        # Uniform costs with backward = forward makes the formula exact.
+        timeline = SimulationEngine(schedule, UniformCostProvider(1.0, 1.0)).run()
+        formula = bubble_fraction_estimate("1f1b", p, m)
+        assert timeline.bubble_fraction() == pytest.approx(formula, abs=0.02)
+
+    def test_simulated_slimpipe_bubble_below_formula_bound(self):
+        p, m, n = 4, 2, 16
+        schedule = build_slimpipe_schedule(p, m, n)
+        timeline = SimulationEngine(schedule, UniformCostProvider(1.0, 1.0)).run()
+        bound = (p - 1) / (n * m)
+        assert timeline.bubble_fraction() <= bound / (1 + bound) + 0.05
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scheme=st.sampled_from(sorted(available_schemes())),
+        p=st.integers(min_value=1, max_value=16),
+        m=st.integers(min_value=1, max_value=64),
+        share=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_fraction_in_unit_interval(self, scheme, p, m, share):
+        value = bubble_fraction_estimate(scheme, p, m, n=4 * p, v=2, attention_share=share)
+        assert 0.0 <= value < 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p=st.integers(min_value=1, max_value=16),
+        m=st.integers(min_value=1, max_value=32),
+    )
+    def test_property_memory_factors_positive(self, p, m):
+        for scheme in available_schemes():
+            assert activation_memory_factor(scheme, p, m, n=2 * p, v=2) > 0.0

@@ -1,0 +1,98 @@
+"""Tests for GPU specs, cluster topology and the communication model."""
+
+import pytest
+
+from repro.constants import GIB
+from repro.hardware import CommModel, ClusterTopology, GPUSpec, HOPPER_80GB, hopper_cluster
+
+
+def test_hopper_spec_matches_paper():
+    assert HOPPER_80GB.memory_gib == pytest.approx(80.0)
+    assert HOPPER_80GB.peak_flops == pytest.approx(989e12)
+
+
+def test_gpu_spec_validation():
+    with pytest.raises(ValueError):
+        GPUSpec(name="bad", peak_flops=0, memory_bytes=GIB)
+    with pytest.raises(ValueError):
+        GPUSpec(name="bad", peak_flops=1e12, memory_bytes=GIB, gemm_efficiency_forward=1.5)
+
+
+def test_cluster_construction():
+    cluster = hopper_cluster(256)
+    assert cluster.num_nodes == 32
+    assert cluster.total_gpus == 256
+    with pytest.raises(ValueError):
+        hopper_cluster(100)
+
+
+def test_node_placement():
+    cluster = hopper_cluster(32)
+    assert cluster.node_of(0) == 0
+    assert cluster.node_of(8) == 1
+    assert cluster.same_node(0, 7)
+    assert not cluster.same_node(7, 8)
+    with pytest.raises(ValueError):
+        cluster.node_of(32)
+
+
+def test_bandwidth_selection():
+    cluster = hopper_cluster(16)
+    assert cluster.bandwidth_between(0, 1) == cluster.intra_node_bandwidth
+    assert cluster.bandwidth_between(0, 8) == cluster.inter_node_bandwidth
+    assert cluster.bandwidth_between(3, 3) == float("inf")
+    assert cluster.latency_between(3, 3) == 0.0
+    assert cluster.latency_between(0, 9) > cluster.latency_between(0, 1)
+
+
+def test_fits_in_node():
+    cluster = hopper_cluster(64)
+    assert cluster.fits_in_node(8)
+    assert not cluster.fits_in_node(9)
+
+
+@pytest.fixture()
+def comm():
+    return CommModel(hopper_cluster(64))
+
+
+def test_p2p_time_scaling(comm):
+    small = comm.p2p_time(1 * GIB, intra_node=True)
+    large = comm.p2p_time(2 * GIB, intra_node=True)
+    assert large > small
+    assert comm.p2p_time(0, intra_node=True) == 0.0
+    assert comm.p2p_time(1 * GIB, intra_node=False) > small
+    with pytest.raises(ValueError):
+        comm.p2p_time(-1, intra_node=True)
+
+
+def test_p2p_between_ranks(comm):
+    same_node = comm.p2p_time_between(1 * GIB, 0, 1)
+    cross_node = comm.p2p_time_between(1 * GIB, 0, 8)
+    assert cross_node > same_node
+    assert comm.p2p_time_between(1 * GIB, 3, 3) == 0.0
+
+
+def test_collective_formulas(comm):
+    domain = comm.domain(8, intra_node=True)
+    nbytes = 1 * GIB
+    ar = comm.all_reduce_time(nbytes, domain)
+    ag = comm.all_gather_time(nbytes, domain)
+    rs = comm.reduce_scatter_time(nbytes, domain)
+    assert ar == pytest.approx(ag + rs, rel=1e-6)
+    assert comm.all_reduce_time(nbytes, comm.domain(1, intra_node=True)) == 0.0
+    assert comm.all_to_all_time(nbytes, domain) > 0
+    assert comm.broadcast_time(nbytes, domain) > 0
+    assert comm.scalar_sync_time(domain) < 1e-3
+
+
+def test_domain_too_large_for_node(comm):
+    with pytest.raises(ValueError):
+        comm.domain(16, intra_node=True)
+
+
+def test_single_rank_domain_is_free(comm):
+    domain = comm.domain(1, intra_node=True)
+    assert comm.all_gather_time(GIB, domain) == 0.0
+    assert comm.broadcast_time(GIB, domain) == 0.0
+    assert comm.scalar_sync_time(domain) == 0.0

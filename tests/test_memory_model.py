@@ -1,0 +1,122 @@
+"""Tests for the memory model, anchored to the paper's own arithmetic."""
+
+import pytest
+
+from repro.constants import GIB, tokens_from_k
+from repro.model import (
+    ADAM_MIXED_PRECISION,
+    LLAMA_13B,
+    LLAMA_70B,
+    MIXTRAL_8X7B,
+    OptimizerSpec,
+    RecomputeMode,
+    activation_bytes_per_token_per_layer,
+    kv_cache_bytes_per_token_per_layer,
+    layers_per_pipeline_stage,
+    logits_bytes_per_token,
+    model_state_bytes_per_device,
+)
+
+
+def test_full_recompute_matches_paper_llama70b_example():
+    """Section 3: Llama 70B, 1M context, t=8, full recompute -> 160 GiB."""
+    model = LLAMA_70B
+    per_token_layer = activation_bytes_per_token_per_layer(
+        model, RecomputeMode.FULL, tensor_parallel_size=8
+    )
+    total = per_token_layer * model.num_layers * tokens_from_k(1024)
+    assert total / GIB == pytest.approx(160.0, rel=1e-6)
+
+
+def test_recompute_modes_are_ordered():
+    for model in (LLAMA_13B, LLAMA_70B, MIXTRAL_8X7B):
+        none = activation_bytes_per_token_per_layer(model, RecomputeMode.NONE)
+        selective = activation_bytes_per_token_per_layer(model, RecomputeMode.SELECTIVE)
+        full = activation_bytes_per_token_per_layer(model, RecomputeMode.FULL)
+        assert none > selective > full
+
+
+def test_activation_memory_sharded_by_tp():
+    one = activation_bytes_per_token_per_layer(LLAMA_13B, RecomputeMode.NONE, 1)
+    eight = activation_bytes_per_token_per_layer(LLAMA_13B, RecomputeMode.NONE, 8)
+    assert one == pytest.approx(8 * eight)
+
+
+def test_kv_cache_bytes():
+    model = LLAMA_70B
+    expected = 2 * model.kv_channels * 2 / 8
+    assert kv_cache_bytes_per_token_per_layer(model, 8) == pytest.approx(expected)
+
+
+def test_logits_memory_matches_paper_example():
+    """Section 4.3.1: 256K context, 128,000 vocab, 8-way TP -> about 16 GiB."""
+    per_token = logits_bytes_per_token(LLAMA_13B, tensor_parallel_size=8)
+    total = per_token * tokens_from_k(256)
+    assert total / GIB == pytest.approx(16.0, rel=0.05)
+    sharded = logits_bytes_per_token(LLAMA_13B, tensor_parallel_size=8, vocab_parallel_size=4)
+    assert sharded == pytest.approx(per_token / 4)
+
+
+def test_invalid_tp_rejected():
+    with pytest.raises(ValueError):
+        activation_bytes_per_token_per_layer(LLAMA_13B, RecomputeMode.NONE, 0)
+
+
+def test_layers_per_stage():
+    assert layers_per_pipeline_stage(LLAMA_70B, 8) == 10
+    with pytest.raises(ValueError):
+        layers_per_pipeline_stage(LLAMA_70B, 7)
+    with pytest.raises(ValueError):
+        layers_per_pipeline_stage(LLAMA_70B, 0)
+
+
+def test_optimizer_spec_distributed_sharding():
+    spec = OptimizerSpec()
+    alone = spec.state_bytes_per_param(1)
+    sharded = spec.state_bytes_per_param(8)
+    assert alone == pytest.approx(2 + 4 + 12)
+    assert sharded == pytest.approx(2 + 4 + 12 / 8)
+    dense = OptimizerSpec(distributed_optimizer=False)
+    assert dense.state_bytes_per_param(8) == pytest.approx(18)
+
+
+def test_model_state_memory_scales_with_pp():
+    kwargs = dict(tensor_parallel_size=8, data_parallel_size=1)
+    full = model_state_bytes_per_device(LLAMA_70B, pipeline_parallel_size=1, **kwargs)
+    split = model_state_bytes_per_device(LLAMA_70B, pipeline_parallel_size=8, **kwargs)
+    assert split.transformer_layers == pytest.approx(full.transformer_layers / 8)
+
+
+def test_model_state_memory_vocab_placement():
+    kwargs = dict(tensor_parallel_size=8, pipeline_parallel_size=4, data_parallel_size=2)
+    first = model_state_bytes_per_device(LLAMA_70B, pipeline_rank=0, **kwargs)
+    middle = model_state_bytes_per_device(LLAMA_70B, pipeline_rank=1, **kwargs)
+    last = model_state_bytes_per_device(LLAMA_70B, pipeline_rank=3, **kwargs)
+    assert first.embedding > 0 and middle.embedding == 0
+    assert last.output_layer > 0 and middle.output_layer == 0
+    # With vocabulary parallelism every stage holds an equal 1/p share.
+    sharded = model_state_bytes_per_device(LLAMA_70B, pipeline_rank=2, vocab_parallel=True, **kwargs)
+    assert sharded.embedding == pytest.approx(first.embedding / 4)
+
+
+def test_model_state_memory_moe_expert_parallel():
+    base = model_state_bytes_per_device(
+        MIXTRAL_8X7B, tensor_parallel_size=1, pipeline_parallel_size=1, expert_parallel_size=1
+    )
+    ep8 = model_state_bytes_per_device(
+        MIXTRAL_8X7B, tensor_parallel_size=1, pipeline_parallel_size=1, expert_parallel_size=8
+    )
+    assert ep8.transformer_layers < base.transformer_layers
+    # Expert weights dominate a Mixtral layer, so EP=8 should cut layer memory
+    # by far more than half.
+    assert ep8.transformer_layers < 0.3 * base.transformer_layers
+
+
+def test_model_state_total_consistency():
+    mem = model_state_bytes_per_device(
+        LLAMA_13B, tensor_parallel_size=8, pipeline_parallel_size=2, data_parallel_size=4
+    )
+    assert mem.total == pytest.approx(mem.transformer_layers + mem.embedding + mem.output_layer)
+    # Sanity: the whole 13B model in mixed precision with dp=4 sharded optimizer
+    # should fit comfortably in tens of GiB per device.
+    assert mem.total < 40 * GIB

@@ -1,0 +1,73 @@
+"""Tests for the schedule memory tracker."""
+
+import pytest
+
+from repro.schedules import (
+    build_1f1b_schedule,
+    build_gpipe_schedule,
+    build_interleaved_1f1b_schedule,
+    build_terapipe_schedule,
+    build_zero_bubble_v_schedule,
+)
+from repro.sim import MemoryTracker, SimpleAccountant
+
+
+def peaks(schedule, **kwargs):
+    return MemoryTracker(schedule, SimpleAccountant(**kwargs)).peak_activation_bytes()
+
+
+def test_gpipe_accumulates_all_microbatches():
+    assert peaks(build_gpipe_schedule(4, 6)) == [6, 6, 6, 6]
+
+
+def test_1f1b_accumulates_pipeline_depth():
+    assert peaks(build_1f1b_schedule(4, 8)) == [4, 3, 2, 1]
+
+
+def test_terapipe_accumulates_all_slices():
+    assert peaks(build_terapipe_schedule(4, 2, 8)) == [16, 16, 16, 16]
+
+
+def test_interleaved_peak_formula():
+    p, m, v = 4, 8, 2
+    got = peaks(build_interleaved_1f1b_schedule(p, m, v))
+    assert got[0] == v * p + p - 1
+
+
+def test_zbv_releases_after_weight_grad():
+    sched = build_zero_bubble_v_schedule(4, 6)
+    got = peaks(sched)
+    assert max(got) <= 2 * 4
+    assert max(got) == max(sched.max_inflight_activations())
+
+
+def test_transient_and_base_memory_included():
+    sched = build_1f1b_schedule(2, 2)
+    tracker = MemoryTracker(sched, SimpleAccountant(stored=2.0, transient=3.0, base=10.0))
+    profiles = tracker.profile()
+    for profile in profiles:
+        assert profile.base_bytes == 10.0
+        assert profile.peak_bytes == profile.peak_activation_bytes + 10.0
+        assert profile.peak_activation_bytes >= 3.0
+    assert tracker.max_peak_bytes() == max(p.peak_bytes for p in profiles)
+    assert tracker.peak_bytes() == [p.peak_bytes for p in profiles]
+
+
+def test_peak_gib_property():
+    sched = build_1f1b_schedule(2, 2)
+    tracker = MemoryTracker(sched, SimpleAccountant(stored=1024**3, base=0.0))
+    profile = tracker.profile()[0]
+    assert profile.peak_gib == pytest.approx(profile.peak_bytes / 1024**3)
+
+
+def test_tracker_per_pass_accountant():
+    """Accountants can differentiate passes (e.g. later slices storing more KV)."""
+
+    class SliceAccountant(SimpleAccountant):
+        def stored_bytes(self, work):
+            return 1.0 + (work.slice_index or 0)
+
+    sched = build_terapipe_schedule(2, 1, 4)
+    tracker = MemoryTracker(sched, SliceAccountant())
+    # slices store 1 + 2 + 3 + 4 = 10 units at peak
+    assert tracker.peak_activation_bytes() == [10.0, 10.0]

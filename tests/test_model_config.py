@@ -1,0 +1,108 @@
+"""Model configuration presets must reproduce Table 3 of the paper."""
+
+import pytest
+
+from repro.model import (
+    LLAMA_13B,
+    LLAMA_70B,
+    LLAMA_149B,
+    MIXTRAL_8X7B,
+    MIXTRAL_8X22B,
+    MODEL_REGISTRY,
+    ModelConfig,
+    get_model_config,
+)
+
+TABLE3_PARAMS = {
+    "llama-13b": 13.3e9,
+    "llama-70b": 69.5e9,
+    "llama-149b": 148.9e9,
+    "mixtral-8x7b": 47.0e9,
+    "mixtral-8x22b": 141.0e9,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(TABLE3_PARAMS.items()))
+def test_total_params_match_table3(name, expected):
+    model = get_model_config(name)
+    assert model.total_params() == pytest.approx(expected, rel=0.01)
+
+
+@pytest.mark.parametrize(
+    "model,layers,heads,groups,hidden,ffn",
+    [
+        (LLAMA_13B, 40, 40, None, 5120, 13824),
+        (LLAMA_70B, 80, 64, 8, 8192, 28672),
+        (LLAMA_149B, 96, 96, 8, 12288, 32768),
+        (MIXTRAL_8X7B, 32, 32, 8, 4096, 14336),
+        (MIXTRAL_8X22B, 56, 48, 8, 6144, 16384),
+    ],
+)
+def test_table3_architecture_fields(model, layers, heads, groups, hidden, ffn):
+    assert model.num_layers == layers
+    assert model.num_attention_heads == heads
+    assert model.num_query_groups == groups
+    assert model.hidden_size == hidden
+    assert model.ffn_hidden_size == ffn
+    assert model.vocab_size == 128_000
+
+
+def test_kv_channels_gqa_vs_mha():
+    assert LLAMA_13B.kv_channels == LLAMA_13B.hidden_size  # MHA
+    assert LLAMA_70B.kv_channels == 8 * LLAMA_70B.head_dim  # GQA
+
+
+def test_moe_flags():
+    assert MIXTRAL_8X7B.is_moe and MIXTRAL_8X7B.active_experts == 2
+    assert not LLAMA_70B.is_moe and LLAMA_70B.active_experts == 1
+
+
+def test_active_params_smaller_than_total_for_moe():
+    assert MIXTRAL_8X7B.active_params_per_layer() < MIXTRAL_8X7B.params_per_layer()
+    assert LLAMA_13B.active_params_per_layer() == LLAMA_13B.params_per_layer()
+
+
+def test_registry_lookup_and_error():
+    assert get_model_config("llama-70b") is LLAMA_70B
+    assert set(TABLE3_PARAMS) <= set(MODEL_REGISTRY)
+    with pytest.raises(KeyError, match="unknown model"):
+        get_model_config("gpt-17")
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        ModelConfig(name="bad", num_layers=0, num_attention_heads=4, hidden_size=64, ffn_hidden_size=128)
+    with pytest.raises(ValueError):
+        ModelConfig(name="bad", num_layers=2, num_attention_heads=3, hidden_size=64, ffn_hidden_size=128)
+    with pytest.raises(ValueError):
+        ModelConfig(
+            name="bad",
+            num_layers=2,
+            num_attention_heads=4,
+            hidden_size=64,
+            ffn_hidden_size=128,
+            num_query_groups=3,
+        )
+    with pytest.raises(ValueError):
+        ModelConfig(
+            name="bad",
+            num_layers=2,
+            num_attention_heads=4,
+            hidden_size=64,
+            ffn_hidden_size=128,
+            num_experts=4,
+            experts_per_token=5,
+        )
+
+
+def test_scaled_down_preserves_structure():
+    tiny = LLAMA_70B.scaled_down(64)
+    assert tiny.num_layers >= 2
+    assert tiny.hidden_size % tiny.num_attention_heads == 0
+    assert tiny.is_moe == LLAMA_70B.is_moe
+
+
+def test_with_layers():
+    shallow = LLAMA_13B.with_layers(8)
+    assert shallow.num_layers == 8
+    assert shallow.hidden_size == LLAMA_13B.hidden_size

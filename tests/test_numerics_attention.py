@@ -1,0 +1,257 @@
+"""Tests for causal GQA attention: dense vs blockwise, online-softmax merge,
+and the FlashAttention-style blockwise backward."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.attention import (
+    attention_block_backward,
+    attention_block_forward,
+    attention_forward,
+    attention_reference,
+    blockwise_attention_forward,
+    expand_kv_to_heads,
+    merge_partial_attention,
+    reduce_heads_to_kv,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def make_qkv(tq=6, tk=10, heads=4, groups=2, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((tq, heads, dim))
+    k = rng.standard_normal((tk, groups, dim))
+    v = rng.standard_normal((tk, groups, dim))
+    return q, k, v
+
+
+class TestExpandReduce:
+    def test_expand_repeats_groups(self):
+        kv = RNG.standard_normal((3, 2, 4))
+        expanded = expand_kv_to_heads(kv, 6)
+        assert expanded.shape == (3, 6, 4)
+        np.testing.assert_allclose(expanded[:, 0], kv[:, 0])
+        np.testing.assert_allclose(expanded[:, 2], kv[:, 0])
+        np.testing.assert_allclose(expanded[:, 3], kv[:, 1])
+
+    def test_reduce_is_adjoint_of_expand(self):
+        """<expand(kv), g> == <kv, reduce(g)> — required for correct gradients."""
+        kv = RNG.standard_normal((3, 2, 4))
+        g = RNG.standard_normal((3, 6, 4))
+        lhs = float(np.sum(expand_kv_to_heads(kv, 6) * g))
+        rhs = float(np.sum(kv * reduce_heads_to_kv(g, 2)))
+        assert lhs == pytest.approx(rhs)
+
+    def test_expand_validation(self):
+        with pytest.raises(ValueError):
+            expand_kv_to_heads(RNG.standard_normal((3, 2, 4)), 5)
+
+
+class TestForward:
+    def test_causal_mask_blocks_future(self):
+        """Output of token i must not depend on keys at positions > i."""
+        q, k, v = make_qkv(tq=5, tk=5)
+        base = attention_reference(q, k, v, q_offset=0, k_offset=0)
+        k2, v2 = k.copy(), v.copy()
+        k2[4] += 100.0
+        v2[4] += 100.0
+        perturbed = attention_reference(q, k2, v2, q_offset=0, k_offset=0)
+        np.testing.assert_allclose(base[:4], perturbed[:4], rtol=1e-10)
+        assert not np.allclose(base[4], perturbed[4])
+
+    def test_block_forward_matches_reference(self):
+        q, k, v = make_qkv()
+        out = attention_block_forward(q, k, v, q_offset=4, k_offset=0)
+        ref = attention_reference(q, k, v, q_offset=4, k_offset=0)
+        np.testing.assert_allclose(out.out, ref, rtol=1e-10)
+
+    def test_gqa_equals_mha_with_repeated_kv(self):
+        q, k, v = make_qkv(heads=4, groups=2)
+        gqa = attention_reference(q, k, v, q_offset=6)
+        mha = attention_reference(
+            q, expand_kv_to_heads(k, 4), expand_kv_to_heads(v, 4), q_offset=6
+        )
+        np.testing.assert_allclose(gqa, mha, rtol=1e-12)
+
+    def test_fully_masked_rows_return_zero(self):
+        """A KV block entirely in the future contributes nothing."""
+        q, k, v = make_qkv(tq=3, tk=4)
+        out = attention_block_forward(q, k, v, q_offset=0, k_offset=100)
+        np.testing.assert_allclose(out.out, 0.0)
+        assert np.all(np.isneginf(out.lse))
+
+    def test_shape_validation(self):
+        q, k, v = make_qkv()
+        with pytest.raises(ValueError):
+            attention_reference(q[:, :3], k, v)  # 3 heads not a multiple of 2 groups
+        with pytest.raises(ValueError):
+            attention_reference(q[:, :, :4], k, v)
+
+
+class TestOnlineSoftmaxMerge:
+    def test_merge_two_halves_equals_dense(self):
+        q, k, v = make_qkv(tq=4, tk=12, seed=3)
+        q_offset = 8
+        a = attention_block_forward(q, k[:6], v[:6], q_offset, 0)
+        b = attention_block_forward(q, k[6:], v[6:], q_offset, 6)
+        merged = merge_partial_attention(a, b)
+        ref = attention_block_forward(q, k, v, q_offset, 0)
+        np.testing.assert_allclose(merged.out, ref.out, rtol=1e-10)
+        np.testing.assert_allclose(merged.lse, ref.lse, rtol=1e-10)
+
+    def test_merge_is_commutative(self):
+        q, k, v = make_qkv(tq=4, tk=8, seed=5)
+        a = attention_block_forward(q, k[:4], v[:4], 4, 0)
+        b = attention_block_forward(q, k[4:], v[4:], 4, 4)
+        ab = merge_partial_attention(a, b)
+        ba = merge_partial_attention(b, a)
+        np.testing.assert_allclose(ab.out, ba.out, rtol=1e-12)
+
+    def test_merge_with_fully_masked_partial_is_identity(self):
+        q, k, v = make_qkv(tq=3, tk=4, seed=9)
+        real = attention_block_forward(q, k, v, 0, 0)
+        empty = attention_block_forward(q, k, v, 0, 50)  # all future -> masked
+        merged = merge_partial_attention(real, empty)
+        np.testing.assert_allclose(merged.out, real.out, rtol=1e-12)
+
+    def test_merge_shape_mismatch(self):
+        q, k, v = make_qkv()
+        a = attention_block_forward(q, k, v, 0, 0)
+        b = attention_block_forward(q[:2], k, v, 0, 0)
+        with pytest.raises(ValueError):
+            merge_partial_attention(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        split=st.integers(min_value=1, max_value=11),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_any_split_matches_dense(self, split, seed):
+        q, k, v = make_qkv(tq=5, tk=12, seed=seed)
+        q_offset = 7
+        a = attention_block_forward(q, k[:split], v[:split], q_offset, 0)
+        b = attention_block_forward(q, k[split:], v[split:], q_offset, split)
+        merged = merge_partial_attention(a, b)
+        ref = attention_block_forward(q, k, v, q_offset, 0)
+        np.testing.assert_allclose(merged.out, ref.out, rtol=1e-9, atol=1e-12)
+
+
+class TestBlockwiseForward:
+    def test_chunked_cache_matches_dense(self):
+        q, k, v = make_qkv(tq=4, tk=16, seed=11)
+        q_offset = 12
+        blocks = [(k[i : i + 4], v[i : i + 4]) for i in range(0, 16, 4)]
+        blockwise = blockwise_attention_forward(q, blocks, q_offset)
+        dense = attention_block_forward(q, k, v, q_offset, 0)
+        np.testing.assert_allclose(blockwise.out, dense.out, rtol=1e-10)
+
+    def test_uneven_chunks(self):
+        q, k, v = make_qkv(tq=3, tk=10, seed=13)
+        blocks = [(k[:3], v[:3]), (k[3:4], v[3:4]), (k[4:], v[4:])]
+        blockwise = blockwise_attention_forward(q, blocks, 7)
+        dense = attention_block_forward(q, k, v, 7, 0)
+        np.testing.assert_allclose(blockwise.out, dense.out, rtol=1e-10)
+
+    def test_explicit_offsets(self):
+        q, k, v = make_qkv(tq=3, tk=8, seed=17)
+        blocks = [(k[:4], v[:4]), (k[4:], v[4:])]
+        blockwise = blockwise_attention_forward(q, blocks, 5, block_offsets=[0, 4])
+        dense = attention_block_forward(q, k, v, 5, 0)
+        np.testing.assert_allclose(blockwise.out, dense.out, rtol=1e-10)
+
+    def test_empty_blocks_rejected(self):
+        q, _, _ = make_qkv()
+        with pytest.raises(ValueError):
+            blockwise_attention_forward(q, [], 0)
+
+    def test_mismatched_offsets_rejected(self):
+        q, k, v = make_qkv()
+        with pytest.raises(ValueError):
+            blockwise_attention_forward(q, [(k, v)], 0, block_offsets=[0, 4])
+
+
+class TestBackward:
+    def _numerical_attention_grad(self, q, k, v, dout, q_offset, wrt):
+        eps = 1e-6
+        target = {"q": q, "k": k, "v": v}[wrt]
+        grad = np.zeros_like(target)
+        flat = target.reshape(-1)
+        gflat = grad.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = float(np.sum(attention_reference(q, k, v, q_offset, 0) * dout))
+            flat[i] = orig - eps
+            minus = float(np.sum(attention_reference(q, k, v, q_offset, 0) * dout))
+            flat[i] = orig
+            gflat[i] = (plus - minus) / (2 * eps)
+        return grad
+
+    def test_single_block_backward_matches_finite_differences(self):
+        q, k, v = make_qkv(tq=3, tk=5, heads=2, groups=1, dim=4, seed=21)
+        q_offset = 2
+        dout = np.random.default_rng(1).standard_normal(q.shape)
+        fwd = attention_block_forward(q, k, v, q_offset, 0)
+        dq, dk, dv = attention_block_backward(
+            dout, q, k, v, fwd.out, fwd.lse, q_offset, 0
+        )
+        np.testing.assert_allclose(
+            dq, self._numerical_attention_grad(q, k, v, dout, q_offset, "q"), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            dk, self._numerical_attention_grad(q, k, v, dout, q_offset, "k"), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            dv, self._numerical_attention_grad(q, k, v, dout, q_offset, "v"), atol=1e-5
+        )
+
+    def test_blockwise_backward_sums_to_dense_backward(self):
+        """Per-chunk gradients must add up to the dense-gradient ground truth."""
+        q, k, v = make_qkv(tq=4, tk=12, heads=4, groups=2, seed=23)
+        q_offset = 8
+        dout = np.random.default_rng(3).standard_normal(q.shape)
+        fwd = attention_block_forward(q, k, v, q_offset, 0)
+        dq_dense, dk_dense, dv_dense = attention_block_backward(
+            dout, q, k, v, fwd.out, fwd.lse, q_offset, 0
+        )
+
+        dq_sum = np.zeros_like(q)
+        dk_parts, dv_parts = [], []
+        for start in range(0, 12, 4):
+            dq, dk, dv = attention_block_backward(
+                dout,
+                q,
+                k[start : start + 4],
+                v[start : start + 4],
+                fwd.out,
+                fwd.lse,
+                q_offset,
+                start,
+            )
+            dq_sum += dq
+            dk_parts.append(dk)
+            dv_parts.append(dv)
+        np.testing.assert_allclose(dq_sum, dq_dense, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(np.concatenate(dk_parts), dk_dense, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(np.concatenate(dv_parts), dv_dense, rtol=1e-9, atol=1e-12)
+
+    def test_gqa_backward_matches_finite_differences(self):
+        q, k, v = make_qkv(tq=3, tk=4, heads=4, groups=2, dim=3, seed=29)
+        dout = np.random.default_rng(5).standard_normal(q.shape)
+        fwd = attention_block_forward(q, k, v, 1, 0)
+        _, dk, dv = attention_block_backward(dout, q, k, v, fwd.out, fwd.lse, 1, 0)
+        np.testing.assert_allclose(
+            dk, self._numerical_attention_grad(q, k, v, dout, 1, "k"), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            dv, self._numerical_attention_grad(q, k, v, dout, 1, "v"), atol=1e-5
+        )
+
+    def test_attention_forward_alias(self):
+        q, k, v = make_qkv()
+        a = attention_forward(q, k, v, 4, 0)
+        b = attention_block_forward(q, k, v, 4, 0)
+        np.testing.assert_allclose(a.out, b.out)

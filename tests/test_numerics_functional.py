@@ -1,0 +1,228 @@
+"""Gradient checks for the numeric engine's differentiable primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.numerics.functional import (
+    cross_entropy_backward,
+    cross_entropy_forward,
+    embedding_backward,
+    embedding_forward,
+    linear_backward,
+    linear_forward,
+    rmsnorm_backward,
+    rmsnorm_forward,
+    silu,
+    swiglu_backward,
+    swiglu_forward,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central finite differences of a scalar-valued function of an array."""
+    grad = np.zeros_like(x, dtype=float)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn()
+        flat[i] = orig - eps
+        f_minus = fn()
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self):
+        x = RNG.standard_normal((5, 3))
+        w = RNG.standard_normal((3, 4))
+        b = RNG.standard_normal(4)
+        y, _ = linear_forward(x, w, b)
+        np.testing.assert_allclose(y, x @ w + b)
+
+    def test_backward_gradients(self):
+        x = RNG.standard_normal((4, 3))
+        w = RNG.standard_normal((3, 5))
+        b = RNG.standard_normal(5)
+        dy = RNG.standard_normal((4, 5))
+
+        def loss():
+            return float(np.sum(linear_forward(x, w, b)[0] * dy))
+
+        _, cache = linear_forward(x, w, b)
+        dx, dw, db = linear_backward(dy, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-6)
+        np.testing.assert_allclose(dw, numerical_grad(loss, w), atol=1e-6)
+        np.testing.assert_allclose(db, numerical_grad(loss, b), atol=1e-6)
+
+    def test_no_bias(self):
+        x = RNG.standard_normal((4, 3))
+        w = RNG.standard_normal((3, 5))
+        dy = RNG.standard_normal((4, 5))
+        _, cache = linear_forward(x, w)
+        _, _, db = linear_backward(dy, cache)
+        assert db is None
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            linear_forward(RNG.standard_normal((4, 3)), RNG.standard_normal((5, 2)))
+        with pytest.raises(ValueError):
+            linear_forward(RNG.standard_normal(3), RNG.standard_normal((3, 2)))
+
+
+class TestRMSNorm:
+    def test_forward_unit_rms(self):
+        x = RNG.standard_normal((6, 8))
+        y, _ = rmsnorm_forward(x, np.ones(8))
+        rms = np.sqrt(np.mean(y * y, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-5)
+
+    def test_backward_gradients(self):
+        x = RNG.standard_normal((3, 6))
+        w = RNG.standard_normal(6)
+        dy = RNG.standard_normal((3, 6))
+
+        def loss():
+            return float(np.sum(rmsnorm_forward(x, w)[0] * dy))
+
+        _, cache = rmsnorm_forward(x, w)
+        dx, dw = rmsnorm_backward(dy, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-6)
+        np.testing.assert_allclose(dw, numerical_grad(loss, w), atol=1e-6)
+
+    def test_weight_shape_validation(self):
+        with pytest.raises(ValueError):
+            rmsnorm_forward(RNG.standard_normal((3, 6)), np.ones(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        tokens=st.integers(min_value=1, max_value=8),
+        hidden=st.integers(min_value=1, max_value=16),
+    )
+    def test_property_scale_invariance_direction(self, tokens, hidden):
+        """RMSNorm output is invariant to positive rescaling of its input."""
+        rng = np.random.default_rng(tokens * 31 + hidden)
+        x = rng.standard_normal((tokens, hidden)) + 0.1
+        w = rng.standard_normal(hidden)
+        y1, _ = rmsnorm_forward(x, w, eps=0.0)
+        y2, _ = rmsnorm_forward(3.7 * x, w, eps=0.0)
+        np.testing.assert_allclose(y1, y2, rtol=1e-9)
+
+
+class TestSwiGLU:
+    def test_forward_matches_definition(self):
+        g = RNG.standard_normal((4, 5))
+        u = RNG.standard_normal((4, 5))
+        y, _ = swiglu_forward(g, u)
+        np.testing.assert_allclose(y, silu(g) * u)
+
+    def test_backward_gradients(self):
+        g = RNG.standard_normal((3, 4))
+        u = RNG.standard_normal((3, 4))
+        dy = RNG.standard_normal((3, 4))
+
+        def loss():
+            return float(np.sum(swiglu_forward(g, u)[0] * dy))
+
+        _, cache = swiglu_forward(g, u)
+        dg, du = swiglu_backward(dy, cache)
+        np.testing.assert_allclose(dg, numerical_grad(loss, g), atol=1e-6)
+        np.testing.assert_allclose(du, numerical_grad(loss, u), atol=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            swiglu_forward(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestEmbedding:
+    def test_forward_gathers_rows(self):
+        table = RNG.standard_normal((10, 4))
+        ids = np.array([1, 3, 3, 9])
+        out, _ = embedding_forward(ids, table)
+        np.testing.assert_allclose(out, table[ids])
+
+    def test_backward_scatter_adds(self):
+        table = RNG.standard_normal((10, 4))
+        ids = np.array([2, 2, 5])
+        dy = RNG.standard_normal((3, 4))
+        _, cache = embedding_forward(ids, table)
+        dt = embedding_backward(dy, cache)
+        np.testing.assert_allclose(dt[2], dy[0] + dy[1])
+        np.testing.assert_allclose(dt[5], dy[2])
+        assert np.all(dt[[0, 1, 3, 4, 6, 7, 8, 9]] == 0)
+
+    def test_out_of_range_ids(self):
+        table = RNG.standard_normal((4, 2))
+        with pytest.raises(ValueError):
+            embedding_forward(np.array([0, 4]), table)
+        with pytest.raises(ValueError):
+            embedding_forward(np.array([[0, 1]]), table)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_log_softmax(self):
+        logits = RNG.standard_normal((5, 7))
+        targets = RNG.integers(0, 7, size=5)
+        loss, _ = cross_entropy_forward(logits, targets)
+        log_probs = logits - np.log(np.exp(logits).sum(axis=-1, keepdims=True))
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert loss == pytest.approx(expected)
+
+    def test_backward_gradients(self):
+        logits = RNG.standard_normal((4, 6))
+        targets = RNG.integers(0, 6, size=4)
+
+        def loss():
+            return cross_entropy_forward(logits, targets)[0]
+
+        _, cache = cross_entropy_forward(logits, targets)
+        dlogits = cross_entropy_backward(1.0, cache)
+        np.testing.assert_allclose(dlogits, numerical_grad(loss, logits), atol=1e-6)
+
+    def test_custom_normalizer_sums_to_full_loss(self):
+        """Per-slice losses with a shared normalizer must add to the full loss."""
+        logits = RNG.standard_normal((8, 5))
+        targets = RNG.integers(0, 5, size=8)
+        full, _ = cross_entropy_forward(logits, targets)
+        parts = 0.0
+        for start in range(0, 8, 2):
+            part, _ = cross_entropy_forward(
+                logits[start : start + 2], targets[start : start + 2], normalizer=8
+            )
+            parts += part
+        assert parts == pytest.approx(full)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy_forward(RNG.standard_normal((4, 5)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            cross_entropy_forward(
+                RNG.standard_normal((4, 5)), np.zeros(4, dtype=int), normalizer=0
+            )
+
+    def test_gradient_sums_to_zero_per_token(self):
+        logits = RNG.standard_normal((6, 9))
+        targets = RNG.integers(0, 9, size=6)
+        _, cache = cross_entropy_forward(logits, targets)
+        dlogits = cross_entropy_backward(1.0, cache)
+        np.testing.assert_allclose(dlogits.sum(axis=-1), 0.0, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        logits=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(2, 8)),
+            elements=st.floats(min_value=-5, max_value=5),
+        )
+    )
+    def test_property_loss_nonnegative(self, logits):
+        targets = np.zeros(logits.shape[0], dtype=int)
+        loss, _ = cross_entropy_forward(logits, targets)
+        assert loss >= -1e-9

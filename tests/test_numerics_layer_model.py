@@ -1,0 +1,250 @@
+"""Tests for the numeric transformer layer and the single-device reference model."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.layer import (
+    LayerGradients,
+    TransformerLayerParams,
+    layer_backward,
+    layer_forward,
+)
+from repro.numerics.model import (
+    ModelGradients,
+    ModelParams,
+    NumericModelConfig,
+    ReferenceModel,
+)
+
+
+def make_layer(seed=0, hidden=12, heads=4, groups=2, ffn=20):
+    rng = np.random.default_rng(seed)
+    return TransformerLayerParams.init(
+        rng, hidden_size=hidden, num_heads=heads, num_groups=groups, ffn_size=ffn
+    )
+
+
+class TestLayerParams:
+    def test_init_shapes(self):
+        layer = make_layer()
+        assert layer.hidden_size == 12
+        assert layer.head_dim == 3
+        assert layer.wq.shape == (12, 12)
+        assert layer.wk.shape == (12, 6)
+        assert layer.w_gate.shape == (12, 20)
+
+    def test_invalid_head_grouping(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            TransformerLayerParams.init(
+                rng, hidden_size=12, num_heads=4, num_groups=3, ffn_size=8
+            )
+
+    def test_gradients_zeros_like_and_accumulate(self):
+        layer = make_layer()
+        grads = LayerGradients.zeros_like(layer)
+        assert np.all(grads.wq == 0)
+        other = LayerGradients.zeros_like(layer)
+        other.wq += 1.0
+        grads.add_(other)
+        assert np.all(grads.wq == 1.0)
+
+
+class TestLayerSliceEquivalence:
+    def test_sliced_forward_matches_full_forward(self):
+        """Processing a sequence in slices with a KV cache == one full pass."""
+        layer = make_layer(seed=3)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, layer.hidden_size))
+
+        full_out, _, _ = layer_forward(layer, x, kv_cache=[], q_offset=0)
+
+        outputs = []
+        cache_blocks = []
+        offsets = []
+        position = 0
+        for start in range(0, 8, 2):
+            slice_x = x[start : start + 2]
+            out, own_kv, _ = layer_forward(
+                layer,
+                slice_x,
+                kv_cache=cache_blocks,
+                q_offset=position,
+                kv_offsets=offsets,
+            )
+            outputs.append(out)
+            cache_blocks.append(own_kv)
+            offsets.append(position)
+            position += 2
+        np.testing.assert_allclose(np.concatenate(outputs), full_out, rtol=1e-10)
+
+    def test_sliced_backward_matches_full_backward(self):
+        """LIFO backward with KV-gradient accumulation == one full backward."""
+        layer = make_layer(seed=5)
+        rng = np.random.default_rng(2)
+        tokens = 6
+        x = rng.standard_normal((tokens, layer.hidden_size))
+        dout = rng.standard_normal((tokens, layer.hidden_size))
+
+        # Full-sequence ground truth.
+        full_out, full_kv, full_cache = layer_forward(layer, x, kv_cache=[], q_offset=0)
+        full_dx, full_grads, _ = layer_backward(
+            layer, dout, full_cache, kv_cache=[], own_kv=full_kv
+        )
+
+        # Sliced execution (3 slices of 2 tokens).
+        slice_size = 2
+        num_slices = tokens // slice_size
+        caches, kv_chunks = [], []
+        for s in range(num_slices):
+            sx = x[s * slice_size : (s + 1) * slice_size]
+            _, own_kv, cache = layer_forward(
+                layer, sx, kv_cache=kv_chunks, q_offset=s * slice_size
+            )
+            kv_chunks.append(own_kv)
+            caches.append(cache)
+
+        sliced_grads = LayerGradients.zeros_like(layer)
+        dx_parts = [None] * num_slices
+        accumulators = {}
+        for s in reversed(range(num_slices)):
+            sdout = dout[s * slice_size : (s + 1) * slice_size]
+            dx, grads, earlier = layer_backward(
+                layer,
+                sdout,
+                caches[s],
+                kv_cache=kv_chunks[:s],
+                own_kv=kv_chunks[s],
+                extra_dk_dv=accumulators.pop(s, None),
+            )
+            sliced_grads.add_(grads)
+            dx_parts[s] = dx
+            for j, (dk, dv) in enumerate(earlier):
+                if j in accumulators:
+                    accumulators[j] = (accumulators[j][0] + dk, accumulators[j][1] + dv)
+                else:
+                    accumulators[j] = (dk, dv)
+
+        np.testing.assert_allclose(np.concatenate(dx_parts), full_dx, rtol=1e-9, atol=1e-12)
+        for name, value in full_grads.as_dict().items():
+            np.testing.assert_allclose(
+                getattr(sliced_grads, name), value, rtol=1e-9, atol=1e-12, err_msg=name
+            )
+
+    def test_layer_backward_finite_differences_on_weights(self):
+        """Spot-check two weight gradients against finite differences."""
+        layer = make_layer(seed=7, hidden=8, heads=2, groups=1, ffn=12)
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((4, 8))
+        dout = rng.standard_normal((4, 8))
+
+        def loss():
+            out, _, _ = layer_forward(layer, x, kv_cache=[], q_offset=0)
+            return float(np.sum(out * dout))
+
+        _, own_kv, cache = layer_forward(layer, x, kv_cache=[], q_offset=0)
+        _, grads, _ = layer_backward(layer, dout, cache, kv_cache=[], own_kv=own_kv)
+
+        eps = 1e-6
+        for name in ("wq", "w_down"):
+            weight = getattr(layer, name)
+            analytic = getattr(grads, name)
+            numeric = np.zeros_like(weight)
+            flat, nflat = weight.reshape(-1), numeric.reshape(-1)
+            for i in range(0, flat.size, max(1, flat.size // 40)):  # sample entries
+                orig = flat[i]
+                flat[i] = orig + eps
+                plus = loss()
+                flat[i] = orig - eps
+                minus = loss()
+                flat[i] = orig
+                nflat[i] = (plus - minus) / (2 * eps)
+                assert analytic.reshape(-1)[i] == pytest.approx(nflat[i], abs=1e-5)
+
+
+class TestNumericModelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumericModelConfig(hidden_size=10, num_heads=3)
+        with pytest.raises(ValueError):
+            NumericModelConfig(num_heads=4, num_groups=3)
+        with pytest.raises(ValueError):
+            NumericModelConfig(num_layers=0)
+
+
+class TestReferenceModel:
+    def test_loss_is_finite_and_positive(self):
+        cfg = NumericModelConfig()
+        params = ModelParams.init(cfg, seed=0)
+        rng = np.random.default_rng(1)
+        tokens = rng.integers(0, cfg.vocab_size, size=10)
+        targets = rng.integers(0, cfg.vocab_size, size=10)
+        model = ReferenceModel(params)
+        loss = model.loss(tokens, targets)
+        assert np.isfinite(loss)
+        # Random init ~ uniform predictions: loss near log(V).
+        assert loss == pytest.approx(np.log(cfg.vocab_size), rel=0.25)
+
+    def test_gradients_cover_every_parameter(self):
+        cfg = NumericModelConfig(num_layers=2)
+        params = ModelParams.init(cfg, seed=3)
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(0, cfg.vocab_size, size=8)
+        targets = rng.integers(0, cfg.vocab_size, size=8)
+        _, grads = ReferenceModel(params).loss_and_gradients(tokens, targets)
+        flat = grads.flatten()
+        assert len(flat) == 3 + 9 * cfg.num_layers
+        for name, value in flat.items():
+            assert np.any(value != 0.0), f"gradient {name} is identically zero"
+
+    def test_embedding_gradient_matches_finite_differences(self):
+        cfg = NumericModelConfig(num_layers=1, hidden_size=8, num_heads=2, num_groups=1, ffn_size=12, vocab_size=16)
+        params = ModelParams.init(cfg, seed=5)
+        rng = np.random.default_rng(6)
+        tokens = rng.integers(0, cfg.vocab_size, size=5)
+        targets = rng.integers(0, cfg.vocab_size, size=5)
+        model = ReferenceModel(params)
+        _, grads = model.loss_and_gradients(tokens, targets)
+
+        eps = 1e-6
+        token_id = int(tokens[2])
+        analytic = grads.embedding[token_id, 3]
+        params.embedding[token_id, 3] += eps
+        plus = model.loss(tokens, targets)
+        params.embedding[token_id, 3] -= 2 * eps
+        minus = model.loss(tokens, targets)
+        params.embedding[token_id, 3] += eps
+        assert analytic == pytest.approx((plus - minus) / (2 * eps), abs=1e-6)
+
+    def test_sgd_step_decreases_loss(self):
+        """A tiny training sanity check: one gradient step reduces the loss."""
+        cfg = NumericModelConfig(num_layers=2, vocab_size=32)
+        params = ModelParams.init(cfg, seed=11)
+        rng = np.random.default_rng(12)
+        tokens = rng.integers(0, cfg.vocab_size, size=16)
+        targets = rng.integers(0, cfg.vocab_size, size=16)
+        model = ReferenceModel(params)
+        loss0, grads = model.loss_and_gradients(tokens, targets)
+        lr = 0.5
+        params.embedding -= lr * grads.embedding
+        params.final_norm -= lr * grads.final_norm
+        params.output_weight -= lr * grads.output_weight
+        for layer, lg in zip(params.layers, grads.layers):
+            for name, grad in lg.as_dict().items():
+                getattr(layer, name).__isub__(lr * grad)
+        loss1 = model.loss(tokens, targets)
+        assert loss1 < loss0
+
+    def test_input_validation(self):
+        cfg = NumericModelConfig()
+        params = ModelParams.init(cfg)
+        model = ReferenceModel(params)
+        with pytest.raises(ValueError):
+            model.loss_and_gradients(np.zeros(4, dtype=int), np.zeros(5, dtype=int))
+
+    def test_model_gradients_zeros_like(self):
+        cfg = NumericModelConfig(num_layers=3)
+        params = ModelParams.init(cfg)
+        grads = ModelGradients.zeros_like(params)
+        assert len(grads.layers) == 3
+        assert grads.embedding.shape == params.embedding.shape

@@ -1,0 +1,166 @@
+"""Tests for the Mixtral-style MoE MLP block (router + top-k SwiGLU experts)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.functional import linear_forward, swiglu_forward
+from repro.numerics.moe import (
+    MoEMLPGradients,
+    MoEMLPParams,
+    moe_mlp_backward,
+    moe_mlp_forward,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def make_params(hidden=8, ffn=12, experts=4, k=2, seed=0):
+    return MoEMLPParams.init(
+        np.random.default_rng(seed),
+        hidden_size=hidden,
+        ffn_size=ffn,
+        num_experts=experts,
+        experts_per_token=k,
+    )
+
+
+def dense_swiglu(x, w_gate, w_up, w_down):
+    gate, _ = linear_forward(x, w_gate)
+    up, _ = linear_forward(x, w_up)
+    activated, _ = swiglu_forward(gate, up)
+    return activated @ w_down
+
+
+class TestForward:
+    def test_output_shape(self):
+        params = make_params()
+        x = RNG.standard_normal((6, 8))
+        out, cache = moe_mlp_forward(params, x)
+        assert out.shape == x.shape
+        assert cache.selected.shape == (6, 2)
+
+    def test_single_expert_equals_dense_mlp(self):
+        """With one expert and k=1 the block is exactly a SwiGLU MLP."""
+        params = make_params(experts=1, k=1, seed=3)
+        x = RNG.standard_normal((5, 8))
+        out, _ = moe_mlp_forward(params, x)
+        dense = dense_swiglu(x, params.w_gate[0], params.w_up[0], params.w_down[0])
+        np.testing.assert_allclose(out, dense, rtol=1e-12)
+
+    def test_identical_experts_with_full_routing_equal_dense_mlp(self):
+        """k = E with identical experts: combine weights sum to 1, so the routed
+        output equals the dense expert output regardless of the router."""
+        params = make_params(experts=3, k=3, seed=5)
+        for e in range(1, 3):
+            params.w_gate[e] = params.w_gate[0].copy()
+            params.w_up[e] = params.w_up[0].copy()
+            params.w_down[e] = params.w_down[0].copy()
+        x = RNG.standard_normal((7, 8))
+        out, _ = moe_mlp_forward(params, x)
+        dense = dense_swiglu(x, params.w_gate[0], params.w_up[0], params.w_down[0])
+        np.testing.assert_allclose(out, dense, rtol=1e-10)
+
+    def test_routing_weights_are_softmax_over_selected(self):
+        params = make_params()
+        x = RNG.standard_normal((4, 8))
+        _, cache = moe_mlp_forward(params, x)
+        np.testing.assert_allclose(cache.weights.sum(axis=-1), 1.0, rtol=1e-12)
+        assert np.all(cache.weights > 0)
+
+    def test_only_selected_experts_receive_tokens(self):
+        params = make_params(experts=4, k=1, seed=9)
+        x = RNG.standard_normal((10, 8))
+        _, cache = moe_mlp_forward(params, x)
+        routed = sum(len(ids) for ids in cache.expert_tokens.values())
+        assert routed == 10  # k=1: every token goes to exactly one expert
+
+    def test_input_validation(self):
+        params = make_params()
+        with pytest.raises(ValueError):
+            moe_mlp_forward(params, RNG.standard_normal((4, 5)))
+        with pytest.raises(ValueError):
+            MoEMLPParams.init(RNG, 8, 12, num_experts=2, experts_per_token=3)
+
+
+class TestBackward:
+    def _loss_fn(self, params, x, dout):
+        out, _ = moe_mlp_forward(params, x)
+        return float(np.sum(out * dout))
+
+    def test_grad_x_matches_finite_differences(self):
+        params = make_params(seed=11)
+        x = RNG.standard_normal((4, 8))
+        dout = RNG.standard_normal((4, 8))
+        out, cache = moe_mlp_forward(params, x)
+        grad_x, _ = moe_mlp_backward(params, dout, cache)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.size):
+            orig = x.flat[i]
+            x.flat[i] = orig + eps
+            plus = self._loss_fn(params, x, dout)
+            x.flat[i] = orig - eps
+            minus = self._loss_fn(params, x, dout)
+            x.flat[i] = orig
+            numeric.flat[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad_x, numeric, atol=1e-5)
+
+    @pytest.mark.parametrize("which", ["router", "w_gate", "w_down"])
+    def test_weight_grads_match_finite_differences(self, which):
+        params = make_params(seed=13)
+        x = RNG.standard_normal((5, 8))
+        dout = RNG.standard_normal((5, 8))
+        _, cache = moe_mlp_forward(params, x)
+        _, grads = moe_mlp_backward(params, dout, cache)
+
+        target = params.router if which == "router" else getattr(params, which)[1]
+        analytic = grads.router if which == "router" else getattr(grads, which)[1]
+        eps = 1e-6
+        stride = max(1, target.size // 30)
+        for i in range(0, target.size, stride):
+            orig = target.flat[i]
+            target.flat[i] = orig + eps
+            plus = self._loss_fn(params, x, dout)
+            target.flat[i] = orig - eps
+            minus = self._loss_fn(params, x, dout)
+            target.flat[i] = orig
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic.flat[i] == pytest.approx(numeric, abs=2e-5), (which, i)
+
+    def test_unselected_experts_get_zero_gradient(self):
+        params = make_params(experts=4, k=1, seed=17)
+        x = RNG.standard_normal((3, 8))
+        dout = RNG.standard_normal((3, 8))
+        _, cache = moe_mlp_forward(params, x)
+        _, grads = moe_mlp_backward(params, dout, cache)
+        for expert in range(4):
+            if expert not in cache.expert_tokens:
+                assert np.all(grads.w_gate[expert] == 0)
+                assert np.all(grads.w_down[expert] == 0)
+
+    def test_zeros_like_structure(self):
+        params = make_params()
+        grads = MoEMLPGradients.zeros_like(params)
+        assert len(grads.w_gate) == params.num_experts
+        assert grads.router.shape == params.router.shape
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        tokens=st.integers(min_value=1, max_value=8),
+        experts=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_property_backward_runs_and_shapes_match(self, tokens, experts, seed):
+        k = min(2, experts)
+        params = make_params(experts=experts, k=k, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.standard_normal((tokens, 8))
+        dout = rng.standard_normal((tokens, 8))
+        out, cache = moe_mlp_forward(params, x)
+        grad_x, grads = moe_mlp_backward(params, dout, cache)
+        assert out.shape == x.shape
+        assert grad_x.shape == x.shape
+        assert grads.router.shape == params.router.shape

@@ -1,0 +1,98 @@
+"""Tests for the PP-aware activation offload planner (Section 6.5, Table 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import GIB
+from repro.core.offload import OffloadPlanner
+from repro.hardware.gpu import HOPPER_80GB
+
+
+@pytest.fixture()
+def planner():
+    return OffloadPlanner(HOPPER_80GB)
+
+
+class TestRequiredRatio:
+    def test_zero_when_it_fits(self, planner):
+        assert planner.required_ratio(10 * GIB, 20 * GIB) == 0.0
+
+    def test_one_when_no_budget(self, planner):
+        assert planner.required_ratio(10 * GIB, 0.0) == 1.0
+
+    def test_rounds_up_to_granularity(self, planner):
+        # Need to shed 30% exactly -> 0.30; need 31% -> 0.35.
+        assert planner.required_ratio(100.0, 70.0) == pytest.approx(0.30)
+        assert planner.required_ratio(100.0, 69.0) == pytest.approx(0.35)
+
+    def test_never_exceeds_one(self, planner):
+        assert planner.required_ratio(1e15, 1.0) <= 1.0
+
+    def test_rejects_negative(self, planner):
+        with pytest.raises(ValueError):
+            planner.required_ratio(-1.0, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        peak=st.floats(min_value=1.0, max_value=1e12),
+        budget=st.floats(min_value=0.0, max_value=1e12),
+    )
+    def test_property_chosen_ratio_is_feasible(self, peak, budget):
+        planner = OffloadPlanner(HOPPER_80GB)
+        ratio = planner.required_ratio(peak, budget)
+        assert 0.0 <= ratio <= 1.0
+        assert peak * (1.0 - ratio) <= budget + 1e-6 * peak or ratio == 1.0
+
+
+class TestPlan:
+    def test_fits_without_offload(self, planner):
+        decision = planner.plan(40 * GIB, 60 * GIB, GIB, 0.1)
+        assert decision.ratio == 0.0
+        assert decision.feasible
+        assert decision.fully_overlapped
+        assert decision.offloaded_bytes == 0.0
+
+    def test_offload_makes_it_fit(self, planner):
+        decision = planner.plan(100 * GIB, 60 * GIB, GIB, 0.5)
+        assert decision.ratio >= 0.4
+        assert decision.feasible
+        assert decision.resident_bytes <= 60 * GIB + 1e-3
+
+    def test_transfer_overlap(self, planner):
+        # 1 GiB slice at 55 GiB/s ~ 18 ms; a 100 ms compute window hides it.
+        decision = planner.plan(100 * GIB, 60 * GIB, GIB, 0.1)
+        assert decision.fully_overlapped
+
+    def test_transfer_exposed_when_compute_too_short(self, planner):
+        decision = planner.plan(100 * GIB, 10 * GIB, 4 * GIB, 0.001)
+        assert decision.exposed_seconds_per_slice > 0.0
+
+    def test_forced_ratio(self, planner):
+        decision = planner.plan(100 * GIB, 60 * GIB, GIB, 0.1, ratio=0.95)
+        assert decision.ratio == 0.95
+        assert decision.offloaded_bytes == pytest.approx(95 * GIB)
+
+    def test_forced_infeasible_ratio_reported(self, planner):
+        decision = planner.plan(100 * GIB, 10 * GIB, GIB, 0.1, ratio=0.1)
+        assert not decision.feasible
+
+    def test_invalid_ratio_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan(GIB, GIB, GIB, 0.1, ratio=1.5)
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            OffloadPlanner(HOPPER_80GB, ratio_granularity=0.0)
+
+    def test_negative_inputs_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan(GIB, GIB, -1.0, 0.1)
+
+
+class TestMaxContextScaling:
+    def test_scaling_factor(self, planner):
+        assert planner.max_context_scaling(10 * GIB, 40 * GIB) == pytest.approx(4.0)
+
+    def test_infinite_when_nothing_to_offload(self, planner):
+        assert planner.max_context_scaling(0.0, GIB) == float("inf")

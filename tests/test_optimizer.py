@@ -1,0 +1,131 @@
+"""Tests for the numeric-engine optimizers (SGD, Adam)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.model import ModelGradients, ModelParams, NumericModelConfig, ReferenceModel
+from repro.numerics.optimizer import SGD, Adam, named_parameters
+from repro.numerics.pipeline_runner import SlimPipeNumericRunner
+
+CONFIG = NumericModelConfig(num_layers=2, hidden_size=16, num_heads=4, num_groups=2, ffn_size=24, vocab_size=32)
+
+
+def make_problem(seed=0, tokens=16):
+    params = ModelParams.init(CONFIG, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    data = rng.integers(0, CONFIG.vocab_size, size=tokens)
+    targets = np.roll(data, -1)
+    return params, data, targets
+
+
+class TestNamedParameters:
+    def test_covers_every_gradient_name(self):
+        params, _, _ = make_problem()
+        grads = ModelGradients.zeros_like(params)
+        assert {name for name, _ in named_parameters(params)} == set(grads.flatten())
+
+    def test_yields_views_not_copies(self):
+        params, _, _ = make_problem()
+        for name, value in named_parameters(params):
+            value += 0.0  # in-place touch must be allowed
+            if name == "final_norm":
+                value[0] = 123.0
+        assert params.final_norm[0] == 123.0
+
+
+class TestSGD:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, momentum=1.0)
+
+    def test_reduces_loss(self):
+        params, tokens, targets = make_problem(seed=2)
+        model = ReferenceModel(params)
+        optimizer = SGD(learning_rate=0.5)
+        loss0, grads = model.loss_and_gradients(tokens, targets)
+        optimizer.step(params, grads)
+        loss1, _ = model.loss_and_gradients(tokens, targets)
+        assert loss1 < loss0
+        assert optimizer.steps == 1
+
+    def test_momentum_accumulates_velocity(self):
+        params, tokens, targets = make_problem(seed=3)
+        model = ReferenceModel(params)
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        for _ in range(3):
+            _, grads = model.loss_and_gradients(tokens, targets)
+            optimizer.step(params, grads)
+        assert optimizer._velocity  # populated lazily
+        assert optimizer.steps == 3
+
+    def test_matches_manual_update(self):
+        params, tokens, targets = make_problem(seed=4)
+        reference = ModelParams.init(CONFIG, seed=4)
+        model = ReferenceModel(params)
+        _, grads = model.loss_and_gradients(tokens, targets)
+        SGD(learning_rate=0.25).step(params, grads)
+        np.testing.assert_allclose(
+            params.embedding, reference.embedding - 0.25 * grads.embedding
+        )
+
+
+class TestAdam:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-1)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(eps=0.0)
+        with pytest.raises(ValueError):
+            Adam(weight_decay=-0.1)
+
+    def test_first_step_is_learning_rate_sized(self):
+        """With bias correction, the very first Adam step is ~lr * sign(grad)."""
+        params, tokens, targets = make_problem(seed=5)
+        before = params.output_weight.copy()
+        model = ReferenceModel(params)
+        _, grads = model.loss_and_gradients(tokens, targets)
+        Adam(learning_rate=1e-2).step(params, grads)
+        delta = params.output_weight - before
+        mask = np.abs(grads.output_weight) > 1e-6
+        np.testing.assert_allclose(
+            np.abs(delta[mask]), 1e-2, rtol=1e-3
+        )
+
+    def test_training_converges_better_than_single_step(self):
+        params, tokens, targets = make_problem(seed=6)
+        model = ReferenceModel(params)
+        optimizer = Adam(learning_rate=5e-2)
+        losses = []
+        for _ in range(10):
+            loss, grads = model.loss_and_gradients(tokens, targets)
+            losses.append(loss)
+            optimizer.step(params, grads)
+        assert losses[-1] < losses[0] * 0.8
+        assert optimizer.state_bytes() > 0
+
+    def test_weight_decay_shrinks_weights(self):
+        params, tokens, targets = make_problem(seed=7)
+        model = ReferenceModel(params)
+        _, grads = model.loss_and_gradients(tokens, targets)
+        # Zero out the gradient of one tensor; only weight decay should move it.
+        grads.final_norm[:] = 0.0
+        before = params.final_norm.copy()
+        Adam(learning_rate=1e-2, weight_decay=0.1).step(params, grads)
+        assert np.all(np.abs(params.final_norm) < np.abs(before) + 1e-12)
+        assert not np.allclose(params.final_norm, before)
+
+    def test_training_through_the_slimpipe_runner(self):
+        """End-to-end: Adam + gradients from the sliced multi-device runner."""
+        params, tokens, targets = make_problem(seed=8, tokens=24)
+        runner = SlimPipeNumericRunner(params, num_devices=2, num_slices=4)
+        optimizer = Adam(learning_rate=5e-2)
+        first, _ = runner.loss_and_gradients(tokens, targets)
+        for _ in range(5):
+            _, grads = runner.loss_and_gradients(tokens, targets)
+            optimizer.step(params, grads)
+        last, _ = runner.loss_and_gradients(tokens, targets)
+        assert last < first

@@ -1,0 +1,171 @@
+"""Tests for parallel configuration, workloads and rank mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import tokens_from_k
+from repro.hardware import hopper_cluster
+from repro.model import LLAMA_13B, LLAMA_70B, MIXTRAL_8X7B
+from repro.parallel import ParallelConfig, RankCoordinates, RankMapper, WorkloadConfig
+
+
+def test_world_size_and_aliases():
+    cfg = ParallelConfig(
+        tensor_parallel_size=8,
+        context_parallel_size=1,
+        data_parallel_size=2,
+        pipeline_parallel_size=4,
+    )
+    assert cfg.world_size == 64
+    assert (cfg.t, cfg.c, cfg.d, cfg.p, cfg.v) == (8, 1, 2, 4, 1)
+    assert cfg.ranks_per_pipeline_stage == 16
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        ParallelConfig(tensor_parallel_size=0)
+    with pytest.raises(ValueError):
+        ParallelConfig(pipeline_parallel_size=4, num_slices=3)
+    with pytest.raises(ValueError):
+        ParallelConfig(pipeline_parallel_size=4, num_slices=6)
+    with pytest.raises(ValueError):
+        ParallelConfig(data_parallel_size=1, expert_parallel_size=4)
+
+
+def test_num_slices_validation_and_with_slices():
+    cfg = ParallelConfig(pipeline_parallel_size=4)
+    sliced = cfg.with_slices(16)
+    assert sliced.num_slices == 16
+    assert sliced.n == 16 and cfg.n is None
+
+
+def test_layers_per_stage_and_model_validation():
+    cfg = ParallelConfig(tensor_parallel_size=8, pipeline_parallel_size=4, virtual_pipeline_size=5)
+    assert cfg.layers_per_stage(LLAMA_13B) == 2
+    cfg.validate_against_model(LLAMA_13B)
+    bad = ParallelConfig(pipeline_parallel_size=3)
+    with pytest.raises(ValueError):
+        bad.layers_per_stage(LLAMA_13B)
+    too_much_tp = ParallelConfig(tensor_parallel_size=16)
+    with pytest.raises(ValueError):
+        too_much_tp.validate_against_model(LLAMA_13B)
+    bad_ep = ParallelConfig(data_parallel_size=8, expert_parallel_size=3)
+    with pytest.raises(ValueError):
+        bad_ep.validate_against_model(MIXTRAL_8X7B)
+
+
+def test_cluster_validation():
+    cluster = hopper_cluster(64)
+    cfg = ParallelConfig(tensor_parallel_size=8, data_parallel_size=2, pipeline_parallel_size=4)
+    cfg.validate_against_cluster(cluster)
+    wrong_size = ParallelConfig(tensor_parallel_size=8, pipeline_parallel_size=4)
+    with pytest.raises(ValueError):
+        wrong_size.validate_against_cluster(cluster)
+    too_wide = ParallelConfig(
+        tensor_parallel_size=8, context_parallel_size=2, data_parallel_size=1, pipeline_parallel_size=4
+    )
+    with pytest.raises(ValueError):
+        too_wide.validate_against_cluster(cluster)
+
+
+def test_workload_microbatches_paper_setting():
+    """Section 6.4: 4M tokens per iteration; longer context -> fewer microbatches."""
+    parallel = ParallelConfig(tensor_parallel_size=8, data_parallel_size=2, pipeline_parallel_size=4)
+    short = WorkloadConfig(tokens_from_k(64), tokens_from_k(4 * 1024))
+    longer = WorkloadConfig(tokens_from_k(512), tokens_from_k(4 * 1024))
+    assert short.global_batch_sequences == 64
+    assert longer.global_batch_sequences == 8
+    assert short.num_microbatches(parallel) == 32
+    assert longer.num_microbatches(parallel) == 4
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        WorkloadConfig(0, 1024)
+    with pytest.raises(ValueError):
+        WorkloadConfig(2048, 1024)
+    with pytest.raises(ValueError):
+        WorkloadConfig(1024, 4096, microbatch_sequences=0)
+    wl = WorkloadConfig(tokens_from_k(64), tokens_from_k(256))
+    bad_parallel = ParallelConfig(data_parallel_size=3)
+    with pytest.raises(ValueError):
+        wl.num_microbatches(bad_parallel)
+
+
+def test_context_parallel_token_split():
+    wl = WorkloadConfig(tokens_from_k(128), tokens_from_k(4 * 1024))
+    cfg = ParallelConfig(context_parallel_size=4, data_parallel_size=8, tensor_parallel_size=1)
+    assert wl.tokens_per_device_sequence(cfg) == tokens_from_k(32)
+    odd = ParallelConfig(context_parallel_size=3)
+    with pytest.raises(ValueError):
+        wl.tokens_per_device_sequence(odd)
+
+
+def test_microbatch_tokens():
+    wl = WorkloadConfig(tokens_from_k(64), tokens_from_k(1024), microbatch_sequences=2)
+    assert wl.microbatch_tokens() == 2 * tokens_from_k(64)
+
+
+# ---------------------------------------------------------------------------
+# Rank mapping
+# ---------------------------------------------------------------------------
+@given(
+    t=st.sampled_from([1, 2, 4, 8]),
+    c=st.sampled_from([1, 2]),
+    d=st.sampled_from([1, 2, 3]),
+    p=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=30, deadline=None)
+def test_rank_mapping_roundtrip(t, c, d, p):
+    cfg = ParallelConfig(
+        tensor_parallel_size=t,
+        context_parallel_size=c,
+        data_parallel_size=d,
+        pipeline_parallel_size=p,
+    )
+    mapper = RankMapper(cfg)
+    seen = set()
+    for rank in range(cfg.world_size):
+        coords = mapper.coordinates_of(rank)
+        assert mapper.global_rank_of(coords) == rank
+        seen.add((coords.tensor_rank, coords.context_rank, coords.data_rank, coords.pipeline_rank))
+    assert len(seen) == cfg.world_size
+
+
+def test_rank_mapping_out_of_range():
+    mapper = RankMapper(ParallelConfig(tensor_parallel_size=2, pipeline_parallel_size=2))
+    with pytest.raises(ValueError):
+        mapper.coordinates_of(4)
+
+
+def test_groups_have_expected_sizes_and_strides():
+    cfg = ParallelConfig(
+        tensor_parallel_size=8, data_parallel_size=2, pipeline_parallel_size=4
+    )
+    mapper = RankMapper(cfg)
+    tp_group = mapper.tensor_group()
+    pp_group = mapper.pipeline_group()
+    dp_group = mapper.data_group()
+    assert tp_group == list(range(8))
+    assert len(pp_group) == 4 and pp_group[1] - pp_group[0] == 16
+    assert len(dp_group) == 2 and dp_group[1] - dp_group[0] == 8
+
+
+def test_group_node_placement_matches_paper_deployment():
+    """TP groups sit inside one node; pipeline neighbours usually do not."""
+    cluster = hopper_cluster(64)
+    cfg = ParallelConfig(tensor_parallel_size=8, data_parallel_size=2, pipeline_parallel_size=4)
+    mapper = RankMapper(cfg)
+    assert mapper.group_is_intra_node(mapper.tensor_group(), cluster)
+    assert not mapper.pipeline_neighbors_intra_node(cluster)
+    # A 2-way-TP, 2-way-PP toy job on one node keeps the pipeline local.
+    small_cluster = hopper_cluster(8)
+    small_cfg = ParallelConfig(tensor_parallel_size=2, data_parallel_size=2, pipeline_parallel_size=2)
+    small_mapper = RankMapper(small_cfg)
+    assert small_mapper.pipeline_neighbors_intra_node(small_cluster)
+
+
+def test_coordinates_dataclass():
+    coords = RankCoordinates(1, 0, 1, 2)
+    assert coords.tensor_rank == 1 and coords.pipeline_rank == 2

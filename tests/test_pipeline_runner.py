@@ -1,0 +1,213 @@
+"""Gradient-equivalence tests for the SlimPipe numeric pipeline runner.
+
+These are the correctness results of the reproduction: however the sequence is
+sliced, however many pipeline devices the layers are spread over, and whatever
+combination of context exchange and vocabulary parallelism is enabled, the
+loss and every parameter gradient must equal the unsliced single-device
+reference to floating-point tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context_exchange import exchange_volume_bound
+from repro.numerics.model import ModelParams, NumericModelConfig, ReferenceModel
+from repro.numerics.pipeline_runner import SlimPipeNumericRunner, SlimPipeRunnerOptions
+
+CONFIG = NumericModelConfig(
+    num_layers=4, hidden_size=16, num_heads=4, num_groups=2, ffn_size=24, vocab_size=32
+)
+PARAMS = ModelParams.init(CONFIG, seed=1)
+RNG = np.random.default_rng(42)
+SEQ = 12
+TOKENS = RNG.integers(0, CONFIG.vocab_size, size=SEQ)
+TARGETS = RNG.integers(0, CONFIG.vocab_size, size=SEQ)
+REF_LOSS, REF_GRADS = ReferenceModel(PARAMS).loss_and_gradients(TOKENS, TARGETS)
+
+
+def assert_matches_reference(loss, grads, rtol=1e-9, atol=1e-11):
+    assert loss == pytest.approx(REF_LOSS, rel=1e-10)
+    reference = REF_GRADS.flatten()
+    candidate = grads.flatten()
+    assert reference.keys() == candidate.keys()
+    for name in reference:
+        np.testing.assert_allclose(
+            candidate[name], reference[name], rtol=rtol, atol=atol, err_msg=name
+        )
+
+
+class TestGradientEquivalence:
+    @pytest.mark.parametrize("num_devices", [1, 2, 4])
+    @pytest.mark.parametrize("num_slices", [1, 2, 4, 6])
+    def test_matches_reference_across_slicing(self, num_devices, num_slices):
+        runner = SlimPipeNumericRunner(
+            PARAMS,
+            num_devices=num_devices,
+            num_slices=num_slices,
+            options=SlimPipeRunnerOptions(context_exchange=False, vocab_parallel=False),
+        )
+        loss, grads = runner.loss_and_gradients(TOKENS, TARGETS)
+        assert_matches_reference(loss, grads)
+
+    @pytest.mark.parametrize("context_exchange", [False, True])
+    @pytest.mark.parametrize("vocab_parallel", [False, True])
+    def test_matches_reference_with_all_features(self, context_exchange, vocab_parallel):
+        runner = SlimPipeNumericRunner(
+            PARAMS,
+            num_devices=4,
+            num_slices=6,
+            options=SlimPipeRunnerOptions(
+                context_exchange=context_exchange, vocab_parallel=vocab_parallel
+            ),
+        )
+        loss, grads = runner.loss_and_gradients(TOKENS, TARGETS)
+        assert_matches_reference(loss, grads)
+
+    def test_uneven_slice_lengths_still_exact(self):
+        """Sequence length not divisible by n: uniform slicing spreads the remainder."""
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=2, num_slices=5)
+        loss, grads = runner.loss_and_gradients(TOKENS, TARGETS)
+        assert_matches_reference(loss, grads)
+
+    def test_multiple_microbatches_match_averaged_reference(self):
+        rng = np.random.default_rng(7)
+        tokens = rng.integers(0, CONFIG.vocab_size, size=(3, SEQ))
+        targets = rng.integers(0, CONFIG.vocab_size, size=(3, SEQ))
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=4, num_slices=4)
+        loss, grads = runner.loss_and_gradients(tokens, targets)
+
+        ref = ReferenceModel(PARAMS)
+        ref_losses, ref_flat = [], None
+        for mb in range(3):
+            l, g = ref.loss_and_gradients(tokens[mb], targets[mb])
+            ref_losses.append(l)
+            flat = g.flatten()
+            if ref_flat is None:
+                ref_flat = {k: v.copy() for k, v in flat.items()}
+            else:
+                for k in ref_flat:
+                    ref_flat[k] += flat[k]
+        expected_loss = float(np.mean(ref_losses))
+        assert loss == pytest.approx(expected_loss, rel=1e-10)
+        for name, value in grads.flatten().items():
+            np.testing.assert_allclose(
+                value, ref_flat[name] / 3.0, rtol=1e-9, atol=1e-11, err_msg=name
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_devices=st.sampled_from([1, 2, 4]),
+        num_slices=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_property_random_inputs_match_reference(self, num_devices, num_slices, seed):
+        rng = np.random.default_rng(seed)
+        tokens = rng.integers(0, CONFIG.vocab_size, size=10)
+        targets = rng.integers(0, CONFIG.vocab_size, size=10)
+        ref_loss, ref_grads = ReferenceModel(PARAMS).loss_and_gradients(tokens, targets)
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=num_devices, num_slices=num_slices)
+        loss, grads = runner.loss_and_gradients(tokens, targets)
+        assert loss == pytest.approx(ref_loss, rel=1e-9)
+        ref_flat = ref_grads.flatten()
+        for name, value in grads.flatten().items():
+            np.testing.assert_allclose(
+                value, ref_flat[name], rtol=1e-8, atol=1e-10, err_msg=name
+            )
+
+
+class TestRunnerValidation:
+    def test_layers_must_divide_devices(self):
+        with pytest.raises(ValueError):
+            SlimPipeNumericRunner(PARAMS, num_devices=3, num_slices=3)
+
+    def test_positive_arguments(self):
+        with pytest.raises(ValueError):
+            SlimPipeNumericRunner(PARAMS, num_devices=0, num_slices=2)
+        with pytest.raises(ValueError):
+            SlimPipeNumericRunner(PARAMS, num_devices=2, num_slices=0)
+
+    def test_token_target_shape_mismatch(self):
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=2, num_slices=2)
+        with pytest.raises(ValueError):
+            runner.loss_and_gradients(TOKENS, TARGETS[:-1])
+
+    def test_rank_3_tokens_rejected(self):
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=2, num_slices=2)
+        bad = np.zeros((2, 2, 3), dtype=int)
+        with pytest.raises(ValueError):
+            runner.loss_and_gradients(bad, bad)
+
+
+class TestRunnerTelemetry:
+    def test_kv_chunks_all_released(self):
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=4, num_slices=6)
+        runner.loss_and_gradients(TOKENS, TARGETS)
+        for state in runner.devices:
+            assert state.kv_cache.live_chunks == 0
+            assert not state.kv_grad_accumulators
+
+    def test_peak_live_chunks_equals_slices_times_local_layers(self):
+        """Each device's KV cache peaks at (layers it hosts) x (slices)."""
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=2, num_slices=4)
+        runner.loss_and_gradients(TOKENS, TARGETS)
+        layers_per_device = CONFIG.num_layers // 2
+        assert runner.telemetry.peak_live_kv_chunks == [4 * layers_per_device] * 2
+
+    def test_chunk_reuse_across_microbatches(self):
+        """The second microbatch reuses chunks freed by the first (Section 5)."""
+        rng = np.random.default_rng(3)
+        tokens = rng.integers(0, CONFIG.vocab_size, size=(2, SEQ))
+        targets = rng.integers(0, CONFIG.vocab_size, size=(2, SEQ))
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=2, num_slices=4)
+        runner.loss_and_gradients(tokens, targets)
+        assert all(f >= 0.5 for f in runner.telemetry.kv_chunk_reuse_fraction)
+
+    def test_exchange_bytes_counted_and_bounded(self):
+        """Counted exchange traffic stays within the Eq. 2 ceiling."""
+        runner = SlimPipeNumericRunner(
+            PARAMS,
+            num_devices=4,
+            num_slices=4,
+            options=SlimPipeRunnerOptions(context_exchange=True, vocab_parallel=False),
+        )
+        runner.loss_and_gradients(TOKENS, TARGETS)
+        assert runner.telemetry.exchanged_bytes > 0.0
+
+    def test_no_exchange_bytes_when_disabled(self):
+        runner = SlimPipeNumericRunner(
+            PARAMS,
+            num_devices=4,
+            num_slices=4,
+            options=SlimPipeRunnerOptions(context_exchange=False),
+        )
+        runner.loss_and_gradients(TOKENS, TARGETS)
+        assert runner.telemetry.exchanged_bytes == 0.0
+
+    def test_slice_lengths_recorded(self):
+        runner = SlimPipeNumericRunner(PARAMS, num_devices=2, num_slices=5)
+        runner.loss_and_gradients(TOKENS, TARGETS)
+        assert sum(runner.telemetry.slice_lengths) == SEQ
+        assert max(runner.telemetry.slice_lengths) - min(runner.telemetry.slice_lengths) <= 1
+
+
+class TestTraining:
+    def test_one_sgd_step_with_runner_gradients_decreases_loss(self):
+        """End-to-end: gradients from the sliced multi-device runner train the model."""
+        config = NumericModelConfig(num_layers=2, hidden_size=16, num_heads=4, num_groups=2, ffn_size=24, vocab_size=32)
+        params = ModelParams.init(config, seed=9)
+        rng = np.random.default_rng(10)
+        tokens = rng.integers(0, config.vocab_size, size=16)
+        targets = rng.integers(0, config.vocab_size, size=16)
+        runner = SlimPipeNumericRunner(params, num_devices=2, num_slices=4)
+        loss0, grads = runner.loss_and_gradients(tokens, targets)
+        lr = 0.5
+        params.embedding -= lr * grads.embedding
+        params.final_norm -= lr * grads.final_norm
+        params.output_weight -= lr * grads.output_weight
+        for layer, lg in zip(params.layers, grads.layers):
+            for name, grad in lg.as_dict().items():
+                getattr(layer, name).__isub__(lr * grad)
+        loss1, _ = runner.loss_and_gradients(tokens, targets)
+        assert loss1 < loss0

@@ -1,0 +1,138 @@
+"""Tests for the end-to-end SlimPipe planner (repro.core.planner)."""
+
+import pytest
+
+from repro.constants import GIB
+from repro.core.planner import SlimPipeOptions, SlimPipePlanner
+from repro.hardware.topology import hopper_cluster
+from repro.model.config import LLAMA_13B
+from repro.model.memory import RecomputeMode
+from repro.parallel.config import ParallelConfig, WorkloadConfig
+
+
+def make_planner(
+    pipeline=4,
+    slices=8,
+    virtual=1,
+    sequence_k=32,
+    microbatches=4,
+    options=SlimPipeOptions(),
+    tensor=8,
+):
+    seq = sequence_k * 1024
+    parallel = ParallelConfig(
+        tensor_parallel_size=tensor,
+        pipeline_parallel_size=pipeline,
+        virtual_pipeline_size=virtual,
+        num_slices=slices,
+    )
+    workload = WorkloadConfig(
+        sequence_length=seq, tokens_per_iteration=seq * microbatches
+    )
+    cluster = hopper_cluster(tensor * pipeline)
+    return SlimPipePlanner(LLAMA_13B, cluster, parallel, workload, options)
+
+
+class TestPlannerConstruction:
+    def test_defaults(self):
+        planner = make_planner()
+        assert planner.num_slices == 8
+        assert planner.num_microbatches == 4
+
+    def test_slices_default_to_pipeline_size(self):
+        planner = make_planner(slices=None)
+        assert planner.num_slices == 4
+
+    def test_invalid_model_split_rejected(self):
+        # Llama 13B has 40 layers; p=3 does not divide it.
+        with pytest.raises(ValueError):
+            make_planner(pipeline=3, slices=3, tensor=8)
+
+
+class TestPlannerRun:
+    def test_run_produces_consistent_metrics(self):
+        execution = make_planner().run()
+        assert execution.iteration_time > 0
+        assert 0.0 < execution.mfu < 1.0
+        assert 0.0 <= execution.metrics.bubble_fraction < 0.5
+        assert execution.peak_memory_bytes > 0
+        assert len(execution.memory_profiles) == 4
+        assert execution.schedule.total_passes() == len(execution.timeline.spans)
+
+    def test_memory_decreases_with_pipeline_size(self):
+        """Figure 1 / Figure 10: activation memory scales ~1/p under SlimPipe."""
+        peaks = []
+        for p in (2, 4, 8):
+            execution = make_planner(pipeline=p, slices=4 * p, microbatches=8).run()
+            activation_peak = max(
+                prof.peak_activation_bytes for prof in execution.memory_profiles
+            )
+            peaks.append(activation_peak)
+        assert peaks[0] > peaks[1] > peaks[2]
+        # Roughly inverse-proportional (within 40% of ideal halving).
+        assert peaks[0] / peaks[1] > 1.6
+        assert peaks[1] / peaks[2] > 1.6
+
+    def test_more_slices_reduce_activation_memory(self):
+        coarse = make_planner(slices=4).run()
+        fine = make_planner(slices=32).run()
+        coarse_peak = max(p.peak_activation_bytes for p in coarse.memory_profiles)
+        fine_peak = max(p.peak_activation_bytes for p in fine.memory_profiles)
+        assert fine_peak < coarse_peak
+
+    def test_context_exchange_reduces_bubble(self):
+        with_exchange = make_planner(
+            options=SlimPipeOptions(context_exchange=True)
+        ).run()
+        without = make_planner(
+            options=SlimPipeOptions(context_exchange=False)
+        ).run()
+        assert (
+            with_exchange.metrics.bubble_fraction
+            < without.metrics.bubble_fraction
+        )
+
+    def test_context_exchange_improves_mfu(self):
+        with_exchange = make_planner(options=SlimPipeOptions(context_exchange=True)).run()
+        without = make_planner(options=SlimPipeOptions(context_exchange=False)).run()
+        assert with_exchange.mfu > without.mfu
+
+    def test_vocab_parallel_reduces_last_stage_memory(self):
+        shared = make_planner(options=SlimPipeOptions(vocab_parallel=True)).run()
+        classic = make_planner(options=SlimPipeOptions(vocab_parallel=False)).run()
+        last = classic.memory_profiles[-1].peak_activation_bytes
+        last_shared = shared.memory_profiles[-1].peak_activation_bytes
+        assert last_shared < last
+
+    def test_full_recompute_trades_memory_for_time(self):
+        plain = make_planner().run()
+        recompute = make_planner(
+            options=SlimPipeOptions(recompute=RecomputeMode.FULL)
+        ).run()
+        assert recompute.iteration_time > plain.iteration_time
+        plain_act = max(p.peak_activation_bytes for p in plain.memory_profiles)
+        rec_act = max(p.peak_activation_bytes for p in recompute.memory_profiles)
+        assert rec_act < plain_act
+
+    def test_offload_reduces_resident_memory_when_requested(self):
+        base = make_planner(sequence_k=64, microbatches=2).run()
+        offloaded = make_planner(
+            sequence_k=64,
+            microbatches=2,
+            options=SlimPipeOptions(offload_ratio=0.5),
+        ).run()
+        assert offloaded.offload is not None
+        assert offloaded.offload.ratio == 0.5
+        assert offloaded.peak_memory_bytes < base.peak_memory_bytes
+
+    def test_mfu_reasonable_for_paper_scale_point(self):
+        """Llama 13B, 256K, p=4, n=16: MFU should land in a plausible 20-60% band."""
+        execution = make_planner(sequence_k=256, slices=16, microbatches=2).run()
+        assert 0.15 < execution.mfu < 0.65
+
+    def test_interleaving_reduces_activation_memory(self):
+        plain = make_planner(virtual=1, slices=8).run()
+        inter = make_planner(virtual=2, slices=8).run()
+        plain_act = max(p.peak_activation_bytes for p in plain.memory_profiles)
+        inter_act = max(p.peak_activation_bytes for p in inter.memory_profiles)
+        assert inter_act < plain_act * 1.05

@@ -1,0 +1,265 @@
+"""Tests for the training-system models (Megatron-LM, DeepSpeed, SlimPipe)."""
+
+import pytest
+
+from repro.constants import GIB
+from repro.hardware.topology import hopper_cluster
+from repro.model.config import LLAMA_13B, LLAMA_70B, MIXTRAL_8X7B
+from repro.model.memory import RecomputeMode
+from repro.parallel.config import ParallelConfig, WorkloadConfig
+from repro.systems import (
+    INFEASIBLE_NO_CONFIG,
+    INFEASIBLE_OOM,
+    AnalyticEstimator,
+    DeepSpeedSystem,
+    EstimatorSettings,
+    MegatronSystem,
+    SlimPipeSystem,
+)
+
+
+def workload(seq_k, tokens_m=4):
+    return WorkloadConfig(
+        sequence_length=seq_k * 1024, tokens_per_iteration=tokens_m * 1024 * 1024
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster128():
+    return hopper_cluster(128)
+
+
+@pytest.fixture(scope="module")
+def cluster64():
+    return hopper_cluster(64)
+
+
+class TestAnalyticEstimator:
+    def test_attention_share_grows_with_context(self, cluster128):
+        est = AnalyticEstimator(LLAMA_13B, cluster128)
+        shares = [est.attention_share(k * 1024) for k in (8, 64, 512)]
+        assert shares == sorted(shares)
+        assert shares[-1] > 0.5
+
+    def test_compute_times_positive_and_backward_larger(self, cluster128):
+        est = AnalyticEstimator(LLAMA_13B, cluster128)
+        parallel = ParallelConfig(tensor_parallel_size=8, pipeline_parallel_size=4)
+        fwd, bwd = est.microbatch_compute_seconds(parallel, 64 * 1024, RecomputeMode.NONE)
+        assert 0 < fwd < bwd
+
+    def test_full_recompute_increases_backward(self, cluster128):
+        est = AnalyticEstimator(LLAMA_13B, cluster128)
+        parallel = ParallelConfig(tensor_parallel_size=8, pipeline_parallel_size=4)
+        _, none_bwd = est.microbatch_compute_seconds(parallel, 64 * 1024, RecomputeMode.NONE)
+        _, full_bwd = est.microbatch_compute_seconds(parallel, 64 * 1024, RecomputeMode.FULL)
+        _, sel_bwd = est.microbatch_compute_seconds(parallel, 64 * 1024, RecomputeMode.SELECTIVE)
+        assert none_bwd < sel_bwd < full_bwd
+
+    def test_more_passes_cost_more_overhead(self, cluster128):
+        est = AnalyticEstimator(LLAMA_13B, cluster128)
+        parallel = ParallelConfig(tensor_parallel_size=8, pipeline_parallel_size=4)
+        one_f, _ = est.microbatch_compute_seconds(
+            parallel, 64 * 1024, RecomputeMode.NONE, passes_per_microbatch=1
+        )
+        many_f, _ = est.microbatch_compute_seconds(
+            parallel, 64 * 1024, RecomputeMode.NONE, passes_per_microbatch=64
+        )
+        assert many_f > one_f
+
+    def test_comm_terms_zero_for_trivial_groups(self, cluster128):
+        est = AnalyticEstimator(LLAMA_13B, cluster128)
+        parallel = ParallelConfig()
+        assert est.tp_comm_seconds_per_microbatch(parallel, 65536) == 0.0
+        assert est.cp_comm_seconds_per_microbatch(parallel, 65536) == 0.0
+        assert est.ep_comm_seconds_per_microbatch(parallel, 65536) == 0.0
+        assert est.pp_comm_seconds_per_microbatch(parallel, 65536) == 0.0
+        assert est.dp_sync_seconds(parallel) == 0.0
+        assert est.ulysses_comm_seconds_per_microbatch(1, 65536) == 0.0
+        assert est.zero3_param_traffic_seconds(1) == 0.0
+
+    def test_comm_terms_positive_for_nontrivial_groups(self, cluster128):
+        est = AnalyticEstimator(LLAMA_70B, cluster128)
+        parallel = ParallelConfig(
+            tensor_parallel_size=8,
+            context_parallel_size=2,
+            data_parallel_size=2,
+            pipeline_parallel_size=4,
+        )
+        assert est.tp_comm_seconds_per_microbatch(parallel, 65536) > 0
+        assert est.cp_comm_seconds_per_microbatch(parallel, 65536) > 0
+        assert est.pp_comm_seconds_per_microbatch(parallel, 65536) > 0
+        assert est.dp_sync_seconds(parallel) > 0
+
+    def test_ep_comm_only_for_moe(self, cluster128):
+        dense = AnalyticEstimator(LLAMA_70B, cluster128)
+        moe = AnalyticEstimator(MIXTRAL_8X7B, cluster128)
+        parallel = ParallelConfig(
+            tensor_parallel_size=1, data_parallel_size=16, expert_parallel_size=8,
+            pipeline_parallel_size=8,
+        )
+        assert dense.ep_comm_seconds_per_microbatch(parallel, 65536) == 0.0
+        assert moe.ep_comm_seconds_per_microbatch(parallel, 65536) > 0.0
+
+    def test_activation_bytes_match_paper_example(self, cluster128):
+        """Section 3: Llama 70B, 1M context, full recompute, t=8 -> 160 GiB."""
+        est = AnalyticEstimator(LLAMA_70B, cluster128)
+        parallel = ParallelConfig(tensor_parallel_size=8)
+        bytes_total = est.microbatch_activation_bytes(
+            parallel, 1024 * 1024, RecomputeMode.FULL
+        )
+        assert bytes_total / GIB == pytest.approx(160.0, rel=0.01)
+
+    def test_usable_memory_below_capacity(self, cluster128):
+        est = AnalyticEstimator(LLAMA_13B, cluster128)
+        assert est.usable_memory_bytes() < cluster128.gpu.memory_bytes
+
+
+class TestMegatronSystem:
+    def test_finds_feasible_config_at_64k(self, cluster128):
+        est = MegatronSystem().best_configuration(LLAMA_70B, cluster128, workload(64))
+        assert est.feasible
+        assert 0.2 < est.mfu < 0.6
+        assert est.peak_memory_bytes < cluster128.gpu.memory_bytes
+
+    def test_oom_at_very_long_context(self, cluster128):
+        est = MegatronSystem().best_configuration(LLAMA_70B, cluster128, workload(512))
+        assert not est.feasible
+        assert est.reason == INFEASIBLE_OOM
+
+    def test_recompute_escalates_with_context(self, cluster128):
+        short = MegatronSystem().best_configuration(LLAMA_13B, cluster128, workload(32))
+        long = MegatronSystem().best_configuration(LLAMA_13B, cluster128, workload(256))
+        assert short.feasible and long.feasible
+        ladder = [RecomputeMode.NONE, RecomputeMode.SELECTIVE, RecomputeMode.FULL]
+        assert ladder.index(long.recompute) >= ladder.index(short.recompute)
+
+    def test_describe_mentions_system(self, cluster128):
+        est = MegatronSystem().best_configuration(LLAMA_13B, cluster128, workload(64))
+        assert "megatron-lm" in est.describe()
+
+    def test_evaluate_single_config(self, cluster64):
+        system = MegatronSystem()
+        parallel = ParallelConfig(
+            tensor_parallel_size=8, pipeline_parallel_size=4, data_parallel_size=2
+        )
+        est = system.evaluate(LLAMA_13B, cluster64, workload(64), parallel)
+        assert est.feasible
+        assert est.num_microbatches == workload(64).num_microbatches(parallel)
+
+
+class TestDeepSpeedSystem:
+    def test_feasible_at_moderate_context(self, cluster128):
+        est = DeepSpeedSystem().best_configuration(LLAMA_70B, cluster128, workload(64))
+        assert est.feasible
+        assert est.parallel.pipeline_parallel_size == 1
+        assert est.parallel.tensor_parallel_size == 1
+
+    def test_ulysses_capped_by_query_groups(self, cluster128):
+        for cfg in DeepSpeedSystem().candidate_configs(LLAMA_70B, cluster128, workload(64)):
+            assert cfg.context_parallel_size <= LLAMA_70B.kv_groups
+
+    def test_no_configuration_when_batch_too_small(self, cluster128):
+        """512K context -> 8 sequences < minimum DP of 16: the Figure 12 failure."""
+        est = DeepSpeedSystem().best_configuration(LLAMA_70B, cluster128, workload(512))
+        assert not est.feasible
+        assert est.reason == INFEASIBLE_NO_CONFIG
+
+    def test_zero_bubbles(self, cluster128):
+        est = DeepSpeedSystem().best_configuration(LLAMA_13B, cluster128, workload(64))
+        assert est.feasible
+        assert est.bubble_fraction == 0.0
+
+
+class TestSlimPipeSystem:
+    def test_feasible_and_fastest_at_long_context(self, cluster128):
+        wl = workload(256)
+        slim = SlimPipeSystem().best_configuration(LLAMA_70B, cluster128, wl)
+        megatron = MegatronSystem().best_configuration(LLAMA_70B, cluster128, wl)
+        assert slim.feasible
+        assert slim.mfu > megatron.mfu
+
+    def test_speedup_grows_with_context_length(self, cluster128):
+        """Figure 12's headline trend: SlimPipe's advantage widens with context."""
+        ratios = []
+        for seq_k in (64, 256):
+            slim = SlimPipeSystem().best_configuration(LLAMA_70B, cluster128, workload(seq_k))
+            base = MegatronSystem().best_configuration(LLAMA_70B, cluster128, workload(seq_k))
+            assert slim.feasible and base.feasible
+            ratios.append(slim.mfu / base.mfu)
+        assert ratios[1] > ratios[0]
+
+    def test_survives_contexts_where_baselines_fail(self, cluster128):
+        wl = workload(512)
+        slim = SlimPipeSystem().best_configuration(LLAMA_70B, cluster128, wl)
+        megatron = MegatronSystem().best_configuration(LLAMA_70B, cluster128, wl)
+        deepspeed = DeepSpeedSystem().best_configuration(LLAMA_70B, cluster128, wl)
+        assert slim.feasible
+        assert not megatron.feasible
+        assert not deepspeed.feasible
+
+    def test_avoids_full_recompute_longer_than_megatron(self, cluster128):
+        """The memory-thrift pays as avoided recomputation (Section 6.4)."""
+        wl = workload(256)
+        slim = SlimPipeSystem().best_configuration(LLAMA_70B, cluster128, wl)
+        base = MegatronSystem().best_configuration(LLAMA_70B, cluster128, wl)
+        ladder = [RecomputeMode.NONE, RecomputeMode.SELECTIVE, RecomputeMode.FULL]
+        assert ladder.index(slim.recompute) <= ladder.index(base.recompute)
+
+    def test_works_with_tiny_microbatch_count(self, cluster128):
+        """SlimPipe keeps working with as few as 2 microbatches (Section 6.4)."""
+        system = SlimPipeSystem()
+        parallel = ParallelConfig(
+            tensor_parallel_size=8,
+            pipeline_parallel_size=16,
+            data_parallel_size=1,
+            num_slices=32,
+        )
+        wl = workload(256, tokens_m=1)  # 4 sequences -> m=4
+        est = system.evaluate(LLAMA_70B, cluster128, wl, parallel)
+        assert est.feasible
+        assert est.bubble_fraction < 0.1
+
+    def test_offload_extends_reachable_context(self):
+        """Table 4: with offloading SlimPipe reaches contexts it otherwise cannot."""
+        cluster = hopper_cluster(256)
+        wl = WorkloadConfig(
+            sequence_length=2048 * 1024, tokens_per_iteration=16 * 1024 * 1024
+        )
+        without = SlimPipeSystem(allow_offload=False).best_configuration(
+            LLAMA_70B, cluster, wl
+        )
+        with_offload = SlimPipeSystem(allow_offload=True).best_configuration(
+            LLAMA_70B, cluster, wl
+        )
+        assert with_offload.feasible
+        assert with_offload.mfu > 0.2
+        if without.feasible:
+            assert without.mfu <= with_offload.mfu + 0.05
+
+    def test_context_exchange_ablation_reduces_mfu_when_disabled(self, cluster128):
+        wl = workload(256)
+        on = SlimPipeSystem(context_exchange=True).best_configuration(
+            LLAMA_13B, cluster128, wl
+        )
+        off = SlimPipeSystem(context_exchange=False).best_configuration(
+            LLAMA_13B, cluster128, wl
+        )
+        assert on.feasible and off.feasible
+        assert on.mfu > off.mfu
+
+    def test_moe_model_supported(self, cluster128):
+        est = SlimPipeSystem().best_configuration(MIXTRAL_8X7B, cluster128, workload(128))
+        assert est.feasible
+        assert est.parallel.expert_parallel_size >= 1
+
+    def test_slimpipe_memory_below_megatron(self, cluster64):
+        wl = workload(64)
+        parallel = ParallelConfig(
+            tensor_parallel_size=8, pipeline_parallel_size=8, num_slices=16
+        )
+        slim = SlimPipeSystem().evaluate(LLAMA_13B, cluster64, wl, parallel)
+        base_parallel = ParallelConfig(tensor_parallel_size=8, pipeline_parallel_size=8)
+        base = MegatronSystem().evaluate(LLAMA_13B, cluster64, wl, base_parallel)
+        assert slim.feasible and base.feasible
+        if slim.recompute == base.recompute:
+            assert slim.peak_memory_bytes < base.peak_memory_bytes

@@ -1,0 +1,68 @@
+"""Tests for timeline export (Chrome trace JSON, utilisation summaries)."""
+
+import json
+
+import pytest
+
+from repro.core.schedule import build_slimpipe_schedule
+from repro.sim.engine import SimulationEngine, UniformCostProvider
+from repro.sim.trace import to_chrome_trace, utilization_summary, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    schedule = build_slimpipe_schedule(4, 2, 8)
+    return SimulationEngine(schedule, UniformCostProvider(comm=0.01)).run()
+
+
+class TestChromeTrace:
+    def test_one_event_per_pass_plus_metadata(self, timeline):
+        trace = to_chrome_trace(timeline)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == len(timeline.spans)
+        assert len(metadata) == timeline.num_devices
+
+    def test_events_carry_positions_and_durations(self, timeline):
+        trace = to_chrome_trace(timeline, time_unit_us=1e3)
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        for event in events:
+            assert event["dur"] > 0
+            assert event["ts"] >= 0
+            assert event["tid"] < timeline.num_devices
+            assert "slice" in event["args"]
+
+    def test_names_mention_kind_and_slice(self, timeline):
+        trace = to_chrome_trace(timeline)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert any(name.startswith("forward") and "slice" in name for name in names)
+        assert any(name.startswith("backward") for name in names)
+
+    def test_invalid_time_unit(self, timeline):
+        with pytest.raises(ValueError):
+            to_chrome_trace(timeline, time_unit_us=0)
+
+    def test_write_round_trips_through_json(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        returned = write_chrome_trace(timeline, str(path))
+        assert returned == str(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == len(to_chrome_trace(timeline)["traceEvents"])
+
+
+class TestUtilizationSummary:
+    def test_per_device_rows(self, timeline):
+        summary = utilization_summary(timeline)
+        assert len(summary) == timeline.num_devices
+        for row in summary:
+            assert 0.0 < row["utilization"] <= 1.0
+            assert row["busy_seconds"] + row["idle_seconds"] == pytest.approx(
+                timeline.makespan
+            )
+            assert row["passes"] > 0
+
+    def test_matches_timeline_bubble_fraction(self, timeline):
+        summary = utilization_summary(timeline)
+        mean_utilization = sum(r["utilization"] for r in summary) / len(summary)
+        assert 1.0 - mean_utilization == pytest.approx(timeline.bubble_fraction(), abs=1e-9)

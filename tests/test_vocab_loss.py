@@ -1,0 +1,132 @@
+"""Tests for the vocabulary-parallel sharded cross-entropy (Section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.functional import (
+    cross_entropy_backward,
+    cross_entropy_forward,
+    linear_backward,
+    linear_forward,
+)
+from repro.numerics.vocab_loss import (
+    shard_vocab_weights,
+    sharded_cross_entropy_backward,
+    sharded_cross_entropy_forward,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def reference_loss_and_grads(hidden, weight, targets):
+    """Unsharded ground truth: full logits + ordinary cross-entropy."""
+    logits, lin_cache = linear_forward(hidden, weight)
+    loss, ce_cache = cross_entropy_forward(logits, targets)
+    dlogits = cross_entropy_backward(1.0, ce_cache)
+    dhidden, dweight, _ = linear_backward(dlogits, lin_cache)
+    return loss, dhidden, dweight
+
+
+class TestShardVocabWeights:
+    def test_shards_partition_columns(self):
+        weight = RNG.standard_normal((6, 12))
+        shards = shard_vocab_weights(weight, 4)
+        assert len(shards) == 4
+        assert [s.vocab_start for s in shards] == [0, 3, 6, 9]
+        np.testing.assert_allclose(np.hstack([s.weight for s in shards]), weight)
+
+    def test_single_shard(self):
+        weight = RNG.standard_normal((4, 8))
+        shards = shard_vocab_weights(weight, 1)
+        assert len(shards) == 1
+        assert shards[0].vocab_stop == 8
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            shard_vocab_weights(RNG.standard_normal((4, 10)), 3)
+        with pytest.raises(ValueError):
+            shard_vocab_weights(RNG.standard_normal((4, 10)), 0)
+
+
+class TestShardedCrossEntropy:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_loss_matches_unsharded(self, num_shards):
+        hidden = RNG.standard_normal((10, 6))
+        weight = RNG.standard_normal((6, 16))
+        targets = RNG.integers(0, 16, size=10)
+        ref_loss, _, _ = reference_loss_and_grads(hidden, weight, targets)
+        shards = shard_vocab_weights(weight, num_shards)
+        loss, _ = sharded_cross_entropy_forward(hidden, shards, targets)
+        assert loss == pytest.approx(ref_loss, rel=1e-12)
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_gradients_match_unsharded(self, num_shards):
+        hidden = RNG.standard_normal((7, 5))
+        weight = RNG.standard_normal((5, 12))
+        targets = RNG.integers(0, 12, size=7)
+        _, ref_dhidden, ref_dweight = reference_loss_and_grads(hidden, weight, targets)
+
+        shards = shard_vocab_weights(weight, num_shards)
+        _, cache = sharded_cross_entropy_forward(hidden, shards, targets)
+        dhidden, dweights = sharded_cross_entropy_backward(1.0, cache)
+        np.testing.assert_allclose(dhidden, ref_dhidden, rtol=1e-10, atol=1e-14)
+        np.testing.assert_allclose(np.hstack(dweights), ref_dweight, rtol=1e-10, atol=1e-14)
+
+    def test_custom_normalizer(self):
+        hidden = RNG.standard_normal((4, 5))
+        weight = RNG.standard_normal((5, 8))
+        targets = RNG.integers(0, 8, size=4)
+        shards = shard_vocab_weights(weight, 2)
+        loss_mean, _ = sharded_cross_entropy_forward(hidden, shards, targets)
+        loss_norm, _ = sharded_cross_entropy_forward(hidden, shards, targets, normalizer=8)
+        assert loss_norm == pytest.approx(loss_mean / 2)
+
+    def test_slicewise_losses_sum_to_full(self):
+        """Per-slice sharded losses with a shared normalizer add up exactly."""
+        hidden = RNG.standard_normal((9, 4))
+        weight = RNG.standard_normal((4, 8))
+        targets = RNG.integers(0, 8, size=9)
+        shards = shard_vocab_weights(weight, 2)
+        full, _ = sharded_cross_entropy_forward(hidden, shards, targets)
+        parts = sum(
+            sharded_cross_entropy_forward(
+                hidden[i : i + 3], shards, targets[i : i + 3], normalizer=9
+            )[0]
+            for i in range(0, 9, 3)
+        )
+        assert parts == pytest.approx(full, rel=1e-12)
+
+    def test_validation(self):
+        hidden = RNG.standard_normal((4, 5))
+        weight = RNG.standard_normal((5, 8))
+        shards = shard_vocab_weights(weight, 2)
+        with pytest.raises(ValueError):
+            sharded_cross_entropy_forward(hidden, shards, np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            sharded_cross_entropy_forward(hidden, [], np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            sharded_cross_entropy_forward(
+                hidden, shards, np.zeros(4, dtype=int), normalizer=-1
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tokens=st.integers(min_value=1, max_value=12),
+        log2_shards=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_sharded_equals_unsharded(self, tokens, log2_shards, seed):
+        rng = np.random.default_rng(seed)
+        vocab, hidden_size = 16, 6
+        hidden = rng.standard_normal((tokens, hidden_size))
+        weight = rng.standard_normal((hidden_size, vocab))
+        targets = rng.integers(0, vocab, size=tokens)
+        ref_loss, ref_dh, ref_dw = reference_loss_and_grads(hidden, weight, targets)
+        shards = shard_vocab_weights(weight, 2**log2_shards)
+        loss, cache = sharded_cross_entropy_forward(hidden, shards, targets)
+        dh, dws = sharded_cross_entropy_backward(1.0, cache)
+        assert loss == pytest.approx(ref_loss, rel=1e-10)
+        np.testing.assert_allclose(dh, ref_dh, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(np.hstack(dws), ref_dw, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,142 @@
+"""Tests for vocabulary parallelism accounting (Section 4.3, Figure 9)."""
+
+import pytest
+
+from repro.core.vocab_parallel import VocabParallelConfig, output_layer_costs
+from repro.hardware.comm import CommModel
+from repro.hardware.topology import hopper_cluster
+from repro.model.config import LLAMA_13B
+from repro.model.costs import CostModel, PassKind
+
+
+@pytest.fixture()
+def cluster():
+    return hopper_cluster(32)
+
+
+@pytest.fixture()
+def comm(cluster):
+    return CommModel(cluster)
+
+
+@pytest.fixture()
+def cost_model(cluster):
+    return CostModel(cluster.gpu)
+
+
+class TestVocabParallelConfig:
+    def test_shards(self):
+        assert VocabParallelConfig(True, 8).vocab_shards == 8
+        assert VocabParallelConfig(False, 8).vocab_shards == 1
+
+    def test_devices_holding_output(self):
+        assert VocabParallelConfig(True, 8).devices_holding_output() == 8
+        assert VocabParallelConfig(False, 8).devices_holding_output() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VocabParallelConfig(True, 0)
+        with pytest.raises(ValueError):
+            VocabParallelConfig(True, 4, tensor_parallel_size=0)
+
+
+class TestOutputLayerCosts:
+    def test_compute_divided_by_pipeline_size(self, cost_model, comm, cluster):
+        tokens = 8192
+        classic = output_layer_costs(
+            LLAMA_13B, tokens, VocabParallelConfig(False, 8), cost_model
+        )
+        domain = comm.pipeline_domain(8, 8)
+        parallel = output_layer_costs(
+            LLAMA_13B,
+            tokens,
+            VocabParallelConfig(True, 8),
+            cost_model,
+            comm_model=comm,
+            pipeline_domain=domain,
+        )
+        # The GEMM shrinks ~8x (modulo fixed launch overhead).
+        assert parallel.compute_seconds < classic.compute_seconds / 4
+        assert parallel.participating_devices == 8
+        assert classic.participating_devices == 1
+
+    def test_logits_memory_divided_by_pipeline_size(self, cost_model, comm):
+        tokens = 65536
+        classic = output_layer_costs(
+            LLAMA_13B, tokens, VocabParallelConfig(False, 8), cost_model
+        )
+        domain = comm.pipeline_domain(8, 8)
+        parallel = output_layer_costs(
+            LLAMA_13B,
+            tokens,
+            VocabParallelConfig(True, 8),
+            cost_model,
+            comm_model=comm,
+            pipeline_domain=domain,
+        )
+        assert parallel.logits_bytes == pytest.approx(classic.logits_bytes / 8)
+
+    def test_classic_has_no_communication(self, cost_model):
+        costs = output_layer_costs(
+            LLAMA_13B, 4096, VocabParallelConfig(False, 8), cost_model
+        )
+        assert costs.communication_seconds == 0.0
+
+    def test_parallel_requires_comm_model(self, cost_model):
+        with pytest.raises(ValueError, match="communication model"):
+            output_layer_costs(
+                LLAMA_13B, 4096, VocabParallelConfig(True, 8), cost_model
+            )
+
+    def test_parallel_communication_small_relative_to_classic_gemm(
+        self, cost_model, comm
+    ):
+        """The broadcast + scalar sync must be far cheaper than the GEMM it removes."""
+        tokens = 32768
+        domain = comm.pipeline_domain(8, 8)
+        classic = output_layer_costs(
+            LLAMA_13B, tokens, VocabParallelConfig(False, 8), cost_model
+        )
+        parallel = output_layer_costs(
+            LLAMA_13B,
+            tokens,
+            VocabParallelConfig(True, 8),
+            cost_model,
+            comm_model=comm,
+            pipeline_domain=domain,
+        )
+        assert parallel.total_seconds < classic.total_seconds
+
+    def test_zero_tokens(self, cost_model):
+        costs = output_layer_costs(
+            LLAMA_13B, 0, VocabParallelConfig(False, 8), cost_model
+        )
+        assert costs.compute_seconds == 0.0
+        assert costs.logits_bytes == 0.0
+
+    def test_negative_tokens_rejected(self, cost_model):
+        with pytest.raises(ValueError):
+            output_layer_costs(
+                LLAMA_13B, -1, VocabParallelConfig(False, 8), cost_model
+            )
+
+    def test_paper_logits_example(self, cost_model):
+        """Section 4.3.1: 256K tokens x 128000 vocab fp32 under 8-way TP ~ 16 GiB."""
+        tokens = 256 * 1024
+        classic = output_layer_costs(
+            LLAMA_13B,
+            tokens,
+            VocabParallelConfig(False, 8, tensor_parallel_size=8),
+            cost_model,
+        )
+        gib = classic.logits_bytes / 1024**3
+        assert gib == pytest.approx(15.625, rel=0.01)
+
+    def test_backward_kind_costs_more_than_forward(self, cost_model):
+        fwd = output_layer_costs(
+            LLAMA_13B, 8192, VocabParallelConfig(False, 8), cost_model, kind=PassKind.FORWARD
+        )
+        bwd = output_layer_costs(
+            LLAMA_13B, 8192, VocabParallelConfig(False, 8), cost_model, kind=PassKind.BACKWARD
+        )
+        assert bwd.compute_seconds > fwd.compute_seconds
