@@ -1,0 +1,41 @@
+"""Serving-simulator throughput: iterations simulated per wall-clock second.
+
+The serving engine is a pure-Python discrete-event loop, so its cost is
+iterations x running-batch size.  This benchmark times the ``chat`` scenario
+end to end (about four thousand engine iterations) and sanity-checks the
+simulated metrics: every request finishes, token accounting balances, and
+the colocated deployment sustains the offered load.
+"""
+
+from repro.serving import get_scenario, run_scenario
+
+
+def test_serving_chat_throughput(once):
+    scenario = get_scenario("chat")
+    result = once(run_scenario, scenario, "colocated", seed=0)
+    print()
+    print(result.metrics.to_text(title="chat | colocated (benchmark)"))
+
+    metrics = result.metrics
+    assert metrics.num_requests == len(scenario.make_trace(0))
+    assert result.token_accounting_balanced
+    # The deployment keeps up with the offered load: every request meets the
+    # chat SLO and the engine sustains hundreds of output tokens per second.
+    assert metrics.goodput_fraction > 0.95
+    assert metrics.output_tokens_per_second > 100
+    assert result.iterations > 0
+
+
+def test_serving_disaggregation_tail_latency(once):
+    scenario = get_scenario("bursty-long")
+
+    def both():
+        colocated = run_scenario(scenario, "colocated", seed=0)
+        disaggregated = run_scenario(scenario, "disaggregated", seed=0)
+        return colocated, disaggregated
+
+    colocated, disaggregated = once(both)
+    print()
+    print(f"colocated     p99 TTFT: {colocated.metrics.ttft_p99:8.2f} s")
+    print(f"disaggregated p99 TTFT: {disaggregated.metrics.ttft_p99:8.2f} s")
+    assert disaggregated.metrics.ttft_p99 < colocated.metrics.ttft_p99

@@ -1,0 +1,37 @@
+"""Serve long-context traffic: colocated vs prefill/decode disaggregation.
+
+Simulates the ``bursty-long`` scenario — thundering herds of 16K-token
+prompts over steady chat decode traffic — under both deployments of the
+serving simulator and prints the metric tables side by side.  The colocated
+engine must throttle chunked prefill to protect the TPOT of running decodes,
+which is exactly what inflates its tail TTFT during bursts; the
+disaggregated prefill pool has no decodes to protect and keeps its tail
+TTFT flat, at the price of a slower (smaller) decode pool.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_long_context.py
+"""
+
+from repro.serving import get_scenario, run_scenario
+
+
+def main() -> None:
+    scenario = get_scenario("bursty-long")
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    print(f"model {scenario.model}, {scenario.num_gpus} GPUs, "
+          f"SLO: TTFT<={scenario.slo.ttft:g}s TPOT<={scenario.slo.tpot * 1e3:g}ms\n")
+    results = {}
+    for mode in ("colocated", "disaggregated"):
+        result = run_scenario(scenario, mode, seed=0)
+        results[mode] = result
+        print(result.metrics.to_text(title=f"{scenario.name} | {mode}"))
+    ratio = (
+        results["colocated"].metrics.ttft_p99
+        / results["disaggregated"].metrics.ttft_p99
+    )
+    print(f"disaggregation lowers p99 TTFT by {ratio:.1f}x on this workload")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,14 +16,27 @@ substrates:
 
 plus the **system models** (``repro.systems``) and the **analysis layer**
 (``repro.analysis``) that regenerate every table and figure of the paper's
-evaluation.  See README.md for a tour and DESIGN.md for the experiment index.
+evaluation, and the **serving simulator** (``repro.serving``): the
+inference-side dual of the training stack — continuous batching with chunked
+prefill, a paged KV-cache allocator built on the Section 5 chunked cache,
+prefill/decode disaggregation with comm-priced KV hand-off, and
+TTFT/TPOT/goodput metrics over a registry of named scenarios (see the
+``serve`` CLI subcommand).  See README.md for a tour and DESIGN.md for the
+experiment index.
 """
 
-from . import analysis, core, hardware, model, numerics, parallel, schedules, sim, systems
+from . import analysis, core, hardware, model, numerics, parallel, schedules, serving, sim, systems
 from .core import SlimPipeOptions, SlimPipePlanner, build_slimpipe_schedule
 from .hardware import HOPPER_80GB, ClusterTopology, hopper_cluster
 from .model import MODEL_REGISTRY, ModelConfig, get_model_config
 from .parallel import ParallelConfig, WorkloadConfig
+from .serving import (
+    DisaggregatedEngine,
+    ServingEngine,
+    ServingScenario,
+    get_scenario,
+    run_scenario,
+)
 from .systems import DeepSpeedSystem, MegatronSystem, SlimPipeSystem
 
 __version__ = "1.0.0"
@@ -37,6 +50,7 @@ __all__ = [
     "numerics",
     "parallel",
     "schedules",
+    "serving",
     "sim",
     "systems",
     "ModelConfig",
@@ -53,4 +67,9 @@ __all__ = [
     "SlimPipeSystem",
     "MegatronSystem",
     "DeepSpeedSystem",
+    "ServingEngine",
+    "DisaggregatedEngine",
+    "ServingScenario",
+    "get_scenario",
+    "run_scenario",
 ]

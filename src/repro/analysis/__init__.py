@@ -14,10 +14,22 @@ from ..schedules.formulas import (
 )
 from . import figures, report, tables
 
+
+def __getattr__(name):
+    # Imported lazily: analysis.serving drives repro.serving, whose metrics
+    # render through analysis.report — an eager import here would be cyclic.
+    if name == "serving":
+        from . import serving
+
+        return serving
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "figures",
     "tables",
     "report",
+    "serving",
     "activation_memory_factor",
     "bubble_fraction_estimate",
     "slimpipe_accumulated_activation_factor",

@@ -1,0 +1,88 @@
+"""Serving comparison table: colocated vs disaggregated across scenarios.
+
+The serving analogue of the scheme-comparison tables: every registered
+scenario is simulated under both deployments and the SLO-relevant headline
+numbers are tabulated side by side.  The table makes the
+prefill/decode-disaggregation tradeoff visible in one place — lower tail
+TTFT (the prefill pool is never throttled to protect decode latency) bought
+with higher TPOT (the decode pool is a fraction of the fleet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..serving.metrics import ServingMetrics
+from ..serving.scenarios import SCENARIO_REGISTRY, get_scenario, run_scenario
+from .report import format_percent, render_table
+
+__all__ = ["ServingComparisonRow", "ServingComparisonResult", "serving_comparison"]
+
+
+@dataclass(frozen=True)
+class ServingComparisonRow:
+    scenario: str
+    mode: str
+    model: str
+    num_gpus: int
+    metrics: ServingMetrics
+    preemptions: int
+
+
+@dataclass
+class ServingComparisonResult:
+    seed: int
+    rows: List[ServingComparisonRow] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        return render_table(
+            [
+                "scenario",
+                "mode",
+                "TTFT p50",
+                "TTFT p99",
+                "TPOT p50",
+                "goodput",
+                "KV util",
+                "preempt",
+            ],
+            [
+                (
+                    row.scenario,
+                    row.mode,
+                    f"{row.metrics.ttft_p50:.2f} s",
+                    f"{row.metrics.ttft_p99:.2f} s",
+                    f"{row.metrics.tpot_p50 * 1e3:.1f} ms",
+                    format_percent(row.metrics.goodput_fraction),
+                    format_percent(row.metrics.kv_utilization_mean),
+                    row.preemptions,
+                )
+                for row in self.rows
+            ],
+            title=f"Serving — colocated vs disaggregated (seed {self.seed})",
+        )
+
+
+def serving_comparison(
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ServingComparisonResult:
+    """Simulate every (scenario, deployment) pair and tabulate the results."""
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIO_REGISTRY)
+    result = ServingComparisonResult(seed=seed)
+    for name in names:
+        scenario = get_scenario(name)
+        for mode in ("colocated", "disaggregated"):
+            run = run_scenario(scenario, mode, seed=seed)
+            result.rows.append(
+                ServingComparisonRow(
+                    scenario=name,
+                    mode=mode,
+                    model=scenario.model,
+                    num_gpus=scenario.num_gpus,
+                    metrics=run.metrics,
+                    preemptions=run.preemptions,
+                )
+            )
+    return result

@@ -1,6 +1,6 @@
 """Command-line interface for the SlimPipe reproduction.
 
-Three subcommands cover the library's main workflows without writing Python:
+Four subcommands cover the library's main workflows without writing Python:
 
 ``plan``
     Grid-search the best hybrid-parallelism configuration of each training
@@ -12,23 +12,33 @@ Three subcommands cover the library's main workflows without writing Python:
     the per-device memory profile and an ASCII timeline; optionally export a
     Chrome trace.
 
+``serve``
+    Simulate an inference deployment (``repro.serving``) on a named scenario:
+    continuous batching with chunked prefill and a paged KV cache, either
+    colocated or prefill/decode-disaggregated, printing TTFT/TPOT
+    percentiles, goodput under SLO and KV-cache utilization; optionally
+    export the iteration timeline as a Chrome trace or compare both
+    deployments side by side.
+
 ``experiments``
     Regenerate a chosen paper experiment's data table (Figures 1-3, 6-14 and
-    Tables 2-4) directly from the analysis layer.
+    Tables 2-4) or the serving comparison, directly from the analysis layer.
 
-Run ``python -m repro.cli --help`` (or any subcommand with ``--help``) for the
-full set of options.
+Unknown model, experiment or scenario names exit with status 2 and the list
+of valid names.  Run ``python -m repro.cli --help`` (or any subcommand with
+``--help``) for the full set of options.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis import figures, tables
 from .analysis.report import format_bytes, format_percent, render_table
-from .constants import tokens_from_k
+from .constants import UnknownNameError, tokens_from_k
 from .core.planner import SlimPipeOptions, SlimPipePlanner
 from .hardware.topology import hopper_cluster
 from .model.config import MODEL_REGISTRY, get_model_config
@@ -142,10 +152,84 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+def _serving_result_text(result, title: str) -> str:
+    text = result.metrics.to_text(title=title)
+    text += (
+        f"iterations={result.iterations}  "
+        f"kv-capacity={result.kv_capacity_tokens} tokens  "
+        f"tokens admitted/prefilled/requeued="
+        f"{result.tokens_admitted}/{result.tokens_prefilled}/"
+        f"{result.tokens_preempted_requeued}\n"
+    )
+    return text
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import SCENARIO_REGISTRY, get_scenario, run_scenario
+
+    if args.list:
+        print("available scenarios:", ", ".join(sorted(SCENARIO_REGISTRY)))
+        return 0
+    try:
+        return _run_serve(args, get_scenario, run_scenario)
+    except ValueError as error:
+        # Infeasible deployments (model does not fit the GPU count, request
+        # exceeds the pool's KV capacity, bad GPU count) are user input
+        # errors here, not bugs — report them cleanly.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
+    scenario = get_scenario(args.scenario)
+    model_name = args.model or scenario.model
+    get_model_config(model_name)  # fail fast with the list of valid names
+    if args.compare:
+        modes = ("colocated", "disaggregated")
+    elif args.disaggregated:
+        modes = ("disaggregated",)
+    else:
+        modes = ("colocated",)
+    for mode in modes:
+        result = run_scenario(
+            scenario,
+            mode,
+            model=model_name,
+            num_gpus=args.gpus,
+            seed=args.seed,
+            policy=args.policy,
+        )
+        print(
+            _serving_result_text(
+                result,
+                title=(
+                    f"{scenario.name} | {model_name} | "
+                    f"{args.gpus or scenario.num_gpus} GPUs | {mode} | seed {args.seed}"
+                ),
+            )
+        )
+        if args.trace:
+            path = args.trace
+            if len(modes) > 1:
+                root, ext = os.path.splitext(path)
+                path = f"{root}.{mode}{ext}"
+            print(f"Chrome trace written to {write_chrome_trace(result.timeline, path)}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # experiments
 # ---------------------------------------------------------------------------
 def _experiment_registry() -> Dict[str, Callable[[], str]]:
+    def _serving_comparison() -> str:
+        from .analysis.serving import serving_comparison
+
+        return serving_comparison(scenarios=("chat", "bursty-long")).to_text()
+
     return {
+        "serving": _serving_comparison,
         "fig1": lambda: figures.figure1_memory_footprint().to_text(),
         "fig2": lambda: figures.figure2_max_context().to_text(),
         "fig3": lambda: figures.figure3_bubble_fractions().to_text(),
@@ -222,6 +306,31 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
     schedule.set_defaults(handler=_cmd_schedule)
 
+    serve = subparsers.add_parser(
+        "serve", help="simulate an inference serving deployment on a scenario"
+    )
+    serve.add_argument("--scenario", default="chat", help="scenario name (see --list)")
+    serve.add_argument("--model", default=None, help="override the scenario's model")
+    serve.add_argument("--gpus", type=int, default=None, help="override the scenario's GPU count")
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument(
+        "--policy", choices=("fcfs", "priority"), default=None, help="admission policy"
+    )
+    deployment = serve.add_mutually_exclusive_group()
+    deployment.add_argument(
+        "--disaggregated",
+        action="store_true",
+        help="simulate the prefill/decode-disaggregated deployment",
+    )
+    deployment.add_argument(
+        "--compare",
+        action="store_true",
+        help="simulate both deployments and print both metric tables",
+    )
+    serve.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+    serve.add_argument("--list", action="store_true", help="list available scenarios")
+    serve.set_defaults(handler=_cmd_serve)
+
     experiments = subparsers.add_parser(
         "experiments", help="regenerate paper experiment tables"
     )
@@ -232,10 +341,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point (also exposed as the ``slimpipe-repro`` console script)."""
+    """Entry point (also exposed as the ``slimpipe-repro`` console script).
+
+    Registry misses (unknown model, scenario or experiment names) are turned
+    into a non-zero exit with the list of valid names on stderr instead of an
+    uncaught ``KeyError`` traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except UnknownNameError as error:
+        # Registry misses: unknown model / scenario / serving-mode names.
+        # (Deliberately narrow — a stray KeyError from a genuine bug should
+        # keep its traceback.)
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -22,11 +22,21 @@ __all__ = [
     "TIB",
     "KILO_TOKENS",
     "DType",
+    "UnknownNameError",
     "dtype_bytes",
     "to_gib",
     "from_gib",
     "tokens_from_k",
 ]
+
+
+class UnknownNameError(KeyError):
+    """A registry lookup (model, scenario, experiment) missed.
+
+    The message always lists the valid names; the CLI catches exactly this
+    type to report a clean exit-2 error without masking genuine ``KeyError``
+    bugs elsewhere.
+    """
 
 KIB: int = 1024
 MIB: int = 1024**2

@@ -12,7 +12,10 @@ within 1% (see ``tests/test_model_config.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Dict, Optional
+
+from ..constants import UnknownNameError
 
 __all__ = [
     "ModelConfig",
@@ -252,14 +255,17 @@ MODEL_REGISTRY: Dict[str, ModelConfig] = {
 }
 
 
+@lru_cache(maxsize=None)
 def get_model_config(name: str) -> ModelConfig:
     """Look up a preset model configuration by name.
 
-    Raises ``KeyError`` with the list of available names on a miss.
+    Raises ``KeyError`` with the list of available names on a miss.  The
+    lookup is memoized (configs are frozen), keeping it free inside the
+    planner's grid-search sweeps.
     """
     try:
         return MODEL_REGISTRY[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
         ) from None

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 from ..hardware.gpu import GPUSpec, HOPPER_80GB
 from .config import ModelConfig
@@ -141,10 +142,20 @@ class CostModel:
         num_layers: int = 1,
         tensor_parallel_size: int = 1,
     ) -> float:
-        """Time of ``num_layers`` transformer layers on a query slice."""
-        flops = layer_forward_flops(model, query_tokens, kv_offset) * num_layers
-        flops = flops * (1.0 / tensor_parallel_size)
-        return self.time_of(flops, kind, tokens=query_tokens)
+        """Time of ``num_layers`` transformer layers on a query slice.
+
+        Memoized across :class:`CostModel` instances (keyed on the GPU spec):
+        schedule sweeps price the same (model, slice, offset) pass thousands
+        of times.  Subclasses overriding the time model bypass the shared
+        cache so their overrides are honoured.
+        """
+        if type(self) is not CostModel:
+            return self._layer_pass_time_direct(
+                model, kind, query_tokens, kv_offset, num_layers, tensor_parallel_size
+            )
+        return _layer_pass_time_cached(
+            self.gpu, model, kind, query_tokens, kv_offset, num_layers, tensor_parallel_size
+        )
 
     def output_layer_time(
         self,
@@ -155,6 +166,35 @@ class CostModel:
         vocab_parallel_size: int = 1,
     ) -> float:
         """Time of the vocabulary projection (+ its backward) on ``tokens``."""
+        if type(self) is not CostModel:
+            return self._output_layer_time_direct(
+                model, kind, tokens, tensor_parallel_size, vocab_parallel_size
+            )
+        return _output_layer_time_cached(
+            self.gpu, model, kind, tokens, tensor_parallel_size, vocab_parallel_size
+        )
+
+    def _layer_pass_time_direct(
+        self,
+        model: ModelConfig,
+        kind: PassKind,
+        query_tokens: int,
+        kv_offset: int,
+        num_layers: int,
+        tensor_parallel_size: int,
+    ) -> float:
+        flops = layer_forward_flops(model, query_tokens, kv_offset) * num_layers
+        flops = flops * (1.0 / tensor_parallel_size)
+        return self.time_of(flops, kind, tokens=query_tokens)
+
+    def _output_layer_time_direct(
+        self,
+        model: ModelConfig,
+        kind: PassKind,
+        tokens: int,
+        tensor_parallel_size: int,
+        vocab_parallel_size: int,
+    ) -> float:
         flops = output_layer_flops(model, tokens) * (
             1.0 / (tensor_parallel_size * vocab_parallel_size)
         )
@@ -186,3 +226,36 @@ class CostModel:
                 )
             )
         return tuple(times)  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Shared memoization of the per-layer cost helpers (keyed on the GPU spec, so
+# every CostModel over the same frozen GPUSpec shares one cache).
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=1 << 16)
+def _layer_pass_time_cached(
+    gpu: GPUSpec,
+    model: ModelConfig,
+    kind: PassKind,
+    query_tokens: int,
+    kv_offset: int,
+    num_layers: int,
+    tensor_parallel_size: int,
+) -> float:
+    return CostModel(gpu)._layer_pass_time_direct(
+        model, kind, query_tokens, kv_offset, num_layers, tensor_parallel_size
+    )
+
+
+@lru_cache(maxsize=1 << 14)
+def _output_layer_time_cached(
+    gpu: GPUSpec,
+    model: ModelConfig,
+    kind: PassKind,
+    tokens: int,
+    tensor_parallel_size: int,
+    vocab_parallel_size: int,
+) -> float:
+    return CostModel(gpu)._output_layer_time_direct(
+        model, kind, tokens, tensor_parallel_size, vocab_parallel_size
+    )

@@ -18,6 +18,7 @@ no weights (``T_w = 0``) and its backward costs roughly twice its forward
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .config import ModelConfig
 
@@ -119,6 +120,7 @@ def attention_core_flops(
     return 4.0 * h * attended
 
 
+@lru_cache(maxsize=1 << 16)
 def layer_forward_flops(
     model: ModelConfig,
     query_tokens: int,
@@ -129,7 +131,9 @@ def layer_forward_flops(
 
     The linear component scales linearly in ``query_tokens``; the attention
     component additionally depends on ``kv_offset`` (causal attention over
-    the earlier part of the sequence).
+    the earlier part of the sequence).  Memoized: the result is a frozen
+    value object and this is the hottest leaf of every sweep (the planner
+    grid search and the serving engine's per-iteration pricing).
     """
     h = model.hidden_size
     qkv = 2.0 * h * (h + 2 * model.kv_channels)
@@ -141,6 +145,7 @@ def layer_forward_flops(
     return FlopsBreakdown(linear=linear, attention=attn)
 
 
+@lru_cache(maxsize=1 << 14)
 def output_layer_flops(model: ModelConfig, tokens: int) -> FlopsBreakdown:
     """Forward FLOPs of the vocabulary projection for ``tokens`` tokens."""
     return FlopsBreakdown(linear=2.0 * model.hidden_size * model.vocab_size * tokens)
@@ -152,6 +157,7 @@ def embedding_flops(model: ModelConfig, tokens: int) -> FlopsBreakdown:
     return FlopsBreakdown(linear=0.0 * tokens)
 
 
+@lru_cache(maxsize=1 << 14)
 def model_forward_flops(
     model: ModelConfig, sequence_length: int, causal: bool = True
 ) -> FlopsBreakdown:

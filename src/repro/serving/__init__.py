@@ -1,0 +1,72 @@
+"""Long-context inference serving simulator.
+
+The serving package is the inference-side dual of the training simulator: it
+prices continuous-batching deployments of the paper's models on the same
+cost/memory/topology substrates (``repro.model``, ``repro.hardware``) and
+reuses the chunked KV cache of Section 5 as the block pool of a paged,
+request-granular allocator.
+
+Modules
+-------
+``workload``
+    Deterministic request-trace generators (Poisson, bursty, long-context,
+    replay).
+``paged_kv``
+    Paged KV-cache allocator with block tables and eviction accounting,
+    built on :class:`~repro.core.kv_cache.ChunkedKVCache`.
+``batcher``
+    Continuous batching: token-budget admission, chunked prefill, FCFS and
+    priority policies, memory-pressure preemption.
+``engine``
+    Discrete-event serving loops — colocated, and prefill/decode
+    disaggregated with comm-priced KV hand-off.
+``metrics``
+    TTFT/TPOT/E2E percentiles, goodput under SLO, KV utilization.
+``scenarios``
+    Named scenario registry (chat, RAG, 512K summarisation, bursty
+    long-prompt, mixed fleet) plus the ``run_scenario`` driver.
+"""
+
+from .batcher import BatcherConfig, ContinuousBatcher, IterationPlan, Phase, RequestState
+from .engine import DisaggregatedEngine, ServingConfig, ServingEngine, ServingResult
+from .metrics import SLO, RequestRecord, ServingMetrics, compute_metrics, percentile
+from .paged_kv import PagedKVAllocator, PagedKVStats, blocks_for_tokens
+from .scenarios import SCENARIO_REGISTRY, ServingScenario, get_scenario, run_scenario
+from .workload import (
+    Request,
+    bursty_trace,
+    long_context_trace,
+    merge_traces,
+    poisson_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "Request",
+    "poisson_trace",
+    "bursty_trace",
+    "long_context_trace",
+    "replay_trace",
+    "merge_traces",
+    "PagedKVAllocator",
+    "PagedKVStats",
+    "blocks_for_tokens",
+    "BatcherConfig",
+    "ContinuousBatcher",
+    "IterationPlan",
+    "Phase",
+    "RequestState",
+    "ServingConfig",
+    "ServingEngine",
+    "DisaggregatedEngine",
+    "ServingResult",
+    "SLO",
+    "RequestRecord",
+    "ServingMetrics",
+    "compute_metrics",
+    "percentile",
+    "ServingScenario",
+    "SCENARIO_REGISTRY",
+    "get_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,362 @@
+"""Continuous-batching scheduler with chunked prefill and preemption.
+
+The batcher owns the request lifecycle inside one GPU pool.  Every engine
+iteration it produces an :class:`IterationPlan` — the decode steps plus the
+prefill chunks the iteration executes — under three constraints:
+
+* a **token budget**: decode tokens are planned first (one per running
+  request), then prefill chunks fill the remaining ``prefill_budget`` the
+  engine hands in (the engine shrinks that budget below
+  ``max_batch_tokens`` when protecting the TPOT SLO of running decodes);
+* **paged-KV admission**: a request is only admitted, and a context only
+  grown, when the :class:`~repro.serving.paged_kv.PagedKVAllocator` can
+  reserve the blocks; when a decode step cannot grow its context the
+  newest / lowest-priority running request is **preempted** — its blocks are
+  evicted and it re-enters the queue to re-prefill its full context;
+* an **admission policy**: ``fcfs`` (arrival order, preempted requests
+  re-queued at the front) or ``priority`` (lowest ``Request.priority``
+  first, arrival time as tie-break).
+
+Token accounting
+----------------
+The batcher maintains three counters that the serving tests pin down as an
+exact conservation law once a trace has fully drained::
+
+    tokens_admitted == tokens_prefilled + tokens_preempted_requeued
+
+``tokens_admitted`` grows by a request's outstanding prefill target at every
+(re-)admission, ``tokens_prefilled`` by every prefill chunk executed
+(including work later discarded by a preemption), and
+``tokens_preempted_requeued`` by the admitted-but-not-yet-prefilled remainder
+a preemption sends back to the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from .metrics import RequestRecord
+from .paged_kv import PagedKVAllocator, blocks_for_tokens
+from .workload import Request
+
+__all__ = [
+    "Phase",
+    "RequestState",
+    "BatcherConfig",
+    "IterationPlan",
+    "ContinuousBatcher",
+]
+
+
+class Phase(Enum):
+    """Lifecycle phase of a request inside one pool."""
+
+    WAITING = "waiting"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    HANDOFF = "handoff"  # prefill-only pool: context ready for transfer
+    FINISHED = "finished"
+
+
+@dataclass
+class RequestState:
+    """Mutable per-request scheduling state (one per request per pool)."""
+
+    record: RequestRecord
+    phase: Phase = Phase.WAITING
+    prefill_target: int = 0
+    prefilled: int = 0
+    decoded: int = 0
+    admission_index: int = -1
+    pool_arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prefill_target == 0:
+            self.prefill_target = self.request.prompt_tokens
+        self.pool_arrival = self.pool_arrival or self.request.arrival_time
+
+    @property
+    def request(self) -> Request:
+        return self.record.request
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens whose keys/values must be live before the next step."""
+        return self.request.prompt_tokens + self.decoded
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.prefill_target - self.prefilled
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Static knobs of the continuous batcher."""
+
+    max_batch_tokens: int = 8192
+    prefill_chunk_tokens: int = 4096
+    min_prefill_chunk_tokens: int = 128
+    max_running_requests: int = 128
+    policy: str = "fcfs"
+    admission_watermark: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_batch_tokens < 1:
+            raise ValueError("max_batch_tokens must be >= 1")
+        if not 1 <= self.min_prefill_chunk_tokens <= self.prefill_chunk_tokens:
+            raise ValueError("need 1 <= min_prefill_chunk <= prefill_chunk")
+        if self.max_running_requests < 1:
+            raise ValueError("max_running_requests must be >= 1")
+        if self.policy not in ("fcfs", "priority"):
+            raise ValueError(f"unknown policy {self.policy!r}; use 'fcfs' or 'priority'")
+        if not 0.0 <= self.admission_watermark < 1.0:
+            raise ValueError("admission_watermark must be in [0, 1)")
+
+
+@dataclass
+class IterationPlan:
+    """The work one engine iteration executes."""
+
+    prefill: List[Tuple[RequestState, int]] = field(default_factory=list)
+    decode: List[RequestState] = field(default_factory=list)
+
+    @property
+    def prefill_tokens(self) -> int:
+        return sum(chunk for _, chunk in self.prefill)
+
+    @property
+    def batch_tokens(self) -> int:
+        return self.prefill_tokens + len(self.decode)
+
+    @property
+    def empty(self) -> bool:
+        return not self.prefill and not self.decode
+
+    def drop(self, state: RequestState) -> None:
+        """Remove a (just-preempted) request from the plan."""
+        self.prefill = [(s, c) for s, c in self.prefill if s is not state]
+        self.decode = [s for s in self.decode if s is not state]
+
+
+class ContinuousBatcher:
+    """Token-budget continuous batching over a paged KV allocator.
+
+    ``prefill_only`` pools stop requests at prefill completion (phase
+    ``HANDOFF``); ``decode_only`` pools admit requests whose context was
+    prefilled elsewhere, reserving KV for the whole transferred context.
+    """
+
+    def __init__(
+        self,
+        allocator: PagedKVAllocator,
+        config: Optional[BatcherConfig] = None,
+        prefill_only: bool = False,
+        decode_only: bool = False,
+    ):
+        if prefill_only and decode_only:
+            raise ValueError("a pool cannot be both prefill_only and decode_only")
+        self.allocator = allocator
+        self.config = config or BatcherConfig()
+        self.prefill_only = prefill_only
+        self.decode_only = decode_only
+        self.waiting: List[RequestState] = []
+        self.running: List[RequestState] = []
+        self._admissions = 0
+        self.tokens_admitted = 0
+        self.tokens_prefilled = 0
+        self.tokens_preempted_requeued = 0
+        self.preemptions = 0
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+    def enqueue(self, state: RequestState) -> None:
+        # The largest reservation the request will ever ask for: the final
+        # decode step reserves prompt + (output - 1) tokens (the token being
+        # generated occupies no KV slot until the step after).
+        max_context = state.request.prompt_tokens + state.request.output_tokens - 1
+        if blocks_for_tokens(max_context, self.allocator.block_tokens) > self.allocator.total_blocks:
+            raise ValueError(
+                f"request {state.request.request_id} needs {max_context} context "
+                f"tokens, exceeding the pool's KV capacity of "
+                f"{self.allocator.total_blocks * self.allocator.block_tokens} tokens"
+            )
+        state.phase = Phase.WAITING
+        self.waiting.append(state)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    def _next_waiting_index(self) -> int:
+        if self.config.policy == "priority":
+            return min(
+                range(len(self.waiting)),
+                key=lambda i: (
+                    self.waiting[i].request.priority,
+                    self.waiting[i].pool_arrival,
+                    self.waiting[i].request.request_id,
+                ),
+            )
+        return 0
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def _preempt_victim(self, plan: IterationPlan) -> Optional[RequestState]:
+        """Evict the newest / lowest-priority running request to free blocks."""
+        if not self.running:
+            return None
+        victim = max(
+            self.running,
+            key=lambda s: (s.request.priority, s.admission_index),
+        )
+        self.running.remove(victim)
+        plan.drop(victim)
+        self.allocator.evict(victim.request.request_id)
+        self.preemptions += 1
+        victim.record.preemptions += 1
+        self.tokens_preempted_requeued += victim.prefill_remaining
+        # The whole context (prompt plus any already-generated tokens) must be
+        # re-prefilled on resume; tokens already delivered stay delivered.
+        victim.prefill_target = victim.context_tokens
+        victim.prefilled = 0
+        victim.phase = Phase.WAITING
+        self.waiting.insert(0, victim)
+        return victim
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, prefill_budget: Optional[int] = None) -> IterationPlan:
+        """Select this iteration's decode steps, prefill chunks and admissions."""
+        cfg = self.config
+        plan = IterationPlan()
+        budget = cfg.max_batch_tokens
+
+        # 1. Decode steps: one token per running decode request, growing its
+        #    context by one block when needed; preempt on memory pressure.
+        for state in list(self.running):
+            if state.phase is not Phase.DECODE or budget <= 0:
+                continue
+            if state not in self.running:  # evicted by an earlier preemption
+                continue
+            while not self.allocator.reserve(state.request.request_id, state.context_tokens):
+                victim = self._preempt_victim(plan)
+                if victim is None or victim is state:
+                    break
+            if state in self.running:
+                plan.decode.append(state)
+                budget -= 1
+
+        if self.decode_only:
+            self._admit(plan, budget)
+            return plan
+
+        # 2. Prefill chunks for already-running requests, oldest first.
+        if prefill_budget is not None:
+            budget = min(budget, max(prefill_budget, cfg.min_prefill_chunk_tokens))
+        for state in self.running:
+            if state.phase is not Phase.PREFILL or budget <= 0:
+                continue
+            chunk = min(budget, cfg.prefill_chunk_tokens, state.prefill_remaining)
+            if chunk <= 0:
+                continue
+            if not self.allocator.reserve(state.request.request_id, state.prefilled + chunk):
+                continue  # wait for blocks to free up
+            plan.prefill.append((state, chunk))
+            self.tokens_prefilled += chunk
+            budget -= chunk
+
+        # 3. Admission of new requests with the remaining budget.
+        self._admit(plan, budget)
+        return plan
+
+    def _admit(self, plan: IterationPlan, budget: int) -> None:
+        cfg = self.config
+        watermark_blocks = int(cfg.admission_watermark * self.allocator.total_blocks)
+        while self.waiting and len(self.running) < cfg.max_running_requests:
+            index = self._next_waiting_index()
+            state = self.waiting[index]
+            rid = state.request.request_id
+            if self.decode_only:
+                # Context was prefilled elsewhere; reserve it wholesale.  A
+                # preempted context is re-fetched, not recomputed: marking it
+                # prefilled keeps every conservation-law counter at zero in
+                # this pool (no prefill work, no admitted prefill target),
+                # even across repeated preemptions.  Each admitted request
+                # decodes one token this iteration, so it spends one token
+                # of batch budget like the running decodes above.
+                if budget <= 0:
+                    break
+                if not self.allocator.reserve(rid, state.context_tokens):
+                    break
+                state.prefilled = state.prefill_target
+                self._activate(state, index, Phase.DECODE)
+                plan.decode.append(state)
+                budget -= 1
+                continue
+            if budget <= 0:
+                break
+            chunk = min(budget, cfg.prefill_chunk_tokens, state.prefill_remaining)
+            if chunk <= 0:
+                break
+            if self.allocator.free_blocks - blocks_for_tokens(chunk, self.allocator.block_tokens) < watermark_blocks:
+                break
+            if not self.allocator.reserve(rid, chunk):
+                break
+            self._activate(state, index, Phase.PREFILL)
+            self.tokens_admitted += state.prefill_remaining
+            plan.prefill.append((state, chunk))
+            self.tokens_prefilled += chunk
+            budget -= chunk
+
+    def _activate(self, state: RequestState, waiting_index: int, phase: Phase) -> None:
+        self.waiting.pop(waiting_index)
+        state.phase = phase
+        state.admission_index = self._admissions
+        self._admissions += 1
+        self.running.append(state)
+
+    # ------------------------------------------------------------------
+    # Committing an executed iteration
+    # ------------------------------------------------------------------
+    def commit(self, plan: IterationPlan, end_time: float) -> List[RequestState]:
+        """Apply the effects of an executed plan at simulated time ``end_time``.
+
+        Returns the requests that left the running set this iteration —
+        finished requests, or (in a prefill-only pool) contexts ready for
+        hand-off to the decode pool.
+        """
+        departed: List[RequestState] = []
+        for state, chunk in plan.prefill:
+            state.prefilled += chunk
+            if state.prefilled < state.prefill_target:
+                continue
+            if state.record.first_token_time is None:
+                # Completing the prefill also samples the first output token.
+                state.record.first_token_time = end_time
+                state.decoded = max(state.decoded, 1)
+            if state.decoded >= state.request.output_tokens:
+                self._finish(state, end_time, departed)
+            elif self.prefill_only:
+                state.phase = Phase.HANDOFF
+                self.running.remove(state)
+                self.allocator.release(state.request.request_id)
+                departed.append(state)
+            else:
+                state.phase = Phase.DECODE
+        for state in plan.decode:
+            state.decoded += 1
+            if state.decoded >= state.request.output_tokens:
+                self._finish(state, end_time, departed)
+        return departed
+
+    def _finish(self, state: RequestState, end_time: float, departed: List[RequestState]) -> None:
+        state.phase = Phase.FINISHED
+        state.record.finish_time = end_time
+        self.running.remove(state)
+        self.allocator.release(state.request.request_id)
+        departed.append(state)

@@ -1,0 +1,481 @@
+"""Discrete-event serving loop: colocated and prefill/decode-disaggregated.
+
+The engine steps a GPU pool through *iterations* the way a real continuous
+batching server does: every iteration executes one decode token for each
+running request plus the prefill chunks admitted under the token budget, and
+the iteration's duration comes from the same :class:`~repro.model.costs.CostModel`
+the training simulator uses (the per-pass arithmetic-intensity roll-off is
+what makes small decode batches launch/bandwidth-bound, and a mixed
+prefill+decode iteration as slow as its combined FLOPs demand).
+
+Two deployments are modelled:
+
+* :class:`ServingEngine` — the **colocated** baseline: one pool runs prefill
+  and decode together.  When ``ServingConfig.tpot_cap`` is set (the default
+  path wires in the scenario's TPOT SLO), the engine performs SLO-aware
+  chunked prefill: each iteration's prefill budget is shrunk — by inverting
+  the cost model — so the iteration stays under the cap and running decodes
+  keep their inter-token latency.  Protecting TPOT is exactly what throttles
+  prefill throughput under bursts of long prompts.
+* :class:`DisaggregatedEngine` — prefill and decode run on **separate
+  pools**; finished prefill contexts are handed to the decode pool after a
+  KV-transfer delay priced by :class:`~repro.hardware.comm.CommModel`
+  (NVLink when both pools share a node, NIC otherwise).  The prefill pool
+  needs no TPOT cap — it runs no decodes — which is the mechanism behind its
+  lower tail TTFT.
+
+Capacity is derived, not configured: per-GPU HBM minus bf16 weights minus an
+activation reserve, divided into fixed-size KV blocks priced by
+:func:`~repro.model.memory.kv_cache_bytes_per_token_per_layer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.comm import CommModel
+from ..hardware.gpu import GPUSpec, HOPPER_80GB
+from ..hardware.topology import ClusterTopology
+from ..model.config import ModelConfig
+from ..model.costs import CostModel, PassKind
+from ..model.flops import FlopsBreakdown, layer_forward_flops, output_layer_flops
+from ..model.memory import kv_cache_bytes_per_token_per_layer
+from ..schedules.base import Pass
+from ..sim.timeline import Timeline, TimelineSpan
+from .batcher import BatcherConfig, ContinuousBatcher, IterationPlan, Phase, RequestState
+from .metrics import SLO, RequestRecord, ServingMetrics, compute_metrics
+from .paged_kv import PagedKVAllocator
+from .workload import Request
+
+__all__ = ["ServingConfig", "ServingResult", "ServingEngine", "DisaggregatedEngine"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Static configuration of a serving deployment."""
+
+    num_gpus: int = 8
+    gpu: GPUSpec = field(default=HOPPER_80GB)
+    block_tokens: int = 256
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    memory_utilization: float = 0.90
+    activation_reserve_fraction: float = 0.05
+    iteration_overhead: float = 100e-6
+    tpot_cap: Optional[float] = None
+    max_iterations: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        if not 0.0 < self.memory_utilization <= 1.0:
+            raise ValueError("memory_utilization must be in (0, 1]")
+        if not 0.0 <= self.activation_reserve_fraction < 1.0:
+            raise ValueError("activation_reserve_fraction must be in [0, 1)")
+        if self.tpot_cap is not None and self.tpot_cap <= 0:
+            raise ValueError("tpot_cap must be positive when given")
+
+
+@dataclass
+class ServingResult:
+    """Everything one simulated serving run produced."""
+
+    mode: str
+    metrics: ServingMetrics
+    records: List[RequestRecord]
+    timeline: Timeline
+    iterations: int
+    kv_capacity_tokens: int
+    tokens_admitted: int
+    tokens_prefilled: int
+    tokens_preempted_requeued: int
+    preemptions: int
+
+    @property
+    def token_accounting_balanced(self) -> bool:
+        """The engine's conservation law over a fully drained trace."""
+        return self.tokens_admitted == self.tokens_prefilled + self.tokens_preempted_requeued
+
+
+@dataclass
+class _PoolRun:
+    """Outcome of draining one pool."""
+
+    end_time: float
+    departed: List[RequestState]
+    iterations: int
+    kv_mean: float
+    kv_peak: float
+    busy_time: float
+
+
+class _Pool:
+    """One GPU pool: allocator + batcher + cost model + event loop."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        num_gpus: int,
+        config: ServingConfig,
+        cost_model: Optional[CostModel] = None,
+        prefill_only: bool = False,
+        decode_only: bool = False,
+    ):
+        self.model = model
+        self.num_gpus = num_gpus
+        self.config = config
+        self.costs = cost_model or CostModel(config.gpu)
+        self.total_kv_blocks = self._kv_blocks()
+        self.allocator = PagedKVAllocator(self.total_kv_blocks, config.block_tokens)
+        self.batcher = ContinuousBatcher(
+            self.allocator, config.batcher, prefill_only=prefill_only, decode_only=decode_only
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def _kv_blocks(self) -> int:
+        cfg = self.config
+        weights_per_gpu = self.model.total_params() * 2.0 / self.num_gpus
+        budget = cfg.gpu.memory_bytes * cfg.memory_utilization
+        headroom = budget - weights_per_gpu - cfg.gpu.memory_bytes * cfg.activation_reserve_fraction
+        if headroom <= 0:
+            raise ValueError(
+                f"{self.model.name} does not fit {self.num_gpus} x "
+                f"{cfg.gpu.name}: weights need "
+                f"{weights_per_gpu / 2**30:.0f} GiB/GPU of "
+                f"{budget / 2**30:.0f} GiB usable"
+            )
+        kv_per_token_per_gpu = (
+            kv_cache_bytes_per_token_per_layer(self.model, tensor_parallel_size=self.num_gpus)
+            * self.model.num_layers
+        )
+        blocks = int(headroom // (cfg.block_tokens * kv_per_token_per_gpu))
+        if blocks < 1:
+            raise ValueError("KV headroom is below one block; reduce block_tokens")
+        return blocks
+
+    @property
+    def kv_capacity_tokens(self) -> int:
+        return self.total_kv_blocks * self.config.block_tokens
+
+    # ------------------------------------------------------------------
+    # Iteration pricing
+    # ------------------------------------------------------------------
+    def _prefill_flops(self, chunk: int, kv_offset: int, completes: bool) -> FlopsBreakdown:
+        flops = layer_forward_flops(self.model, chunk, kv_offset) * self.model.num_layers
+        if completes:
+            flops = flops + output_layer_flops(self.model, 1)
+        return flops
+
+    def _decode_flops(self, context_tokens: int) -> FlopsBreakdown:
+        flops = layer_forward_flops(self.model, 1, context_tokens) * self.model.num_layers
+        return flops + output_layer_flops(self.model, 1)
+
+    def iteration_time(self, plan: IterationPlan) -> float:
+        flops = FlopsBreakdown()
+        for state, chunk in plan.prefill:
+            completes = state.prefilled + chunk >= state.prefill_target
+            flops = flops + self._prefill_flops(chunk, state.prefilled, completes)
+        for state in plan.decode:
+            flops = flops + self._decode_flops(state.context_tokens)
+        if flops.total <= 0:
+            return self.config.iteration_overhead
+        flops = flops * (1.0 / self.num_gpus)
+        return (
+            self.costs.time_of(flops, PassKind.FORWARD, tokens=plan.batch_tokens)
+            + self.config.iteration_overhead
+        )
+
+    def prefill_budget(self) -> Optional[int]:
+        """SLO-aware prefill budget for the next iteration.
+
+        Inverts the cost model: the largest prefill token count that keeps
+        the iteration — decode steps included — under ``tpot_cap``.  Returns
+        ``None`` (no throttle) when the cap is unset or nothing is decoding;
+        never throttles below the batcher's minimum chunk, so prefill cannot
+        starve outright.
+        """
+        cap = self.config.tpot_cap
+        if cap is None or self.batcher.decode_only:
+            return None
+        decodes = [s for s in self.batcher.running if s.phase is Phase.DECODE]
+        if not decodes:
+            return None
+        base = FlopsBreakdown()
+        for state in decodes:
+            base = base + self._decode_flops(state.context_tokens)
+        # Price the hypothetical chunk at the deepest in-flight prefill
+        # offset: long contexts make the chunk's attention cost dwarf its
+        # linear cost, and estimating at offset 0 would approve budgets that
+        # blow the cap by orders of magnitude at 512K contexts.
+        kv_offset = max(
+            (s.prefilled for s in self.batcher.running if s.phase is Phase.PREFILL),
+            default=0,
+        )
+
+        def estimate(prefill_tokens: int) -> float:
+            flops = base + layer_forward_flops(self.model, prefill_tokens, kv_offset) * self.model.num_layers
+            flops = flops * (1.0 / self.num_gpus)
+            return (
+                self.costs.time_of(
+                    flops, PassKind.FORWARD, tokens=prefill_tokens + len(decodes)
+                )
+                + self.config.iteration_overhead
+            )
+
+        floor = self.config.batcher.min_prefill_chunk_tokens
+        ceiling = self.config.batcher.max_batch_tokens
+        if estimate(floor) > cap:
+            return floor
+        if estimate(ceiling) <= cap:
+            return ceiling
+        lo, hi = floor, ceiling
+        while hi - lo > 64:
+            mid = (lo + hi) // 2
+            if estimate(mid) <= cap:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        states: Sequence[RequestState],
+        timeline: Optional[Timeline] = None,
+        device: int = 0,
+    ) -> _PoolRun:
+        pending = sorted(states, key=lambda s: (s.pool_arrival, s.request.request_id))
+        cursor = 0
+        now = 0.0
+        iterations = 0
+        departed: List[RequestState] = []
+        kv_weighted = 0.0
+        kv_time = 0.0
+        kv_peak = 0.0
+        batcher = self.batcher
+        while True:
+            while cursor < len(pending) and pending[cursor].pool_arrival <= now + 1e-12:
+                batcher.enqueue(pending[cursor])
+                cursor += 1
+            if not batcher.has_work:
+                if cursor < len(pending):
+                    now = pending[cursor].pool_arrival
+                    continue
+                break
+            plan = batcher.plan(self.prefill_budget())
+            if plan.empty:
+                if batcher.running and batcher._preempt_victim(plan) is not None:
+                    continue  # freed blocks; replan
+                if cursor < len(pending):
+                    now = pending[cursor].pool_arrival
+                    continue
+                raise RuntimeError(
+                    "serving pool stalled with queued work and no runnable batch"
+                )
+            duration = self.iteration_time(plan)
+            now += duration
+            iterations += 1
+            utilization = self.allocator.stats().token_utilization
+            kv_weighted += utilization * duration
+            kv_time += duration
+            kv_peak = max(kv_peak, utilization)
+            departed.extend(batcher.commit(plan, now))
+            if timeline is not None:
+                timeline.add(
+                    TimelineSpan(
+                        device=device,
+                        work=Pass(
+                            kind=PassKind.FORWARD,
+                            microbatch=iterations - 1,
+                            stage=0,
+                            device=device,
+                        ),
+                        start=now - duration,
+                        end=now,
+                    )
+                )
+            if iterations > self.config.max_iterations:
+                raise RuntimeError(
+                    f"serving loop exceeded {self.config.max_iterations} iterations"
+                )
+        return _PoolRun(
+            end_time=now,
+            departed=departed,
+            iterations=iterations,
+            kv_mean=kv_weighted / kv_time if kv_time > 0 else 0.0,
+            kv_peak=kv_peak,
+            busy_time=kv_time,
+        )
+
+
+def _make_states(trace: Sequence[Request]) -> List[RequestState]:
+    return [RequestState(record=RequestRecord(request)) for request in trace]
+
+
+class ServingEngine:
+    """Colocated continuous-batching deployment (prefill + decode, one pool)."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        config: Optional[ServingConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.model = model
+        self.config = config or ServingConfig()
+        self.pool = _Pool(model, self.config.num_gpus, self.config, cost_model)
+
+    def run(self, trace: Sequence[Request], slo: Optional[SLO] = None) -> ServingResult:
+        slo = slo or SLO()
+        states = _make_states(trace)
+        timeline = Timeline(num_devices=1)
+        outcome = self.pool.run(states, timeline=timeline, device=0)
+        records = [state.record for state in states]
+        arrivals = [r.request.arrival_time for r in records]
+        duration = max(outcome.end_time - min(arrivals), 1e-12) if records else 0.0
+        batcher = self.pool.batcher
+        metrics = compute_metrics(
+            records,
+            duration,
+            slo,
+            kv_utilization_mean=outcome.kv_mean,
+            kv_utilization_peak=outcome.kv_peak,
+            preemptions=batcher.preemptions,
+        )
+        return ServingResult(
+            mode="colocated",
+            metrics=metrics,
+            records=records,
+            timeline=timeline,
+            iterations=outcome.iterations,
+            kv_capacity_tokens=self.pool.kv_capacity_tokens,
+            tokens_admitted=batcher.tokens_admitted,
+            tokens_prefilled=batcher.tokens_prefilled,
+            tokens_preempted_requeued=batcher.tokens_preempted_requeued,
+            preemptions=batcher.preemptions,
+        )
+
+
+class DisaggregatedEngine:
+    """Prefill/decode disaggregation with comm-priced KV hand-off.
+
+    The prefill pool drains the trace independently of the decode pool (its
+    work never depends on decode state), so the simulation runs the pools in
+    sequence: prefill completions, shifted by the per-request KV transfer
+    time, become the decode pool's arrival trace.  TTFT is measured at the
+    prefill pool — the prefill instance samples the first token — matching
+    disaggregated serving practice.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        config: Optional[ServingConfig] = None,
+        prefill_fraction: float = 0.5,
+        topology: Optional[ClusterTopology] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.model = model
+        self.config = config or ServingConfig()
+        if not 0.0 < prefill_fraction < 1.0:
+            raise ValueError("prefill_fraction must be in (0, 1)")
+        total = self.config.num_gpus
+        prefill_gpus = min(total - 1, max(1, round(total * prefill_fraction)))
+        decode_gpus = total - prefill_gpus
+        if total < 2:
+            raise ValueError("disaggregation needs at least 2 GPUs")
+        self.prefill_gpus = prefill_gpus
+        self.decode_gpus = decode_gpus
+        self.topology = topology or ClusterTopology(
+            num_nodes=max(1, -(-total // 8)), gpus_per_node=min(8, total)
+        )
+        # The prefill pool runs no decodes, so the TPOT cap does not apply.
+        self.prefill_pool = _Pool(
+            model,
+            prefill_gpus,
+            replace(self.config, tpot_cap=None),
+            cost_model,
+            prefill_only=True,
+        )
+        # No prefill runs on the decode pool either, so its cap is moot too.
+        self.decode_pool = _Pool(
+            model,
+            decode_gpus,
+            replace(self.config, tpot_cap=None),
+            cost_model,
+            decode_only=True,
+        )
+
+    def _transfer_time(self, prompt_tokens: int) -> float:
+        kv_bytes = (
+            kv_cache_bytes_per_token_per_layer(self.model, tensor_parallel_size=1)
+            * self.model.num_layers
+            * prompt_tokens
+        )
+        intra = self.topology.fits_in_node(self.prefill_gpus + self.decode_gpus)
+        return CommModel(self.topology).p2p_time(kv_bytes, intra_node=intra)
+
+    def run(self, trace: Sequence[Request], slo: Optional[SLO] = None) -> ServingResult:
+        slo = slo or SLO()
+        states = _make_states(trace)
+        timeline = Timeline(num_devices=2)
+        prefill_run = self.prefill_pool.run(states, timeline=timeline, device=0)
+
+        handoffs: List[RequestState] = []
+        for state in prefill_run.departed:
+            if state.phase is not Phase.HANDOFF:
+                continue  # finished at prefill (single-output-token request)
+            handoffs.append(
+                RequestState(
+                    record=state.record,
+                    prefilled=state.request.prompt_tokens,
+                    decoded=state.decoded,
+                    pool_arrival=state.record.first_token_time
+                    + self._transfer_time(state.request.prompt_tokens),
+                )
+            )
+        decode_run = self.decode_pool.run(handoffs, timeline=timeline, device=1)
+
+        records = [state.record for state in states]
+        arrivals = [r.request.arrival_time for r in records]
+        end_time = max(prefill_run.end_time, decode_run.end_time)
+        duration = max(end_time - min(arrivals), 1e-12) if records else 0.0
+        # Combine pool KV statistics weighted by each pool's busy time (the
+        # decode pool idles until the first hand-off arrives, so wall-clock
+        # end times would over-weight it).
+        spans = [
+            (prefill_run.kv_mean, prefill_run.busy_time),
+            (decode_run.kv_mean, decode_run.busy_time),
+        ]
+        weight = sum(w for _, w in spans)
+        kv_mean = sum(v * w for v, w in spans) / weight if weight > 0 else 0.0
+        preemptions = self.prefill_pool.batcher.preemptions + self.decode_pool.batcher.preemptions
+        metrics = compute_metrics(
+            records,
+            duration,
+            slo,
+            kv_utilization_mean=kv_mean,
+            kv_utilization_peak=max(prefill_run.kv_peak, decode_run.kv_peak),
+            preemptions=preemptions,
+        )
+        pf, dc = self.prefill_pool.batcher, self.decode_pool.batcher
+        return ServingResult(
+            mode="disaggregated",
+            metrics=metrics,
+            records=records,
+            timeline=timeline,
+            iterations=prefill_run.iterations + decode_run.iterations,
+            kv_capacity_tokens=self.prefill_pool.kv_capacity_tokens
+            + self.decode_pool.kv_capacity_tokens,
+            tokens_admitted=pf.tokens_admitted + dc.tokens_admitted,
+            tokens_prefilled=pf.tokens_prefilled + dc.tokens_prefilled,
+            tokens_preempted_requeued=pf.tokens_preempted_requeued
+            + dc.tokens_preempted_requeued,
+            preemptions=preemptions,
+        )

@@ -1,0 +1,179 @@
+"""Serving-side latency and goodput metrics.
+
+Per-request latencies follow the standard serving decomposition:
+
+* **TTFT** (time to first token) — from arrival to the end of the iteration
+  that completes the request's prefill (which also samples its first output
+  token);
+* **TPOT** (time per output token) — the mean inter-token gap over the
+  decode phase, ``(finish - first_token) / (output_tokens - 1)``;
+* **E2E** — arrival to final token.
+
+**Goodput** is the throughput of requests that meet the scenario's
+:class:`SLO` (both the TTFT and TPOT bounds), the quantity
+prefill/decode-disaggregation papers optimise for instead of raw throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..analysis.report import format_percent, render_table
+from .workload import Request
+
+__all__ = [
+    "SLO",
+    "RequestRecord",
+    "ServingMetrics",
+    "percentile",
+    "compute_metrics",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Latency service-level objective a request must meet to count as good."""
+
+    ttft: float = 2.0
+    tpot: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.ttft <= 0 or self.tpot <= 0:
+            raise ValueError("SLO bounds must be positive")
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps of one served request."""
+
+    request: Request
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    preemptions: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def ttft(self) -> float:
+        if self.first_token_time is None:
+            raise ValueError(f"request {self.request.request_id} produced no token")
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        if self.finish_time is None or self.first_token_time is None:
+            raise ValueError(f"request {self.request.request_id} did not finish")
+        decode_tokens = self.request.output_tokens - 1
+        if decode_tokens <= 0:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / decode_tokens
+
+    @property
+    def e2e_latency(self) -> float:
+        if self.finish_time is None:
+            raise ValueError(f"request {self.request.request_id} did not finish")
+        return self.finish_time - self.request.arrival_time
+
+    def meets(self, slo: SLO) -> bool:
+        return self.finished and self.ttft <= slo.ttft and self.tpot <= slo.tpot
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate serving metrics over one simulated run."""
+
+    num_requests: int
+    duration: float
+    ttft_p50: float
+    ttft_p95: float
+    ttft_p99: float
+    tpot_p50: float
+    tpot_p99: float
+    e2e_p50: float
+    e2e_p99: float
+    output_tokens_per_second: float
+    requests_per_second: float
+    goodput_fraction: float
+    goodput_rps: float
+    kv_utilization_mean: float
+    kv_utilization_peak: float
+    preemptions: int
+    slo: SLO = field(default_factory=SLO)
+
+    def to_rows(self) -> List[tuple]:
+        return [
+            ("requests served", f"{self.num_requests}"),
+            ("makespan", f"{self.duration:.2f} s"),
+            ("TTFT p50 / p95 / p99", f"{self.ttft_p50:.3f} / {self.ttft_p95:.3f} / {self.ttft_p99:.3f} s"),
+            ("TPOT p50 / p99", f"{self.tpot_p50 * 1e3:.1f} / {self.tpot_p99 * 1e3:.1f} ms"),
+            ("E2E p50 / p99", f"{self.e2e_p50:.2f} / {self.e2e_p99:.2f} s"),
+            ("output throughput", f"{self.output_tokens_per_second:.0f} tok/s"),
+            ("request throughput", f"{self.requests_per_second:.2f} req/s"),
+            (
+                f"goodput (TTFT<={self.slo.ttft:g}s, TPOT<={self.slo.tpot * 1e3:g}ms)",
+                f"{self.goodput_rps:.2f} req/s ({format_percent(self.goodput_fraction)})",
+            ),
+            ("KV-cache utilization mean / peak", f"{format_percent(self.kv_utilization_mean)} / {format_percent(self.kv_utilization_peak)}"),
+            ("preemptions", f"{self.preemptions}"),
+        ]
+
+    def to_text(self, title: str = "serving metrics") -> str:
+        return render_table(["metric", "value"], self.to_rows(), title=title)
+
+
+def compute_metrics(
+    records: Sequence[RequestRecord],
+    duration: float,
+    slo: SLO,
+    kv_utilization_mean: float = 0.0,
+    kv_utilization_peak: float = 0.0,
+    preemptions: int = 0,
+) -> ServingMetrics:
+    """Aggregate per-request records into :class:`ServingMetrics`."""
+    done = [r for r in records if r.finished]
+    if not done:
+        raise ValueError("no finished requests to aggregate")
+    ttfts = [r.ttft for r in done]
+    tpots = [r.tpot for r in done]
+    e2es = [r.e2e_latency for r in done]
+    output_tokens = sum(r.request.output_tokens for r in done)
+    span = max(duration, 1e-12)
+    good = sum(1 for r in done if r.meets(slo))
+    return ServingMetrics(
+        num_requests=len(done),
+        duration=duration,
+        ttft_p50=percentile(ttfts, 50),
+        ttft_p95=percentile(ttfts, 95),
+        ttft_p99=percentile(ttfts, 99),
+        tpot_p50=percentile(tpots, 50),
+        tpot_p99=percentile(tpots, 99),
+        e2e_p50=percentile(e2es, 50),
+        e2e_p99=percentile(e2es, 99),
+        output_tokens_per_second=output_tokens / span,
+        requests_per_second=len(done) / span,
+        goodput_fraction=good / len(done),
+        goodput_rps=good / span,
+        kv_utilization_mean=kv_utilization_mean,
+        kv_utilization_peak=kv_utilization_peak,
+        preemptions=preemptions,
+        slo=slo,
+    )

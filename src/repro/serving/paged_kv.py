@@ -1,0 +1,185 @@
+"""Paged KV-cache allocator for serving, built on :class:`ChunkedKVCache`.
+
+Training-side SlimPipe stores keys/values in uniform slice-sized chunks so
+that freed chunks are reused verbatim (Section 5).  Serving needs the same
+trick at request granularity: a request's KV cache grows one token at a time
+during decode, requests finish (or are preempted) in arbitrary order, and a
+naive contiguous allocator would fragment immediately.  This module reuses
+the training :class:`~repro.core.kv_cache.ChunkedKVCache` as the block pool —
+every block is one fixed-size chunk, so the zero-fragmentation reuse
+invariants carry over — and adds the serving-side bookkeeping on top:
+
+* a **block table** per request (ordered list of chunk keys),
+* token-granular **reserve/append** (blocks are acquired lazily as the
+  request's context crosses block boundaries),
+* **eviction/preemption** accounting, used by the batcher when decode can no
+  longer grow a context and a victim must be re-queued.
+
+Capacity is expressed in blocks; :func:`blocks_for_tokens` converts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.kv_cache import ChunkedKVCache, KVCacheStats
+
+__all__ = ["PagedKVAllocator", "PagedKVStats", "blocks_for_tokens"]
+
+
+def blocks_for_tokens(tokens: int, block_tokens: int) -> int:
+    """Number of fixed-size blocks needed to hold ``tokens`` tokens."""
+    if tokens < 0:
+        raise ValueError("tokens must be non-negative")
+    if block_tokens < 1:
+        raise ValueError("block_tokens must be >= 1")
+    return -(-tokens // block_tokens)
+
+
+@dataclass(frozen=True)
+class PagedKVStats:
+    """Point-in-time snapshot of allocator occupancy."""
+
+    total_blocks: int
+    used_blocks: int
+    stored_tokens: int
+    block_tokens: int
+    evictions: int
+    cache: KVCacheStats
+
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - self.used_blocks
+
+    @property
+    def block_utilization(self) -> float:
+        """Fraction of the block pool currently allocated."""
+        return self.used_blocks / self.total_blocks if self.total_blocks else 0.0
+
+    @property
+    def token_utilization(self) -> float:
+        """Fraction of pool *token* capacity holding real tokens."""
+        capacity = self.total_blocks * self.block_tokens
+        return self.stored_tokens / capacity if capacity else 0.0
+
+    @property
+    def internal_fragmentation(self) -> float:
+        """Unused tail space inside allocated blocks, as a fraction."""
+        allocated = self.used_blocks * self.block_tokens
+        if allocated == 0:
+            return 0.0
+        return 1.0 - self.stored_tokens / allocated
+
+
+class PagedKVAllocator:
+    """Block-table allocator multiplexing requests over a chunk pool."""
+
+    def __init__(self, total_blocks: int, block_tokens: int):
+        if total_blocks < 1:
+            raise ValueError("total_blocks must be >= 1")
+        if block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        self.total_blocks = total_blocks
+        self.block_tokens = block_tokens
+        self._cache = ChunkedKVCache(capacity_chunks=total_blocks)
+        self._tables: Dict[Hashable, List[Tuple[Hashable, int]]] = {}
+        self._tokens: Dict[Hashable, int] = {}
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def used_blocks(self) -> int:
+        return self._cache.live_chunks
+
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - self._cache.live_chunks
+
+    @property
+    def stored_tokens(self) -> int:
+        return sum(self._tokens.values())
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def tokens_of(self, request_id: Hashable) -> int:
+        return self._tokens.get(request_id, 0)
+
+    def block_table(self, request_id: Hashable) -> List[Tuple[Hashable, int]]:
+        """The request's ordered ``(key, chunk_id)`` block table."""
+        return list(self._tables.get(request_id, ()))
+
+    def holds(self, request_id: Hashable) -> bool:
+        return request_id in self._tables
+
+    def can_reserve(self, request_id: Hashable, new_total_tokens: int) -> bool:
+        """Whether growing the request to ``new_total_tokens`` would fit."""
+        have = len(self._tables.get(request_id, ()))
+        need = blocks_for_tokens(new_total_tokens, self.block_tokens) - have
+        return need <= self.free_blocks
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def reserve(self, request_id: Hashable, new_total_tokens: int) -> bool:
+        """Grow the request's reservation to cover ``new_total_tokens``.
+
+        Acquires exactly the blocks the growth needs (reusing freed chunks
+        through the underlying cache) and returns ``True``; returns ``False``
+        without side effects when the pool cannot satisfy the growth — the
+        batcher then either waits or preempts a victim.
+        """
+        if new_total_tokens < 0:
+            raise ValueError("new_total_tokens must be non-negative")
+        current = self._tokens.get(request_id, 0)
+        if new_total_tokens < current:
+            raise ValueError(
+                f"cannot shrink reservation of {request_id!r} "
+                f"({current} -> {new_total_tokens} tokens); use release()"
+            )
+        if not self.can_reserve(request_id, new_total_tokens):
+            return False
+        table = self._tables.setdefault(request_id, [])
+        target_blocks = blocks_for_tokens(new_total_tokens, self.block_tokens)
+        while len(table) < target_blocks:
+            key = (request_id, len(table))
+            chunk = self._cache.acquire(key)
+            table.append((key, chunk.chunk_id))
+        self._tokens[request_id] = new_total_tokens
+        return True
+
+    def release(self, request_id: Hashable) -> int:
+        """Free every block of a finished request; returns blocks freed."""
+        table = self._tables.pop(request_id, None)
+        if table is None:
+            return 0
+        for key, _ in table:
+            self._cache.release(key)
+        self._tokens.pop(request_id, None)
+        return len(table)
+
+    def evict(self, request_id: Hashable) -> int:
+        """Free a *victim's* blocks (preemption); counted separately."""
+        freed = self.release(request_id)
+        if freed:
+            self._evictions += 1
+        return freed
+
+    def clear(self) -> None:
+        for request_id in list(self._tables):
+            self.release(request_id)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PagedKVStats:
+        return PagedKVStats(
+            total_blocks=self.total_blocks,
+            used_blocks=self.used_blocks,
+            stored_tokens=self.stored_tokens,
+            block_tokens=self.block_tokens,
+            evictions=self._evictions,
+            cache=self._cache.stats(),
+        )

@@ -1,0 +1,216 @@
+"""Deterministic request-trace generators for the serving simulator.
+
+A serving workload is a list of :class:`Request` records sorted by arrival
+time.  Every generator takes an explicit ``seed`` and draws from its own
+``random.Random`` instance, so a trace is a pure function of its arguments —
+the property every serving test and the CLI's ``--seed`` flag rely on.
+
+Four families cover the scenarios the registry exposes:
+
+* :func:`poisson_trace` — memoryless arrivals with log-normal prompt/output
+  lengths, the canonical "steady chat traffic" model;
+* :func:`bursty_trace` — arrivals clustered into bursts (a thundering herd
+  every ``burst_interval`` seconds), the pattern that separates colocated
+  from disaggregated prefill (Section "prefill/decode interference");
+* :func:`long_context_trace` — a mixture of short prompts and a heavy tail
+  of very long prompts (RAG / long-document summarisation traffic);
+* :func:`replay_trace` — verbatim replay of explicit
+  ``(arrival, prompt, output)`` triples for table-driven tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Request",
+    "poisson_trace",
+    "bursty_trace",
+    "long_context_trace",
+    "replay_trace",
+    "merge_traces",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request as it enters the serving system.
+
+    ``priority`` is only consulted by the priority admission policy; lower
+    values are served first (0 is the default and the most urgent).
+    """
+
+    request_id: int
+    arrival_time: float
+    prompt_tokens: int
+    output_tokens: int
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        if self.prompt_tokens < 1:
+            raise ValueError("prompt_tokens must be >= 1")
+        if self.output_tokens < 1:
+            raise ValueError("output_tokens must be >= 1")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.output_tokens
+
+
+def _lognormal_tokens(rng: random.Random, mean: float, cv: float, cap: int) -> int:
+    """Draw a token count with the given mean and coefficient of variation."""
+    import math
+
+    if mean <= 0:
+        raise ValueError("mean token count must be positive")
+    if cv <= 0:
+        return max(1, min(cap, int(round(mean))))
+    sigma2 = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma2 / 2.0
+    return max(1, min(cap, int(round(rng.lognormvariate(mu, math.sqrt(sigma2))))))
+
+
+def poisson_trace(
+    num_requests: int,
+    arrival_rate: float,
+    prompt_mean: int,
+    output_mean: int,
+    seed: int = 0,
+    prompt_cv: float = 0.5,
+    output_cv: float = 0.5,
+    max_prompt_tokens: int = 1_048_576,
+    max_output_tokens: int = 8192,
+    priority: int = 0,
+) -> List[Request]:
+    """Poisson arrivals at ``arrival_rate`` requests/second."""
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    t = 0.0
+    for i in range(num_requests):
+        t += rng.expovariate(arrival_rate)
+        requests.append(
+            Request(
+                request_id=i,
+                arrival_time=t,
+                prompt_tokens=_lognormal_tokens(rng, prompt_mean, prompt_cv, max_prompt_tokens),
+                output_tokens=_lognormal_tokens(rng, output_mean, output_cv, max_output_tokens),
+                priority=priority,
+            )
+        )
+    return requests
+
+
+def bursty_trace(
+    num_bursts: int,
+    burst_size: int,
+    burst_interval: float,
+    prompt_mean: int,
+    output_mean: int,
+    seed: int = 0,
+    prompt_cv: float = 0.25,
+    output_cv: float = 0.25,
+    intra_burst_spacing: float = 1e-3,
+    max_prompt_tokens: int = 1_048_576,
+    max_output_tokens: int = 8192,
+    priority: int = 0,
+) -> List[Request]:
+    """Bursts of ``burst_size`` near-simultaneous arrivals every interval.
+
+    Requests inside a burst are staggered by ``intra_burst_spacing`` seconds
+    so arrival order (and therefore FCFS order) is well defined.
+    """
+    if num_bursts < 1 or burst_size < 1:
+        raise ValueError("num_bursts and burst_size must be >= 1")
+    if burst_interval <= 0:
+        raise ValueError("burst_interval must be positive")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    rid = 0
+    for burst in range(num_bursts):
+        base = burst * burst_interval
+        for j in range(burst_size):
+            requests.append(
+                Request(
+                    request_id=rid,
+                    arrival_time=base + j * intra_burst_spacing,
+                    prompt_tokens=_lognormal_tokens(
+                        rng, prompt_mean, prompt_cv, max_prompt_tokens
+                    ),
+                    output_tokens=_lognormal_tokens(
+                        rng, output_mean, output_cv, max_output_tokens
+                    ),
+                    priority=priority,
+                )
+            )
+            rid += 1
+    return requests
+
+
+def long_context_trace(
+    num_requests: int,
+    arrival_rate: float,
+    short_prompt_mean: int,
+    long_prompt_mean: int,
+    long_fraction: float,
+    output_mean: int,
+    seed: int = 0,
+    max_prompt_tokens: int = 1_048_576,
+    max_output_tokens: int = 8192,
+) -> List[Request]:
+    """Poisson arrivals where a ``long_fraction`` of prompts is very long.
+
+    Models RAG / long-document traffic: most requests carry short prompts,
+    a heavy tail carries prompts around ``long_prompt_mean`` tokens.
+    """
+    if not 0.0 <= long_fraction <= 1.0:
+        raise ValueError("long_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    t = 0.0
+    for i in range(num_requests):
+        t += rng.expovariate(arrival_rate)
+        long = rng.random() < long_fraction
+        mean = long_prompt_mean if long else short_prompt_mean
+        requests.append(
+            Request(
+                request_id=i,
+                arrival_time=t,
+                prompt_tokens=_lognormal_tokens(rng, mean, 0.3, max_prompt_tokens),
+                output_tokens=_lognormal_tokens(rng, output_mean, 0.5, max_output_tokens),
+            )
+        )
+    return requests
+
+
+def replay_trace(
+    entries: Iterable[Tuple[float, int, int]], priority: int = 0
+) -> List[Request]:
+    """Build a trace from explicit ``(arrival, prompt, output)`` triples."""
+    requests = [
+        Request(
+            request_id=i,
+            arrival_time=float(arrival),
+            prompt_tokens=int(prompt),
+            output_tokens=int(output),
+            priority=priority,
+        )
+        for i, (arrival, prompt, output) in enumerate(entries)
+    ]
+    return sorted(requests, key=lambda r: r.arrival_time)
+
+
+def merge_traces(*traces: Sequence[Request]) -> List[Request]:
+    """Merge traces into one arrival-ordered trace with fresh request ids."""
+    merged = sorted(
+        (request for trace in traces for request in trace),
+        key=lambda r: (r.arrival_time, r.request_id),
+    )
+    return [replace(request, request_id=i) for i, request in enumerate(merged)]

@@ -80,6 +80,51 @@ class TestScheduleCommand:
         assert trace["traceEvents"]
 
 
+class TestServeCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["serve", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "chat" in out and "bursty-long" in out
+
+    def test_serves_chat_scenario(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "chat", "--model", "llama-70b", "--gpus", "8"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "TTFT p50" in out
+        assert "TPOT" in out
+        assert "goodput" in out
+        assert "KV-cache utilization" in out
+
+    def test_deterministic_under_fixed_seed(self, capsys):
+        argv = ["serve", "--scenario", "chat", "--seed", "11"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_trace_export(self, tmp_path, capsys):
+        trace_path = tmp_path / "serving.json"
+        exit_code = main(["serve", "--scenario", "chat", "--trace", str(trace_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_unknown_scenario_exits_with_names(self, capsys):
+        assert main(["serve", "--scenario", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "chat" in err  # the valid names are listed
+
+    def test_unknown_model_exits_with_names(self, capsys):
+        assert main(["serve", "--scenario", "chat", "--model", "gpt-5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model" in err
+        assert "llama-70b" in err
+
+
 class TestExperimentsCommand:
     def test_list(self, capsys):
         assert main(["experiments", "--list"]) == 0

@@ -1,0 +1,250 @@
+"""Tests for the continuous-batching scheduler (repro.serving.batcher)."""
+
+import pytest
+
+from repro.serving.batcher import BatcherConfig, ContinuousBatcher, Phase, RequestState
+from repro.serving.metrics import RequestRecord
+from repro.serving.paged_kv import PagedKVAllocator
+from repro.serving.workload import Request
+
+
+def make_state(rid, prompt, output, arrival=0.0, priority=0):
+    return RequestState(
+        record=RequestRecord(Request(rid, arrival, prompt, output, priority))
+    )
+
+
+def drain(batcher, max_iterations=10_000):
+    """Run plan/commit cycles until the batcher is idle; returns iterations."""
+    now = 0.0
+    iterations = 0
+    while batcher.has_work:
+        plan = batcher.plan()
+        assert not plan.empty, "batcher stalled with queued work"
+        now += 1.0
+        batcher.commit(plan, now)
+        iterations += 1
+        assert iterations < max_iterations
+    return iterations
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatcherConfig(policy="lifo")
+        with pytest.raises(ValueError):
+            BatcherConfig(max_batch_tokens=0)
+        with pytest.raises(ValueError):
+            BatcherConfig(min_prefill_chunk_tokens=0)
+
+    def test_pool_roles_exclusive(self):
+        alloc = PagedKVAllocator(16, 16)
+        with pytest.raises(ValueError):
+            ContinuousBatcher(alloc, prefill_only=True, decode_only=True)
+
+
+class TestAdmission:
+    def test_token_budget_respected(self):
+        alloc = PagedKVAllocator(total_blocks=64, block_tokens=16)
+        batcher = ContinuousBatcher(
+            alloc,
+            BatcherConfig(
+                max_batch_tokens=150, prefill_chunk_tokens=100, min_prefill_chunk_tokens=1
+            ),
+        )
+        for rid in range(3):
+            batcher.enqueue(make_state(rid, prompt=100, output=4))
+        plan = batcher.plan()
+        assert [(s.request.request_id, c) for s, c in plan.prefill] == [(0, 100), (1, 50)]
+        assert plan.batch_tokens <= 150
+
+    def test_fcfs_order(self):
+        alloc = PagedKVAllocator(64, 16)
+        batcher = ContinuousBatcher(alloc, BatcherConfig(max_batch_tokens=64))
+        batcher.enqueue(make_state(0, 64, 2, arrival=0.0))
+        batcher.enqueue(make_state(1, 64, 2, arrival=1.0, priority=-5))
+        plan = batcher.plan()
+        # FCFS ignores priority: request 0 arrived first.
+        assert plan.prefill[0][0].request.request_id == 0
+
+    def test_priority_order(self):
+        alloc = PagedKVAllocator(64, 16)
+        batcher = ContinuousBatcher(
+            alloc, BatcherConfig(max_batch_tokens=64, policy="priority")
+        )
+        batcher.enqueue(make_state(0, 64, 2, arrival=0.0))
+        batcher.enqueue(make_state(1, 64, 2, arrival=1.0, priority=-5))
+        plan = batcher.plan()
+        assert plan.prefill[0][0].request.request_id == 1
+
+    def test_oversized_request_rejected(self):
+        alloc = PagedKVAllocator(total_blocks=4, block_tokens=16)
+        batcher = ContinuousBatcher(alloc)
+        with pytest.raises(ValueError):
+            batcher.enqueue(make_state(0, prompt=100, output=10))
+
+    def test_max_running_requests(self):
+        alloc = PagedKVAllocator(64, 16)
+        batcher = ContinuousBatcher(
+            alloc, BatcherConfig(max_batch_tokens=1024, max_running_requests=2)
+        )
+        for rid in range(4):
+            batcher.enqueue(make_state(rid, 16, 2))
+        plan = batcher.plan()
+        assert len(plan.prefill) == 2
+
+
+class TestLifecycle:
+    def test_chunked_prefill_then_decode(self):
+        alloc = PagedKVAllocator(64, 16)
+        batcher = ContinuousBatcher(
+            alloc,
+            BatcherConfig(
+                max_batch_tokens=64, prefill_chunk_tokens=64, min_prefill_chunk_tokens=1
+            ),
+        )
+        state = make_state(0, prompt=150, output=3)
+        batcher.enqueue(state)
+        plan = batcher.plan()
+        assert plan.prefill == [(state, 64)]
+        batcher.commit(plan, 1.0)
+        assert state.phase is Phase.PREFILL and state.prefilled == 64
+        batcher.commit(batcher.plan(), 2.0)
+        assert state.prefilled == 128
+        batcher.commit(batcher.plan(), 3.0)
+        # Prefill complete: first token sampled, decode begins.
+        assert state.phase is Phase.DECODE
+        assert state.record.first_token_time == 3.0
+        assert state.decoded == 1
+        plan = batcher.plan()
+        assert plan.decode == [state]
+        batcher.commit(plan, 4.0)
+        batcher.commit(batcher.plan(), 5.0)
+        assert state.phase is Phase.FINISHED
+        assert state.record.finish_time == 5.0
+        assert alloc.used_blocks == 0
+
+    def test_prefill_only_handoff(self):
+        alloc = PagedKVAllocator(64, 16)
+        batcher = ContinuousBatcher(
+            alloc, BatcherConfig(max_batch_tokens=64), prefill_only=True
+        )
+        state = make_state(0, prompt=32, output=8)
+        batcher.enqueue(state)
+        departed = batcher.commit(batcher.plan(), 1.0)
+        assert departed == [state]
+        assert state.phase is Phase.HANDOFF
+        assert state.record.first_token_time == 1.0
+        assert state.record.finish_time is None
+        assert alloc.used_blocks == 0
+
+    def test_prefill_only_single_token_output_finishes(self):
+        alloc = PagedKVAllocator(64, 16)
+        batcher = ContinuousBatcher(
+            alloc, BatcherConfig(max_batch_tokens=64), prefill_only=True
+        )
+        state = make_state(0, prompt=32, output=1)
+        batcher.enqueue(state)
+        batcher.commit(batcher.plan(), 1.0)
+        assert state.phase is Phase.FINISHED
+        assert state.record.finish_time == 1.0
+
+    def test_decode_only_admission_reserves_context(self):
+        alloc = PagedKVAllocator(total_blocks=8, block_tokens=16)
+        batcher = ContinuousBatcher(alloc, decode_only=True)
+        state = RequestState(
+            record=RequestRecord(Request(0, 0.0, 100, 4)),
+            prefilled=100,
+            decoded=1,
+            pool_arrival=5.0,
+        )
+        state.record.first_token_time = 5.0
+        batcher.enqueue(state)
+        plan = batcher.plan()
+        assert plan.decode == [state]
+        assert alloc.used_blocks == 7  # ceil(101 / 16)
+        drain(batcher)
+        assert state.record.finish_time is not None
+
+
+class TestPreemption:
+    def _pressured_batcher(self):
+        # 4 blocks of 4 tokens: two requests of prompt 8 fill the pool, and
+        # decode growth forces a preemption.
+        alloc = PagedKVAllocator(total_blocks=4, block_tokens=4)
+        batcher = ContinuousBatcher(
+            alloc,
+            BatcherConfig(
+                max_batch_tokens=16,
+                prefill_chunk_tokens=8,
+                min_prefill_chunk_tokens=1,
+                admission_watermark=0.0,
+            ),
+        )
+        return alloc, batcher
+
+    def test_decode_growth_preempts_newest(self):
+        alloc, batcher = self._pressured_batcher()
+        first = make_state(0, prompt=8, output=8)
+        second = make_state(1, prompt=8, output=8)
+        batcher.enqueue(first)
+        batcher.enqueue(second)
+        batcher.commit(batcher.plan(), 1.0)  # both prefilled (8 + 8 tokens)
+        assert first.phase is Phase.DECODE and second.phase is Phase.DECODE
+        plan = batcher.plan()  # growing first's context needs a 3rd block
+        assert second.phase is Phase.WAITING  # newest request was evicted
+        assert second in batcher.waiting
+        assert plan.decode == [first]
+        assert batcher.preemptions == 1
+        assert second.record.preemptions == 1
+        assert alloc.evictions == 1
+        # The victim must re-prefill its whole context on resume.
+        assert second.prefilled == 0
+        assert second.prefill_target == 8 + second.decoded
+
+    def test_drain_to_completion_with_preemptions(self):
+        _, batcher = self._pressured_batcher()
+        states = [make_state(rid, prompt=8, output=8) for rid in range(3)]
+        for state in states:
+            batcher.enqueue(state)
+        drain(batcher)
+        assert all(s.phase is Phase.FINISHED for s in states)
+        assert batcher.preemptions >= 1
+        assert (
+            batcher.tokens_admitted
+            == batcher.tokens_prefilled + batcher.tokens_preempted_requeued
+        )
+
+    def test_decode_pool_accounting_survives_repeated_preemption(self):
+        # A decode-only pool preempting the same context repeatedly models
+        # KV re-fetch, not re-prefill: the conservation law must stay exact.
+        alloc = PagedKVAllocator(total_blocks=8, block_tokens=4)
+        batcher = ContinuousBatcher(alloc, decode_only=True)
+        states = []
+        for rid in range(3):
+            state = RequestState(
+                record=RequestRecord(Request(rid, 0.0, 10, 14)),
+                prefilled=10,
+                decoded=1,
+            )
+            state.record.first_token_time = 0.0
+            batcher.enqueue(state)
+            states.append(state)
+        drain(batcher)
+        assert all(s.phase is Phase.FINISHED for s in states)
+        assert batcher.preemptions >= 2
+        assert (
+            batcher.tokens_admitted
+            == batcher.tokens_prefilled + batcher.tokens_preempted_requeued
+        )
+
+    def test_token_accounting_without_preemption(self):
+        alloc = PagedKVAllocator(256, 16)
+        batcher = ContinuousBatcher(alloc, BatcherConfig(max_batch_tokens=64))
+        for rid in range(5):
+            batcher.enqueue(make_state(rid, prompt=100, output=8))
+        drain(batcher)
+        assert batcher.preemptions == 0
+        assert batcher.tokens_admitted == 500
+        assert batcher.tokens_prefilled == 500
+        assert batcher.tokens_preempted_requeued == 0

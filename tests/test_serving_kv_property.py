@@ -1,0 +1,131 @@
+"""Property-style tests: ChunkedKVCache reuse invariants under serving load.
+
+The training-side tests pin the chunk-reuse invariants for the pipeline's
+regular acquire/release pattern (backward of one microbatch frees exactly
+what the next forward needs).  Serving stresses the same pool much harder:
+many concurrent requests reserve and release blocks in arbitrary
+interleavings as contexts grow, finish and get preempted.  These tests
+drive randomized serving-shaped access patterns and assert the invariants
+the paper's Section 5 design guarantees for uniform chunks:
+
+* **conservation** — every chunk ever allocated is either live or free;
+* **zero fragmentation** — a new buffer is only ever allocated when the
+  free list is empty, so the number of distinct buffers equals the peak
+  number of simultaneously live chunks;
+* **steady-state stability** — once concurrency has peaked, continued
+  churn (requests finishing, new ones admitted) allocates nothing new.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kv_cache import ChunkedKVCache
+from repro.serving.paged_kv import PagedKVAllocator
+
+
+def _check_conservation(cache: ChunkedKVCache) -> None:
+    assert cache.live_chunks + cache.free_chunks == cache.total_chunks
+
+
+class TestInterleavedRequests:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_fragmentation_under_random_churn(self, seed):
+        rng = random.Random(seed)
+        cache = ChunkedKVCache()
+        live = []
+        next_block = {}
+        for _ in range(400):
+            request = rng.randrange(24)
+            if rng.random() < 0.55:
+                block = next_block.get(request, 0)
+                cache.acquire((request, block))
+                next_block[request] = block + 1
+                live.append((request, block))
+            elif live:
+                key = live.pop(rng.randrange(len(live)))
+                cache.release(key)
+            _check_conservation(cache)
+            # Zero fragmentation: distinct buffers == peak concurrency.
+            assert cache.total_chunks == cache.stats().peak_live_chunks
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_steady_state_chunk_count_is_stable(self, seed):
+        rng = random.Random(seed)
+        cache = ChunkedKVCache()
+        concurrency = 16
+        blocks_per_request = 4
+        # Warm phase: admit `concurrency` requests of equal context length.
+        generation = 0
+        live_requests = [
+            [(generation, r, b) for b in range(blocks_per_request)]
+            for r in range(concurrency)
+        ]
+        for table in live_requests:
+            for key in table:
+                cache.acquire(key)
+        steady_total = cache.total_chunks
+        # Steady phase: requests finish and are replaced, in random order —
+        # the serving analogue of "backward frees what the next forward
+        # needs".  No new buffer may ever be allocated.
+        for step in range(200):
+            index = rng.randrange(len(live_requests))
+            for key in live_requests[index]:
+                cache.release(key)
+            generation += 1
+            replacement = [
+                (generation, step, b) for b in range(blocks_per_request)
+            ]
+            for key in replacement:
+                cache.acquire(key)
+            live_requests[index] = replacement
+            assert cache.total_chunks == steady_total
+            _check_conservation(cache)
+        stats = cache.stats()
+        assert stats.reuses == 200 * blocks_per_request
+        assert stats.reuse_fraction > 0.7
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_paged_allocator_inherits_the_invariants(self, seed):
+        rng = random.Random(seed)
+        alloc = PagedKVAllocator(total_blocks=64, block_tokens=16)
+        tokens = {}
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.45 or not tokens:
+                request = rng.randrange(100)
+                if request in tokens:
+                    continue
+                want = rng.randrange(1, 12 * 16)
+                if alloc.reserve(request, want):
+                    tokens[request] = want
+            elif action < 0.75:
+                request = rng.choice(sorted(tokens))
+                grown = tokens[request] + rng.randrange(1, 48)
+                if alloc.reserve(request, grown):
+                    tokens[request] = grown
+            else:
+                request = rng.choice(sorted(tokens))
+                if rng.random() < 0.3:
+                    alloc.evict(request)
+                else:
+                    alloc.release(request)
+                del tokens[request]
+            # Block-table sizes track reserved tokens exactly.
+            assert alloc.stored_tokens == sum(tokens.values())
+            assert alloc.used_blocks == sum(
+                -(-t // alloc.block_tokens) for t in tokens.values()
+            )
+            assert 0 <= alloc.free_blocks <= alloc.total_blocks
+            stats = alloc.stats()
+            _check_conservation(alloc._cache)
+            assert stats.cache.peak_live_chunks == alloc._cache.total_chunks
+        # Releasing everything returns the pool to empty without losing chunks.
+        for request in sorted(tokens):
+            alloc.release(request)
+        assert alloc.used_blocks == 0
+        _check_conservation(alloc._cache)

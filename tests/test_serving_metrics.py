@@ -1,0 +1,96 @@
+"""Tests for serving metrics (repro.serving.metrics)."""
+
+import pytest
+
+from repro.serving.metrics import SLO, RequestRecord, compute_metrics, percentile
+from repro.serving.workload import Request
+
+
+class TestPercentile:
+    def test_endpoints_and_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+def _record(arrival, first, finish, prompt=100, output=11):
+    record = RequestRecord(Request(0, arrival, prompt, output))
+    record.first_token_time = first
+    record.finish_time = finish
+    return record
+
+
+class TestRequestRecord:
+    def test_latencies(self):
+        record = _record(arrival=1.0, first=3.0, finish=8.0, output=11)
+        assert record.ttft == pytest.approx(2.0)
+        assert record.tpot == pytest.approx(0.5)  # 5 s over 10 decode tokens
+        assert record.e2e_latency == pytest.approx(7.0)
+
+    def test_single_token_output_has_zero_tpot(self):
+        record = _record(arrival=0.0, first=2.0, finish=2.0, output=1)
+        assert record.tpot == 0.0
+
+    def test_unfinished_raises(self):
+        record = RequestRecord(Request(0, 0.0, 10, 5))
+        assert not record.finished
+        with pytest.raises(ValueError):
+            _ = record.ttft
+
+    def test_slo(self):
+        slo = SLO(ttft=1.0, tpot=0.1)
+        good = _record(arrival=0.0, first=0.5, finish=1.0, output=11)
+        assert good.meets(slo)
+        slow_first = _record(arrival=0.0, first=1.5, finish=2.0, output=11)
+        assert not slow_first.meets(slo)
+        slow_decode = _record(arrival=0.0, first=0.5, finish=3.0, output=11)
+        assert not slow_decode.meets(slo)
+
+
+class TestComputeMetrics:
+    def test_aggregates(self):
+        records = [
+            _record(0.0, 0.5, 1.5),
+            _record(0.0, 1.0, 3.0),
+            _record(0.0, 2.0, 6.0),
+        ]
+        metrics = compute_metrics(
+            records,
+            duration=6.0,
+            slo=SLO(ttft=1.5, tpot=0.5),
+            kv_utilization_mean=0.4,
+            kv_utilization_peak=0.9,
+            preemptions=3,
+        )
+        assert metrics.num_requests == 3
+        assert metrics.ttft_p50 == pytest.approx(1.0)
+        assert metrics.goodput_fraction == pytest.approx(2 / 3)
+        assert metrics.requests_per_second == pytest.approx(0.5)
+        assert metrics.output_tokens_per_second == pytest.approx(33 / 6.0)
+        assert metrics.kv_utilization_peak == 0.9
+        assert metrics.preemptions == 3
+
+    def test_unfinished_excluded(self):
+        records = [_record(0.0, 0.5, 1.5), RequestRecord(Request(1, 0.0, 10, 5))]
+        metrics = compute_metrics(records, 2.0, SLO())
+        assert metrics.num_requests == 1
+
+    def test_no_finished_raises(self):
+        with pytest.raises(ValueError):
+            compute_metrics([RequestRecord(Request(0, 0.0, 10, 5))], 1.0, SLO())
+
+    def test_to_text_renders(self):
+        metrics = compute_metrics([_record(0.0, 0.5, 1.5)], 2.0, SLO())
+        text = metrics.to_text(title="test table")
+        assert "test table" in text
+        assert "TTFT" in text and "goodput" in text.lower()

@@ -1,0 +1,95 @@
+"""Tests for the serving workload generators (repro.serving.workload)."""
+
+import pytest
+
+from repro.serving.workload import (
+    Request,
+    bursty_trace,
+    long_context_trace,
+    merge_traces,
+    poisson_trace,
+    replay_trace,
+)
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, -1.0, 10, 10)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 0, 10)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 10, 0)
+
+    def test_total_tokens(self):
+        assert Request(0, 0.0, 10, 5).total_tokens == 15
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = poisson_trace(50, 2.0, 1024, 256, seed=7)
+        b = poisson_trace(50, 2.0, 1024, 256, seed=7)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = poisson_trace(50, 2.0, 1024, 256, seed=7)
+        b = poisson_trace(50, 2.0, 1024, 256, seed=8)
+        assert a != b
+
+    def test_bursty_deterministic(self):
+        assert bursty_trace(3, 4, 10.0, 4096, 256, seed=1) == bursty_trace(
+            3, 4, 10.0, 4096, 256, seed=1
+        )
+
+    def test_long_context_deterministic(self):
+        a = long_context_trace(40, 1.0, 1024, 65536, 0.3, 128, seed=3)
+        assert a == long_context_trace(40, 1.0, 1024, 65536, 0.3, 128, seed=3)
+
+
+class TestShapes:
+    def test_poisson_sorted_and_positive(self):
+        trace = poisson_trace(100, 4.0, 2048, 256, seed=0)
+        assert len(trace) == 100
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(r.prompt_tokens >= 1 and r.output_tokens >= 1 for r in trace)
+
+    def test_poisson_mean_roughly_matches(self):
+        trace = poisson_trace(500, 2.0, 2048, 256, seed=0)
+        mean_prompt = sum(r.prompt_tokens for r in trace) / len(trace)
+        assert 0.75 * 2048 < mean_prompt < 1.3 * 2048
+        span = trace[-1].arrival_time
+        assert 0.7 * 250 < span < 1.4 * 250  # 500 requests at 2/s
+
+    def test_bursty_structure(self):
+        trace = bursty_trace(3, 5, 10.0, 4096, 256, seed=0)
+        assert len(trace) == 15
+        # Bursts are 10 s apart, requests inside a burst nearly simultaneous.
+        assert trace[5].arrival_time == pytest.approx(10.0, abs=0.1)
+        assert trace[4].arrival_time - trace[0].arrival_time < 0.1
+
+    def test_long_context_tail(self):
+        trace = long_context_trace(300, 1.0, 1024, 65536, 0.3, 128, seed=0)
+        long = [r for r in trace if r.prompt_tokens > 16384]
+        assert 0.15 * len(trace) < len(long) < 0.45 * len(trace)
+
+    def test_caps_respected(self):
+        trace = poisson_trace(
+            200, 1.0, 4096, 256, seed=0, prompt_cv=3.0, max_prompt_tokens=8192
+        )
+        assert max(r.prompt_tokens for r in trace) <= 8192
+
+
+class TestReplayAndMerge:
+    def test_replay_orders_by_arrival(self):
+        trace = replay_trace([(5.0, 10, 2), (1.0, 20, 3)])
+        assert [r.arrival_time for r in trace] == [1.0, 5.0]
+        assert trace[0].prompt_tokens == 20
+
+    def test_merge_reassigns_ids(self):
+        a = replay_trace([(0.0, 10, 2), (4.0, 10, 2)])
+        b = replay_trace([(2.0, 30, 5)])
+        merged = merge_traces(a, b)
+        assert [r.request_id for r in merged] == [0, 1, 2]
+        assert [r.arrival_time for r in merged] == [0.0, 2.0, 4.0]
+        assert merged[1].prompt_tokens == 30
