@@ -8,19 +8,31 @@ Mixtral 8x7B on 128 and 256 GPUs — and checks the paper's three claims:
 * SlimPipe is feasible everywhere and never slower than the baselines,
 * its advantage over Megatron-LM widens as the context grows,
 * the baselines hit OOM / no-viable-configuration walls at long context.
+
+The second test drives the same grid through the sweep engine
+(``repro.sweep``): serially, fanned out over four worker processes, and
+again against a warm on-disk cache, asserting that the three runs agree
+cell-for-cell, that the warm re-run is an order of magnitude cheaper, and —
+when the machine actually has the cores — that four workers beat serial by
+at least 2x.
 """
+
+import os
+import time
 
 from repro.analysis.figures import figure12_end_to_end
 from repro.model.config import LLAMA_70B, MIXTRAL_8X7B
+from repro.sweep import SweepCache
+
+_FIG12_KWARGS = dict(
+    models=(LLAMA_70B, MIXTRAL_8X7B),
+    gpu_counts=(128, 256),
+    sequence_ks=(64, 128, 256, 512),
+)
 
 
 def test_figure12_end_to_end(once):
-    result = once(
-        figure12_end_to_end,
-        models=(LLAMA_70B, MIXTRAL_8X7B),
-        gpu_counts=(128, 256),
-        sequence_ks=(64, 128, 256, 512),
-    )
+    result = once(figure12_end_to_end, **_FIG12_KWARGS)
     print()
     print(result.to_text())
     print("speedup over Megatron-LM (Llama 70B, 128 GPUs):")
@@ -46,3 +58,57 @@ def test_figure12_end_to_end(once):
     # Baseline failure modes at 512K on 128 GPUs, as annotated in the figure.
     assert not result.cell("llama-70b", 128, 512, "megatron-lm").feasible
     assert not result.cell("llama-70b", 128, 512, "deepspeed").feasible
+
+
+def _cells(result):
+    return [
+        (c.model, c.num_gpus, c.sequence_k, c.system, c.feasible, c.reason, c.mfu)
+        for c in result.cells
+    ]
+
+
+def _available_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):  # Linux; respects cgroup/CPU pinning
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _timed(**kwargs):
+    t0 = time.perf_counter()
+    result = figure12_end_to_end(**_FIG12_KWARGS, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def test_figure12_sweep_parallel_speedup_and_warm_cache(tmp_path):
+    """The fig12 grid through the sweep engine: serial vs 4 workers vs cache."""
+    t_serial, serial = _timed()
+    cache = SweepCache(tmp_path)
+    t_cold, cold = _timed(workers=4, cache=cache)
+    t_warm, warm = _timed(workers=4, cache=cache)
+
+    print(
+        f"\nfig12 sweep: serial {t_serial:.2f}s, 4 workers cold {t_cold:.2f}s, "
+        f"warm cache {t_warm:.3f}s"
+    )
+
+    # Worker processes and the cache must not change a single cell.
+    assert _cells(serial) == _cells(cold) == _cells(warm)
+
+    # A warm cache turns the sweep into a file read.
+    assert t_warm < 0.25 * t_cold
+    assert t_warm < 0.25 * t_serial
+
+    # The parallel speedup claim needs actual cores to stand on; with fewer
+    # than four the pool degenerates to time-slicing the same CPUs.  One
+    # re-measurement absorbs noisy-neighbor interference on shared runners.
+    if _available_cpus() >= 4:
+        best = t_serial / t_cold
+        for _ in range(2):
+            if best >= 2.0:
+                break
+            t_s, _ = _timed()
+            t_p, _ = _timed(workers=4)
+            best = max(best, t_s / t_p)
+        assert best >= 2.0, (
+            f"expected >= 2x speedup with 4 workers; best observed {best:.2f}x"
+        )

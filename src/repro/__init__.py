@@ -23,9 +23,54 @@ prefill/decode disaggregation with comm-priced KV hand-off, and
 TTFT/TPOT/goodput metrics over a registry of named scenarios (see the
 ``serve`` CLI subcommand).  See README.md for a tour and DESIGN.md for the
 experiment index.
+
+Sweeps and goldens (``repro.sweep``)
+------------------------------------
+Every paper-scale experiment is a grid, and ``repro.sweep`` is the machine
+that runs grids:
+
+* **Sweep specs.**  A ``SweepSpec`` declares *axes* (lists of JSON scalars:
+  model names, GPU counts, context lengths ``sequence_k``, scheme or
+  scenario names), a *base* of fixed parameters merged into every point, and
+  the name of a registered *evaluator* (``fig12-cell``, ``scheme-point``,
+  ``serving-scenario``) that maps one point to a flat metrics dict.  Named
+  specs live in ``repro.sweep.SWEEP_REGISTRY`` (``fig12``,
+  ``scheme-context``, ``serving``); ``python -m repro.cli sweep list-axes``
+  prints them.
+* **Execution.**  ``run_sweep(spec, workers=N, cache=SweepCache())``
+  expands the grid, prunes points whose model states provably exceed the
+  cluster's aggregate memory, resolves the rest against the cache and fans
+  the misses out over ``N`` worker processes in contiguous chunks
+  (``workers <= 1`` stays in-process).  ``figure12_end_to_end`` and
+  ``serving_comparison`` accept the same ``workers`` / ``cache`` knobs.
+* **Cache location and invalidation.**  Results are memoized as JSON under
+  ``$REPRO_SWEEP_CACHE_DIR`` (default ``~/.cache/repro-sweep``), one file
+  per spec name, keyed by a stable hash of (evaluator, point) and stamped
+  with a fingerprint over every modelled constant (GPU spec, estimator
+  settings, model registry, scheme formulas, serving scenarios).  Changing
+  any such constant invalidates the file wholesale; ``--no-cache`` bypasses
+  memoization.
+* **Goldens.**  ``repro.sweep.golden`` pins the headline numbers of every
+  figure/table and the serving scenarios' TTFT/TPOT/goodput as JSON under
+  ``tests/goldens/`` (same fingerprint stamp).  ``pytest tests -k golden``
+  recomputes and diffs them within tolerance; after an intentional change,
+  regenerate with ``python -m repro.cli sweep golden --regenerate`` and
+  commit the rewritten files.
 """
 
-from . import analysis, core, hardware, model, numerics, parallel, schedules, serving, sim, systems
+from . import (
+    analysis,
+    core,
+    hardware,
+    model,
+    numerics,
+    parallel,
+    schedules,
+    serving,
+    sim,
+    sweep,
+    systems,
+)
 from .core import SlimPipeOptions, SlimPipePlanner, build_slimpipe_schedule
 from .hardware import HOPPER_80GB, ClusterTopology, hopper_cluster
 from .model import MODEL_REGISTRY, ModelConfig, get_model_config
@@ -52,6 +97,7 @@ __all__ = [
     "schedules",
     "serving",
     "sim",
+    "sweep",
     "systems",
     "ModelConfig",
     "MODEL_REGISTRY",

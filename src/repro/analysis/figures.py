@@ -31,14 +31,10 @@ from ..schedules.formulas import (
 from ..sim.engine import SimulationEngine, UniformCostProvider
 from ..sim.memory_tracker import MemoryTracker
 from ..sim.providers import ModelActivationAccountant
-from ..systems import (
-    AnalyticEstimator,
-    DeepSpeedSystem,
-    MegatronSystem,
-    SchemeSystem,
-    SlimPipeSystem,
-    SystemEstimate,
-)
+from ..sweep.cache import SweepCache
+from ..sweep.engine import run_sweep
+from ..sweep.spec import SweepSpec
+from ..systems import AnalyticEstimator, SchemeSystem, SystemEstimate
 from .report import render_table
 
 __all__ = [
@@ -823,32 +819,52 @@ def figure12_end_to_end(
     gpu_counts: Sequence[int] = (128, 256),
     sequence_ks: Sequence[int] = (64, 128, 256, 512),
     tokens_per_iteration: int = 4 * 1024 * 1024,
+    workers: int = 0,
+    cache: Optional[SweepCache] = None,
 ) -> Figure12Result:
-    """The Figure 12 grid (a subset by default; pass the full lists to widen it)."""
-    systems = (DeepSpeedSystem(), MegatronSystem(), SlimPipeSystem())
-    result = Figure12Result()
+    """The Figure 12 grid (a subset by default; pass the full lists to widen it).
+
+    Each cell is one independent grid search, so the whole figure is a sweep:
+    ``workers > 1`` fans the cells out over that many processes and ``cache``
+    memoizes per-cell results on disk (see :mod:`repro.sweep`).  Cell order
+    matches the historical nested loops (model, GPUs, context, system).
+
+    Models travel to the evaluator by registry name, so every entry of
+    ``models`` must be (equal to) a registered configuration.
+    """
+    from ..model.config import get_model_config
+
     for model in models:
-        for num_gpus in gpu_counts:
-            cluster = hopper_cluster(num_gpus)
-            for seq_k in sequence_ks:
-                seq = tokens_from_k(seq_k)
-                workload = WorkloadConfig(
-                    sequence_length=seq,
-                    tokens_per_iteration=max(tokens_per_iteration, seq),
-                )
-                for system in systems:
-                    estimate = system.best_configuration(model, cluster, workload)
-                    result.cells.append(
-                        Figure12Cell(
-                            model=model.name,
-                            num_gpus=num_gpus,
-                            sequence_k=seq_k,
-                            system=system.name,
-                            feasible=estimate.feasible,
-                            reason=estimate.reason,
-                            mfu=estimate.mfu,
-                        )
-                    )
+        if get_model_config(model.name) != model:
+            raise ValueError(
+                f"figure12_end_to_end requires registered model configs; "
+                f"{model.name!r} differs from MODEL_REGISTRY[{model.name!r}]"
+            )
+    spec = SweepSpec.make(
+        name="fig12",
+        evaluator="fig12-cell",
+        axes={
+            "model": tuple(model.name for model in models),
+            "num_gpus": tuple(gpu_counts),
+            "sequence_k": tuple(sequence_ks),
+            "system": ("deepspeed", "megatron-lm", "slimpipe"),
+        },
+        base={"tokens_per_iteration": tokens_per_iteration},
+    )
+    sweep = run_sweep(spec, workers=workers, cache=cache)
+    result = Figure12Result()
+    for point, row in sweep:
+        result.cells.append(
+            Figure12Cell(
+                model=str(point["model"]),
+                num_gpus=int(point["num_gpus"]),
+                sequence_k=int(point["sequence_k"]),
+                system=str(point["system"]),
+                feasible=bool(row["feasible"]),
+                reason=str(row["reason"]),
+                mfu=float(row["mfu"]),
+            )
+        )
     return result
 
 

@@ -14,7 +14,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..serving.metrics import ServingMetrics
-from ..serving.scenarios import SCENARIO_REGISTRY, get_scenario, run_scenario
+from ..serving.scenarios import SCENARIO_REGISTRY, get_scenario
+from ..sweep.cache import SweepCache
+from ..sweep.engine import run_sweep
+from ..sweep.evaluators import serving_metrics_from_result
+from ..sweep.spec import SweepSpec
 from .report import format_percent, render_table
 
 __all__ = ["ServingComparisonRow", "ServingComparisonResult", "serving_comparison"]
@@ -67,22 +71,36 @@ class ServingComparisonResult:
 def serving_comparison(
     scenarios: Optional[Sequence[str]] = None,
     seed: int = 0,
+    workers: int = 0,
+    cache: Optional[SweepCache] = None,
 ) -> ServingComparisonResult:
-    """Simulate every (scenario, deployment) pair and tabulate the results."""
+    """Simulate every (scenario, deployment) pair and tabulate the results.
+
+    Runs as a sweep over (scenario, mode): ``workers > 1`` simulates the
+    pairs in parallel processes and ``cache`` memoizes per-pair metrics
+    (see :mod:`repro.sweep`).
+    """
     names = list(scenarios) if scenarios is not None else sorted(SCENARIO_REGISTRY)
-    result = ServingComparisonResult(seed=seed)
     for name in names:
-        scenario = get_scenario(name)
-        for mode in ("colocated", "disaggregated"):
-            run = run_scenario(scenario, mode, seed=seed)
-            result.rows.append(
-                ServingComparisonRow(
-                    scenario=name,
-                    mode=mode,
-                    model=scenario.model,
-                    num_gpus=scenario.num_gpus,
-                    metrics=run.metrics,
-                    preemptions=run.preemptions,
-                )
+        get_scenario(name)  # fail fast with the list of valid names
+    spec = SweepSpec.make(
+        name="serving-comparison",
+        evaluator="serving-scenario",
+        axes={"scenario": tuple(names), "mode": ("colocated", "disaggregated")},
+        base={"seed": seed},
+    )
+    sweep = run_sweep(spec, workers=workers, cache=cache)
+    result = ServingComparisonResult(seed=seed)
+    for point, row in sweep:
+        scenario = get_scenario(str(point["scenario"]))
+        result.rows.append(
+            ServingComparisonRow(
+                scenario=scenario.name,
+                mode=str(point["mode"]),
+                model=scenario.model,
+                num_gpus=scenario.num_gpus,
+                metrics=serving_metrics_from_result(row),
+                preemptions=int(row["preemptions"]),
             )
+        )
     return result

@@ -22,11 +22,20 @@ Four subcommands cover the library's main workflows without writing Python:
 
 ``experiments``
     Regenerate a chosen paper experiment's data table (Figures 1-3, 6-14 and
-    Tables 2-4) or the serving comparison, directly from the analysis layer.
+    Tables 2-4), the serving comparison, or a registered sweep, directly
+    from the analysis layer.
 
-Unknown model, experiment or scenario names exit with status 2 and the list
-of valid names.  Run ``python -m repro.cli --help`` (or any subcommand with
-``--help``) for the full set of options.
+``sweep``
+    Drive the declarative sweep engine (``repro.sweep``): ``sweep run
+    --name fig12 --workers 4`` evaluates a registered grid over worker
+    processes with on-disk memoization (``--no-cache`` / ``--cache-dir``
+    control the cache), ``sweep list-axes`` prints every registered spec's
+    axes, and ``sweep golden --check`` / ``--regenerate`` verifies or
+    rewrites the golden-metrics files under ``tests/goldens/``.
+
+Unknown model, experiment, scenario, sweep or golden names exit with status
+2 and the list of valid names.  Run ``python -m repro.cli --help`` (or any
+subcommand with ``--help``) for the full set of options.
 """
 
 from __future__ import annotations
@@ -220,6 +229,62 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
 
 
 # ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+def _sweep_cache(args: argparse.Namespace):
+    from .sweep import SweepCache
+
+    if args.no_cache:
+        return None
+    return SweepCache(directory=args.cache_dir)
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from .sweep import get_sweep_spec, run_sweep
+
+    spec = get_sweep_spec(args.name)
+    result = run_sweep(spec, workers=args.workers, cache=_sweep_cache(args))
+    print(result.to_text())
+    return 0
+
+
+def _cmd_sweep_list_axes(args: argparse.Namespace) -> int:
+    from .sweep import SWEEP_REGISTRY, get_sweep_spec
+
+    names = [args.name] if args.name else sorted(SWEEP_REGISTRY)
+    for name in names:
+        print(get_sweep_spec(name).describe())
+        print()
+    return 0
+
+
+def _cmd_sweep_golden(args: argparse.Namespace) -> int:
+    from .sweep import (
+        available_goldens,
+        check_golden,
+        get_golden_definition,
+        record_golden,
+    )
+
+    names = args.names or available_goldens()
+    for name in names:
+        get_golden_definition(name)  # fail fast with the list of valid names
+    if args.regenerate:
+        for name in names:
+            print(f"recorded {record_golden(name, directory=args.dir)}")
+        return 0
+    failures = 0
+    for name in names:
+        check = check_golden(name, directory=args.dir)
+        print(check.report())
+        failures += 0 if check.ok else 1
+    if failures:
+        print(f"{failures} of {len(names)} goldens failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # experiments
 # ---------------------------------------------------------------------------
 def _experiment_registry() -> Dict[str, Callable[[], str]]:
@@ -228,8 +293,14 @@ def _experiment_registry() -> Dict[str, Callable[[], str]]:
 
         return serving_comparison(scenarios=("chat", "bursty-long")).to_text()
 
+    def _sweep_experiment() -> str:
+        from .sweep import get_sweep_spec, run_sweep
+
+        return run_sweep(get_sweep_spec("scheme-context")).to_text()
+
     return {
         "serving": _serving_comparison,
+        "sweep": _sweep_experiment,
         "fig1": lambda: figures.figure1_memory_footprint().to_text(),
         "fig2": lambda: figures.figure2_max_context().to_text(),
         "fig3": lambda: figures.figure3_bubble_fractions().to_text(),
@@ -337,6 +408,47 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", help="experiment ids, e.g. fig2 fig12 tab4")
     experiments.add_argument("--list", action="store_true", help="list available experiments")
     experiments.set_defaults(handler=_cmd_experiments)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run declarative sweeps and manage golden metrics"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser("run", help="run a registered sweep")
+    sweep_run.add_argument("--name", default="scheme-context", help="sweep name (see list-axes)")
+    sweep_run.add_argument(
+        "--workers", type=int, default=0, help="worker processes (<=1 runs in-process)"
+    )
+    sweep_run.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    sweep_run.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="cache directory (default: $REPRO_SWEEP_CACHE_DIR or ~/.cache/repro-sweep)",
+    )
+    sweep_run.set_defaults(handler=_cmd_sweep_run)
+
+    sweep_axes = sweep_sub.add_parser("list-axes", help="print the axes of registered sweeps")
+    sweep_axes.add_argument("--name", default=None, help="restrict to one sweep")
+    sweep_axes.set_defaults(handler=_cmd_sweep_list_axes)
+
+    sweep_golden = sweep_sub.add_parser(
+        "golden", help="check or regenerate the golden-metrics files"
+    )
+    sweep_golden.add_argument("names", nargs="*", help="golden names (default: all)")
+    golden_mode = sweep_golden.add_mutually_exclusive_group()
+    golden_mode.add_argument(
+        "--check", action="store_true", help="recompute and diff (the default)"
+    )
+    golden_mode.add_argument(
+        "--regenerate", action="store_true", help="rewrite the files instead of checking"
+    )
+    sweep_golden.add_argument(
+        "--dir", metavar="PATH", default=None, help="goldens directory (default: tests/goldens)"
+    )
+    sweep_golden.set_defaults(handler=_cmd_sweep_golden)
     return parser
 
 

@@ -39,9 +39,16 @@ __all__ = [
 
 
 def divisors(value: int, ceiling: Optional[int] = None) -> List[int]:
-    """Positive divisors of ``value`` (optionally capped at ``ceiling``)."""
+    """Positive divisors of ``value`` (optionally capped at ``ceiling``).
+
+    ``ceiling`` must be at least 1 when given: a zero or negative ceiling can
+    only arise from a caller bug (an empty search dimension would silently
+    produce "no-configuration" everywhere), so it is rejected loudly.
+    """
     if value < 1:
-        raise ValueError("value must be >= 1")
+        raise ValueError(f"value must be >= 1, got {value}")
+    if ceiling is not None and ceiling < 1:
+        raise ValueError(f"ceiling must be >= 1 when given, got {ceiling}")
     result = [d for d in range(1, value + 1) if value % d == 0]
     if ceiling is not None:
         result = [d for d in result if d <= ceiling]
@@ -177,12 +184,9 @@ def grid_search(
     Returns ``(best_config, best_value)``; ``(None, -inf)`` when every
     candidate is infeasible or the iterator is empty.
     """
-    best_config: Optional[ParallelConfig] = None
-    best_value = float("-inf")
-    for candidate in candidates:
-        value = objective(candidate)
-        if value is None:
-            continue
-        if value > best_value:
-            best_config, best_value = candidate, value
-    return best_config, best_value
+    # The evaluate-and-keep-the-best loop lives in the sweep engine
+    # (imported lazily: the sweep layer builds on the systems which build on
+    # this module).
+    from ..sweep.engine import argmax_stream
+
+    return argmax_stream(candidates, objective)

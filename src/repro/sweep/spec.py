@@ -1,0 +1,167 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a grid of experiment points — the Cartesian
+product of its :class:`SweepAxis` values merged over a ``base`` of fixed
+parameters — together with the registered *evaluator* that turns one point
+into a flat dictionary of metrics.  Points and results are deliberately
+restricted to JSON scalars so that
+
+* a point can be shipped to a ``ProcessPoolExecutor`` worker by name instead
+  of by closure (evaluators are looked up in the worker),
+* a point can be hashed stably (:func:`stable_hash`) for the on-disk result
+  cache, and
+* a whole sweep can be rendered, diffed and pinned as golden metrics.
+
+Only the standard library is imported here: the spec layer sits below every
+other part of the reproduction so the search, analysis and CLI layers can all
+build on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Scalar",
+    "SweepAxis",
+    "SweepSpec",
+    "canonical_json",
+    "stable_hash",
+    "point_key",
+]
+
+#: The value types a sweep point may carry (JSON scalars).
+Scalar = Union[str, int, float, bool, None]
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def canonical_json(obj: object) -> str:
+    """Canonical JSON rendering: sorted keys, no whitespace, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def stable_hash(obj: object) -> str:
+    """Stable SHA-256 hex digest of ``obj``'s canonical JSON rendering."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def point_key(evaluator: str, point: Mapping[str, Scalar]) -> str:
+    """Cache key of one sweep point: hash of (evaluator, point)."""
+    return stable_hash({"evaluator": evaluator, "point": dict(point)})
+
+
+def _check_scalar(owner: str, name: str, value: object) -> None:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise ValueError(
+            f"{owner} {name!r} must hold JSON scalars, got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named dimension of a sweep and the values it takes."""
+
+    name: str
+    values: Tuple[Scalar, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} must have at least one value")
+        seen = set()
+        for value in self.values:
+            _check_scalar("axis", self.name, value)
+            if value in seen:
+                raise ValueError(f"axis {self.name!r} repeats value {value!r}")
+            seen.add(value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, declarative grid of experiment points.
+
+    ``axes`` vary across points (outer axes vary slowest, mirroring nested
+    ``for`` loops); ``base`` parameters are merged verbatim into every point.
+    ``evaluator`` names a function registered in
+    :mod:`repro.sweep.evaluators`.
+    """
+
+    name: str
+    evaluator: str
+    axes: Tuple[SweepAxis, ...]
+    base: Tuple[Tuple[str, Scalar], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec name must be non-empty")
+        if not self.evaluator:
+            raise ValueError("spec evaluator must be non-empty")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in spec {self.name!r}: {names}")
+        for key, value in self.base:
+            _check_scalar("base parameter", key, value)
+            if key in names:
+                raise ValueError(
+                    f"base parameter {key!r} clashes with an axis of spec {self.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        evaluator: str,
+        axes: Mapping[str, Sequence[Scalar]],
+        base: Optional[Mapping[str, Scalar]] = None,
+        description: str = "",
+    ) -> "SweepSpec":
+        """Convenience constructor from plain mappings (insertion-ordered)."""
+        return cls(
+            name=name,
+            evaluator=evaluator,
+            axes=tuple(SweepAxis(k, tuple(v)) for k, v in axes.items()),
+            base=tuple((base or {}).items()),
+            description=description,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def axis_names(self) -> List[str]:
+        return [axis.name for axis in self.axes]
+
+    @property
+    def num_points(self) -> int:
+        count = 1
+        for axis in self.axes:
+            count *= len(axis.values)
+        return count
+
+    def expand(self) -> List[Dict[str, Scalar]]:
+        """Materialise every point: base parameters plus one value per axis."""
+        base = dict(self.base)
+        points: List[Dict[str, Scalar]] = []
+        for combo in itertools.product(*(axis.values for axis in self.axes)):
+            point = dict(base)
+            point.update(zip(self.axis_names, combo))
+            points.append(point)
+        return points
+
+    def describe(self) -> str:
+        """Human-readable axis listing (the ``sweep list-axes`` rendering)."""
+        lines = [f"{self.name}: evaluator={self.evaluator}, {self.num_points} points"]
+        if self.description:
+            lines.append(f"  {self.description}")
+        for axis in self.axes:
+            values = ", ".join(str(v) for v in axis.values)
+            lines.append(f"  axis {axis.name} ({len(axis.values)}): {values}")
+        for key, value in self.base:
+            lines.append(f"  base {key} = {value}")
+        return "\n".join(lines)

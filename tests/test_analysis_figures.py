@@ -229,6 +229,18 @@ class TestFigure12:
         with pytest.raises(KeyError):
             result.cell("llama-70b", 512, 64, "slimpipe")
 
+    def test_unregistered_model_config_rejected_loudly(self):
+        # Cells travel to the sweep evaluator by registry name, so a modified
+        # copy sharing a registered name must not be silently swapped for the
+        # registry entry.
+        import dataclasses
+
+        tweaked = dataclasses.replace(LLAMA_70B, num_layers=LLAMA_70B.num_layers * 2)
+        with pytest.raises(ValueError, match="registered model configs"):
+            figures.figure12_end_to_end(
+                models=(tweaked,), gpu_counts=(128,), sequence_ks=(64,)
+            )
+
 
 class TestFigures13And14:
     @pytest.fixture(scope="class")

@@ -143,3 +143,64 @@ class TestExperimentsCommand:
 
     def test_no_names_is_an_error(self, capsys):
         assert main(["experiments"]) == 2
+
+    def test_sweep_experiment_registered(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "sweep" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_list_axes_prints_every_registered_sweep(self, capsys):
+        assert main(["sweep", "list-axes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig12", "scheme-context", "serving"):
+            assert name in out
+        assert "axis" in out and "points" in out
+
+    def test_list_axes_single_sweep(self, capsys):
+        assert main(["sweep", "list-axes", "--name", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "scheme-context" not in out
+
+    def test_run_scheme_context_no_cache(self, capsys):
+        assert main(
+            ["sweep", "run", "--name", "scheme-context", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep scheme-context" in out
+        assert "slimpipe" in out and "bubble_fraction" in out
+
+    def test_run_uses_the_cache_dir(self, tmp_path, capsys):
+        argv = [
+            "sweep", "run", "--name", "scheme-context", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert (tmp_path / "scheme-context.json").exists()
+        assert main(argv) == 0
+        assert "25 cached, 0 evaluated" in capsys.readouterr().out
+
+    def test_unknown_sweep_exits_with_names(self, capsys):
+        assert main(["sweep", "run", "--name", "nope", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sweep" in err and "fig12" in err
+
+    def test_golden_check_and_regenerate_roundtrip(self, tmp_path, capsys):
+        # A missing directory fails the check, regeneration repairs it.
+        argv_check = ["sweep", "golden", "fig03", "fig08", "--dir", str(tmp_path)]
+        assert main(argv_check) == 1
+        capsys.readouterr()
+        assert main(["sweep", "golden", "fig03", "fig08", "--regenerate", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(argv_check) == 0
+        out = capsys.readouterr().out
+        assert "golden fig03: ok" in out
+
+    def test_unknown_golden_exits_with_names(self, capsys):
+        assert main(["sweep", "golden", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown golden" in err and "fig03" in err

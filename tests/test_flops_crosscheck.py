@@ -1,0 +1,118 @@
+"""Cross-check: analytic FLOPs accounting vs numeric-engine weight shapes.
+
+``repro.model.flops`` (the counts every cost-model second in
+``repro.model.costs`` derives from) uses closed forms per token;
+``repro.numerics`` instantiates the actual weight matrices.  For a model the
+two layers agree on, the closed forms must equal FLOPs counted directly from
+the NumPy parameter shapes — ``2 * m * k * n`` per GEMM, ``4 * h`` per
+causally-attended (query, key) pair — for both the linear and the attention
+components, end to end over the full forward.
+"""
+
+import pytest
+
+from repro.hardware.gpu import HOPPER_80GB
+from repro.model.config import ModelConfig
+from repro.model.costs import CostModel, PassKind
+from repro.model.flops import (
+    FlopsBreakdown,
+    layer_forward_flops,
+    model_forward_flops,
+    output_layer_flops,
+)
+from repro.numerics.model import ModelParams, NumericModelConfig
+
+#: Two small configurations: the numeric default and a GQA-heavier variant.
+CONFIGS = [
+    NumericModelConfig(),
+    NumericModelConfig(
+        num_layers=3,
+        hidden_size=24,
+        num_heads=6,
+        num_groups=3,
+        ffn_size=48,
+        vocab_size=96,
+    ),
+]
+
+SEQUENCE_LENGTHS = (8, 33)
+
+
+def _model_config(numeric: NumericModelConfig) -> ModelConfig:
+    """The analytic twin of a numeric test model."""
+    return ModelConfig(
+        name="numeric-twin",
+        num_layers=numeric.num_layers,
+        num_attention_heads=numeric.num_heads,
+        num_query_groups=numeric.num_groups,
+        hidden_size=numeric.hidden_size,
+        ffn_hidden_size=numeric.ffn_size,
+        vocab_size=numeric.vocab_size,
+    )
+
+
+def _shape_level_layer_flops(params: ModelParams, seq: int) -> FlopsBreakdown:
+    """FLOPs of one layer counted from the actual weight array shapes."""
+    layer = params.layers[0]
+    linear = 0.0
+    for weight in (
+        layer.wq,
+        layer.wk,
+        layer.wv,
+        layer.wo,
+        layer.w_gate,
+        layer.w_up,
+        layer.w_down,
+    ):
+        rows, cols = weight.shape
+        linear += 2.0 * seq * rows * cols
+    # Causal attention: query i attends to keys 1..i; each attended pair
+    # costs 2h for the score dot products (all heads) and 2h for the
+    # weighted value sum.
+    attended_pairs = seq * (seq + 1) / 2.0
+    attention = 4.0 * params.config.hidden_size * attended_pairs
+    return FlopsBreakdown(linear=linear, attention=attention)
+
+
+def _shape_level_model_flops(params: ModelParams, seq: int) -> FlopsBreakdown:
+    per_layer = _shape_level_layer_flops(params, seq)
+    total = per_layer * params.config.num_layers
+    rows, cols = params.output_weight.shape
+    return total + FlopsBreakdown(linear=2.0 * seq * rows * cols)
+
+
+@pytest.mark.parametrize("numeric", CONFIGS, ids=["default", "gqa-wide"])
+@pytest.mark.parametrize("seq", SEQUENCE_LENGTHS)
+def test_layer_flops_match_weight_shapes(numeric, seq):
+    params = ModelParams.init(numeric)
+    analytic = layer_forward_flops(_model_config(numeric), seq)
+    shaped = _shape_level_layer_flops(params, seq)
+    assert analytic.linear == pytest.approx(shaped.linear, rel=1e-12)
+    assert analytic.attention == pytest.approx(shaped.attention, rel=1e-12)
+
+
+@pytest.mark.parametrize("numeric", CONFIGS, ids=["default", "gqa-wide"])
+@pytest.mark.parametrize("seq", SEQUENCE_LENGTHS)
+def test_full_model_flops_match_weight_shapes(numeric, seq):
+    params = ModelParams.init(numeric)
+    analytic = model_forward_flops(_model_config(numeric), seq)
+    shaped = _shape_level_model_flops(params, seq)
+    assert analytic.total == pytest.approx(shaped.total, rel=1e-12)
+    # The output projection is exactly the 2 * s * h * V GEMM.
+    out = output_layer_flops(_model_config(numeric), seq)
+    rows, cols = params.output_weight.shape
+    assert out.linear == pytest.approx(2.0 * seq * rows * cols, rel=1e-12)
+
+
+@pytest.mark.parametrize("numeric", CONFIGS, ids=["default", "gqa-wide"])
+def test_cost_model_prices_shape_level_flops_identically(numeric):
+    """The time model agrees whether FLOPs come from forms or from shapes."""
+    seq = 16
+    params = ModelParams.init(numeric)
+    cost_model = CostModel(HOPPER_80GB)
+    analytic = layer_forward_flops(_model_config(numeric), seq)
+    shaped = _shape_level_layer_flops(params, seq)
+    for kind in (PassKind.FORWARD, PassKind.BACKWARD):
+        assert cost_model.time_of(analytic, kind, tokens=seq) == pytest.approx(
+            cost_model.time_of(shaped, kind, tokens=seq), rel=1e-12
+        )

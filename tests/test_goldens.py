@@ -1,0 +1,25 @@
+"""Golden-metrics regression suite.
+
+Every registered golden — the headline numbers of the paper's figures and
+tables plus the serving scenarios' TTFT/TPOT/goodput — is recomputed from
+scratch and diffed against its pinned ``tests/goldens/*.json`` file within
+the recorded tolerances.  A failure here means a refactor shifted a number
+the paper reproduction reports; regenerate deliberately with
+``python -m repro.cli sweep golden --regenerate`` only when the shift is
+intentional.
+"""
+
+import pytest
+
+from repro.sweep import available_goldens, check_golden, goldens_dir
+
+
+def test_golden_directory_is_populated():
+    recorded = {p.stem for p in goldens_dir().glob("*.json")}
+    assert recorded == set(available_goldens())
+
+
+@pytest.mark.parametrize("name", available_goldens())
+def test_golden(name):
+    check = check_golden(name)
+    assert check.ok, check.report()

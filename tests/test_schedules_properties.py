@@ -1,0 +1,84 @@
+"""Property-based tests over every registered pipeline schedule.
+
+Randomized (seeded, via hypothesis' deterministic ``derandomize`` mode)
+pipeline shapes are executed through the discrete-event simulator with
+per-pass durations normalised so that one microbatch costs the same total
+compute under every schedule (one forward unit + two backward units per
+microbatch per pipeline device, however the schedule splits its stages,
+slices or backward halves).  Three invariants must hold for every schedule
+the registry knows:
+
+* the simulated bubble fraction is a proper fraction: ``0 <= bubble < 1``;
+* the total busy time is invariant under schedule choice — a schedule
+  reorders work, it must never create or destroy compute;
+* interleaving is never worse than GPipe on bubbles (the whole point of
+  virtual stages).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedules import available_schedules, build_schedule
+from repro.sim.engine import SimulationEngine, UniformCostProvider
+
+#: Forward costs 1 unit and backward 2 per (microbatch, device), so every
+#: schedule's total busy time over p devices and m microbatches is 3 m p.
+_TOTAL_UNITS_PER_MICROBATCH_DEVICE = 3.0
+
+
+def _builder_kwargs(name: str, p: int) -> dict:
+    if name == "interleaved-1f1b":
+        return {"num_chunks": 2}
+    if name == "terapipe":
+        return {"num_slices": 2 * p}
+    return {}
+
+
+def _simulate(name: str, p: int, m: int):
+    schedule = build_schedule(name, p, m, **_builder_kwargs(name, p))
+    schedule.validate()
+    # One pass is 1/(stages_per_device * num_slices) of a microbatch-device's
+    # work, so durations are normalised by that unit count.
+    units = schedule.stages_per_device * schedule.num_slices
+    provider = UniformCostProvider(forward=1.0 / units, backward=2.0 / units)
+    return SimulationEngine(schedule, provider).run()
+
+
+# Shapes: p in [2, 6]; m a multiple of p (the interleaved schedule's own
+# requirement) up to 3 p.
+shapes = st.tuples(st.integers(2, 6), st.integers(1, 3)).map(
+    lambda pair: (pair[0], pair[0] * pair[1])
+)
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(shape=shapes)
+def test_bubble_fraction_is_a_proper_fraction_for_every_schedule(shape):
+    p, m = shape
+    for name in available_schedules():
+        timeline = _simulate(name, p, m)
+        bubble = timeline.bubble_fraction()
+        assert 0.0 <= bubble < 1.0, f"{name} at p={p}, m={m}: bubble={bubble}"
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(shape=shapes)
+def test_total_compute_time_is_invariant_under_schedule_choice(shape):
+    p, m = shape
+    expected = _TOTAL_UNITS_PER_MICROBATCH_DEVICE * m * p
+    for name in available_schedules():
+        busy = _simulate(name, p, m).busy_time()
+        assert abs(busy - expected) < 1e-6 * expected, (
+            f"{name} at p={p}, m={m}: busy={busy}, expected={expected}"
+        )
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(shape=shapes)
+def test_interleaving_never_bubbles_more_than_gpipe(shape):
+    p, m = shape
+    interleaved = _simulate("interleaved-1f1b", p, m).bubble_fraction()
+    gpipe = _simulate("gpipe", p, m).bubble_fraction()
+    assert interleaved <= gpipe + 1e-9, (
+        f"p={p}, m={m}: interleaved={interleaved} > gpipe={gpipe}"
+    )

