@@ -1,0 +1,51 @@
+"""Capacity-plan a fleet: how many replicas to meet an SLO at a given load.
+
+Walks the operator workflow the fleet layer exists for, on the
+``bursty-long`` scenario (herds of 32K-token prompts over background chat):
+
+1. simulate the scenario once at its default fleet size and show the
+   latency/goodput/GPU-hour tables;
+2. compare routing policies — round-robin versus least-outstanding-tokens —
+   on the identical trace and fleet;
+3. run the capacity planner for a 2-second TTFT p99 SLO at 1x and 2x load
+   and print both frontiers: higher load never plans fewer replicas.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_capacity_plan.py
+"""
+
+from repro.fleet import get_fleet_scenario, plan_capacity, run_fleet_scenario
+
+
+def main() -> None:
+    scenario = get_fleet_scenario("bursty-long")
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    print(
+        f"model {scenario.model}, {scenario.gpus_per_replica} GPUs/replica, "
+        f"SLO: TTFT<={scenario.slo.ttft:g}s TPOT<={scenario.slo.tpot * 1e3:g}ms\n"
+    )
+
+    result = run_fleet_scenario(scenario, seed=0)
+    print(result.to_text(title=f"{scenario.name} | defaults"))
+    print()
+
+    print("routing policies on the same fixed fleet (4 replicas):")
+    for router in ("round-robin", "least-tokens"):
+        fixed = run_fleet_scenario(
+            scenario, router=router, replicas=4, autoscale=False, seed=0
+        )
+        print(
+            f"  {router:13s} TTFT p99 {fixed.metrics.ttft_p99:6.2f} s   "
+            f"goodput {fixed.metrics.goodput_fraction * 100.0:5.1f}%   "
+            f"GPU-hours {fixed.fleet.gpu_hours:.2f}"
+        )
+    print()
+
+    for load in (1.0, 2.0):
+        plan = plan_capacity(scenario, slo_ttft_p99=2.0, load_scale=load)
+        print(plan.to_text())
+
+
+if __name__ == "__main__":
+    main()

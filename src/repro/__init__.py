@@ -21,8 +21,36 @@ inference-side dual of the training stack — continuous batching with chunked
 prefill, a paged KV-cache allocator built on the Section 5 chunked cache,
 prefill/decode disaggregation with comm-priced KV hand-off, and
 TTFT/TPOT/goodput metrics over a registry of named scenarios (see the
-``serve`` CLI subcommand).  See README.md for a tour and DESIGN.md for the
-experiment index.
+``serve`` CLI subcommand).  See README.md for the quickstart and subsystem
+map.
+
+Fleet layer (``repro.fleet``)
+-----------------------------
+One replica is a simulator; production is a *fleet*.  ``repro.fleet`` lifts
+the serving simulator to cluster scale:
+
+* **Cluster.**  ``FleetEngine`` runs many serving replicas — each its own
+  continuous-batching pool, heterogeneous GPU types cycled across replica
+  indices — on one discrete-event heap, metering replica-hours and dollars
+  (``GPU_HOURLY_USD``).
+* **Routing.**  Arrivals are assigned by a pluggable policy over observable
+  replica snapshots: ``round-robin``, ``least-tokens`` (outstanding-token
+  aware), ``session-affinity`` (sticky sessions), ``kv-aware`` (free paged-KV
+  share).
+* **Autoscaling.**  A reactive queue-depth policy and a predictive
+  arrival-rate EWMA policy scale the fleet against configurable cold/warm
+  provisioning latencies; scaled-down replicas drain before retiring.
+* **Failures.**  Deterministic ``FailurePlan`` schedules crash replicas
+  (queued and running requests re-route, full-context re-prefill on the
+  survivor) and degrade slow nodes by an iteration-time multiplier.
+* **Capacity planning.**  ``plan_capacity`` answers "how many replicas meet
+  this TTFT-p99/goodput SLO at this load?" with a doubling ladder plus
+  bisection, evaluated through the sweep engine (parallel + memoized).
+
+``python -m repro.cli fleet run --scenario bursty-long`` simulates a named
+fleet scenario; ``fleet plan --scenario bursty-long --slo-ttft-p99 2.0``
+prints the capacity frontier and the chosen fleet; ``experiments fleet``
+tabulates routing policies across scenarios.
 
 Sweeps and goldens (``repro.sweep``)
 ------------------------------------
@@ -61,6 +89,7 @@ that runs grids:
 from . import (
     analysis,
     core,
+    fleet,
     hardware,
     model,
     numerics,
@@ -75,6 +104,13 @@ from .core import SlimPipeOptions, SlimPipePlanner, build_slimpipe_schedule
 from .hardware import HOPPER_80GB, ClusterTopology, hopper_cluster
 from .model import MODEL_REGISTRY, ModelConfig, get_model_config
 from .parallel import ParallelConfig, WorkloadConfig
+from .fleet import (
+    FleetEngine,
+    FleetScenario,
+    get_fleet_scenario,
+    plan_capacity,
+    run_fleet_scenario,
+)
 from .serving import (
     DisaggregatedEngine,
     ServingEngine,
@@ -118,4 +154,10 @@ __all__ = [
     "ServingScenario",
     "get_scenario",
     "run_scenario",
+    "fleet",
+    "FleetEngine",
+    "FleetScenario",
+    "get_fleet_scenario",
+    "run_fleet_scenario",
+    "plan_capacity",
 ]

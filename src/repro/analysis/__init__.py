@@ -16,12 +16,17 @@ from . import figures, report, tables
 
 
 def __getattr__(name):
-    # Imported lazily: analysis.serving drives repro.serving, whose metrics
-    # render through analysis.report — an eager import here would be cyclic.
+    # Imported lazily: analysis.serving / analysis.fleet drive repro.serving
+    # and repro.fleet, whose metrics render through analysis.report — an
+    # eager import here would be cyclic.
     if name == "serving":
         from . import serving
 
         return serving
+    if name == "fleet":
+        from . import fleet
+
+        return fleet
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -30,6 +35,7 @@ __all__ = [
     "tables",
     "report",
     "serving",
+    "fleet",
     "activation_memory_factor",
     "bubble_fraction_estimate",
     "slimpipe_accumulated_activation_factor",

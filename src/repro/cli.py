@@ -1,6 +1,6 @@
 """Command-line interface for the SlimPipe reproduction.
 
-Four subcommands cover the library's main workflows without writing Python:
+Six subcommands cover the library's main workflows without writing Python:
 
 ``plan``
     Grid-search the best hybrid-parallelism configuration of each training
@@ -20,10 +20,19 @@ Four subcommands cover the library's main workflows without writing Python:
     export the iteration timeline as a Chrome trace or compare both
     deployments side by side.
 
+``fleet``
+    Drive the cluster-scale layer (``repro.fleet``): ``fleet run --scenario
+    bursty-long --router least-tokens`` simulates a named fleet scenario —
+    many serving replicas behind a routing policy, with autoscaling and
+    failure injection — and prints latency/goodput metrics next to
+    replica/GPU-hour/cost accounting; ``fleet plan --scenario bursty-long
+    --slo-ttft-p99 2.0`` binary-searches the minimal (cheapest) replica
+    count meeting the SLO through the sweep engine.
+
 ``experiments``
     Regenerate a chosen paper experiment's data table (Figures 1-3, 6-14 and
-    Tables 2-4), the serving comparison, or a registered sweep, directly
-    from the analysis layer.
+    Tables 2-4), the serving comparison, the fleet routing comparison, or a
+    registered sweep, directly from the analysis layer.
 
 ``sweep``
     Drive the declarative sweep engine (``repro.sweep``): ``sweep run
@@ -229,6 +238,74 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
 
 
 # ---------------------------------------------------------------------------
+# fleet
+# ---------------------------------------------------------------------------
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from .fleet import FLEET_SCENARIO_REGISTRY, get_fleet_scenario, run_fleet_scenario
+
+    if args.list:
+        print("available fleet scenarios:", ", ".join(sorted(FLEET_SCENARIO_REGISTRY)))
+        return 0
+    scenario = get_fleet_scenario(args.scenario)
+    try:
+        result = run_fleet_scenario(
+            scenario,
+            router=args.router,
+            replicas=args.replicas,
+            seed=args.seed,
+            load_scale=args.load_scale,
+            autoscale=False if args.no_autoscale else None,
+            with_failures=not args.no_failures,
+            collect_timeline=bool(args.trace),
+        )
+    except ValueError as error:
+        # Infeasible deployments (model does not fit the replica's GPU
+        # slice, request exceeds a replica's KV capacity) are user input
+        # errors here, not bugs — report them cleanly.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    title = (
+        f"{scenario.name} | {scenario.model} | "
+        f"{args.replicas or scenario.initial_replicas} initial replicas x "
+        f"{scenario.gpus_per_replica} GPUs | seed {args.seed}"
+    )
+    print(result.to_text(title=title))
+    print(
+        f"iterations={result.iterations}  "
+        f"tokens admitted/prefilled/requeued="
+        f"{result.tokens_admitted}/{result.tokens_prefilled}/"
+        f"{result.tokens_preempted_requeued}"
+    )
+    if args.trace:
+        print(f"Chrome trace written to {write_chrome_trace(result.timeline, args.trace)}")
+    return 0
+
+
+def _cmd_fleet_plan(args: argparse.Namespace) -> int:
+    from .fleet import plan_capacity
+
+    try:
+        plan = plan_capacity(
+            args.scenario,
+            slo_ttft_p99=args.slo_ttft_p99,
+            min_goodput=args.min_goodput,
+            router=args.router,
+            seed=args.seed,
+            load_scale=args.load_scale,
+            max_replicas=args.max_replicas,
+            workers=args.workers,
+            cache=_sweep_cache(args),
+        )
+    except ValueError as error:
+        # Bad numeric inputs (negative SLO, zero replicas, bad load scale)
+        # are user errors here, not bugs — report them cleanly.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(plan.to_text())
+    return 0 if plan.feasible else 1
+
+
+# ---------------------------------------------------------------------------
 # sweep
 # ---------------------------------------------------------------------------
 def _sweep_cache(args: argparse.Namespace):
@@ -298,9 +375,18 @@ def _experiment_registry() -> Dict[str, Callable[[], str]]:
 
         return run_sweep(get_sweep_spec("scheme-context")).to_text()
 
+    def _fleet_comparison() -> str:
+        from .analysis.fleet import fleet_comparison
+
+        return fleet_comparison(
+            scenarios=("canary-chat", "unreliable"),
+            routers=("round-robin", "least-tokens"),
+        ).to_text()
+
     return {
         "serving": _serving_comparison,
         "sweep": _sweep_experiment,
+        "fleet": _fleet_comparison,
         "fig1": lambda: figures.figure1_memory_footprint().to_text(),
         "fig2": lambda: figures.figure2_max_context().to_text(),
         "fig3": lambda: figures.figure3_bubble_fractions().to_text(),
@@ -401,6 +487,66 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
     serve.add_argument("--list", action="store_true", help="list available scenarios")
     serve.set_defaults(handler=_cmd_serve)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="simulate or capacity-plan a multi-replica serving fleet"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser("run", help="simulate a named fleet scenario")
+    fleet_run.add_argument("--scenario", default="steady-chat", help="scenario name (see --list)")
+    fleet_run.add_argument("--router", default=None, help="override the scenario's routing policy")
+    fleet_run.add_argument(
+        "--replicas", type=int, default=None, help="override the initial replica count"
+    )
+    fleet_run.add_argument("--seed", type=int, default=0, help="workload seed")
+    fleet_run.add_argument(
+        "--load-scale",
+        type=float,
+        default=1.0,
+        help="compress arrivals by this factor (2.0 doubles the offered QPS)",
+    )
+    fleet_run.add_argument(
+        "--no-autoscale", action="store_true", help="freeze the fleet at its initial size"
+    )
+    fleet_run.add_argument(
+        "--no-failures", action="store_true", help="strip the scenario's failure plan"
+    )
+    fleet_run.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+    fleet_run.add_argument("--list", action="store_true", help="list available fleet scenarios")
+    fleet_run.set_defaults(handler=_cmd_fleet_run)
+
+    fleet_plan = fleet_sub.add_parser(
+        "plan", help="search the minimal replica count meeting an SLO"
+    )
+    fleet_plan.add_argument("--scenario", default="bursty-long", help="scenario name")
+    fleet_plan.add_argument(
+        "--slo-ttft-p99", type=float, required=True, help="TTFT p99 bound in seconds"
+    )
+    fleet_plan.add_argument(
+        "--min-goodput", type=float, default=None, help="optional goodput-fraction floor"
+    )
+    fleet_plan.add_argument("--router", default=None, help="override the scenario's routing policy")
+    fleet_plan.add_argument("--seed", type=int, default=0, help="workload seed")
+    fleet_plan.add_argument(
+        "--load-scale", type=float, default=1.0, help="offered-load multiplier"
+    )
+    fleet_plan.add_argument(
+        "--max-replicas", type=int, default=None, help="search ceiling (default: scenario's)"
+    )
+    fleet_plan.add_argument(
+        "--workers", type=int, default=0, help="worker processes for the ladder sweep"
+    )
+    fleet_plan.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    fleet_plan.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="cache directory (default: $REPRO_SWEEP_CACHE_DIR or ~/.cache/repro-sweep)",
+    )
+    fleet_plan.set_defaults(handler=_cmd_fleet_plan)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate paper experiment tables"

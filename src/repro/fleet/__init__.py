@@ -1,0 +1,101 @@
+"""Fleet-scale serving: multi-replica routing, autoscaling, failure recovery.
+
+The fleet package lifts the single-replica serving simulator
+(:mod:`repro.serving`) to cluster scale: many replicas — each its own
+continuous-batching pool, possibly on different GPU types — behind a
+pluggable router, under an autoscaler, with failures injected and requests
+re-routed around them.  On top sits the capacity planner, which searches the
+cheapest fixed fleet meeting an SLO at a given load through the sweep
+engine.
+
+Modules
+-------
+``router``
+    Request routing policies over observable replica snapshots: round-robin,
+    least-outstanding-tokens, session-affinity, KV-load-aware.
+``autoscaler``
+    Reactive (queue-depth) and predictive (arrival-rate EWMA) scaling
+    policies, evaluated on a tick against provisioning latencies.
+``failures``
+    Deterministic failure plans: replica crashes with restart and failover
+    re-routing, slow-node degradation windows.
+``cluster``
+    The :class:`FleetEngine` discrete-event loop composing serving pools,
+    router, autoscaler and failure plan on one event heap; GPU-hour and
+    dollar metering.
+``scenarios``
+    Named fleet scenarios (steady chat, bursty long prompts, flash crowd,
+    unreliable fleet, heterogeneous mix) plus the ``run_fleet_scenario``
+    driver.
+``planner``
+    :func:`plan_capacity`: ladder-plus-bisect search of the minimal replica
+    count meeting a TTFT-p99 / goodput SLO, evaluated through the sweep
+    engine.
+"""
+
+from .autoscaler import (
+    AUTOSCALER_REGISTRY,
+    Autoscaler,
+    AutoscalerConfig,
+    FleetView,
+    available_autoscalers,
+    make_autoscaler,
+)
+from .cluster import (
+    GPU_HOURLY_USD,
+    FleetConfig,
+    FleetEngine,
+    FleetResult,
+    FleetStats,
+)
+from .failures import FailureEvent, FailurePlan, random_failure_plan
+from .planner import CapacityPlan, plan_capacity
+from .router import (
+    ROUTER_REGISTRY,
+    KVLoadAwareRouter,
+    LeastOutstandingTokensRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    Router,
+    SessionAffinityRouter,
+    available_routers,
+    get_router,
+)
+from .scenarios import (
+    FLEET_SCENARIO_REGISTRY,
+    FleetScenario,
+    get_fleet_scenario,
+    run_fleet_scenario,
+)
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingTokensRouter",
+    "SessionAffinityRouter",
+    "KVLoadAwareRouter",
+    "ReplicaSnapshot",
+    "ROUTER_REGISTRY",
+    "available_routers",
+    "get_router",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "FleetView",
+    "AUTOSCALER_REGISTRY",
+    "available_autoscalers",
+    "make_autoscaler",
+    "FailureEvent",
+    "FailurePlan",
+    "random_failure_plan",
+    "FleetConfig",
+    "FleetEngine",
+    "FleetResult",
+    "FleetStats",
+    "GPU_HOURLY_USD",
+    "FleetScenario",
+    "FLEET_SCENARIO_REGISTRY",
+    "get_fleet_scenario",
+    "run_fleet_scenario",
+    "CapacityPlan",
+    "plan_capacity",
+]

@@ -1,0 +1,729 @@
+"""Fleet-scale discrete-event serving: replicas, routing, scaling, failures.
+
+:class:`FleetEngine` composes many single-replica serving pools (the same
+:class:`~repro.serving.engine._Pool` the colocated :class:`ServingEngine`
+steps — allocator, continuous batcher, cost model) into one cluster-level
+event loop.  Where the serving engines drain a whole trace per pool, the
+fleet loop interleaves everything that couples replicas in time on one event
+heap:
+
+* **arrivals** are routed on the spot by a pluggable
+  :class:`~repro.fleet.router.Router`, which only observes per-replica
+  queue/token/KV snapshots (what a real load balancer can see);
+* **iterations** complete per replica — each replica runs its own continuous
+  batching loop at its own pace, priced by its own GPU type (heterogeneous
+  fleets cycle ``FleetConfig.gpu_types`` across replica indices);
+* **autoscaler ticks** compare the observed backlog / arrival rate against
+  the policy and provision or drain replicas, paying warm-pool or cold
+  scale-up latency;
+* **failure events** crash or degrade replicas: a crash hands every queued
+  and running request back to the router (KV lost, full-context re-prefill
+  on the survivor, delivered tokens stay delivered), a slow window stretches
+  the victim's iteration times.
+
+Tie-breaking is by insertion order at equal timestamps and every policy is
+deterministic, so a fleet run is a pure function of (trace, config, failure
+plan) — the property the byte-identical determinism test pins.
+
+Replica-hours are metered from provisioning to retirement:
+:data:`GPU_HOURLY_USD` prices them per GPU type, which is what the capacity
+planner minimises subject to the SLO.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.report import render_table
+from ..hardware.gpu import get_gpu_spec
+from ..model.config import ModelConfig
+from ..model.costs import PassKind
+from ..schedules.base import Pass
+from ..serving.batcher import BatcherConfig, IterationPlan, RequestState
+from ..serving.engine import ServingConfig, _Pool
+from ..serving.metrics import SLO, RequestRecord, ServingMetrics, compute_metrics
+from ..serving.workload import Request
+from ..sim.timeline import Timeline, TimelineSpan
+from .autoscaler import Autoscaler, AutoscalerConfig, FleetView, make_autoscaler
+from .failures import FailurePlan
+from .router import ReplicaSnapshot, Router, get_router
+
+__all__ = [
+    "GPU_HOURLY_USD",
+    "FleetConfig",
+    "FleetStats",
+    "FleetResult",
+    "FleetEngine",
+]
+
+#: Rough on-demand $/GPU-hour by device type, used to price a fleet.
+GPU_HOURLY_USD: Dict[str, float] = {
+    "hopper-80gb": 12.0,
+    "ampere-80gb": 4.1,
+}
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Static configuration of a fleet deployment."""
+
+    gpus_per_replica: int = 4
+    gpu_types: Tuple[str, ...] = ("hopper-80gb",)
+    initial_replicas: int = 2
+    min_replicas: int = 1
+    max_replicas: int = 16
+    block_tokens: int = 256
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    tpot_cap: Optional[float] = None
+    scale_up_latency: float = 30.0
+    warm_pool: int = 0
+    warm_up_latency: float = 2.0
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    sessions: int = 0
+    max_total_iterations: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_replica < 1:
+            raise ValueError("gpus_per_replica must be >= 1")
+        if not self.gpu_types:
+            raise ValueError("gpu_types must name at least one device")
+        for name in self.gpu_types:
+            get_gpu_spec(name)  # fail fast with the list of valid names
+            if name not in GPU_HOURLY_USD:
+                raise ValueError(
+                    f"GPU {name!r} has no price in GPU_HOURLY_USD; "
+                    "add one before fleeting it"
+                )
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if not self.min_replicas <= self.initial_replicas <= self.max_replicas:
+            raise ValueError("initial_replicas must lie in [min, max]")
+        if self.scale_up_latency < 0 or self.warm_up_latency < 0:
+            raise ValueError("provisioning latencies must be non-negative")
+        if self.warm_pool < 0:
+            raise ValueError("warm_pool must be non-negative")
+        if self.sessions < 0:
+            raise ValueError("sessions must be non-negative")
+        if self.tpot_cap is not None and self.tpot_cap <= 0:
+            raise ValueError("tpot_cap must be positive when given")
+
+    def gpu_for(self, replica_id: int) -> str:
+        """Device type of replica ``replica_id`` (cycled for heterogeneity)."""
+        return self.gpu_types[replica_id % len(self.gpu_types)]
+
+    def serving_config(self, gpu_name: str) -> ServingConfig:
+        return ServingConfig(
+            num_gpus=self.gpus_per_replica,
+            gpu=get_gpu_spec(gpu_name),
+            block_tokens=self.block_tokens,
+            batcher=self.batcher,
+            tpot_cap=self.tpot_cap,
+        )
+
+    def session_of(self, request: Request) -> int:
+        """Deterministic session id (affinity routing groups requests by it)."""
+        if self.sessions <= 0:
+            return request.request_id
+        return request.request_id % self.sessions
+
+
+class _ReplicaState(Enum):
+    PROVISIONING = "provisioning"
+    ACTIVE = "active"
+    FAILED = "failed"
+    RETIRED = "retired"
+
+
+class _Replica:
+    """One fleet member: a serving pool plus lifecycle bookkeeping."""
+
+    def __init__(self, replica_id: int, model: ModelConfig, config: FleetConfig):
+        self.replica_id = replica_id
+        self.gpu_name = config.gpu_for(replica_id)
+        self.model = model
+        self.fleet_config = config
+        self.serving_config = config.serving_config(self.gpu_name)
+        self.pool = _Pool(model, config.gpus_per_replica, self.serving_config)
+        self.state = _ReplicaState.PROVISIONING
+        self.draining = False
+        self.slowdown = 1.0
+        self.slow_until = 0.0
+        self.epoch = 0
+        self.busy_plan: Optional[IterationPlan] = None
+        self.provisioned_at = 0.0
+        self.retired_at: Optional[float] = None
+        self.iterations = 0
+        self.requests_served = 0
+        self.busy_time = 0.0
+        self.kv_weighted = 0.0
+        self.kv_peak = 0.0
+        # Batcher counters folded in from pool incarnations lost to crashes.
+        self._folded = [0, 0, 0, 0]  # admitted, prefilled, requeued, preemptions
+
+    # ------------------------------------------------------------------
+    @property
+    def accepts_work(self) -> bool:
+        return (
+            self.state in (_ReplicaState.ACTIVE, _ReplicaState.PROVISIONING)
+            and not self.draining
+        )
+
+    @property
+    def busy(self) -> bool:
+        return self.busy_plan is not None
+
+    @property
+    def has_work(self) -> bool:
+        return self.pool is not None and self.pool.batcher.has_work
+
+    def outstanding_tokens(self) -> int:
+        if self.pool is None:
+            return 0
+        batcher = self.pool.batcher
+        total = 0
+        for state in batcher.waiting + batcher.running:
+            total += state.prefill_remaining
+            total += max(0, state.request.output_tokens - state.decoded)
+        return total
+
+    def snapshot(self) -> ReplicaSnapshot:
+        batcher = self.pool.batcher
+        allocator = self.pool.allocator
+        return ReplicaSnapshot(
+            replica_id=self.replica_id,
+            queue_depth=len(batcher.waiting),
+            running_requests=len(batcher.running),
+            outstanding_tokens=self.outstanding_tokens(),
+            kv_free_fraction=allocator.free_blocks / allocator.total_blocks,
+            gpu=self.gpu_name,
+        )
+
+    # ------------------------------------------------------------------
+    def fail_over(self) -> List[RequestState]:
+        """Crash: surrender every queued and running request, drop the pool.
+
+        In-flight prefill chunks are treated like work later discarded by a
+        preemption — they were counted as prefilled when planned, so the
+        survivors' ``prefilled`` advances to match before the requeue
+        accounting, keeping the fleet-wide conservation law exact.
+        """
+        batcher = self.pool.batcher
+        if self.busy_plan is not None:
+            for state, chunk in self.busy_plan.prefill:
+                state.prefilled += chunk
+            self.busy_plan = None
+        for state in batcher.running:
+            batcher.tokens_preempted_requeued += state.prefill_remaining
+        lost = list(batcher.running) + list(batcher.waiting)
+        self._fold_counters()
+        self.pool = None
+        self.epoch += 1
+        self.state = _ReplicaState.FAILED
+        self.draining = False
+        return lost
+
+    def recover(self) -> None:
+        """Restart after a crash with a fresh (empty) pool."""
+        self.pool = _Pool(self.model, self.fleet_config.gpus_per_replica, self.serving_config)
+        self.state = _ReplicaState.ACTIVE
+        self.slowdown = 1.0
+        self.slow_until = 0.0  # a restart replaces the degraded machine
+
+    def _fold_counters(self) -> None:
+        batcher = self.pool.batcher
+        self._folded[0] += batcher.tokens_admitted
+        self._folded[1] += batcher.tokens_prefilled
+        self._folded[2] += batcher.tokens_preempted_requeued
+        self._folded[3] += batcher.preemptions
+
+    def counters(self) -> Tuple[int, int, int, int]:
+        """(admitted, prefilled, requeued, preemptions) over all incarnations."""
+        admitted, prefilled, requeued, preemptions = self._folded
+        if self.pool is not None:
+            batcher = self.pool.batcher
+            admitted += batcher.tokens_admitted
+            prefilled += batcher.tokens_prefilled
+            requeued += batcher.tokens_preempted_requeued
+            preemptions += batcher.preemptions
+        return admitted, prefilled, requeued, preemptions
+
+    def gpu_seconds(self, end_time: float) -> float:
+        end = self.retired_at if self.retired_at is not None else end_time
+        return max(0.0, end - self.provisioned_at) * self.fleet_config.gpus_per_replica
+
+
+@dataclass
+class FleetStats:
+    """Cluster-level outcomes of one fleet run (latency lives in the metrics)."""
+
+    router: str
+    replicas_provisioned: int
+    replicas_peak: int
+    replicas_final: int
+    scale_up_events: int
+    scale_down_events: int
+    crashes: int
+    slow_events: int
+    rerouted_requests: int
+    gpu_hours: float
+    gpu_hours_by_type: Dict[str, float]
+    cost_usd: float
+
+    def to_rows(self) -> List[tuple]:
+        by_type = ", ".join(
+            f"{name} {hours:.2f} h" for name, hours in sorted(self.gpu_hours_by_type.items())
+        )
+        return [
+            ("router", self.router),
+            (
+                "replicas provisioned / peak / final",
+                f"{self.replicas_provisioned} / {self.replicas_peak} / {self.replicas_final}",
+            ),
+            ("scale-ups / scale-downs", f"{self.scale_up_events} / {self.scale_down_events}"),
+            ("crashes / slow windows", f"{self.crashes} / {self.slow_events}"),
+            ("requests rerouted by failover", f"{self.rerouted_requests}"),
+            ("GPU-hours", f"{self.gpu_hours:.2f} ({by_type})"),
+            ("fleet cost", f"${self.cost_usd:.2f}"),
+        ]
+
+    def to_text(self, title: str = "fleet") -> str:
+        return render_table(["metric", "value"], self.to_rows(), title=title)
+
+
+@dataclass
+class FleetResult:
+    """Everything one simulated fleet run produced."""
+
+    metrics: ServingMetrics
+    fleet: FleetStats
+    records: List[RequestRecord]
+    iterations: int
+    tokens_admitted: int
+    tokens_prefilled: int
+    tokens_preempted_requeued: int
+    preemptions: int
+    timeline: Optional[Timeline] = None
+
+    @property
+    def token_accounting_balanced(self) -> bool:
+        """Fleet-wide conservation law, summed over every pool incarnation."""
+        return self.tokens_admitted == self.tokens_prefilled + self.tokens_preempted_requeued
+
+    def to_text(self, title: str = "fleet run") -> str:
+        return self.metrics.to_text(title=title) + self.fleet.to_text(title=f"{title} — fleet")
+
+
+# Event kinds, in deliberate alphabetical-free order: ties at one timestamp
+# resolve by insertion sequence, never by kind.
+_ARRIVAL = "arrival"
+_ITERATION = "iteration"
+_PROVISION = "provision"
+_FAIL = "fail"
+_RECOVER = "recover"
+_SLOW_END = "slow-end"
+_SCALE = "scale"
+
+
+class FleetEngine:
+    """Cluster-scale discrete-event loop over many serving pools."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        config: Optional[FleetConfig] = None,
+        router: Union[str, Router] = "round-robin",
+        failure_plan: Optional[FailurePlan] = None,
+    ):
+        self.model = model
+        self.config = config or FleetConfig()
+        self.router = get_router(router) if isinstance(router, str) else router
+        self.failure_plan = failure_plan or FailurePlan()
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: str, payload: object = None) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+
+    def _new_replica(self, now: float, delay: float) -> _Replica:
+        replica = _Replica(len(self._replicas), self.model, self.config)
+        replica.provisioned_at = now
+        self._replicas.append(replica)
+        if delay <= 0:
+            replica.state = _ReplicaState.ACTIVE
+        else:
+            self._push(now + delay, _PROVISION, replica.replica_id)
+        return replica
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, state: RequestState, now: float) -> None:
+        candidates = [r for r in self._replicas if r.accepts_work]
+        if not candidates:
+            self._held.append(state)
+            return
+        snapshots = [r.snapshot() for r in candidates]
+        session = self.config.session_of(state.request)
+        choice = self.router.route(state.request, session, snapshots)
+        by_id = {r.replica_id: r for r in candidates}
+        if choice not in by_id:
+            raise ValueError(
+                f"router {self.router.name!r} picked replica {choice}, "
+                f"not among the offered {sorted(by_id)}"
+            )
+        replica = by_id[choice]
+        state.pool_arrival = now
+        replica.pool.batcher.enqueue(state)
+        self._kick(replica, now)
+
+    def _flush_held(self, now: float) -> None:
+        if not self._held:
+            return
+        held, self._held = self._held, []
+        for state in held:
+            self._route(state, now)
+
+    # ------------------------------------------------------------------
+    # Per-replica continuous batching
+    # ------------------------------------------------------------------
+    def _kick(self, replica: _Replica, now: float) -> None:
+        """Start the next iteration on an idle, active replica with work."""
+        if replica.state is not _ReplicaState.ACTIVE or replica.busy:
+            return
+        batcher = replica.pool.batcher
+        if not batcher.has_work:
+            if replica.draining:
+                self._retire(replica, now)
+            return
+        plan = batcher.plan(replica.pool.prefill_budget())
+        while plan.empty and batcher.running:
+            if batcher._preempt_victim(plan) is None:
+                break
+            plan = batcher.plan(replica.pool.prefill_budget())
+        if plan.empty:
+            raise RuntimeError(
+                f"replica {replica.replica_id} stalled with queued work "
+                "and no runnable batch"
+            )
+        duration = replica.pool.iteration_time(plan) * replica.slowdown
+        replica.busy_plan = plan
+        self._push(now + duration, _ITERATION, (replica.replica_id, replica.epoch, duration))
+
+    def _complete_iteration(self, replica: _Replica, duration: float, now: float) -> None:
+        plan = replica.busy_plan
+        replica.busy_plan = None
+        utilization = replica.pool.allocator.stats().token_utilization
+        replica.kv_weighted += utilization * duration
+        replica.busy_time += duration
+        replica.kv_peak = max(replica.kv_peak, utilization)
+        replica.iterations += 1
+        self._total_iterations += 1
+        if self._total_iterations > self.config.max_total_iterations:
+            raise RuntimeError(
+                f"fleet exceeded {self.config.max_total_iterations} iterations"
+            )
+        if self._spans is not None:
+            self._spans.append((replica.replica_id, now - duration, now))
+        departed = replica.pool.batcher.commit(plan, now)
+        replica.requests_served += len(departed)
+        self._finished += len(departed)
+        if replica.draining and not replica.has_work:
+            self._retire(replica, now)
+        else:
+            self._kick(replica, now)
+
+    def _retire(self, replica: _Replica, now: float) -> None:
+        # The pool (and its counters) stays readable; only crashes fold it.
+        replica.state = _ReplicaState.RETIRED
+        replica.draining = False
+        replica.retired_at = now
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+    def _provisioned(self) -> List[_Replica]:
+        return [r for r in self._replicas if r.accepts_work]
+
+    def _on_scale(self, now: float) -> None:
+        cfg = self.config
+        interval = cfg.autoscaler.interval
+        instantaneous = self._arrivals_since_tick / interval
+        self._arrivals_since_tick = 0
+        alpha = cfg.autoscaler.ewma_alpha
+        if self._rate_ewma is None:
+            self._rate_ewma = instantaneous
+        else:
+            self._rate_ewma = alpha * instantaneous + (1 - alpha) * self._rate_ewma
+        provisioned = self._provisioned()
+        active = sum(1 for r in provisioned if r.state is _ReplicaState.ACTIVE)
+        view = FleetView(
+            now=now,
+            active_replicas=active,
+            provisioning_replicas=len(provisioned) - active,
+            queue_depth=sum(len(r.pool.batcher.waiting) for r in provisioned)
+            + len(self._held),
+            running_requests=sum(len(r.pool.batcher.running) for r in provisioned),
+            arrival_rate=self._rate_ewma,
+        )
+        target = max(cfg.min_replicas, min(cfg.max_replicas, self._autoscaler.desired(view)))
+        current = len(provisioned)
+        if target > current:
+            self._scale_up(target - current, now)
+        elif target < current:
+            self._scale_down(current - target, now)
+        if self._finished < self._num_requests:
+            self._push(now + interval, _SCALE)
+
+    def _scale_up(self, count: int, now: float) -> None:
+        self._scale_up_events += 1
+        added = 0
+        # Cheapest first: cancel drains, then spend the warm pool, then cold.
+        for replica in self._replicas:
+            if added >= count:
+                break
+            if replica.state is _ReplicaState.ACTIVE and replica.draining:
+                replica.draining = False
+                added += 1
+        while added < count:
+            if self._warm_remaining > 0:
+                self._warm_remaining -= 1
+                self._new_replica(now, self.config.warm_up_latency)
+            else:
+                self._new_replica(now, self.config.scale_up_latency)
+            added += 1
+        self._flush_held(now)
+
+    def _scale_down(self, count: int, now: float) -> None:
+        self._scale_down_events += 1
+        candidates = sorted(
+            (r for r in self._provisioned() if r.state is _ReplicaState.ACTIVE),
+            key=lambda r: (r.outstanding_tokens(), -r.replica_id),
+        )
+        for replica in candidates[:count]:
+            replica.draining = True
+            if not replica.has_work and not replica.busy:
+                self._retire(replica, now)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def _on_fail(self, event, now: float) -> None:
+        candidates = sorted(
+            (r for r in self._replicas if r.state is _ReplicaState.ACTIVE),
+            key=lambda r: r.replica_id,
+        )
+        if not candidates:
+            return  # nothing alive to kill; the event is dropped
+        victim = candidates[event.replica_index % len(candidates)]
+        if event.kind == "slow":
+            self._slow_events += 1
+            victim.slowdown = max(victim.slowdown, event.slowdown)
+            # Overlapping windows extend the degradation; only the _SLOW_END
+            # at (or past) the high-water mark ends it.
+            victim.slow_until = max(victim.slow_until, now + event.duration)
+            self._push(now + event.duration, _SLOW_END, victim.replica_id)
+            return
+        self._crashes += 1
+        lost = victim.fail_over()
+        self._push(now + event.duration, _RECOVER, victim.replica_id)
+        for state in lost:
+            self._rerouted += 1
+            self._route(
+                RequestState(
+                    record=state.record,
+                    prefill_target=state.context_tokens,
+                    decoded=state.decoded,
+                    pool_arrival=now,
+                ),
+                now,
+            )
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Sequence[Request],
+        slo: Optional[SLO] = None,
+        collect_timeline: bool = False,
+    ) -> FleetResult:
+        if not trace:
+            raise ValueError("fleet run needs a non-empty trace")
+        slo = slo or SLO()
+        cfg = self.config
+
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._replicas: List[_Replica] = []
+        self._held: List[RequestState] = []
+        self._finished = 0
+        self._num_requests = len(trace)
+        self._total_iterations = 0
+        self._rerouted = 0
+        self._crashes = 0
+        self._slow_events = 0
+        self._scale_up_events = 0
+        self._scale_down_events = 0
+        self._warm_remaining = cfg.warm_pool
+        self._arrivals_since_tick = 0
+        self._rate_ewma: Optional[float] = None
+        self._autoscaler: Autoscaler = make_autoscaler(cfg.autoscaler)
+        self._spans: Optional[List[Tuple[int, float, float]]] = [] if collect_timeline else None
+
+        for _ in range(cfg.initial_replicas):
+            self._new_replica(0.0, 0.0)
+
+        records = {request.request_id: RequestRecord(request) for request in trace}
+        if len(records) != len(trace):
+            raise ValueError("trace carries duplicate request ids")
+        for request in sorted(trace, key=lambda r: (r.arrival_time, r.request_id)):
+            self._push(request.arrival_time, _ARRIVAL, request)
+        for event in self.failure_plan.events:
+            self._push(event.time, _FAIL, event)
+        if cfg.autoscaler.policy != "none":
+            self._push(cfg.autoscaler.interval, _SCALE)
+
+        now = 0.0
+        end_time = 0.0
+        while self._heap:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            now = time
+            if kind == _ARRIVAL:
+                self._arrivals_since_tick += 1
+                self._route(RequestState(record=records[payload.request_id]), now)
+            elif kind == _ITERATION:
+                replica_id, epoch, duration = payload
+                replica = self._replicas[replica_id]
+                if replica.epoch != epoch or replica.busy_plan is None:
+                    continue  # the replica crashed while this iteration ran
+                self._complete_iteration(replica, duration, now)
+            elif kind == _PROVISION:
+                replica = self._replicas[payload]
+                if replica.state is _ReplicaState.PROVISIONING:
+                    replica.state = _ReplicaState.ACTIVE
+                    self._flush_held(now)
+                    self._kick(replica, now)
+            elif kind == _FAIL:
+                if self._finished < self._num_requests:
+                    self._on_fail(payload, now)
+            elif kind == _RECOVER:
+                replica = self._replicas[payload]
+                if replica.state is _ReplicaState.FAILED:
+                    replica.recover()
+                    self._flush_held(now)
+                    self._kick(replica, now)
+            elif kind == _SLOW_END:
+                replica = self._replicas[payload]
+                if now >= replica.slow_until - 1e-12:
+                    replica.slowdown = 1.0
+            elif kind == _SCALE:
+                if self._finished < self._num_requests:
+                    self._on_scale(now)
+            if self._finished >= self._num_requests:
+                end_time = now
+                break
+        else:
+            end_time = now
+
+        if self._finished < self._num_requests:
+            raise RuntimeError(
+                f"fleet drained its event heap with "
+                f"{self._num_requests - self._finished} requests unfinished"
+            )
+        return self._collect(list(records.values()), end_time, slo)
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self, records: List[RequestRecord], end_time: float, slo: SLO
+    ) -> FleetResult:
+        cfg = self.config
+        arrivals = [r.request.arrival_time for r in records]
+        duration = max(end_time - min(arrivals), 1e-12)
+        busy = sum(r.busy_time for r in self._replicas)
+        kv_mean = (
+            sum(r.kv_weighted for r in self._replicas) / busy if busy > 0 else 0.0
+        )
+        admitted = prefilled = requeued = preemptions = 0
+        for replica in self._replicas:
+            a, p, q, e = replica.counters()
+            admitted += a
+            prefilled += p
+            requeued += q
+            preemptions += e
+        metrics = compute_metrics(
+            records,
+            duration,
+            slo,
+            kv_utilization_mean=kv_mean,
+            kv_utilization_peak=max((r.kv_peak for r in self._replicas), default=0.0),
+            preemptions=preemptions,
+        )
+        hours_by_type: Dict[str, float] = {}
+        for replica in self._replicas:
+            hours = replica.gpu_seconds(end_time) / 3600.0
+            hours_by_type[replica.gpu_name] = hours_by_type.get(replica.gpu_name, 0.0) + hours
+        gpu_hours = sum(hours_by_type.values())
+        cost = sum(GPU_HOURLY_USD[name] * hours for name, hours in hours_by_type.items())
+        peak = 0
+        provisioned_now = 0
+        # Peak concurrency is the high-water mark of provisioned-and-not-yet-
+        # retired replicas over the replica timeline (provision/retire pairs).
+        events = []
+        for replica in self._replicas:
+            events.append((replica.provisioned_at, 1, replica.replica_id))
+            if replica.retired_at is not None:
+                events.append((replica.retired_at, -1, replica.replica_id))
+        for _, delta, _ in sorted(events):
+            provisioned_now += delta
+            peak = max(peak, provisioned_now)
+        stats = FleetStats(
+            router=self.router.name,
+            replicas_provisioned=len(self._replicas),
+            replicas_peak=peak,
+            replicas_final=sum(
+                1
+                for r in self._replicas
+                if r.state in (_ReplicaState.ACTIVE, _ReplicaState.PROVISIONING)
+            ),
+            scale_up_events=self._scale_up_events,
+            scale_down_events=self._scale_down_events,
+            crashes=self._crashes,
+            slow_events=self._slow_events,
+            rerouted_requests=self._rerouted,
+            gpu_hours=gpu_hours,
+            gpu_hours_by_type=hours_by_type,
+            cost_usd=cost,
+        )
+        timeline = None
+        if self._spans is not None:
+            timeline = Timeline(num_devices=len(self._replicas))
+            for index, (device, start, end) in enumerate(self._spans):
+                timeline.add(
+                    TimelineSpan(
+                        device=device,
+                        work=Pass(
+                            kind=PassKind.FORWARD,
+                            microbatch=index,
+                            stage=0,
+                            device=device,
+                        ),
+                        start=start,
+                        end=end,
+                    )
+                )
+        return FleetResult(
+            metrics=metrics,
+            fleet=stats,
+            records=records,
+            iterations=self._total_iterations,
+            tokens_admitted=admitted,
+            tokens_prefilled=prefilled,
+            tokens_preempted_requeued=requeued,
+            preemptions=preemptions,
+            timeline=timeline,
+        )

@@ -1,0 +1,117 @@
+"""Failure injection for fleet simulations.
+
+A :class:`FailurePlan` is a deterministic list of timed events the cluster
+replays while serving traffic:
+
+* ``crash`` — the victim replica loses its pool wholesale: every queued and
+  running request is handed back to the router (delivered tokens stay
+  delivered, but the KV cache is gone, so survivors re-prefill their full
+  context on their new replica — the same resume semantics as a preemption).
+  The machine restarts and rejoins after ``duration`` seconds.
+* ``slow`` — the victim degrades (thermal throttling, a failing NIC, a noisy
+  neighbour): every iteration it runs is stretched by ``slowdown`` until the
+  window ends.  Slow nodes are the insidious case — they keep absorbing
+  routed traffic while serving it badly, which is what separates load-aware
+  routers from round-robin under degradation.
+
+Victims are chosen by ``replica_index`` *modulo the replicas active when the
+event fires* — plans stay valid under autoscaling, and the same seed always
+hits the same sequence of victims.  :func:`random_failure_plan` draws a
+Poisson event schedule from an explicit seed, so failure traces are as
+reproducible as workload traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FailureEvent", "FailurePlan", "random_failure_plan"]
+
+_KINDS = ("crash", "slow")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected fault: what happens, to whom, when, for how long."""
+
+    time: float
+    kind: str
+    replica_index: int
+    duration: float
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.replica_index < 0:
+            raise ValueError("replica_index must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.kind == "slow" and self.slowdown <= 1.0:
+            raise ValueError("slow events need slowdown > 1")
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """A time-ordered, replayable schedule of failure events."""
+
+    events: Tuple[FailureEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.time, e.replica_index)))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for e in self.events if e.kind == "crash")
+
+    @property
+    def slow_events(self) -> int:
+        return sum(1 for e in self.events if e.kind == "slow")
+
+
+def random_failure_plan(
+    seed: int,
+    horizon: float,
+    crash_rate: float = 0.0,
+    slow_rate: float = 0.0,
+    restart_delay: float = 60.0,
+    slow_duration: float = 30.0,
+    slowdown: float = 2.5,
+    max_replica_index: int = 64,
+) -> FailurePlan:
+    """Draw a Poisson schedule of crashes and slow windows over ``horizon``.
+
+    ``crash_rate`` / ``slow_rate`` are events per second of simulated time
+    (fleet-wide, not per replica).  A rate of zero disables that kind.  The
+    plan is a pure function of its arguments.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if crash_rate < 0 or slow_rate < 0:
+        raise ValueError("rates must be non-negative")
+    rng = random.Random(seed)
+    events = []
+    for kind, rate in (("crash", crash_rate), ("slow", slow_rate)):
+        t = 0.0
+        while rate > 0:
+            t += rng.expovariate(rate)
+            if t >= horizon:
+                break
+            events.append(
+                FailureEvent(
+                    time=t,
+                    kind=kind,
+                    replica_index=rng.randrange(max_replica_index),
+                    duration=restart_delay if kind == "crash" else slow_duration,
+                    slowdown=1.0 if kind == "crash" else slowdown,
+                )
+            )
+    return FailurePlan(events=tuple(events))

@@ -1,0 +1,201 @@
+"""Capacity planning: the cheapest fleet that meets an SLO at a given load.
+
+Answers the operator question the fleet layer exists for — *"how many
+replicas (GPUs) do I need to hit this SLO at this traffic?"* — by searching
+fleet size over fixed (non-autoscaled) deployments of a registered scenario:
+
+1. **Ladder.**  Evaluate a doubling ladder of replica counts
+   (1, 2, 4, ... up to the cap) as *one* sweep — the points are independent,
+   so :func:`repro.sweep.engine.run_sweep` fans them out over workers and
+   memoizes each (scenario, router, replicas, load) point in the shared
+   sweep cache.
+2. **Bisect.**  Between the largest infeasible and the smallest feasible
+   rung, binary-search the exact frontier with single-point sweeps (same
+   spec name, so the cache file keeps accumulating).
+
+Feasibility is ``ttft_p99 <= slo_ttft_p99`` plus an optional goodput floor.
+Queueing delay grows monotonically as replicas are removed, so the frontier
+is well-defined; the planner-monotonicity test (higher ``load_scale`` never
+plans fewer replicas) guards that assumption against engine regressions.
+
+The chosen fleet is priced from the simulated replica-hours via
+:data:`~repro.fleet.cluster.GPU_HOURLY_USD` — with a homogeneous scenario
+the minimal feasible replica count *is* the cheapest fleet, and the report
+shows the GPU-hours / dollar cost of every candidate evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..analysis.report import format_percent, render_table
+from ..sweep.cache import SweepCache
+from ..sweep.engine import run_sweep
+from ..sweep.spec import Scalar, SweepSpec
+from .scenarios import FleetScenario, get_fleet_scenario
+
+__all__ = ["CapacityPlan", "plan_capacity"]
+
+
+@dataclass
+class CapacityPlan:
+    """Outcome of one capacity-planning search."""
+
+    scenario: str
+    router: str
+    seed: int
+    load_scale: float
+    slo_ttft_p99: float
+    min_goodput: Optional[float]
+    replicas: Optional[int]
+    evaluations: List[Tuple[int, Dict[str, Scalar]]] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.replicas is not None
+
+    @property
+    def chosen(self) -> Optional[Dict[str, Scalar]]:
+        for replicas, metrics in self.evaluations:
+            if replicas == self.replicas:
+                return metrics
+        return None
+
+    def to_text(self) -> str:
+        rows = []
+        for replicas, metrics in self.evaluations:
+            rows.append(
+                (
+                    replicas,
+                    "<- plan" if replicas == self.replicas else "",
+                    f"{float(metrics['ttft_p99']):.2f} s",
+                    format_percent(float(metrics["goodput_fraction"])),
+                    f"{float(metrics['gpu_hours']):.2f}",
+                    f"${float(metrics['cost_usd']):.2f}",
+                    "yes" if self._meets(metrics) else "no",
+                )
+            )
+        table = render_table(
+            ["replicas", "", "TTFT p99", "goodput", "GPU-hours", "cost", "meets SLO"],
+            rows,
+            title=(
+                f"capacity plan — {self.scenario} | router {self.router} | "
+                f"load x{self.load_scale:g} | TTFT p99 <= {self.slo_ttft_p99:g} s"
+                + (
+                    f" | goodput >= {format_percent(self.min_goodput)}"
+                    if self.min_goodput is not None
+                    else ""
+                )
+            ),
+        )
+        if self.feasible:
+            chosen = self.chosen or {}
+            verdict = (
+                f"plan: {self.replicas} replicas "
+                f"({float(chosen.get('gpu_hours', 0.0)):.2f} GPU-hours, "
+                f"${float(chosen.get('cost_usd', 0.0)):.2f})\n"
+            )
+        else:
+            ceiling = max((r for r, _ in self.evaluations), default=0)
+            verdict = f"plan: infeasible within {ceiling} replicas\n"
+        return table + verdict
+
+    def _meets(self, metrics: Dict[str, Scalar]) -> bool:
+        return _meets_slo(metrics, self.slo_ttft_p99, self.min_goodput)
+
+
+def _meets_slo(
+    metrics: Dict[str, Scalar], slo_ttft_p99: float, min_goodput: Optional[float]
+) -> bool:
+    if float(metrics["ttft_p99"]) > slo_ttft_p99:
+        return False
+    if min_goodput is not None and float(metrics["goodput_fraction"]) < min_goodput:
+        return False
+    return True
+
+
+def _ladder(max_replicas: int) -> List[int]:
+    rungs = []
+    rung = 1
+    while rung < max_replicas:
+        rungs.append(rung)
+        rung *= 2
+    rungs.append(max_replicas)
+    return rungs
+
+
+def plan_capacity(
+    scenario: Union[str, FleetScenario],
+    slo_ttft_p99: float,
+    min_goodput: Optional[float] = None,
+    router: Optional[str] = None,
+    seed: int = 0,
+    load_scale: float = 1.0,
+    max_replicas: Optional[int] = None,
+    workers: int = 0,
+    cache: Optional[SweepCache] = None,
+) -> CapacityPlan:
+    """Search the minimal fixed fleet meeting the SLO for ``scenario``.
+
+    ``load_scale`` compresses the scenario's arrivals (2.0 = double QPS);
+    ``workers`` / ``cache`` are handed to the sweep engine, which evaluates
+    the ladder rungs in parallel and memoizes every point.
+    """
+    if slo_ttft_p99 <= 0:
+        raise ValueError("slo_ttft_p99 must be positive")
+    if min_goodput is not None and not 0.0 < min_goodput <= 1.0:
+        raise ValueError("min_goodput must be in (0, 1]")
+    if isinstance(scenario, str):
+        scenario = get_fleet_scenario(scenario)
+    router_name = router or scenario.router
+    cap = max_replicas if max_replicas is not None else scenario.max_replicas
+    if cap < 1:
+        raise ValueError("max_replicas must be >= 1")
+
+    base: Dict[str, Scalar] = {
+        "scenario": scenario.name,
+        "router": router_name,
+        "seed": seed,
+        "load_scale": load_scale,
+        "autoscale": False,
+        "with_failures": True,
+    }
+
+    def evaluate(replica_counts: List[int]) -> Dict[int, Dict[str, Scalar]]:
+        spec = SweepSpec.make(
+            name=f"fleet-plan-{scenario.name}",
+            evaluator="fleet-scenario",
+            axes={"replicas": tuple(replica_counts)},
+            base=base,
+        )
+        sweep = run_sweep(spec, workers=workers, cache=cache)
+        return {int(point["replicas"]): result for point, result in sweep}
+
+    evaluations: Dict[int, Dict[str, Scalar]] = dict(evaluate(_ladder(cap)))
+    feasible_rungs = sorted(
+        r for r, m in evaluations.items() if _meets_slo(m, slo_ttft_p99, min_goodput)
+    )
+    plan = CapacityPlan(
+        scenario=scenario.name,
+        router=router_name,
+        seed=seed,
+        load_scale=load_scale,
+        slo_ttft_p99=slo_ttft_p99,
+        min_goodput=min_goodput,
+        replicas=None,
+    )
+    if feasible_rungs:
+        hi = feasible_rungs[0]
+        infeasible = [r for r in evaluations if r < hi]
+        lo = max(infeasible) if infeasible else 0
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            evaluations.update(evaluate([mid]))
+            if _meets_slo(evaluations[mid], slo_ttft_p99, min_goodput):
+                hi = mid
+            else:
+                lo = mid
+        plan.replicas = hi
+    plan.evaluations = sorted(evaluations.items())
+    return plan

@@ -1,0 +1,176 @@
+"""Pluggable request routers for the fleet layer.
+
+A router is the fleet's admission front door: every arriving request is
+assigned to exactly one replica, based only on the *observable* state of the
+healthy replicas (queue depth, outstanding tokens, free KV blocks) — never on
+simulator internals a real load balancer could not see.  Routers are small
+stateful objects resolved by name from :data:`ROUTER_REGISTRY`, mirroring the
+model/scenario registries:
+
+``round-robin``
+    Cycle through the healthy replicas in id order.  Oblivious to load; the
+    baseline every serving load-balancer paper compares against.
+``least-tokens``
+    Join the replica with the fewest *outstanding tokens* (prefill remaining
+    plus decode remaining over its queued and running requests) — the
+    token-weighted analogue of least-outstanding-requests, which matters when
+    one 512K prompt weighs as much as hundreds of chat requests.
+``session-affinity``
+    Sticky routing: a session's first request picks the least-loaded replica
+    and later requests follow it (warm KV / prefix reuse in a real system).
+    A session whose home replica fails or drains is re-homed.
+``kv-aware``
+    Join the replica with the largest free share of its paged-KV pool,
+    breaking ties by outstanding tokens.  Long-context traffic is admitted
+    where it will not trigger preemption storms.
+
+Every policy breaks remaining ties by replica id, so routing is a pure
+function of (request order, snapshot history) and fleet runs are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..constants import UnknownNameError
+from ..serving.workload import Request
+
+__all__ = [
+    "ReplicaSnapshot",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingTokensRouter",
+    "SessionAffinityRouter",
+    "KVLoadAwareRouter",
+    "ROUTER_REGISTRY",
+    "available_routers",
+    "get_router",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """What the router is allowed to observe about one healthy replica."""
+
+    replica_id: int
+    queue_depth: int
+    running_requests: int
+    outstanding_tokens: int
+    kv_free_fraction: float
+    gpu: str = "hopper-80gb"
+
+
+class Router:
+    """Base class: route one request to one of the offered replicas.
+
+    ``snapshots`` only ever contains replicas that accept new work; the
+    cluster holds requests back (and re-offers them) when the list would be
+    empty.  Implementations must be deterministic.
+    """
+
+    name = "base"
+
+    def route(
+        self, request: Request, session: int, snapshots: Sequence[ReplicaSnapshot]
+    ) -> int:
+        raise NotImplementedError
+
+    def _require(self, snapshots: Sequence[ReplicaSnapshot]) -> None:
+        if not snapshots:
+            raise ValueError("route() offered no replicas; the cluster must hold")
+
+
+class RoundRobinRouter(Router):
+    """Cycle through healthy replicas in id order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def route(
+        self, request: Request, session: int, snapshots: Sequence[ReplicaSnapshot]
+    ) -> int:
+        self._require(snapshots)
+        ordered = sorted(snapshots, key=lambda s: s.replica_id)
+        choice = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return choice.replica_id
+
+
+class LeastOutstandingTokensRouter(Router):
+    """Join the replica with the fewest outstanding (queued + running) tokens."""
+
+    name = "least-tokens"
+
+    def route(
+        self, request: Request, session: int, snapshots: Sequence[ReplicaSnapshot]
+    ) -> int:
+        self._require(snapshots)
+        return min(
+            snapshots,
+            key=lambda s: (s.outstanding_tokens, s.queue_depth, s.replica_id),
+        ).replica_id
+
+
+class SessionAffinityRouter(Router):
+    """Sticky session routing with least-tokens placement of new sessions."""
+
+    name = "session-affinity"
+
+    def __init__(self) -> None:
+        self._homes: Dict[int, int] = {}
+
+    def route(
+        self, request: Request, session: int, snapshots: Sequence[ReplicaSnapshot]
+    ) -> int:
+        self._require(snapshots)
+        alive = {s.replica_id for s in snapshots}
+        home = self._homes.get(session)
+        if home is not None and home in alive:
+            return home
+        placed = min(
+            snapshots,
+            key=lambda s: (s.outstanding_tokens, s.queue_depth, s.replica_id),
+        ).replica_id
+        self._homes[session] = placed
+        return placed
+
+
+class KVLoadAwareRouter(Router):
+    """Join the replica with the most free paged-KV capacity."""
+
+    name = "kv-aware"
+
+    def route(
+        self, request: Request, session: int, snapshots: Sequence[ReplicaSnapshot]
+    ) -> int:
+        self._require(snapshots)
+        return min(
+            snapshots,
+            key=lambda s: (-s.kv_free_fraction, s.outstanding_tokens, s.replica_id),
+        ).replica_id
+
+
+ROUTER_REGISTRY: Dict[str, Callable[[], Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingTokensRouter.name: LeastOutstandingTokensRouter,
+    SessionAffinityRouter.name: SessionAffinityRouter,
+    KVLoadAwareRouter.name: KVLoadAwareRouter,
+}
+
+
+def available_routers() -> List[str]:
+    return sorted(ROUTER_REGISTRY)
+
+
+def get_router(name: str) -> Router:
+    """Instantiate a router policy by name, listing valid names on a miss."""
+    try:
+        return ROUTER_REGISTRY[name]()
+    except KeyError:
+        raise UnknownNameError(
+            f"unknown router {name!r}; available: {available_routers()}"
+        ) from None

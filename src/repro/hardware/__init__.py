@@ -1,13 +1,15 @@
 """Hardware substrate: GPU specs, cluster topology and communication costs."""
 
 from .comm import CommDomain, CommModel
-from .gpu import AMPERE_80GB, HOPPER_80GB, GPUSpec
+from .gpu import AMPERE_80GB, GPU_REGISTRY, HOPPER_80GB, GPUSpec, get_gpu_spec
 from .topology import ClusterTopology, hopper_cluster
 
 __all__ = [
     "GPUSpec",
     "HOPPER_80GB",
     "AMPERE_80GB",
+    "GPU_REGISTRY",
+    "get_gpu_spec",
     "ClusterTopology",
     "hopper_cluster",
     "CommModel",

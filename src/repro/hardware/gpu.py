@@ -10,10 +10,11 @@ which drives Figure 11's "slices too short" regime.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
-from ..constants import GIB
+from ..constants import GIB, UnknownNameError
 
-__all__ = ["GPUSpec", "HOPPER_80GB", "AMPERE_80GB"]
+__all__ = ["GPUSpec", "HOPPER_80GB", "AMPERE_80GB", "GPU_REGISTRY", "get_gpu_spec"]
 
 
 @dataclass(frozen=True)
@@ -89,3 +90,20 @@ AMPERE_80GB = GPUSpec(
     attention_efficiency_forward=0.45,
     attention_efficiency_backward=0.33,
 )
+
+#: Named device specs, for layers (e.g. heterogeneous fleets) that resolve
+#: accelerators declaratively.
+GPU_REGISTRY: Dict[str, GPUSpec] = {
+    spec.name: spec for spec in (HOPPER_80GB, AMPERE_80GB)
+}
+
+
+def get_gpu_spec(name: str) -> GPUSpec:
+    """Look up a GPU spec by name, listing the valid names on a miss."""
+    try:
+        return GPU_REGISTRY[name]
+    except KeyError:
+        raise UnknownNameError(
+            f"unknown GPU {name!r}; available: {sorted(GPU_REGISTRY)}"
+        ) from None
+

@@ -107,8 +107,10 @@ class ServingMetrics:
     ttft_p95: float
     ttft_p99: float
     tpot_p50: float
+    tpot_p95: float
     tpot_p99: float
     e2e_p50: float
+    e2e_p95: float
     e2e_p99: float
     output_tokens_per_second: float
     requests_per_second: float
@@ -124,8 +126,8 @@ class ServingMetrics:
             ("requests served", f"{self.num_requests}"),
             ("makespan", f"{self.duration:.2f} s"),
             ("TTFT p50 / p95 / p99", f"{self.ttft_p50:.3f} / {self.ttft_p95:.3f} / {self.ttft_p99:.3f} s"),
-            ("TPOT p50 / p99", f"{self.tpot_p50 * 1e3:.1f} / {self.tpot_p99 * 1e3:.1f} ms"),
-            ("E2E p50 / p99", f"{self.e2e_p50:.2f} / {self.e2e_p99:.2f} s"),
+            ("TPOT p50 / p95 / p99", f"{self.tpot_p50 * 1e3:.1f} / {self.tpot_p95 * 1e3:.1f} / {self.tpot_p99 * 1e3:.1f} ms"),
+            ("E2E p50 / p95 / p99", f"{self.e2e_p50:.2f} / {self.e2e_p95:.2f} / {self.e2e_p99:.2f} s"),
             ("output throughput", f"{self.output_tokens_per_second:.0f} tok/s"),
             ("request throughput", f"{self.requests_per_second:.2f} req/s"),
             (
@@ -165,8 +167,10 @@ def compute_metrics(
         ttft_p95=percentile(ttfts, 95),
         ttft_p99=percentile(ttfts, 99),
         tpot_p50=percentile(tpots, 50),
+        tpot_p95=percentile(tpots, 95),
         tpot_p99=percentile(tpots, 99),
         e2e_p50=percentile(e2es, 50),
+        e2e_p95=percentile(e2es, 95),
         e2e_p99=percentile(e2es, 99),
         output_tokens_per_second=output_tokens / span,
         requests_per_second=len(done) / span,

@@ -8,7 +8,8 @@ re-running a sweep re-evaluates only the points that were never seen.
 
 Staleness is handled by :func:`code_fingerprint`: a stable hash over the
 code-relevant constants the evaluators depend on (GPU spec, estimator
-settings, model registry, scheme formulas, serving scenarios).  The
+settings, model registry, scheme formulas, serving scenarios, the fleet
+layer).  The
 fingerprint is written into every cache file and golden record; a file whose
 fingerprint no longer matches is discarded wholesale, so changing any
 modelled constant transparently invalidates every memoized number instead of
@@ -65,13 +66,23 @@ def _jsonable(obj: object) -> object:
 #: model here must invalidate memoized results even when no registry constant
 #: changed.
 _FINGERPRINTED_MODULES = (
+    "repro.fleet.autoscaler",
+    "repro.fleet.cluster",
+    "repro.fleet.failures",
+    "repro.fleet.router",
+    "repro.fleet.scenarios",
     "repro.hardware.comm",
     "repro.model.costs",
     "repro.model.flops",
     "repro.model.memory",
     "repro.schedules.formulas",
+    "repro.serving.batcher",
+    "repro.serving.engine",
+    "repro.serving.metrics",
+    "repro.serving.paged_kv",
     "repro.serving.scenarios",
     "repro.serving.workload",
+    "repro.sweep.evaluators",
     "repro.systems.estimator",
     "repro.systems.pipeline_systems",
     "repro.systems.deepspeed",
@@ -85,7 +96,8 @@ def code_fingerprint() -> str:
     Covers the GPU spec, the default estimator settings, every registered
     model configuration, every serving scenario's deployment knobs, and the
     source text of the numeric-core modules (closed-form scheme formulas,
-    FLOPs/memory/cost models, communication model, workload generators).
+    FLOPs/memory/cost models, communication model, workload generators,
+    serving metrics, the sweep evaluators and the fleet layer).
     Perturbing any of them changes the fingerprint, which invalidates caches
     and flags goldens as stale.  (The package version is deliberately
     excluded: a version bump alone does not change any number.)

@@ -36,6 +36,7 @@ __all__ = [
     "evaluate_fig12_cell",
     "evaluate_scheme_point",
     "evaluate_serving_scenario",
+    "evaluate_fleet_scenario",
     "serving_metrics_from_result",
 ]
 
@@ -252,8 +253,10 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         "ttft_p95": m.ttft_p95,
         "ttft_p99": m.ttft_p99,
         "tpot_p50": m.tpot_p50,
+        "tpot_p95": m.tpot_p95,
         "tpot_p99": m.tpot_p99,
         "e2e_p50": m.e2e_p50,
+        "e2e_p95": m.e2e_p95,
         "e2e_p99": m.e2e_p99,
         "output_tokens_per_second": m.output_tokens_per_second,
         "requests_per_second": m.requests_per_second,
@@ -264,6 +267,65 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         "preemptions": m.preemptions,
         "slo_ttft": m.slo.ttft,
         "slo_tpot": m.slo.tpot,
+    }
+
+
+# ===========================================================================
+# Fleet scenarios (the fleet-comparison / capacity-planner unit of work)
+# ===========================================================================
+@register_evaluator("fleet-scenario")
+def evaluate_fleet_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
+    """Simulate one (scenario, router, fleet size) triple end to end."""
+    from ..fleet.scenarios import get_fleet_scenario, run_fleet_scenario
+
+    scenario = get_fleet_scenario(str(point["scenario"]))
+    router = point.get("router")
+    replicas = point.get("replicas")
+    autoscale = point.get("autoscale")
+    result = run_fleet_scenario(
+        scenario,
+        router=None if router is None else str(router),
+        replicas=None if replicas is None else int(replicas),
+        seed=int(point.get("seed", 0)),
+        load_scale=float(point.get("load_scale", 1.0)),
+        autoscale=None if autoscale is None else bool(autoscale),
+        with_failures=bool(point.get("with_failures", True)),
+    )
+    m = result.metrics
+    f = result.fleet
+    return {
+        "num_requests": m.num_requests,
+        "duration": m.duration,
+        "ttft_p50": m.ttft_p50,
+        "ttft_p95": m.ttft_p95,
+        "ttft_p99": m.ttft_p99,
+        "tpot_p50": m.tpot_p50,
+        "tpot_p95": m.tpot_p95,
+        "tpot_p99": m.tpot_p99,
+        "e2e_p50": m.e2e_p50,
+        "e2e_p95": m.e2e_p95,
+        "e2e_p99": m.e2e_p99,
+        "output_tokens_per_second": m.output_tokens_per_second,
+        "requests_per_second": m.requests_per_second,
+        "goodput_fraction": m.goodput_fraction,
+        "goodput_rps": m.goodput_rps,
+        "kv_utilization_mean": m.kv_utilization_mean,
+        "kv_utilization_peak": m.kv_utilization_peak,
+        "preemptions": m.preemptions,
+        "slo_ttft": m.slo.ttft,
+        "slo_tpot": m.slo.tpot,
+        "replicas_provisioned": f.replicas_provisioned,
+        "replicas_peak": f.replicas_peak,
+        "replicas_final": f.replicas_final,
+        "scale_up_events": f.scale_up_events,
+        "scale_down_events": f.scale_down_events,
+        "crashes": f.crashes,
+        "slow_events": f.slow_events,
+        "rerouted_requests": f.rerouted_requests,
+        "gpu_hours": f.gpu_hours,
+        "cost_usd": f.cost_usd,
+        "iterations": result.iterations,
+        "token_accounting_balanced": result.token_accounting_balanced,
     }
 
 
@@ -278,8 +340,10 @@ def serving_metrics_from_result(result: Dict[str, Scalar]):
         ttft_p95=float(result["ttft_p95"]),
         ttft_p99=float(result["ttft_p99"]),
         tpot_p50=float(result["tpot_p50"]),
+        tpot_p95=float(result["tpot_p95"]),
         tpot_p99=float(result["tpot_p99"]),
         e2e_p50=float(result["e2e_p50"]),
+        e2e_p95=float(result["e2e_p95"]),
         e2e_p99=float(result["e2e_p99"]),
         output_tokens_per_second=float(result["output_tokens_per_second"]),
         requests_per_second=float(result["requests_per_second"]),

@@ -442,6 +442,7 @@ _SERVING_GOLDEN_METRICS = (
     "ttft_p50",
     "ttft_p99",
     "tpot_p50",
+    "tpot_p95",
     "tpot_p99",
     "goodput_fraction",
     "goodput_rps",
@@ -477,3 +478,52 @@ def _register_serving_goldens() -> None:
 
 
 _register_serving_goldens()
+
+
+# ---------------------------------------------------------------------------
+# Fleet scenarios: routing-policy comparison headline numbers, generated
+# through the sweep engine itself (no cache — goldens must recompute).
+# ---------------------------------------------------------------------------
+_FLEET_GOLDEN_METRICS = (
+    "ttft_p50",
+    "ttft_p99",
+    "tpot_p50",
+    "goodput_fraction",
+    "gpu_hours",
+    "replicas_peak",
+    "rerouted_requests",
+    "preemptions",
+)
+
+
+def _fleet_golden(scenario: str) -> Dict[str, Scalar]:
+    from .engine import run_sweep
+    from .spec import SweepSpec
+
+    spec = SweepSpec.make(
+        name=f"golden-fleet-{scenario}",
+        evaluator="fleet-scenario",
+        axes={"router": ("round-robin", "least-tokens")},
+        base={"scenario": scenario, "seed": 0},
+    )
+    result = run_sweep(spec)
+    metrics: Dict[str, Scalar] = {}
+    for point, row in result:
+        for key in _FLEET_GOLDEN_METRICS:
+            metrics[f"{point['router']}.{key}"] = row[key]
+    return metrics
+
+
+def _register_fleet_goldens() -> None:
+    for scenario in ("steady-chat", "bursty-long", "unreliable"):
+        GOLDEN_REGISTRY[f"fleet-{scenario}"] = GoldenDefinition(
+            name=f"fleet-{scenario}",
+            compute=(lambda s: (lambda: _fleet_golden(s)))(scenario),
+            description=(
+                f"fleet TTFT/goodput/GPU-hours of the {scenario!r} scenario "
+                "under round-robin and least-tokens routing"
+            ),
+        )
+
+
+_register_fleet_goldens()

@@ -12,6 +12,9 @@ one of the paper-scale grids:
 ``serving``
     Every registered serving scenario under both deployments (the serving
     comparison table).
+``fleet``
+    Representative fleet scenarios under the load-oblivious and token-aware
+    routers (the fleet comparison table's core grid).
 """
 
 from __future__ import annotations
@@ -76,6 +79,16 @@ SWEEP_REGISTRY: Dict[str, SweepSpec] = {
             },
             base={"seed": 0},
             description="serving scenarios under both deployments (TTFT/TPOT/goodput)",
+        ),
+        SweepSpec.make(
+            name="fleet",
+            evaluator="fleet-scenario",
+            axes={
+                "scenario": ("steady-chat", "bursty-long", "unreliable"),
+                "router": ("round-robin", "least-tokens"),
+            },
+            base={"seed": 0},
+            description="fleet scenarios x routing policies (goodput/TTFT/GPU-hours)",
         ),
     )
 }

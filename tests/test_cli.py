@@ -204,3 +204,103 @@ class TestSweepCommand:
         assert main(["sweep", "golden", "fig99"]) == 2
         err = capsys.readouterr().err
         assert "unknown golden" in err and "fig03" in err
+
+
+class TestFleetCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_list_scenarios(self, capsys):
+        assert main(["fleet", "run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "steady-chat" in out and "bursty-long" in out and "canary-chat" in out
+
+    def test_runs_the_canary_scenario(self, capsys):
+        exit_code = main(["fleet", "run", "--scenario", "canary-chat", "--no-autoscale"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "TTFT p50" in out
+        assert "router" in out
+        assert "GPU-hours" in out
+        assert "tokens admitted/prefilled/requeued" in out
+
+    def test_deterministic_under_fixed_seed(self, capsys):
+        argv = ["fleet", "run", "--scenario", "canary-chat", "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_trace_export(self, tmp_path, capsys):
+        trace_path = tmp_path / "fleet.json"
+        exit_code = main(
+            ["fleet", "run", "--scenario", "canary-chat", "--trace", str(trace_path)]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_unknown_scenario_exits_with_names(self, capsys):
+        assert main(["fleet", "run", "--scenario", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fleet scenario" in err
+        assert "steady-chat" in err  # the valid names are listed
+
+    def test_unknown_router_exits_with_names(self, capsys):
+        assert main(
+            ["fleet", "run", "--scenario", "canary-chat", "--router", "magic"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown router" in err and "least-tokens" in err
+
+    def test_plan_requires_the_slo_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "plan", "--scenario", "canary-chat"])
+
+    def test_plan_prints_the_frontier(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "fleet", "plan",
+                "--scenario", "canary-chat",
+                "--slo-ttft-p99", "1.0",
+                "--max-replicas", "4",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "capacity plan" in out
+        assert "<- plan" in out
+
+    def test_plan_infeasible_exits_nonzero(self, capsys):
+        exit_code = main(
+            [
+                "fleet", "plan",
+                "--scenario", "canary-chat",
+                "--slo-ttft-p99", "0.0001",
+                "--max-replicas", "1",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "infeasible" in out
+
+    def test_plan_bad_slo_exits_cleanly(self, capsys):
+        exit_code = main(
+            [
+                "fleet", "plan",
+                "--scenario", "canary-chat",
+                "--slo-ttft-p99", "-1",
+                "--no-cache",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "error:" in err and "slo_ttft_p99" in err
+
+    def test_fleet_experiment_registered(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "fleet" in capsys.readouterr().out

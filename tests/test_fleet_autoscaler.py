@@ -1,0 +1,139 @@
+"""Tests for the fleet autoscaling policies (repro.fleet.autoscaler)."""
+
+import pytest
+
+from repro.constants import UnknownNameError
+from repro.fleet.autoscaler import (
+    ArrivalRateAutoscaler,
+    AutoscalerConfig,
+    FixedAutoscaler,
+    FleetView,
+    QueueDepthAutoscaler,
+    available_autoscalers,
+    make_autoscaler,
+)
+from repro.fleet.scenarios import get_fleet_scenario, run_fleet_scenario
+
+
+def _view(now=0.0, active=2, provisioning=0, queue=0, running=0, rate=0.0):
+    return FleetView(
+        now=now,
+        active_replicas=active,
+        provisioning_replicas=provisioning,
+        queue_depth=queue,
+        running_requests=running,
+        arrival_rate=rate,
+    )
+
+
+class TestConfig:
+    def test_registry(self):
+        assert available_autoscalers() == ["arrival-rate", "none", "queue-depth"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(UnknownNameError, match="queue-depth"):
+            AutoscalerConfig(policy="ml-predictor")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_queue=1.0, scale_down_queue=2.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(step=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(replica_rps=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(headroom=0.9)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(ewma_alpha=0.0)
+
+    def test_factory_maps_policies(self):
+        assert isinstance(make_autoscaler(), FixedAutoscaler)
+        assert isinstance(
+            make_autoscaler(AutoscalerConfig(policy="queue-depth")), QueueDepthAutoscaler
+        )
+        assert isinstance(
+            make_autoscaler(AutoscalerConfig(policy="arrival-rate")), ArrivalRateAutoscaler
+        )
+
+
+class TestFixed:
+    def test_holds_the_fleet(self):
+        scaler = make_autoscaler(AutoscalerConfig(policy="none"))
+        assert scaler.desired(_view(active=3, provisioning=1)) == 4
+
+
+class TestQueueDepth:
+    def _scaler(self, **overrides):
+        defaults = dict(
+            policy="queue-depth", scale_up_queue=4.0, scale_down_queue=0.5, cooldown=20.0
+        )
+        defaults.update(overrides)
+        return make_autoscaler(AutoscalerConfig(**defaults))
+
+    def test_scales_up_on_backlog(self):
+        scaler = self._scaler(step=2)
+        assert scaler.desired(_view(now=5.0, active=2, queue=10)) == 4
+
+    def test_scales_down_when_idle(self):
+        scaler = self._scaler()
+        assert scaler.desired(_view(now=5.0, active=3, queue=0)) == 2
+
+    def test_scales_down_below_the_threshold_with_a_trickle(self):
+        # A near-idle queue (0.25 waiting per replica < 0.5) must still
+        # drain capacity — scale-down is thresholded, not empty-queue-only.
+        scaler = self._scaler()
+        assert scaler.desired(_view(now=5.0, active=4, queue=1)) == 3
+
+    def test_holds_in_the_deadband(self):
+        scaler = self._scaler()
+        assert scaler.desired(_view(now=5.0, active=2, queue=3)) == 2
+
+    def test_cooldown_suppresses_flapping(self):
+        scaler = self._scaler(cooldown=30.0)
+        assert scaler.desired(_view(now=5.0, active=2, queue=10)) == 3
+        # Still over threshold, but inside the cooldown window: hold.
+        assert scaler.desired(_view(now=10.0, active=3, queue=20)) == 3
+        assert scaler.desired(_view(now=40.0, active=3, queue=20)) == 4
+
+    def test_counts_provisioning_replicas(self):
+        # Capacity already on its way must damp further scale-ups.
+        scaler = self._scaler()
+        assert scaler.desired(_view(now=5.0, active=2, provisioning=2, queue=10)) == 4
+
+
+class TestArrivalRate:
+    def test_provisions_for_the_rate(self):
+        scaler = make_autoscaler(
+            AutoscalerConfig(policy="arrival-rate", replica_rps=2.0, headroom=1.2)
+        )
+        # ceil(6.0 * 1.2 / 2.0) = 4
+        assert scaler.desired(_view(rate=6.0)) == 4
+
+    def test_never_below_one(self):
+        scaler = make_autoscaler(AutoscalerConfig(policy="arrival-rate"))
+        assert scaler.desired(_view(rate=0.0)) == 1
+
+
+class TestIntegration:
+    def test_flash_crowd_scales_up_then_down(self):
+        scenario = get_fleet_scenario("flash-crowd")
+        result = run_fleet_scenario(scenario, seed=0)
+        assert result.fleet.scale_up_events > 0
+        assert result.fleet.replicas_peak > scenario.initial_replicas
+        assert result.metrics.num_requests == len(scenario.make_trace(0))
+        assert result.token_accounting_balanced
+
+    def test_steady_chat_drains_excess_capacity(self):
+        scenario = get_fleet_scenario("steady-chat")
+        result = run_fleet_scenario(scenario, seed=0)
+        assert result.fleet.scale_down_events > 0
+        assert result.fleet.replicas_final < scenario.initial_replicas
+        assert result.token_accounting_balanced
+
+    def test_bounds_are_respected(self):
+        scenario = get_fleet_scenario("flash-crowd")
+        result = run_fleet_scenario(scenario, seed=0)
+        assert result.fleet.replicas_peak <= scenario.max_replicas
+        assert result.fleet.replicas_final >= scenario.min_replicas

@@ -1,0 +1,56 @@
+"""Determinism guard: same seed + scenario => byte-identical metrics.
+
+The fleet engine added real RNG plumbing (trace seeds, failure plans) and a
+cluster event heap on top of the serving simulator; this suite pins the
+property every golden and cache entry relies on — a run is a pure function
+of (scenario, seed), down to the exact float bits.  The comparison goes
+through ``canonical_json`` of the full evaluator metric dictionaries, so any
+nondeterminism (set iteration, heap tie-breaks, id()-keyed ordering) shows
+up as a byte diff, not a tolerance miss.
+"""
+
+from repro.sweep.evaluators import evaluate_fleet_scenario, evaluate_serving_scenario
+from repro.sweep.spec import canonical_json
+
+
+def _fleet_bytes(**point):
+    return canonical_json(evaluate_fleet_scenario(point)).encode("utf-8")
+
+
+def _serving_bytes(**point):
+    return canonical_json(evaluate_serving_scenario(point)).encode("utf-8")
+
+
+class TestFleetDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        point = dict(scenario="canary-chat", seed=3)
+        assert _fleet_bytes(**point) == _fleet_bytes(**point)
+
+    def test_failure_injection_is_deterministic(self):
+        point = dict(scenario="unreliable", seed=0)
+        assert _fleet_bytes(**point) == _fleet_bytes(**point)
+
+    def test_autoscaled_run_is_deterministic(self):
+        point = dict(scenario="flash-crowd", seed=1)
+        assert _fleet_bytes(**point) == _fleet_bytes(**point)
+
+    def test_different_seeds_differ(self):
+        assert _fleet_bytes(scenario="canary-chat", seed=0) != _fleet_bytes(
+            scenario="canary-chat", seed=1
+        )
+
+    def test_router_changes_the_assignment_not_the_workload(self):
+        a = evaluate_fleet_scenario({"scenario": "hetero-mixed", "seed": 0, "router": "round-robin"})
+        b = evaluate_fleet_scenario({"scenario": "hetero-mixed", "seed": 0, "router": "least-tokens"})
+        assert a["num_requests"] == b["num_requests"]
+        assert a["ttft_p99"] != b["ttft_p99"]
+
+
+class TestServingDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        point = dict(scenario="chat", mode="colocated", seed=2)
+        assert _serving_bytes(**point) == _serving_bytes(**point)
+
+    def test_disaggregated_is_deterministic_too(self):
+        point = dict(scenario="chat", mode="disaggregated", seed=2)
+        assert _serving_bytes(**point) == _serving_bytes(**point)

@@ -1,0 +1,184 @@
+"""Tests for fleet failure injection (repro.fleet.failures + failover)."""
+
+import pytest
+
+from repro.fleet.cluster import FleetConfig, FleetEngine
+from repro.fleet.failures import FailureEvent, FailurePlan, random_failure_plan
+from repro.fleet.scenarios import get_fleet_scenario, run_fleet_scenario
+from repro.model.config import get_model_config
+from repro.serving.workload import poisson_trace
+
+MODEL = get_model_config("llama-13b")
+
+
+def _config(**overrides):
+    defaults = dict(gpus_per_replica=1, initial_replicas=3, max_replicas=4, sessions=4)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def _trace(num=20, seed=0):
+    return poisson_trace(
+        num_requests=num,
+        arrival_rate=6.0,
+        prompt_mean=1024,
+        output_mean=48,
+        seed=seed,
+    )
+
+
+class TestFailureEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time=-1.0, kind="crash", replica_index=0, duration=1.0)
+        with pytest.raises(ValueError):
+            FailureEvent(time=0.0, kind="meteor", replica_index=0, duration=1.0)
+        with pytest.raises(ValueError):
+            FailureEvent(time=0.0, kind="crash", replica_index=0, duration=0.0)
+        with pytest.raises(ValueError):
+            # A slow window must actually slow the victim down.
+            FailureEvent(time=0.0, kind="slow", replica_index=0, duration=1.0, slowdown=1.0)
+
+    def test_plan_orders_events(self):
+        plan = FailurePlan(
+            events=(
+                FailureEvent(time=5.0, kind="crash", replica_index=0, duration=1.0),
+                FailureEvent(time=1.0, kind="crash", replica_index=1, duration=1.0),
+            )
+        )
+        assert [e.time for e in plan.events] == [1.0, 5.0]
+        assert plan.crashes == 2
+        assert plan.slow_events == 0
+
+
+class TestRandomPlan:
+    def test_deterministic_per_seed(self):
+        a = random_failure_plan(seed=7, horizon=100.0, crash_rate=0.05, slow_rate=0.05)
+        b = random_failure_plan(seed=7, horizon=100.0, crash_rate=0.05, slow_rate=0.05)
+        c = random_failure_plan(seed=8, horizon=100.0, crash_rate=0.05, slow_rate=0.05)
+        assert a == b
+        assert a != c
+
+    def test_horizon_and_kinds(self):
+        plan = random_failure_plan(seed=0, horizon=50.0, crash_rate=0.1, slow_rate=0.1)
+        assert all(0.0 <= e.time < 50.0 for e in plan.events)
+        assert plan.crashes + plan.slow_events == len(plan)
+
+    def test_zero_rates_mean_no_events(self):
+        assert len(random_failure_plan(seed=0, horizon=100.0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_failure_plan(seed=0, horizon=0.0)
+        with pytest.raises(ValueError):
+            random_failure_plan(seed=0, horizon=1.0, crash_rate=-0.1)
+
+
+class TestCrashFailover:
+    def test_crash_reroutes_inflight_work(self):
+        # Crash the (single-digit-id) replicas early while the trace is hot:
+        # work must move and still complete.
+        plan = FailurePlan(
+            events=(
+                FailureEvent(time=0.5, kind="crash", replica_index=0, duration=5.0),
+                FailureEvent(time=1.0, kind="crash", replica_index=0, duration=5.0),
+            )
+        )
+        result = FleetEngine(MODEL, _config(), failure_plan=plan).run(_trace())
+        assert result.fleet.crashes == 2
+        assert result.fleet.rerouted_requests > 0
+        assert result.metrics.num_requests == 20
+        assert all(record.finished for record in result.records)
+        assert result.token_accounting_balanced
+
+    def test_crashed_replica_recovers_and_serves_again(self):
+        plan = FailurePlan(
+            events=(FailureEvent(time=0.5, kind="crash", replica_index=0, duration=0.5),),
+        )
+        # One replica only: after the crash everything is held until recovery.
+        config = _config(initial_replicas=1, max_replicas=1)
+        result = FleetEngine(MODEL, config, failure_plan=plan).run(_trace(num=10))
+        assert result.fleet.crashes == 1
+        assert all(record.finished for record in result.records)
+        assert result.token_accounting_balanced
+
+    def test_failover_hurts_the_tail_but_loses_nothing(self):
+        clean = FleetEngine(MODEL, _config()).run(_trace())
+        plan = FailurePlan(
+            events=(FailureEvent(time=0.5, kind="crash", replica_index=0, duration=10.0),),
+        )
+        crashed = FleetEngine(MODEL, _config(), failure_plan=plan).run(_trace())
+        assert crashed.metrics.num_requests == clean.metrics.num_requests
+        # Lost KV means re-prefill on the survivor: the tail must pay.
+        assert crashed.metrics.e2e_p99 >= clean.metrics.e2e_p99
+
+
+class TestSlowNode:
+    def test_slow_window_stretches_the_makespan(self):
+        plan = FailurePlan(
+            events=(
+                FailureEvent(
+                    time=0.2, kind="slow", replica_index=0, duration=30.0, slowdown=4.0
+                ),
+            )
+        )
+        clean = FleetEngine(MODEL, _config()).run(_trace())
+        degraded = FleetEngine(MODEL, _config(), failure_plan=plan).run(_trace())
+        assert degraded.fleet.slow_events == 1
+        assert degraded.fleet.crashes == 0
+        assert degraded.metrics.duration > clean.metrics.duration
+        assert degraded.token_accounting_balanced
+
+    def test_overlapping_slow_windows_extend_the_degradation(self):
+        single = FailurePlan(
+            events=(
+                FailureEvent(
+                    time=0.2, kind="slow", replica_index=0, duration=1.0, slowdown=4.0
+                ),
+            )
+        )
+        overlapping = FailurePlan(
+            events=single.events
+            + (
+                FailureEvent(
+                    time=0.5, kind="slow", replica_index=0, duration=6.0, slowdown=4.0
+                ),
+            )
+        )
+        short = FleetEngine(MODEL, _config(), failure_plan=single).run(_trace())
+        extended = FleetEngine(MODEL, _config(), failure_plan=overlapping).run(_trace())
+        assert extended.fleet.slow_events == 2
+        # The first window's end must not truncate the second: the longer
+        # degradation stretches the makespan beyond the single-window run.
+        assert extended.metrics.duration > short.metrics.duration
+        assert extended.token_accounting_balanced
+
+    def test_slowdown_ends_after_the_window(self):
+        # A short window early in a long trace: the fleet recovers and the
+        # run still meets the relaxed SLO for most requests.
+        plan = FailurePlan(
+            events=(
+                FailureEvent(
+                    time=0.2, kind="slow", replica_index=0, duration=1.0, slowdown=4.0
+                ),
+            )
+        )
+        result = FleetEngine(MODEL, _config(), failure_plan=plan).run(_trace(num=30))
+        assert all(record.finished for record in result.records)
+
+
+class TestUnreliableScenario:
+    def test_scenario_survives_its_plan(self):
+        scenario = get_fleet_scenario("unreliable")
+        result = run_fleet_scenario(scenario, seed=0)
+        assert result.fleet.crashes == scenario.failure_plan.crashes
+        assert result.fleet.slow_events == scenario.failure_plan.slow_events
+        assert all(record.finished for record in result.records)
+        assert result.token_accounting_balanced
+
+    def test_failures_can_be_stripped(self):
+        scenario = get_fleet_scenario("unreliable")
+        result = run_fleet_scenario(scenario, seed=0, with_failures=False)
+        assert result.fleet.crashes == 0
+        assert result.fleet.slow_events == 0
+        assert result.fleet.rerouted_requests == 0

@@ -1,0 +1,188 @@
+"""Tests for fleet routing policies (repro.fleet.router).
+
+The unit tests pin each policy's choice on synthetic snapshots; the
+hypothesis property test is the satellite request-conservation guarantee:
+whatever the trace, the router and the failure plan, every admitted request
+finishes exactly once and the fleet-wide token-accounting law holds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import UnknownNameError
+from repro.fleet.cluster import FleetConfig, FleetEngine
+from repro.fleet.failures import FailureEvent, FailurePlan
+from repro.fleet.router import (
+    ReplicaSnapshot,
+    available_routers,
+    get_router,
+)
+from repro.model.config import get_model_config
+from repro.serving.workload import Request, poisson_trace
+
+
+def _snap(replica_id, queue=0, running=0, outstanding=0, kv_free=1.0):
+    return ReplicaSnapshot(
+        replica_id=replica_id,
+        queue_depth=queue,
+        running_requests=running,
+        outstanding_tokens=outstanding,
+        kv_free_fraction=kv_free,
+    )
+
+
+def _request(request_id=0, arrival=0.0, prompt=128, output=16):
+    return Request(
+        request_id=request_id,
+        arrival_time=arrival,
+        prompt_tokens=prompt,
+        output_tokens=output,
+    )
+
+
+class TestRegistry:
+    def test_all_policies_listed(self):
+        assert available_routers() == [
+            "kv-aware",
+            "least-tokens",
+            "round-robin",
+            "session-affinity",
+        ]
+
+    def test_unknown_router_lists_names(self):
+        with pytest.raises(UnknownNameError, match="round-robin"):
+            get_router("weighted-random")
+
+    def test_instances_are_fresh(self):
+        # Stateful policies (cursor, affinity table) must not share state.
+        assert get_router("round-robin") is not get_router("round-robin")
+
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        router = get_router("round-robin")
+        snaps = [_snap(2), _snap(0), _snap(1)]
+        picks = [router.route(_request(i), i, snaps) for i in range(5)]
+        assert picks == [0, 1, 2, 0, 1]
+
+    def test_skips_vanished_replicas(self):
+        router = get_router("round-robin")
+        assert router.route(_request(0), 0, [_snap(0), _snap(1)]) == 0
+        # Replica 1 disappeared (crashed); the cursor keeps cycling the rest.
+        assert router.route(_request(1), 1, [_snap(0)]) == 0
+
+    def test_empty_offer_rejected(self):
+        with pytest.raises(ValueError):
+            get_router("round-robin").route(_request(0), 0, [])
+
+
+class TestLeastTokens:
+    def test_picks_fewest_outstanding_tokens(self):
+        router = get_router("least-tokens")
+        snaps = [_snap(0, outstanding=500), _snap(1, outstanding=20), _snap(2, outstanding=80)]
+        assert router.route(_request(0), 0, snaps) == 1
+
+    def test_ties_break_by_queue_then_id(self):
+        router = get_router("least-tokens")
+        snaps = [_snap(0, outstanding=50, queue=2), _snap(1, outstanding=50, queue=1)]
+        assert router.route(_request(0), 0, snaps) == 1
+        snaps = [_snap(1, outstanding=50), _snap(0, outstanding=50)]
+        assert router.route(_request(0), 0, snaps) == 0
+
+
+class TestSessionAffinity:
+    def test_sessions_stick(self):
+        router = get_router("session-affinity")
+        snaps = [_snap(0, outstanding=100), _snap(1, outstanding=0)]
+        first = router.route(_request(0), session=7, snapshots=snaps)
+        assert first == 1  # least-loaded placement of the new session
+        # The home replica is now the busier one, but the session stays.
+        busier = [_snap(0, outstanding=0), _snap(1, outstanding=9000)]
+        assert router.route(_request(1), session=7, snapshots=busier) == 1
+
+    def test_rehomes_when_home_vanishes(self):
+        router = get_router("session-affinity")
+        snaps = [_snap(0), _snap(1, outstanding=5)]
+        assert router.route(_request(0), session=3, snapshots=snaps) == 0
+        survivors = [_snap(1, outstanding=5), _snap(2, outstanding=50)]
+        assert router.route(_request(1), session=3, snapshots=survivors) == 1
+        # ... and the new home sticks in turn.
+        assert router.route(_request(2), session=3, snapshots=survivors) == 1
+
+
+class TestKVAware:
+    def test_picks_most_free_kv(self):
+        router = get_router("kv-aware")
+        snaps = [_snap(0, kv_free=0.2), _snap(1, kv_free=0.9), _snap(2, kv_free=0.5)]
+        assert router.route(_request(0), 0, snaps) == 1
+
+    def test_kv_ties_break_by_outstanding_tokens(self):
+        router = get_router("kv-aware")
+        snaps = [_snap(0, kv_free=0.5, outstanding=100), _snap(1, kv_free=0.5, outstanding=10)]
+        assert router.route(_request(0), 0, snaps) == 1
+
+
+# ---------------------------------------------------------------------------
+# Property: request conservation under arbitrary traces and failure plans
+# ---------------------------------------------------------------------------
+_MODEL = get_model_config("llama-13b")
+
+
+def _tiny_config():
+    return FleetConfig(
+        gpus_per_replica=1,
+        initial_replicas=2,
+        max_replicas=4,
+        sessions=4,
+    )
+
+
+_failure_events = st.lists(
+    st.builds(
+        FailureEvent,
+        time=st.floats(min_value=0.05, max_value=4.0, allow_nan=False),
+        kind=st.sampled_from(["crash", "slow"]),
+        replica_index=st.integers(min_value=0, max_value=3),
+        duration=st.floats(min_value=0.2, max_value=2.0, allow_nan=False),
+        slowdown=st.just(2.0),
+    ),
+    max_size=3,
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    router=st.sampled_from(["round-robin", "least-tokens", "session-affinity", "kv-aware"]),
+    seed=st.integers(min_value=0, max_value=2**20),
+    num_requests=st.integers(min_value=4, max_value=16),
+    events=_failure_events,
+)
+def test_request_conservation_under_failures(router, seed, num_requests, events):
+    """No router loses or duplicates a request, crash storms included."""
+    trace = poisson_trace(
+        num_requests=num_requests,
+        arrival_rate=4.0,
+        prompt_mean=512,
+        output_mean=24,
+        seed=seed,
+    )
+    engine = FleetEngine(
+        _MODEL,
+        _tiny_config(),
+        router=router,
+        failure_plan=FailurePlan(events=tuple(events)),
+    )
+    result = engine.run(trace)
+    # Every admitted request finished exactly once (records are per-request,
+    # so one finish timestamp each), none were lost to failover ...
+    assert result.metrics.num_requests == len(trace)
+    assert all(record.finished for record in result.records)
+    assert len({id(record) for record in result.records}) == len(trace)
+    for record in result.records:
+        assert record.first_token_time is not None
+        assert record.finish_time >= record.first_token_time
+        assert record.ttft >= 0.0
+    # ... and the fleet-wide token-accounting conservation law held across
+    # every preemption, crash and re-route.
+    assert result.token_accounting_balanced

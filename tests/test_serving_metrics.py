@@ -80,6 +80,22 @@ class TestComputeMetrics:
         assert metrics.kv_utilization_peak == 0.9
         assert metrics.preemptions == 3
 
+    def test_p95_percentiles_reported(self):
+        # 21 records with linearly spaced latencies make every percentile an
+        # exact interpolation point: p95 of [0..20] is 19, p50 is 10.
+        records = [
+            _record(0.0, 0.1 * i + 0.1, 0.1 * i + 0.1 + i, output=11)
+            for i in range(21)
+        ]
+        metrics = compute_metrics(records, duration=30.0, slo=SLO())
+        assert metrics.tpot_p95 == pytest.approx(percentile([r.tpot for r in records], 95))
+        assert metrics.e2e_p95 == pytest.approx(percentile([r.e2e_latency for r in records], 95))
+        assert metrics.tpot_p50 <= metrics.tpot_p95 <= metrics.tpot_p99
+        assert metrics.e2e_p50 <= metrics.e2e_p95 <= metrics.e2e_p99
+        rows = dict(metrics.to_rows())
+        assert "TPOT p50 / p95 / p99" in rows
+        assert "E2E p50 / p95 / p99" in rows
+
     def test_unfinished_excluded(self):
         records = [_record(0.0, 0.5, 1.5), RequestRecord(Request(1, 0.0, 10, 5))]
         metrics = compute_metrics(records, 2.0, SLO())
