@@ -1,0 +1,32 @@
+"""Shared machine-readable benchmark artifact writer (``BENCH_*.json``).
+
+The serving and fleet throughput modules each archive their recorded rows
+through one :class:`BenchArtifact` so the artifact format — path override
+via an environment variable, the ``{"benchmarks": {...}}`` payload, sorted
+keys, trailing newline — lives in exactly one place and the two JSON files
+cannot drift apart.
+"""
+
+import json
+import os
+from pathlib import Path
+
+
+class BenchArtifact:
+    """Accumulates benchmark rows, written as one JSON file at teardown."""
+
+    def __init__(self, env_var: str, default_path: str):
+        self.env_var = env_var
+        self.default_path = default_path
+        self.results = {}
+
+    def record(self, name: str, row: dict) -> None:
+        self.results[name] = row
+
+    def write(self) -> None:
+        if not self.results:
+            return
+        path = Path(os.environ.get(self.env_var, self.default_path))
+        path.write_text(
+            json.dumps({"benchmarks": self.results}, indent=1, sort_keys=True) + "\n"
+        )

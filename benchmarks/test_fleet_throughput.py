@@ -14,30 +14,25 @@ simulated iterations per wall second and the headline serving metrics of
 each scenario.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
+from _bench_artifact import BenchArtifact
 from repro.fleet import get_fleet_scenario, run_fleet_scenario
 
-_RESULTS = {}
+_ARTIFACT = BenchArtifact("BENCH_FLEET_JSON", "BENCH_fleet.json")
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _emit_bench_json():
     """Write whatever the module's benchmarks recorded as one JSON artifact."""
     yield
-    if not _RESULTS:
-        return
-    path = Path(os.environ.get("BENCH_FLEET_JSON", "BENCH_fleet.json"))
-    path.write_text(json.dumps({"benchmarks": _RESULTS}, indent=1, sort_keys=True) + "\n")
+    _ARTIFACT.write()
 
 
-def _record(name, result, wall_seconds):
-    _RESULTS[name] = {
+def _record(name, result, wall_seconds, **extra):
+    _ARTIFACT.record(name, {
         "wall_seconds": wall_seconds,
         "iterations": result.iterations,
         "iterations_per_wall_second": result.iterations / max(wall_seconds, 1e-9),
@@ -48,7 +43,8 @@ def _record(name, result, wall_seconds):
         "gpu_hours": result.fleet.gpu_hours,
         "replicas_peak": result.fleet.replicas_peak,
         "rerouted_requests": result.fleet.rerouted_requests,
-    }
+        **extra,
+    })
 
 
 def test_fleet_steady_chat_throughput(once):
@@ -66,18 +62,61 @@ def test_fleet_steady_chat_throughput(once):
     assert result.iterations > 0
 
 
+def test_fleet_fast_forward_speedup(once):
+    """Decode fast-forwarding at fleet scale: >= 3x the naive event loop.
+
+    steady-chat is the acceptance scenario: hundreds of overlapping decode
+    phases across replicas, which is exactly the regime the pre-planned
+    stretches coalesce.  The fast run goes first, so any process-global
+    FLOPs ``lru_cache`` warm-up it pays for benefits the naive reference —
+    the measured ratio is biased *against* the fast path; the outcomes must
+    match exactly.
+    """
+    scenario = get_fleet_scenario("steady-chat")
+
+    def both():
+        fast_start = time.perf_counter()
+        fast = run_fleet_scenario(scenario, seed=0)
+        fast_wall = time.perf_counter() - fast_start
+        naive_start = time.perf_counter()
+        naive = run_fleet_scenario(scenario, seed=0, fast_forward=False)
+        naive_wall = time.perf_counter() - naive_start
+        return naive, naive_wall, fast, fast_wall
+
+    naive, naive_wall, fast, fast_wall = once(both)
+    speedup = naive_wall / max(fast_wall, 1e-9)
+    _record(
+        "steady-chat.fast-forward",
+        fast,
+        fast_wall,
+        naive_wall_seconds=naive_wall,
+        fast_forward_speedup=speedup,
+    )
+    print()
+    print(f"naive        wall: {naive_wall:8.3f} s")
+    print(f"fast-forward wall: {fast_wall:8.3f} s  ({speedup:.1f}x)")
+
+    assert fast.iterations == naive.iterations
+    assert fast.metrics.ttft_p99 == naive.metrics.ttft_p99
+    assert fast.fleet.gpu_hours == naive.fleet.gpu_hours
+    assert [r.finish_time for r in fast.records] == [
+        r.finish_time for r in naive.records
+    ]
+    assert speedup >= 3.0
+
+
 def test_fleet_token_aware_routing_tail_latency(once):
     scenario = get_fleet_scenario("hetero-mixed")
 
     def both():
         round_robin = run_fleet_scenario(scenario, router="round-robin", seed=0)
+        start = time.perf_counter()
         least_tokens = run_fleet_scenario(scenario, router="least-tokens", seed=0)
-        return round_robin, least_tokens
+        wall = time.perf_counter() - start
+        return round_robin, least_tokens, wall
 
-    start = time.perf_counter()
-    round_robin, least_tokens = once(both)
-    wall = time.perf_counter() - start
-    _record("hetero-mixed.least-tokens", least_tokens, wall / 2)
+    round_robin, least_tokens, wall = once(both)
+    _record("hetero-mixed.least-tokens", least_tokens, wall)
     print()
     print(f"round-robin  p99 TTFT: {round_robin.metrics.ttft_p99:8.2f} s")
     print(f"least-tokens p99 TTFT: {least_tokens.metrics.ttft_p99:8.2f} s")

@@ -84,6 +84,25 @@ that runs grids:
   recomputes and diffs them within tolerance; after an intentional change,
   regenerate with ``python -m repro.cli sweep golden --regenerate`` and
   commit the rewritten files.
+
+Performance: decode fast-forwarding
+-----------------------------------
+The serving and fleet engines fast-forward through *stable pure-decode
+stretches* by default (``ServingConfig.fast_forward`` /
+``FleetConfig.fast_forward``): when nothing is waiting, no prefill chunk is
+in flight and neither a finishing request nor a KV-block shortfall is due,
+the engines pre-validate the stretch analytically and execute it with
+cached FLOPs component pairs and bulk paged-KV growth instead of a full
+replan + reprice + reallocate per iteration.  The optimization is **exact**
+— every timestamp, percentile and counter is bit-identical to the naive
+one-iteration-at-a-time stepper (``fast_forward=False``, also exposed as
+``--no-fast-forward`` on the ``serve`` and ``fleet run`` CLI commands), a
+property the equivalence suite pins across every registered scenario — and
+worth ~4-18x wall-clock on decode-heavy traffic (see the ``Performance``
+section of README.md and the ``BENCH_serving.json`` / ``BENCH_fleet.json``
+artifacts the benchmarks emit).  Iteration pricing is additionally memoized
+on the exact batch composition, and latency percentiles are served from a
+single-sort :class:`~repro.serving.metrics.PercentileSummary`.
 """
 
 from . import (

@@ -18,7 +18,9 @@ Six subcommands cover the library's main workflows without writing Python:
     colocated or prefill/decode-disaggregated, printing TTFT/TPOT
     percentiles, goodput under SLO and KV-cache utilization; optionally
     export the iteration timeline as a Chrome trace or compare both
-    deployments side by side.
+    deployments side by side.  Decode fast-forwarding is on by default and
+    exact (bit-identical metrics, several times faster); ``--no-fast-forward``
+    steps every iteration naively — useful only as the reference oracle.
 
 ``fleet``
     Drive the cluster-scale layer (``repro.fleet``): ``fleet run --scenario
@@ -27,7 +29,11 @@ Six subcommands cover the library's main workflows without writing Python:
     failure injection — and prints latency/goodput metrics next to
     replica/GPU-hour/cost accounting; ``fleet plan --scenario bursty-long
     --slo-ttft-p99 2.0`` binary-searches the minimal (cheapest) replica
-    count meeting the SLO through the sweep engine.
+    count meeting the SLO through the sweep engine.  Like ``serve``, the
+    cluster event loop fast-forwards stable decode stretches exactly
+    (~10x wall-clock on decode-heavy fleets; ``--no-fast-forward`` on
+    ``fleet run`` forces the naive stepper), which is what keeps the
+    planner's dozens of full simulations per bisection cheap.
 
 ``experiments``
     Regenerate a chosen paper experiment's data table (Figures 1-3, 6-14 and
@@ -218,6 +224,7 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
             num_gpus=args.gpus,
             seed=args.seed,
             policy=args.policy,
+            fast_forward=not args.no_fast_forward,
         )
         print(
             _serving_result_text(
@@ -257,6 +264,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             autoscale=False if args.no_autoscale else None,
             with_failures=not args.no_failures,
             collect_timeline=bool(args.trace),
+            fast_forward=not args.no_fast_forward,
         )
     except ValueError as error:
         # Infeasible deployments (model does not fit the replica's GPU
@@ -485,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate both deployments and print both metric tables",
     )
     serve.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+    serve.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="step every decode iteration naively (the slow reference oracle)",
+    )
     serve.add_argument("--list", action="store_true", help="list available scenarios")
     serve.set_defaults(handler=_cmd_serve)
 
@@ -513,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-failures", action="store_true", help="strip the scenario's failure plan"
     )
     fleet_run.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+    fleet_run.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="step every decode iteration naively (the slow reference oracle)",
+    )
     fleet_run.add_argument("--list", action="store_true", help="list available fleet scenarios")
     fleet_run.set_defaults(handler=_cmd_fleet_run)
 

@@ -22,9 +22,13 @@ from typing import Any, Dict, Hashable, List, Optional
 __all__ = ["KVChunk", "ChunkedKVCache", "KVCacheStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class KVChunk:
-    """One slice-sized chunk of cached keys and values."""
+    """One slice-sized chunk of cached keys and values.
+
+    Serving allocates one of these per paged-KV block, so the record is kept
+    slotted: large pools hold tens of thousands of live chunks.
+    """
 
     chunk_id: int
     payload: Any = None

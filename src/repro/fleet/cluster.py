@@ -84,6 +84,10 @@ class FleetConfig:
     autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
     sessions: int = 0
     max_total_iterations: int = 10_000_000
+    #: Pre-plan stable pure-decode stretches per replica so each of their
+    #: iterations completes with cached pricing and bulk KV growth instead of
+    #: a full replan (exact; ``False`` forces the naive reference stepper).
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.gpus_per_replica < 1:
@@ -121,6 +125,7 @@ class FleetConfig:
             block_tokens=self.block_tokens,
             batcher=self.batcher,
             tpot_cap=self.tpot_cap,
+            fast_forward=self.fast_forward,
         )
 
     def session_of(self, request: Request) -> int:
@@ -153,6 +158,15 @@ class _Replica:
         self.slow_until = 0.0
         self.epoch = 0
         self.busy_plan: Optional[IterationPlan] = None
+        # Decode fast-forward stretch: a pre-validated run of pure-decode
+        # iterations.  ``ff_plan`` is the (constant-composition) plan every
+        # stretch iteration executes; ``ff_steps`` counts the iterations still
+        # allowed *after* the one in flight; ``ff_contexts``/``ff_ids`` track
+        # the per-request context lengths and allocator keys.
+        self.ff_plan: Optional[IterationPlan] = None
+        self.ff_steps = 0
+        self.ff_contexts: Optional[List[int]] = None
+        self.ff_ids: Optional[List[int]] = None
         self.provisioned_at = 0.0
         self.retired_at: Optional[float] = None
         self.iterations = 0
@@ -184,10 +198,27 @@ class _Replica:
             return 0
         batcher = self.pool.batcher
         total = 0
-        for state in batcher.waiting + batcher.running:
-            total += state.prefill_remaining
-            total += max(0, state.request.output_tokens - state.decoded)
+        for queue in (batcher.waiting, batcher.running):
+            for state in queue:
+                total += state.prefill_remaining
+                total += max(0, state.request.output_tokens - state.decoded)
         return total
+
+    def truncate_stretch(self) -> None:
+        """End the decode stretch after the in-flight iteration.
+
+        Called when the replica's batch composition is about to change (a
+        request was enqueued): the iteration already in flight still matches
+        the naive stepper — work enqueued mid-iteration is only seen by the
+        *next* plan — but every later stretch iteration must be replanned.
+        """
+        self.ff_steps = 0
+
+    def clear_stretch(self) -> None:
+        self.ff_plan = None
+        self.ff_steps = 0
+        self.ff_contexts = None
+        self.ff_ids = None
 
     def snapshot(self) -> ReplicaSnapshot:
         batcher = self.pool.batcher
@@ -215,6 +246,7 @@ class _Replica:
             for state, chunk in self.busy_plan.prefill:
                 state.prefilled += chunk
             self.busy_plan = None
+        self.clear_stretch()
         for state in batcher.running:
             batcher.tokens_preempted_requeued += state.prefill_remaining
         lost = list(batcher.running) + list(batcher.waiting)
@@ -379,6 +411,9 @@ class FleetEngine:
         replica = by_id[choice]
         state.pool_arrival = now
         replica.pool.batcher.enqueue(state)
+        # New work changes the next plan's composition: end any pre-planned
+        # decode stretch after the iteration currently in flight.
+        replica.truncate_stretch()
         self._kick(replica, now)
 
     def _flush_held(self, now: float) -> None:
@@ -400,6 +435,8 @@ class FleetEngine:
             if replica.draining:
                 self._retire(replica, now)
             return
+        if self._start_stretch(replica, now):
+            return
         plan = batcher.plan(replica.pool.prefill_budget())
         while plan.empty and batcher.running:
             if batcher._preempt_victim(plan) is None:
@@ -414,10 +451,41 @@ class FleetEngine:
         replica.busy_plan = plan
         self._push(now + duration, _ITERATION, (replica.replica_id, replica.epoch, duration))
 
+    def _start_stretch(self, replica: _Replica, now: float) -> bool:
+        """Pre-plan a pure-decode stretch and start its first iteration.
+
+        The composition (and hence the plan object) is constant across the
+        stretch, so each iteration reuses it: completion applies the decode
+        commits directly, bulk-grows the KV reservations one token per
+        request and re-prices from cached FLOPs pairs — everything else the
+        naive :meth:`_kick` would redo (budget search, scheduler replan,
+        per-request admission checks) provably has no effect mid-stretch.
+        Durations are still priced one iteration at a time with the
+        replica's *current* slowdown, so failure-injected slow windows keep
+        their exact naive semantics.
+        """
+        pool = replica.pool
+        steps = pool.decode_stretch_length()
+        if steps < 1:
+            return False
+        batcher = pool.batcher
+        running = batcher.running
+        replica.ff_contexts = [state.context_tokens for state in running]
+        replica.ff_ids = [state.request.request_id for state in running]
+        replica.ff_plan = IterationPlan(prefill=[], decode=list(running))
+        replica.ff_steps = steps - 1  # beyond the one started right here
+        # The reservations the naive plan() would have made for this step.
+        pool.allocator.advance_decode_step(replica.ff_ids)
+        duration = pool.decode_iteration_time(replica.ff_contexts) * replica.slowdown
+        replica.busy_plan = replica.ff_plan
+        self._push(now + duration, _ITERATION, (replica.replica_id, replica.epoch, duration))
+        return True
+
     def _complete_iteration(self, replica: _Replica, duration: float, now: float) -> None:
         plan = replica.busy_plan
+        stretch = plan is not None and plan is replica.ff_plan
         replica.busy_plan = None
-        utilization = replica.pool.allocator.stats().token_utilization
+        utilization = replica.pool.allocator.token_utilization
         replica.kv_weighted += utilization * duration
         replica.busy_time += duration
         replica.kv_peak = max(replica.kv_peak, utilization)
@@ -429,6 +497,30 @@ class FleetEngine:
             )
         if self._spans is not None:
             self._spans.append((replica.replica_id, now - duration, now))
+        if stretch:
+            # Exactly what batcher.commit() does for a pure-decode plan whose
+            # requests all have further tokens to go: no departures, no
+            # release, just one decoded token each.
+            for state in plan.decode:
+                state.decoded += 1
+            if replica.ff_steps > 0:
+                replica.ff_steps -= 1
+                contexts = replica.ff_contexts
+                for index in range(len(contexts)):
+                    contexts[index] += 1
+                pool = replica.pool
+                pool.allocator.advance_decode_step(replica.ff_ids)
+                next_duration = pool.decode_iteration_time(contexts) * replica.slowdown
+                replica.busy_plan = plan
+                self._push(
+                    now + next_duration,
+                    _ITERATION,
+                    (replica.replica_id, replica.epoch, next_duration),
+                )
+            else:
+                replica.clear_stretch()
+                self._kick(replica, now)
+            return
         departed = replica.pool.batcher.commit(plan, now)
         replica.requests_served += len(departed)
         self._finished += len(departed)

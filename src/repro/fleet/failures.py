@@ -32,7 +32,7 @@ __all__ = ["FailureEvent", "FailurePlan", "random_failure_plan"]
 _KINDS = ("crash", "slow")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailureEvent:
     """One injected fault: what happens, to whom, when, for how long."""
 

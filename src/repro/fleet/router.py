@@ -50,9 +50,12 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaSnapshot:
-    """What the router is allowed to observe about one healthy replica."""
+    """What the router is allowed to observe about one healthy replica.
+
+    Slotted: one snapshot per healthy replica is built for *every* arrival.
+    """
 
     replica_id: int
     queue_depth: int

@@ -312,15 +312,20 @@ def run_fleet_scenario(
     autoscale: Optional[bool] = None,
     with_failures: bool = True,
     collect_timeline: bool = False,
+    fast_forward: bool = True,
 ) -> FleetResult:
     """Simulate a fleet scenario end to end.
 
     ``router`` / ``replicas`` / ``autoscale`` override the scenario's
     defaults (the CLI and the capacity planner map their flags through
-    here); ``with_failures=False`` strips the scenario's failure plan.
+    here); ``with_failures=False`` strips the scenario's failure plan;
+    ``fast_forward=False`` runs the naive per-iteration reference stepper
+    instead of the pre-planned decode stretches.
     """
     model = get_model_config(scenario.model)
     config = scenario.fleet_config(replicas=replicas, autoscale=autoscale)
+    if not fast_forward:
+        config = replace(config, fast_forward=False)
     engine = FleetEngine(
         model,
         config,

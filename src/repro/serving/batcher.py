@@ -33,9 +33,11 @@ a preemption sends back to the queue.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from .metrics import RequestRecord
 from .paged_kv import PagedKVAllocator, blocks_for_tokens
@@ -60,9 +62,15 @@ class Phase(Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class RequestState:
-    """Mutable per-request scheduling state (one per request per pool)."""
+    """Mutable per-request scheduling state (one per request per pool).
+
+    Slotted and compared by identity: the schedulers track these objects in
+    queues and plans (``state in self.running`` means *this* state, never a
+    value-equal twin), and the engines touch every running state on every
+    iteration, so attribute access and membership tests are on the hot path.
+    """
 
     record: RequestRecord
     phase: Phase = Phase.WAITING
@@ -115,7 +123,7 @@ class BatcherConfig:
             raise ValueError("admission_watermark must be in [0, 1)")
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class IterationPlan:
     """The work one engine iteration executes."""
 
@@ -161,9 +169,17 @@ class ContinuousBatcher:
         self.config = config or BatcherConfig()
         self.prefill_only = prefill_only
         self.decode_only = decode_only
-        self.waiting: List[RequestState] = []
-        self.running: List[RequestState] = []
+        # ``waiting`` preserves exact queue order (arrivals append, preempted
+        # victims re-enter at the front) but is a deque so FCFS admission pops
+        # the head in O(1) instead of shifting the whole backlog.  Under the
+        # priority policy a parallel heap keyed on the static admission key
+        # replaces the former O(n) min-scan per admission; the heap mirrors
+        # the deque's membership exactly (pushed on enqueue/requeue, popped
+        # on activation), so its top is always a live waiting request.
+        self.waiting: Deque[RequestState] = deque()
+        self._priority_heap: List[Tuple[int, float, int, RequestState]] = []
         self._admissions = 0
+        self.running: List[RequestState] = []
         self.tokens_admitted = 0
         self.tokens_prefilled = 0
         self.tokens_preempted_requeued = 0
@@ -185,6 +201,14 @@ class ContinuousBatcher:
             )
         state.phase = Phase.WAITING
         self.waiting.append(state)
+        self._push_waiting(state)
+
+    def _push_waiting(self, state: RequestState) -> None:
+        if self.config.policy == "priority":
+            heapq.heappush(
+                self._priority_heap,
+                (state.request.priority, state.pool_arrival, state.request.request_id, state),
+            )
 
     @property
     def has_work(self) -> bool:
@@ -192,14 +216,12 @@ class ContinuousBatcher:
 
     def _next_waiting_index(self) -> int:
         if self.config.policy == "priority":
-            return min(
-                range(len(self.waiting)),
-                key=lambda i: (
-                    self.waiting[i].request.priority,
-                    self.waiting[i].pool_arrival,
-                    self.waiting[i].request.request_id,
-                ),
-            )
+            # The heap top is the same request the former full scan selected
+            # (the admission key is total — request ids are unique).  Finding
+            # its deque position is still a linear pass, but an identity scan
+            # at C speed instead of building and comparing a Python key tuple
+            # per waiting request.
+            return self.waiting.index(self._priority_heap[0][3])
         return 0
 
     # ------------------------------------------------------------------
@@ -224,7 +246,8 @@ class ContinuousBatcher:
         victim.prefill_target = victim.context_tokens
         victim.prefilled = 0
         victim.phase = Phase.WAITING
-        self.waiting.insert(0, victim)
+        self.waiting.appendleft(victim)
+        self._push_waiting(victim)
         return victim
 
     # ------------------------------------------------------------------
@@ -314,7 +337,12 @@ class ContinuousBatcher:
             budget -= chunk
 
     def _activate(self, state: RequestState, waiting_index: int, phase: Phase) -> None:
-        self.waiting.pop(waiting_index)
+        if waiting_index == 0:
+            self.waiting.popleft()
+        else:
+            del self.waiting[waiting_index]
+        if self.config.policy == "priority":
+            heapq.heappop(self._priority_heap)  # _next_waiting_index's pick
         state.phase = phase
         state.admission_index = self._admissions
         self._admissions += 1

@@ -27,11 +27,28 @@ Two deployments are modelled:
 Capacity is derived, not configured: per-GPU HBM minus bf16 weights minus an
 activation reserve, divided into fixed-size KV blocks priced by
 :func:`~repro.model.memory.kv_cache_bytes_per_token_per_layer`.
+
+Decode fast-forwarding
+----------------------
+Most iterations of a drained trace are *pure decode over a stable batch*: no
+request waiting, no prefill chunk in flight, nothing finishing, no KV block
+pressure.  Stepping those one at a time re-runs the scheduler, the SLO
+budget search and the FLOPs pricing only to conclude "the same batch decodes
+one more token".  With ``ServingConfig.fast_forward`` (the default) the pool
+detects such a stretch, bounds its safe length analytically (next arrival,
+first finishing request, first un-satisfiable KV-block growth) and executes
+it in one coalesced inner loop that replays *bit-identical* per-iteration
+arithmetic — durations, KV-utilization integrals and timestamps come out
+byte-equal to the naive stepper, which stays available as the reference
+oracle via ``fast_forward=False``.  Iteration pricing itself is memoized on
+the exact batch composition (prefill chunks/offsets plus decode context
+lengths), so repeated compositions cost a dict lookup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.comm import CommModel
@@ -64,6 +81,10 @@ class ServingConfig:
     iteration_overhead: float = 100e-6
     tpot_cap: Optional[float] = None
     max_iterations: int = 2_000_000
+    #: Coalesce stable pure-decode stretches into one inner loop (exact; see
+    #: the module docstring).  ``False`` forces the naive one-iteration-at-a-
+    #: time reference stepper.
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -111,6 +132,24 @@ class _PoolRun:
     busy_time: float
 
 
+@lru_cache(maxsize=1 << 17)
+def _decode_flops_cached(model: ModelConfig, context_tokens: int) -> FlopsBreakdown:
+    """One decode step's FLOPs (one query token over ``context_tokens`` keys)."""
+    flops = layer_forward_flops(model, 1, context_tokens) * model.num_layers
+    return flops + output_layer_flops(model, 1)
+
+
+@lru_cache(maxsize=1 << 16)
+def _prefill_flops_cached(
+    model: ModelConfig, chunk: int, kv_offset: int, completes: bool
+) -> FlopsBreakdown:
+    """One prefill chunk's FLOPs (plus the sampling head when it completes)."""
+    flops = layer_forward_flops(model, chunk, kv_offset) * model.num_layers
+    if completes:
+        flops = flops + output_layer_flops(model, 1)
+    return flops
+
+
 class _Pool:
     """One GPU pool: allocator + batcher + cost model + event loop."""
 
@@ -132,6 +171,19 @@ class _Pool:
         self.batcher = ContinuousBatcher(
             self.allocator, config.batcher, prefill_only=prefill_only, decode_only=decode_only
         )
+        # Subclassed cost models may override ``time_of``; only the pristine
+        # CostModel is safe to inline (and hence to fast-forward through).
+        self.exact_pricing = type(self.costs) is CostModel
+        gpu = self.costs.gpu
+        self._inv_gpus = 1.0 / self.num_gpus
+        self._fwd_linear_rate = gpu.peak_flops * gpu.gemm_efficiency_forward
+        self._fwd_attention_rate = gpu.peak_flops * gpu.attention_efficiency_forward
+        self._intensity_knee = gpu.intensity_tokens
+        self._launch_overhead = gpu.kernel_launch_overhead
+        # (linear, attention) FLOPs component pairs per decode context length,
+        # and memoized iteration durations per exact batch composition.
+        self._decode_pairs: Dict[int, Tuple[float, float]] = {}
+        self._duration_cache: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     # Capacity
@@ -165,16 +217,91 @@ class _Pool:
     # Iteration pricing
     # ------------------------------------------------------------------
     def _prefill_flops(self, chunk: int, kv_offset: int, completes: bool) -> FlopsBreakdown:
-        flops = layer_forward_flops(self.model, chunk, kv_offset) * self.model.num_layers
-        if completes:
-            flops = flops + output_layer_flops(self.model, 1)
-        return flops
+        return _prefill_flops_cached(self.model, chunk, kv_offset, completes)
 
     def _decode_flops(self, context_tokens: int) -> FlopsBreakdown:
-        flops = layer_forward_flops(self.model, 1, context_tokens) * self.model.num_layers
-        return flops + output_layer_flops(self.model, 1)
+        return _decode_flops_cached(self.model, context_tokens)
+
+    def _decode_pair(self, context_tokens: int) -> Tuple[float, float]:
+        pair = self._decode_pairs.get(context_tokens)
+        if pair is None:
+            flops = _decode_flops_cached(self.model, context_tokens)
+            pair = (flops.linear, flops.attention)
+            self._decode_pairs[context_tokens] = pair
+        return pair
+
+    def _pair_time(self, linear: float, attention: float, batch_tokens: int) -> float:
+        """Iteration duration from summed (linear, attention) FLOPs components.
+
+        Bit-for-bit the same arithmetic as building the
+        :class:`~repro.model.flops.FlopsBreakdown`, scaling it by
+        ``1/num_gpus`` and calling :meth:`CostModel.time_of` with the forward
+        pass kind — every multiply, divide and add happens in the same order
+        on the same values — just without the intermediate value objects.
+        Only valid when ``self.exact_pricing`` (pristine :class:`CostModel`).
+        """
+        if linear + attention <= 0:
+            return self.config.iteration_overhead
+        linear = linear * self._inv_gpus
+        attention = attention * self._inv_gpus
+        if batch_tokens <= 0:
+            factor = 1.0
+        else:
+            factor = batch_tokens / (batch_tokens + self._intensity_knee)
+        total = linear / (self._fwd_linear_rate * factor) + attention / (
+            self._fwd_attention_rate * factor
+        )
+        if linear > 0 or attention > 0:
+            total += self._launch_overhead
+        return total + self.config.iteration_overhead
+
+    def decode_iteration_time(self, contexts: Sequence[int]) -> float:
+        """Duration of one pure-decode iteration over the given contexts."""
+        linear = 0.0
+        attention = 0.0
+        pairs = self._decode_pairs
+        for context in contexts:
+            pair = pairs.get(context)
+            if pair is None:
+                pair = self._decode_pair(context)
+            linear += pair[0]
+            attention += pair[1]
+        return self._pair_time(linear, attention, len(contexts))
 
     def iteration_time(self, plan: IterationPlan) -> float:
+        if not self.exact_pricing:
+            return self._iteration_time_reference(plan)
+        # Memoize on the exact batch composition: the FLOPs fold depends only
+        # on the ordered prefill (chunk, offset, completes) triples and the
+        # ordered decode context lengths, and the roll-off on batch_tokens,
+        # which those determine.
+        key = (
+            tuple(
+                (chunk, state.prefilled, state.prefilled + chunk >= state.prefill_target)
+                for state, chunk in plan.prefill
+            ),
+            tuple(state.context_tokens for state in plan.decode),
+        )
+        duration = self._duration_cache.get(key)
+        if duration is None:
+            linear = 0.0
+            attention = 0.0
+            for chunk, offset, completes in key[0]:
+                flops = _prefill_flops_cached(self.model, chunk, offset, completes)
+                linear += flops.linear
+                attention += flops.attention
+            for context in key[1]:
+                pair = self._decode_pair(context)
+                linear += pair[0]
+                attention += pair[1]
+            duration = self._pair_time(linear, attention, plan.batch_tokens)
+            if len(self._duration_cache) >= (1 << 16):
+                self._duration_cache.clear()
+            self._duration_cache[key] = duration
+        return duration
+
+    def _iteration_time_reference(self, plan: IterationPlan) -> float:
+        """The original object-folding pricing (kept for cost-model subclasses)."""
         flops = FlopsBreakdown()
         for state, chunk in plan.prefill:
             completes = state.prefilled + chunk >= state.prefill_target
@@ -204,9 +331,6 @@ class _Pool:
         decodes = [s for s in self.batcher.running if s.phase is Phase.DECODE]
         if not decodes:
             return None
-        base = FlopsBreakdown()
-        for state in decodes:
-            base = base + self._decode_flops(state.context_tokens)
         # Price the hypothetical chunk at the deepest in-flight prefill
         # offset: long contexts make the chunk's attention cost dwarf its
         # linear cost, and estimating at offset 0 would approve budgets that
@@ -215,16 +339,42 @@ class _Pool:
             (s.prefilled for s in self.batcher.running if s.phase is Phase.PREFILL),
             default=0,
         )
+        num_decodes = len(decodes)
 
-        def estimate(prefill_tokens: int) -> float:
-            flops = base + layer_forward_flops(self.model, prefill_tokens, kv_offset) * self.model.num_layers
-            flops = flops * (1.0 / self.num_gpus)
-            return (
-                self.costs.time_of(
-                    flops, PassKind.FORWARD, tokens=prefill_tokens + len(decodes)
+        if self.exact_pricing:
+            # Same fold, same arithmetic as the reference branch below, on
+            # cached component pairs (this estimator runs on every iteration
+            # with a running decode, so it is as hot as the pricing itself).
+            base_linear = 0.0
+            base_attention = 0.0
+            for state in decodes:
+                pair = self._decode_pair(state.context_tokens)
+                base_linear += pair[0]
+                base_attention += pair[1]
+            num_layers = self.model.num_layers
+
+            def estimate(prefill_tokens: int) -> float:
+                chunk = layer_forward_flops(self.model, prefill_tokens, kv_offset)
+                return self._pair_time(
+                    base_linear + chunk.linear * num_layers,
+                    base_attention + chunk.attention * num_layers,
+                    prefill_tokens + num_decodes,
                 )
-                + self.config.iteration_overhead
-            )
+
+        else:
+            base = FlopsBreakdown()
+            for state in decodes:
+                base = base + self._decode_flops(state.context_tokens)
+
+            def estimate(prefill_tokens: int) -> float:
+                flops = base + layer_forward_flops(self.model, prefill_tokens, kv_offset) * self.model.num_layers
+                flops = flops * (1.0 / self.num_gpus)
+                return (
+                    self.costs.time_of(
+                        flops, PassKind.FORWARD, tokens=prefill_tokens + num_decodes
+                    )
+                    + self.config.iteration_overhead
+                )
 
         floor = self.config.batcher.min_prefill_chunk_tokens
         ceiling = self.config.batcher.max_batch_tokens
@@ -240,6 +390,76 @@ class _Pool:
             else:
                 hi = mid
         return lo
+
+    # ------------------------------------------------------------------
+    # Decode fast-forwarding
+    # ------------------------------------------------------------------
+    def decode_stretch_length(self) -> int:
+        """Iterations the current batch can decode without a structural event.
+
+        Zero when the batch is not a stable pure-decode set (work waiting,
+        prefill in flight, empty pool, batch over the token budget, or the
+        pricing cannot be inlined).  Otherwise the bound is the tightest of
+
+        * the first request to finish (its final iteration runs naively so
+          departure bookkeeping stays on the reference path), and
+        * the first decode step whose KV-block growth the pool cannot
+          satisfy (that iteration must go through preemption planning).
+
+        Arrivals are the caller's bound: the stretch executor stops as soon
+        as simulated time reaches the next arrival.
+        """
+        if not (self.config.fast_forward and self.exact_pricing):
+            return 0
+        batcher = self.batcher
+        if batcher.waiting:
+            return 0
+        running = batcher.running
+        n = len(running)
+        if n == 0 or n > self.config.batcher.max_batch_tokens:
+            return 0
+        limit: Optional[int] = None
+        for state in running:
+            if state.phase is not Phase.DECODE:
+                return 0
+            remaining = state.request.output_tokens - state.decoded
+            if limit is None or remaining < limit:
+                limit = remaining
+        steps = limit - 1
+        if steps < 1:
+            return 0
+        allocator = self.allocator
+        contexts = [state.context_tokens for state in running]
+        # The fast loop tracks stored tokens incrementally; bail out to the
+        # naive stepper if the allocator holds anything else (it never does —
+        # only running requests hold blocks — but exactness beats trust).
+        if allocator.stored_tokens != sum(contexts) - n:
+            return 0
+        block_tokens = allocator.block_tokens
+        held = [allocator.blocks_held(state.request.request_id) for state in running]
+        free = allocator.free_blocks
+
+        def growth(step: int) -> int:
+            """Extra blocks needed by the reservations of iteration ``step``."""
+            need = 0
+            for context, blocks in zip(contexts, held):
+                extra = (context + step + block_tokens - 1) // block_tokens - blocks
+                if extra > 0:
+                    need += extra
+            return need
+
+        if growth(steps - 1) > free:
+            if growth(0) > free:
+                return 0  # the very next decode step already needs preemption
+            low, high = 0, steps - 1  # growth(low) fits, growth(high) does not
+            while high - low > 1:
+                mid = (low + high) // 2
+                if growth(mid) <= free:
+                    low = mid
+                else:
+                    high = mid
+            steps = low + 1
+        return steps
 
     # ------------------------------------------------------------------
     # Event loop
@@ -259,10 +479,62 @@ class _Pool:
         kv_time = 0.0
         kv_peak = 0.0
         batcher = self.batcher
+        allocator = self.allocator
+        capacity_tokens = allocator.total_blocks * allocator.block_tokens
+        max_iterations = self.config.max_iterations
         while True:
             while cursor < len(pending) and pending[cursor].pool_arrival <= now + 1e-12:
                 batcher.enqueue(pending[cursor])
                 cursor += 1
+            max_steps = self.decode_stretch_length()
+            if max_steps > 0:
+                # Coalesced decode stretch: replay the naive stepper's exact
+                # per-iteration arithmetic (durations, KV integral, spans)
+                # without replanning, repricing or reallocating per step.
+                running = batcher.running
+                n = len(running)
+                horizon = pending[cursor].pool_arrival if cursor < len(pending) else None
+                contexts = [state.context_tokens for state in running]
+                stored = sum(contexts) - n
+                steps = 0
+                while steps < max_steps:
+                    duration = self.decode_iteration_time(contexts)
+                    now += duration
+                    iterations += 1
+                    stored += n
+                    utilization = stored / capacity_tokens
+                    kv_weighted += utilization * duration
+                    kv_time += duration
+                    kv_peak = max(kv_peak, utilization)
+                    if timeline is not None:
+                        timeline.add(
+                            TimelineSpan(
+                                device=device,
+                                work=Pass(
+                                    kind=PassKind.FORWARD,
+                                    microbatch=iterations - 1,
+                                    stage=0,
+                                    device=device,
+                                ),
+                                start=now - duration,
+                                end=now,
+                            )
+                        )
+                    if iterations > max_iterations:
+                        raise RuntimeError(
+                            f"serving loop exceeded {max_iterations} iterations"
+                        )
+                    for index in range(n):
+                        contexts[index] += 1
+                    steps += 1
+                    if horizon is not None and horizon <= now + 1e-12:
+                        break
+                for state in running:
+                    state.decoded += steps
+                    # The last executed iteration reserved context - 1 tokens
+                    # (the token it generated claims its slot next step).
+                    allocator.reserve(state.request.request_id, state.context_tokens - 1)
+                continue
             if not batcher.has_work:
                 if cursor < len(pending):
                     now = pending[cursor].pool_arrival
@@ -281,7 +553,7 @@ class _Pool:
             duration = self.iteration_time(plan)
             now += duration
             iterations += 1
-            utilization = self.allocator.stats().token_utilization
+            utilization = allocator.token_utilization
             kv_weighted += utilization * duration
             kv_time += duration
             kv_peak = max(kv_peak, utilization)

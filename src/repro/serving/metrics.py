@@ -26,25 +26,47 @@ __all__ = [
     "SLO",
     "RequestRecord",
     "ServingMetrics",
+    "PercentileSummary",
     "percentile",
     "compute_metrics",
 ]
 
 
+class PercentileSummary:
+    """Single-sort percentile reader over one sample.
+
+    Aggregations read several quantiles of the same latency sample (p50 /
+    p95 / p99), and the serving and fleet engines recompute those
+    aggregations once per simulated run; sorting once and interpolating per
+    read replaces the former sort-per-:func:`percentile`-call without
+    changing a single bit of the result (the interpolation arithmetic is
+    identical).
+    """
+
+    __slots__ = ("_ordered",)
+
+    def __init__(self, values: Sequence[float]):
+        if not values:
+            raise ValueError("percentile of empty sequence")
+        self._ordered = sorted(values)
+
+    def at(self, q: float) -> float:
+        """Linear-interpolation percentile (``q`` in [0, 100]) of the sample."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        ordered = self._ordered
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = q / 100.0 * (len(ordered) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    return PercentileSummary(values).at(q)
 
 
 @dataclass(frozen=True)
@@ -59,9 +81,14 @@ class SLO:
             raise ValueError("SLO bounds must be positive")
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class RequestRecord:
-    """Lifecycle timestamps of one served request."""
+    """Lifecycle timestamps of one served request.
+
+    A hot object (one per request, touched every iteration); ``slots`` keeps
+    it compact and ``eq=False`` keeps identity comparison, which is what the
+    schedulers mean when they look records up.
+    """
 
     request: Request
     first_token_time: Optional[float] = None
@@ -154,24 +181,24 @@ def compute_metrics(
     done = [r for r in records if r.finished]
     if not done:
         raise ValueError("no finished requests to aggregate")
-    ttfts = [r.ttft for r in done]
-    tpots = [r.tpot for r in done]
-    e2es = [r.e2e_latency for r in done]
+    ttfts = PercentileSummary([r.ttft for r in done])
+    tpots = PercentileSummary([r.tpot for r in done])
+    e2es = PercentileSummary([r.e2e_latency for r in done])
     output_tokens = sum(r.request.output_tokens for r in done)
     span = max(duration, 1e-12)
     good = sum(1 for r in done if r.meets(slo))
     return ServingMetrics(
         num_requests=len(done),
         duration=duration,
-        ttft_p50=percentile(ttfts, 50),
-        ttft_p95=percentile(ttfts, 95),
-        ttft_p99=percentile(ttfts, 99),
-        tpot_p50=percentile(tpots, 50),
-        tpot_p95=percentile(tpots, 95),
-        tpot_p99=percentile(tpots, 99),
-        e2e_p50=percentile(e2es, 50),
-        e2e_p95=percentile(e2es, 95),
-        e2e_p99=percentile(e2es, 99),
+        ttft_p50=ttfts.at(50),
+        ttft_p95=ttfts.at(95),
+        ttft_p99=ttfts.at(99),
+        tpot_p50=tpots.at(50),
+        tpot_p95=tpots.at(95),
+        tpot_p99=tpots.at(99),
+        e2e_p50=e2es.at(50),
+        e2e_p95=e2es.at(95),
+        e2e_p99=e2es.at(99),
         output_tokens_per_second=output_tokens / span,
         requests_per_second=len(done) / span,
         goodput_fraction=good / len(done),

@@ -85,6 +85,7 @@ class PagedKVAllocator:
         self._cache = ChunkedKVCache(capacity_chunks=total_blocks)
         self._tables: Dict[Hashable, List[Tuple[Hashable, int]]] = {}
         self._tokens: Dict[Hashable, int] = {}
+        self._stored = 0  # incremental sum of _tokens (int, hence exact)
         self._evictions = 0
 
     # ------------------------------------------------------------------
@@ -100,7 +101,13 @@ class PagedKVAllocator:
 
     @property
     def stored_tokens(self) -> int:
-        return sum(self._tokens.values())
+        return self._stored
+
+    @property
+    def token_utilization(self) -> float:
+        """Fraction of pool *token* capacity holding real tokens (O(1))."""
+        capacity = self.total_blocks * self.block_tokens
+        return self._stored / capacity if capacity else 0.0
 
     @property
     def evictions(self) -> int:
@@ -108,6 +115,10 @@ class PagedKVAllocator:
 
     def tokens_of(self, request_id: Hashable) -> int:
         return self._tokens.get(request_id, 0)
+
+    def blocks_held(self, request_id: Hashable) -> int:
+        """Blocks currently backing the request's reservation."""
+        return len(self._tables.get(request_id, ()))
 
     def block_table(self, request_id: Hashable) -> List[Tuple[Hashable, int]]:
         """The request's ordered ``(key, chunk_id)`` block table."""
@@ -150,7 +161,32 @@ class PagedKVAllocator:
             chunk = self._cache.acquire(key)
             table.append((key, chunk.chunk_id))
         self._tokens[request_id] = new_total_tokens
+        self._stored += new_total_tokens - current
         return True
+
+    def advance_decode_step(self, request_ids: List[Hashable]) -> None:
+        """Grow every reservation by exactly one token (one bulk decode step).
+
+        Equivalent to calling :meth:`reserve` with ``tokens_of(rid) + 1`` for
+        each id, but without the per-call admission arithmetic: a block is
+        acquired only when the one-token growth crosses a block boundary.
+        The caller (the engines' decode fast-forward path) must have verified
+        the pool can absorb the growth; an oversubscribed step therefore
+        raises ``MemoryError`` from the chunk pool instead of returning
+        ``False``.
+        """
+        tokens = self._tokens
+        tables = self._tables
+        block_tokens = self.block_tokens
+        for request_id in request_ids:
+            grown = tokens[request_id] + 1
+            tokens[request_id] = grown
+            if (grown - 1) % block_tokens == 0:
+                table = tables[request_id]
+                key = (request_id, len(table))
+                chunk = self._cache.acquire(key)
+                table.append((key, chunk.chunk_id))
+        self._stored += len(request_ids)
 
     def release(self, request_id: Hashable) -> int:
         """Free every block of a finished request; returns blocks freed."""
@@ -159,7 +195,7 @@ class PagedKVAllocator:
             return 0
         for key, _ in table:
             self._cache.release(key)
-        self._tokens.pop(request_id, None)
+        self._stored -= self._tokens.pop(request_id, 0)
         return len(table)
 
     def evict(self, request_id: Hashable) -> int:

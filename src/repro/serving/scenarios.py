@@ -217,11 +217,14 @@ def run_scenario(
     num_gpus: Optional[int] = None,
     seed: int = 0,
     policy: Optional[str] = None,
+    fast_forward: bool = True,
 ) -> ServingResult:
     """Simulate a scenario end to end with either deployment.
 
     ``model`` / ``num_gpus`` / ``policy`` override the scenario's defaults
-    (the CLI maps its flags straight through here).
+    (the CLI maps its flags straight through here).  ``fast_forward=False``
+    runs the naive one-iteration-at-a-time stepper — the reference oracle
+    the decode fast-forward path is equivalence-tested against.
     """
     if mode not in ("colocated", "disaggregated"):
         raise UnknownNameError(
@@ -231,6 +234,8 @@ def run_scenario(
     config = scenario.serving_config(num_gpus)
     if policy is not None:
         config = replace(config, batcher=replace(config.batcher, policy=policy))
+    if not fast_forward:
+        config = replace(config, fast_forward=False)
     trace = scenario.make_trace(seed)
     if mode == "disaggregated":
         engine = DisaggregatedEngine(

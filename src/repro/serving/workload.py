@@ -34,9 +34,11 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One inference request as it enters the serving system.
+
+    Slotted: million-request traces hold one of these per request.
 
     ``priority`` is only consulted by the priority admission policy; lower
     values are served first (0 is the default and the most urgent).

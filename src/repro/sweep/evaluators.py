@@ -244,6 +244,7 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         scenario,
         str(point.get("mode", "colocated")),
         seed=int(point.get("seed", 0)),
+        fast_forward=bool(point.get("fast_forward", True)),
     )
     m = result.metrics
     return {
@@ -290,6 +291,7 @@ def evaluate_fleet_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         load_scale=float(point.get("load_scale", 1.0)),
         autoscale=None if autoscale is None else bool(autoscale),
         with_failures=bool(point.get("with_failures", True)),
+        fast_forward=bool(point.get("fast_forward", True)),
     )
     m = result.metrics
     f = result.fleet
