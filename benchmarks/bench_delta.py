@@ -1,0 +1,70 @@
+"""Render a markdown delta table between two BENCH_*.json artifacts.
+
+CI runs the serving/fleet benchmarks, then calls this script with the
+repository's committed baseline and the freshly emitted artifact to post a
+PR-visible summary table (appended to ``$GITHUB_STEP_SUMMARY`` when set,
+printed to stdout otherwise)::
+
+    python benchmarks/bench_delta.py --baseline BENCH_serving.json \
+        --current /tmp/BENCH_serving.json --title "serving benchmarks"
+
+The table shows simulator wall seconds per benchmark with the relative
+delta, plus any benchmark added or removed.  Exit code is always 0 — the
+table is informational; hard perf gates live in the benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text()).get("benchmarks", {})
+    except (OSError, ValueError) as error:
+        print(f"warning: could not read {path}: {error}", file=sys.stderr)
+        return {}
+
+
+def delta_table(baseline: dict, current: dict, title: str) -> str:
+    lines = [
+        f"### {title}",
+        "",
+        "| benchmark | baseline wall (s) | current wall (s) | delta |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name in sorted(set(baseline) | set(current)):
+        before = baseline.get(name, {}).get("wall_seconds")
+        after = current.get(name, {}).get("wall_seconds")
+        if before is None:
+            lines.append(f"| `{name}` | — (new) | {after:.3f} | — |")
+        elif after is None:
+            lines.append(f"| `{name}` | {before:.3f} | — (removed) | — |")
+        else:
+            change = (after - before) / before if before else 0.0
+            lines.append(f"| `{name}` | {before:.3f} | {after:.3f} | {change:+.1%} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--current", required=True, help="freshly emitted BENCH_*.json")
+    parser.add_argument("--title", default="benchmark deltas")
+    args = parser.parse_args(argv)
+    table = delta_table(_load(args.baseline), _load(args.current), args.title)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as fh:
+            fh.write(table + "\n")
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,10 +19,11 @@ plus the **system models** (``repro.systems``) and the **analysis layer**
 evaluation, and the **serving simulator** (``repro.serving``): the
 inference-side dual of the training stack — continuous batching with chunked
 prefill, a paged KV-cache allocator built on the Section 5 chunked cache,
-prefill/decode disaggregation with comm-priced KV hand-off, and
-TTFT/TPOT/goodput metrics over a registry of named scenarios (see the
-``serve`` CLI subcommand).  See README.md for the quickstart and subsystem
-map.
+shared-prefix KV caching over a radix-tree block index, prefill/decode
+disaggregation with comm-priced KV hand-off, and TTFT/TPOT/goodput metrics
+over a registry of named scenarios (see the ``serve`` CLI subcommand).  See
+README.md for the quickstart and subsystem map, and the ``docs/`` tree for
+per-subsystem guides (``docs/architecture.md`` is the entry point).
 
 Fleet layer (``repro.fleet``)
 -----------------------------
@@ -103,6 +104,37 @@ section of README.md and the ``BENCH_serving.json`` / ``BENCH_fleet.json``
 artifacts the benchmarks emit).  Iteration pricing is additionally memoized
 on the exact batch composition, and latency percentiles are served from a
 single-sort :class:`~repro.serving.metrics.PercentileSummary`.
+
+Shared-prefix KV caching
+------------------------
+Real long-context fleets share huge prompt prefixes — chat system prompts,
+RAG corpus documents, agent scaffolds — and recomputing them per request
+wastes most prefill FLOPs.  With ``prefix_caching=True``
+(:class:`~repro.serving.ServingConfig` / ``FleetConfig``, the
+``--prefix-caching`` CLI flag, and on by default in the
+``shared-system-prompt`` / ``rag-shared-corpus`` / ``agentic-prefix-tree``
+scenarios):
+
+* requests declare their shareable prompt head symbolically
+  (``Request.prefix``, ordered ``(segment_id, tokens)`` pairs);
+* the paged allocator backs the leading context blocks by a **radix tree**
+  of published blocks (``repro.serving.prefix_cache``) with copy-on-write
+  refcounts; admitted requests skip prefill for cached blocks (prefill
+  FLOPs are priced only on the uncached suffix), and freshly prefilled
+  prefix blocks are published for the next request;
+* unreferenced shared blocks stay resident and are reclaimed **LRU-first**
+  only under memory pressure — never while referenced, and always before a
+  live request is preempted;
+* at fleet scale the ``kv-aware`` and ``session-affinity`` routers observe
+  per-replica **prefix-hit potential** and the ``arrival-rate`` autoscaler
+  credits the **effective-capacity gain** ``1/(1 - hit_rate)``;
+* metrics gain hit rate, hit tokens, saved prefill FLOPs and evictions
+  (``experiments prefix-cache`` prints the on/off A/B table).
+
+Everything stays exact: decode fast-forwarding composes with prefix caching
+bit-identically, and with ``prefix_caching=False`` every simulated number is
+byte-identical to the pre-prefix engines (pinned by goldens and the
+equivalence suite).
 """
 
 from . import (

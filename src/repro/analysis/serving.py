@@ -6,6 +6,11 @@ numbers are tabulated side by side.  The table makes the
 prefill/decode-disaggregation tradeoff visible in one place — lower tail
 TTFT (the prefill pool is never throttled to protect decode latency) bought
 with higher TPOT (the decode pool is a fraction of the fleet).
+
+:func:`prefix_cache_comparison` is the same idea for shared-prefix KV
+caching: each shared-prefix scenario simulated with caching on and off,
+tabulating TTFT, goodput, hit rate and prefill FLOPs executed vs saved
+(the ``experiments prefix-cache`` CLI table).
 """
 
 from __future__ import annotations
@@ -21,7 +26,14 @@ from ..sweep.evaluators import serving_metrics_from_result
 from ..sweep.spec import SweepSpec
 from .report import format_percent, render_table
 
-__all__ = ["ServingComparisonRow", "ServingComparisonResult", "serving_comparison"]
+__all__ = [
+    "ServingComparisonRow",
+    "ServingComparisonResult",
+    "serving_comparison",
+    "PrefixCacheComparisonRow",
+    "PrefixCacheComparisonResult",
+    "prefix_cache_comparison",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +78,100 @@ class ServingComparisonResult:
             ],
             title=f"Serving — colocated vs disaggregated (seed {self.seed})",
         )
+
+
+@dataclass(frozen=True)
+class PrefixCacheComparisonRow:
+    scenario: str
+    prefix_caching: bool
+    ttft_p50: float
+    ttft_p99: float
+    goodput_fraction: float
+    prefix_hit_rate: float
+    prefill_flops_executed: float
+    prefix_flops_saved: float
+    prefix_evictions: int
+
+
+@dataclass
+class PrefixCacheComparisonResult:
+    seed: int
+    rows: List[PrefixCacheComparisonRow] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        return render_table(
+            [
+                "scenario",
+                "prefix cache",
+                "TTFT p50",
+                "TTFT p99",
+                "goodput",
+                "hit rate",
+                "prefill PFLOPs",
+                "saved PFLOPs",
+                "evictions",
+            ],
+            [
+                (
+                    row.scenario,
+                    "on" if row.prefix_caching else "off",
+                    f"{row.ttft_p50:.3f} s",
+                    f"{row.ttft_p99:.3f} s",
+                    format_percent(row.goodput_fraction),
+                    format_percent(row.prefix_hit_rate),
+                    f"{row.prefill_flops_executed / 1e15:.2f}",
+                    f"{row.prefix_flops_saved / 1e15:.2f}",
+                    row.prefix_evictions,
+                )
+                for row in self.rows
+            ],
+            title=f"Shared-prefix KV caching — on vs off (seed {self.seed})",
+        )
+
+
+def prefix_cache_comparison(
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    workers: int = 0,
+    cache: Optional[SweepCache] = None,
+) -> PrefixCacheComparisonResult:
+    """A/B every shared-prefix scenario with prefix caching on and off.
+
+    The colocated deployment is simulated twice per scenario — identical
+    trace, identical knobs, only ``prefix_caching`` flipped — and the
+    SLO-relevant numbers plus the cache's own outcomes (hit rate, prefill
+    FLOPs executed and saved, LRU evictions) are tabulated side by side.
+    """
+    names = (
+        list(scenarios)
+        if scenarios is not None
+        else ["shared-system-prompt", "rag-shared-corpus", "agentic-prefix-tree"]
+    )
+    for name in names:
+        get_scenario(name)  # fail fast with the list of valid names
+    spec = SweepSpec.make(
+        name="prefix-cache-comparison",
+        evaluator="serving-scenario",
+        axes={"scenario": tuple(names), "prefix_caching": (False, True)},
+        base={"seed": seed, "mode": "colocated"},
+    )
+    sweep = run_sweep(spec, workers=workers, cache=cache)
+    result = PrefixCacheComparisonResult(seed=seed)
+    for point, row in sweep:
+        result.rows.append(
+            PrefixCacheComparisonRow(
+                scenario=str(point["scenario"]),
+                prefix_caching=bool(point["prefix_caching"]),
+                ttft_p50=float(row["ttft_p50"]),
+                ttft_p99=float(row["ttft_p99"]),
+                goodput_fraction=float(row["goodput_fraction"]),
+                prefix_hit_rate=float(row["prefix_hit_rate"]),
+                prefill_flops_executed=float(row["prefill_flops_executed"]),
+                prefix_flops_saved=float(row["prefix_flops_saved"]),
+                prefix_evictions=int(row["prefix_evictions"]),
+            )
+        )
+    return result
 
 
 def serving_comparison(

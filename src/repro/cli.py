@@ -16,11 +16,18 @@ Six subcommands cover the library's main workflows without writing Python:
     Simulate an inference deployment (``repro.serving``) on a named scenario:
     continuous batching with chunked prefill and a paged KV cache, either
     colocated or prefill/decode-disaggregated, printing TTFT/TPOT
-    percentiles, goodput under SLO and KV-cache utilization; optionally
-    export the iteration timeline as a Chrome trace or compare both
-    deployments side by side.  Decode fast-forwarding is on by default and
-    exact (bit-identical metrics, several times faster); ``--no-fast-forward``
-    steps every iteration naively — useful only as the reference oracle.
+    percentiles, goodput under SLO, KV-cache utilization and prefix-cache
+    hit rate; optionally export the iteration timeline as a Chrome trace or
+    compare both deployments side by side.  Decode fast-forwarding is on by
+    default and exact (bit-identical metrics, several times faster);
+    ``--no-fast-forward`` steps every iteration naively — useful only as the
+    reference oracle.  ``--prefix-caching`` / ``--no-prefix-caching``
+    override the scenario's shared-prefix KV caching default (the
+    ``shared-system-prompt``, ``rag-shared-corpus`` and
+    ``agentic-prefix-tree`` scenarios default it on), e.g.::
+
+        python -m repro.cli serve --scenario shared-system-prompt
+        python -m repro.cli serve --scenario shared-system-prompt --no-prefix-caching
 
 ``fleet``
     Drive the cluster-scale layer (``repro.fleet``): ``fleet run --scenario
@@ -33,11 +40,15 @@ Six subcommands cover the library's main workflows without writing Python:
     cluster event loop fast-forwards stable decode stretches exactly
     (~10x wall-clock on decode-heavy fleets; ``--no-fast-forward`` on
     ``fleet run`` forces the naive stepper), which is what keeps the
-    planner's dozens of full simulations per bisection cheap.
+    planner's dozens of full simulations per bisection cheap.  ``fleet run``
+    also takes ``--prefix-caching`` / ``--no-prefix-caching`` to A/B
+    per-replica shared-prefix KV caching (prefix-aware routing and the
+    rate autoscaler's effective-capacity signal come with it).
 
 ``experiments``
     Regenerate a chosen paper experiment's data table (Figures 1-3, 6-14 and
-    Tables 2-4), the serving comparison, the fleet routing comparison, or a
+    Tables 2-4), the serving comparison, the fleet routing comparison, the
+    prefix-cache on/off comparison (``experiments prefix-cache``), or a
     registered sweep, directly from the analysis layer.
 
 ``sweep``
@@ -216,6 +227,11 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
         modes = ("disaggregated",)
     else:
         modes = ("colocated",)
+    prefix_caching = None
+    if args.prefix_caching:
+        prefix_caching = True
+    elif args.no_prefix_caching:
+        prefix_caching = False
     for mode in modes:
         result = run_scenario(
             scenario,
@@ -225,6 +241,7 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
             seed=args.seed,
             policy=args.policy,
             fast_forward=not args.no_fast_forward,
+            prefix_caching=prefix_caching,
         )
         print(
             _serving_result_text(
@@ -254,6 +271,11 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         print("available fleet scenarios:", ", ".join(sorted(FLEET_SCENARIO_REGISTRY)))
         return 0
     scenario = get_fleet_scenario(args.scenario)
+    prefix_caching = None
+    if args.prefix_caching:
+        prefix_caching = True
+    elif args.no_prefix_caching:
+        prefix_caching = False
     try:
         result = run_fleet_scenario(
             scenario,
@@ -265,6 +287,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             with_failures=not args.no_failures,
             collect_timeline=bool(args.trace),
             fast_forward=not args.no_fast_forward,
+            prefix_caching=prefix_caching,
         )
     except ValueError as error:
         # Infeasible deployments (model does not fit the replica's GPU
@@ -391,10 +414,16 @@ def _experiment_registry() -> Dict[str, Callable[[], str]]:
             routers=("round-robin", "least-tokens"),
         ).to_text()
 
+    def _prefix_cache_comparison() -> str:
+        from .analysis.serving import prefix_cache_comparison
+
+        return prefix_cache_comparison().to_text()
+
     return {
         "serving": _serving_comparison,
         "sweep": _sweep_experiment,
         "fleet": _fleet_comparison,
+        "prefix-cache": _prefix_cache_comparison,
         "fig1": lambda: figures.figure1_memory_footprint().to_text(),
         "fig2": lambda: figures.figure2_max_context().to_text(),
         "fig3": lambda: figures.figure3_bubble_fractions().to_text(),
@@ -498,6 +527,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="step every decode iteration naively (the slow reference oracle)",
     )
+    prefix_group = serve.add_mutually_exclusive_group()
+    prefix_group.add_argument(
+        "--prefix-caching",
+        action="store_true",
+        help="force shared-prefix KV caching on (default: the scenario's setting)",
+    )
+    prefix_group.add_argument(
+        "--no-prefix-caching",
+        action="store_true",
+        help="force shared-prefix KV caching off (the A/B baseline)",
+    )
     serve.add_argument("--list", action="store_true", help="list available scenarios")
     serve.set_defaults(handler=_cmd_serve)
 
@@ -530,6 +570,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fast-forward",
         action="store_true",
         help="step every decode iteration naively (the slow reference oracle)",
+    )
+    fleet_prefix = fleet_run.add_mutually_exclusive_group()
+    fleet_prefix.add_argument(
+        "--prefix-caching",
+        action="store_true",
+        help="force per-replica shared-prefix KV caching on",
+    )
+    fleet_prefix.add_argument(
+        "--no-prefix-caching",
+        action="store_true",
+        help="force per-replica shared-prefix KV caching off (the A/B baseline)",
     )
     fleet_run.add_argument("--list", action="store_true", help="list available fleet scenarios")
     fleet_run.set_defaults(handler=_cmd_fleet_run)

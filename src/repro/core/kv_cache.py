@@ -112,6 +112,23 @@ class ChunkedKVCache:
         chunk.clear()
         self._free.append(chunk)
 
+    def rename(self, old_key: Hashable, new_key: Hashable) -> KVChunk:
+        """Re-home a live chunk under a new key, keeping its payload.
+
+        Used by the serving prefix cache when a request-private KV block is
+        *published* as a shared prefix block: ownership moves from the
+        request to the prefix index without touching the chunk itself (no
+        release/acquire churn, allocation statistics unchanged).
+        """
+        if new_key in self._live:
+            raise KeyError(f"chunk for {new_key!r} is already live")
+        try:
+            chunk = self._live.pop(old_key)
+        except KeyError:
+            raise KeyError(f"cannot rename unknown chunk {old_key!r}") from None
+        self._live[new_key] = chunk
+        return chunk
+
     def release_matching(self, predicate) -> int:
         """Release every live chunk whose key satisfies ``predicate``."""
         keys = [key for key in self._live if predicate(key)]

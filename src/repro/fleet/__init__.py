@@ -12,10 +12,14 @@ Modules
 -------
 ``router``
     Request routing policies over observable replica snapshots: round-robin,
-    least-outstanding-tokens, session-affinity, KV-load-aware.
+    least-outstanding-tokens, session-affinity, KV-load-aware — the latter
+    two rank on per-replica prefix-hit potential when shared-prefix KV
+    caching is on.
 ``autoscaler``
     Reactive (queue-depth) and predictive (arrival-rate EWMA) scaling
-    policies, evaluated on a tick against provisioning latencies.
+    policies, evaluated on a tick against provisioning latencies; the
+    predictive policy credits the fleet's prefix-cache hit rate as an
+    effective-capacity gain.
 ``failures``
     Deterministic failure plans: replica crashes with restart and failover
     re-routing, slow-node degradation windows.
@@ -25,8 +29,9 @@ Modules
     dollar metering.
 ``scenarios``
     Named fleet scenarios (steady chat, bursty long prompts, flash crowd,
-    unreliable fleet, heterogeneous mix) plus the ``run_fleet_scenario``
-    driver.
+    unreliable fleet, heterogeneous mix, and the shared-prefix families:
+    shared-system-prompt, rag-shared-corpus, agentic-prefix-tree) plus the
+    ``run_fleet_scenario`` driver.
 ``planner``
     :func:`plan_capacity`: ladder-plus-bisect search of the minimal replica
     count meeting a TTFT-p99 / goodput SLO, evaluated through the sweep

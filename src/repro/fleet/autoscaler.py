@@ -18,7 +18,13 @@ not how loudly.  Two families are modelled:
     ``ceil(rate * headroom / replica_rps)`` replicas, where ``replica_rps``
     is the operator's estimate of one replica's sustainable throughput.
     Scales *before* the queue builds when traffic ramps, at the cost of
-    trusting the capacity estimate.
+    trusting the capacity estimate.  When the fleet reports a shared-prefix
+    hit rate (``FleetView.prefix_hit_rate``), the per-replica capacity
+    estimate is scaled by the **effective-capacity gain**
+    ``1 / (1 - hit_rate)``: prefill work served from the prefix cache frees
+    replica time for more requests, so the same SLO needs fewer replicas.
+    With a zero hit rate (prefix caching off, or no shared traffic) the
+    policy is exactly the pre-prefix one.
 
 ``none`` pins the fleet at its initial size (the capacity planner uses this
 to evaluate fixed fleets).
@@ -91,6 +97,9 @@ class FleetView:
     queue_depth: int
     running_requests: int
     arrival_rate: float
+    #: Fleet-wide fraction of required prompt tokens served from the shared
+    #: prefix cache so far (0.0 when prefix caching is off).
+    prefix_hit_rate: float = 0.0
 
     @property
     def provisioned(self) -> int:
@@ -137,11 +146,19 @@ class QueueDepthAutoscaler(Autoscaler):
 
 
 class ArrivalRateAutoscaler(Autoscaler):
-    """Predictive: provision for the EWMA arrival rate plus headroom."""
+    """Predictive: provision for the EWMA arrival rate plus headroom.
+
+    Prefix-cache aware: the observed fleet-wide hit rate inflates the
+    per-replica capacity estimate (prefill skipped is replica time freed),
+    capped at 10x so a near-perfect hit rate cannot collapse the fleet.
+    """
 
     def desired(self, view: FleetView) -> int:
         cfg = self.config
-        target = math.ceil(view.arrival_rate * cfg.headroom / cfg.replica_rps)
+        capacity = cfg.replica_rps
+        if view.prefix_hit_rate > 0.0:
+            capacity = cfg.replica_rps / max(1.0 - view.prefix_hit_rate, 0.1)
+        target = math.ceil(view.arrival_rate * cfg.headroom / capacity)
         return max(1, target)
 
 

@@ -45,6 +45,7 @@ from ..schedules.base import Pass
 from ..serving.batcher import BatcherConfig, IterationPlan, RequestState
 from ..serving.engine import ServingConfig, _Pool
 from ..serving.metrics import SLO, RequestRecord, ServingMetrics, compute_metrics
+from ..serving.prefix_cache import prefix_block_keys
 from ..serving.workload import Request
 from ..sim.timeline import Timeline, TimelineSpan
 from .autoscaler import Autoscaler, AutoscalerConfig, FleetView, make_autoscaler
@@ -88,6 +89,11 @@ class FleetConfig:
     #: iterations completes with cached pricing and bulk KV growth instead of
     #: a full replan (exact; ``False`` forces the naive reference stepper).
     fast_forward: bool = True
+    #: Shared-prefix KV caching per replica (see
+    #: :attr:`~repro.serving.engine.ServingConfig.prefix_caching`): cached
+    #: prefix blocks skip prefill, routers observe per-replica hit potential
+    #: and the arrival-rate autoscaler credits the effective-capacity gain.
+    prefix_caching: bool = False
 
     def __post_init__(self) -> None:
         if self.gpus_per_replica < 1:
@@ -126,10 +132,18 @@ class FleetConfig:
             batcher=self.batcher,
             tpot_cap=self.tpot_cap,
             fast_forward=self.fast_forward,
+            prefix_caching=self.prefix_caching,
         )
 
     def session_of(self, request: Request) -> int:
-        """Deterministic session id (affinity routing groups requests by it)."""
+        """Deterministic session id (affinity routing groups requests by it).
+
+        A request that names its conversation (``Request.session``) keeps it;
+        otherwise ids hash onto ``sessions`` buckets (or stay unique when no
+        session count is configured).
+        """
+        if request.session is not None:
+            return request.session
         if self.sessions <= 0:
             return request.request_id
         return request.request_id % self.sessions
@@ -176,6 +190,8 @@ class _Replica:
         self.kv_peak = 0.0
         # Batcher counters folded in from pool incarnations lost to crashes.
         self._folded = [0, 0, 0, 0]  # admitted, prefilled, requeued, preemptions
+        # Prefix-cache counters, same folding discipline (floats for FLOPs).
+        self._prefix_folded = [0, 0, 0.0, 0.0, 0]  # hit_tok, hit_req, saved, executed, evictions
 
     # ------------------------------------------------------------------
     @property
@@ -220,9 +236,14 @@ class _Replica:
         self.ff_contexts = None
         self.ff_ids = None
 
-    def snapshot(self) -> ReplicaSnapshot:
+    def snapshot(self, request: Optional[Request] = None) -> ReplicaSnapshot:
         batcher = self.pool.batcher
         allocator = self.pool.allocator
+        match = 0
+        if request is not None and request.prefix and allocator.prefix_caching:
+            match = allocator.match_prefix(
+                prefix_block_keys(request.prefix, allocator.block_tokens)
+            )
         return ReplicaSnapshot(
             replica_id=self.replica_id,
             queue_depth=len(batcher.waiting),
@@ -230,6 +251,7 @@ class _Replica:
             outstanding_tokens=self.outstanding_tokens(),
             kv_free_fraction=allocator.free_blocks / allocator.total_blocks,
             gpu=self.gpu_name,
+            prefix_match_blocks=match,
         )
 
     # ------------------------------------------------------------------
@@ -270,6 +292,13 @@ class _Replica:
         self._folded[1] += batcher.tokens_prefilled
         self._folded[2] += batcher.tokens_preempted_requeued
         self._folded[3] += batcher.preemptions
+        self._prefix_folded[0] += batcher.prefix_hit_tokens
+        self._prefix_folded[1] += batcher.prefix_hit_requests
+        self._prefix_folded[2] += batcher.prefix_flops_saved
+        self._prefix_folded[3] += batcher.prefill_flops_executed
+        prefix = self.pool.allocator.prefix
+        if prefix is not None:
+            self._prefix_folded[4] += prefix.evicted_blocks
 
     def counters(self) -> Tuple[int, int, int, int]:
         """(admitted, prefilled, requeued, preemptions) over all incarnations."""
@@ -281,6 +310,20 @@ class _Replica:
             requeued += batcher.tokens_preempted_requeued
             preemptions += batcher.preemptions
         return admitted, prefilled, requeued, preemptions
+
+    def prefix_counters(self) -> Tuple[int, int, float, float, int]:
+        """(hit_tokens, hit_requests, flops_saved, flops_executed, evictions)."""
+        hit_tokens, hit_requests, saved, executed, evictions = self._prefix_folded
+        if self.pool is not None:
+            batcher = self.pool.batcher
+            hit_tokens += batcher.prefix_hit_tokens
+            hit_requests += batcher.prefix_hit_requests
+            saved += batcher.prefix_flops_saved
+            executed += batcher.prefill_flops_executed
+            prefix = self.pool.allocator.prefix
+            if prefix is not None:
+                evictions += prefix.evicted_blocks
+        return hit_tokens, hit_requests, saved, executed, evictions
 
     def gpu_seconds(self, end_time: float) -> float:
         end = self.retired_at if self.retired_at is not None else end_time
@@ -338,11 +381,24 @@ class FleetResult:
     tokens_preempted_requeued: int
     preemptions: int
     timeline: Optional[Timeline] = None
+    #: Shared-prefix caching outcomes over every pool incarnation (all zero
+    #: when ``FleetConfig.prefix_caching`` is off).
+    prefix_hit_tokens: int = 0
+    prefix_hit_requests: int = 0
+    prefix_flops_saved: float = 0.0
+    prefill_flops_executed: float = 0.0
+    prefix_evictions: int = 0
 
     @property
     def token_accounting_balanced(self) -> bool:
         """Fleet-wide conservation law, summed over every pool incarnation."""
         return self.tokens_admitted == self.tokens_prefilled + self.tokens_preempted_requeued
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of required prompt tokens served from the prefix caches."""
+        required = self.prefix_hit_tokens + self.tokens_prefilled
+        return self.prefix_hit_tokens / required if required else 0.0
 
     def to_text(self, title: str = "fleet run") -> str:
         return self.metrics.to_text(title=title) + self.fleet.to_text(title=f"{title} — fleet")
@@ -399,7 +455,7 @@ class FleetEngine:
         if not candidates:
             self._held.append(state)
             return
-        snapshots = [r.snapshot() for r in candidates]
+        snapshots = [r.snapshot(state.request) for r in candidates]
         session = self.config.session_of(state.request)
         choice = self.router.route(state.request, session, snapshots)
         by_id = {r.replica_id: r for r in candidates}
@@ -553,6 +609,14 @@ class FleetEngine:
             self._rate_ewma = alpha * instantaneous + (1 - alpha) * self._rate_ewma
         provisioned = self._provisioned()
         active = sum(1 for r in provisioned if r.state is _ReplicaState.ACTIVE)
+        hit_tokens = prefilled = 0
+        if self.config.prefix_caching:
+            for replica in self._replicas:
+                tokens, _, _, _, _ = replica.prefix_counters()
+                _, done, _, _ = replica.counters()
+                hit_tokens += tokens
+                prefilled += done
+        required = hit_tokens + prefilled
         view = FleetView(
             now=now,
             active_replicas=active,
@@ -561,6 +625,7 @@ class FleetEngine:
             + len(self._held),
             running_requests=sum(len(r.pool.batcher.running) for r in provisioned),
             arrival_rate=self._rate_ewma,
+            prefix_hit_rate=hit_tokens / required if required else 0.0,
         )
         target = max(cfg.min_replicas, min(cfg.max_replicas, self._autoscaler.desired(view)))
         current = len(provisioned)
@@ -741,12 +806,21 @@ class FleetEngine:
             sum(r.kv_weighted for r in self._replicas) / busy if busy > 0 else 0.0
         )
         admitted = prefilled = requeued = preemptions = 0
+        hit_tokens = hit_requests = prefix_evictions = 0
+        flops_saved = flops_executed = 0.0
         for replica in self._replicas:
             a, p, q, e = replica.counters()
             admitted += a
             prefilled += p
             requeued += q
             preemptions += e
+            ht, hr, fs, fe, ev = replica.prefix_counters()
+            hit_tokens += ht
+            hit_requests += hr
+            flops_saved += fs
+            flops_executed += fe
+            prefix_evictions += ev
+        required = hit_tokens + prefilled
         metrics = compute_metrics(
             records,
             duration,
@@ -754,6 +828,10 @@ class FleetEngine:
             kv_utilization_mean=kv_mean,
             kv_utilization_peak=max((r.kv_peak for r in self._replicas), default=0.0),
             preemptions=preemptions,
+            prefix_hit_rate=hit_tokens / required if required else 0.0,
+            prefix_hit_tokens=hit_tokens,
+            prefix_flops_saved=flops_saved,
+            prefix_evictions=prefix_evictions,
         )
         hours_by_type: Dict[str, float] = {}
         for replica in self._replicas:
@@ -818,4 +896,9 @@ class FleetEngine:
             tokens_preempted_requeued=requeued,
             preemptions=preemptions,
             timeline=timeline,
+            prefix_hit_tokens=hit_tokens,
+            prefix_hit_requests=hit_requests,
+            prefix_flops_saved=flops_saved,
+            prefill_flops_executed=flops_executed,
+            prefix_evictions=prefix_evictions,
         )

@@ -18,11 +18,23 @@ model/scenario registries:
 ``session-affinity``
     Sticky routing: a session's first request picks the least-loaded replica
     and later requests follow it (warm KV / prefix reuse in a real system).
-    A session whose home replica fails or drains is re-homed.
+    A session whose home replica fails or drains is re-homed.  When replicas
+    report **prefix-hit potential** (shared-prefix caching on), a new
+    session is placed where the most of its declared prefix is already
+    cached before load is consulted.
 ``kv-aware``
     Join the replica with the largest free share of its paged-KV pool,
     breaking ties by outstanding tokens.  Long-context traffic is admitted
-    where it will not trigger preemption storms.
+    where it will not trigger preemption storms.  Prefix-hit potential
+    dominates when present: a replica that can serve the request's prompt
+    head from its prefix cache beats a merely-empty one.
+
+Prefix-hit potential (``ReplicaSnapshot.prefix_match_blocks``) is the number
+of leading KV blocks of the arriving request's declared prefix already
+resident on the replica — observable in real deployments via prefix-cache
+lookup APIs.  It is zero whenever prefix caching is off or the request
+declares no prefix, in which case every policy reduces exactly to its
+pre-prefix behavior.
 
 Every policy breaks remaining ties by replica id, so routing is a pure
 function of (request order, snapshot history) and fleet runs are
@@ -63,6 +75,9 @@ class ReplicaSnapshot:
     outstanding_tokens: int
     kv_free_fraction: float
     gpu: str = "hopper-80gb"
+    #: Leading blocks of the arriving request's declared prefix already
+    #: cached on this replica (0 when prefix caching is off).
+    prefix_match_blocks: int = 0
 
 
 class Router:
@@ -136,14 +151,19 @@ class SessionAffinityRouter(Router):
             return home
         placed = min(
             snapshots,
-            key=lambda s: (s.outstanding_tokens, s.queue_depth, s.replica_id),
+            key=lambda s: (
+                -s.prefix_match_blocks,
+                s.outstanding_tokens,
+                s.queue_depth,
+                s.replica_id,
+            ),
         ).replica_id
         self._homes[session] = placed
         return placed
 
 
 class KVLoadAwareRouter(Router):
-    """Join the replica with the most free paged-KV capacity."""
+    """Join the replica with the best prefix-hit potential, then most free KV."""
 
     name = "kv-aware"
 
@@ -153,7 +173,12 @@ class KVLoadAwareRouter(Router):
         self._require(snapshots)
         return min(
             snapshots,
-            key=lambda s: (-s.kv_free_fraction, s.outstanding_tokens, s.replica_id),
+            key=lambda s: (
+                -s.prefix_match_blocks,
+                -s.kv_free_fraction,
+                s.outstanding_tokens,
+                s.replica_id,
+            ),
         ).replica_id
 
 

@@ -30,6 +30,18 @@ The registry:
 ``hetero-mixed``
     Chat plus long-prompt RAG on a fleet that alternates Hopper and Ampere
     replicas — the KV-aware router's home turf.
+``shared-system-prompt``
+    Chat behind one large common system prompt with per-replica shared-prefix
+    KV caching and an arrival-rate autoscaler: the prefix-hit-aware capacity
+    signal provisions fewer replicas for the same SLO.
+``rag-shared-corpus``
+    Zipf-skewed RAG over a shared corpus routed ``kv-aware``: the router's
+    prefix-hit potential concentrates each document's traffic where its KV
+    blocks already live.
+``agentic-prefix-tree``
+    Interleaved agent sessions routed ``session-affinity`` with explicit
+    ``Request.session`` ids, so a session's growing prefix branch stays on
+    its home replica and later turns hit the cache.
 """
 
 from __future__ import annotations
@@ -43,10 +55,13 @@ from ..serving.batcher import BatcherConfig
 from ..serving.metrics import SLO
 from ..serving.workload import (
     Request,
+    agentic_tree_trace,
     bursty_trace,
     long_context_trace,
     merge_traces,
     poisson_trace,
+    rag_corpus_trace,
+    shared_prefix_trace,
 )
 from .autoscaler import AutoscalerConfig
 from .cluster import FleetConfig, FleetEngine, FleetResult
@@ -83,6 +98,7 @@ class FleetScenario:
     scale_up_latency: float = 20.0
     warm_pool: int = 0
     warm_up_latency: float = 2.0
+    prefix_caching: bool = False
 
     def make_trace(self, seed: int = 0, load_scale: float = 1.0) -> List[Request]:
         """The scenario's trace; ``load_scale > 1`` compresses arrivals."""
@@ -125,6 +141,7 @@ class FleetScenario:
             warm_up_latency=self.warm_up_latency,
             autoscaler=autoscaler,
             sessions=self.sessions,
+            prefix_caching=self.prefix_caching,
         )
 
 
@@ -232,6 +249,42 @@ def _hetero_mixed_trace(seed: int) -> List[Request]:
     return merge_traces(chat, rag)
 
 
+def _fleet_shared_prompt_trace(seed: int) -> List[Request]:
+    return shared_prefix_trace(
+        num_requests=140,
+        arrival_rate=2.5,
+        prefix_tokens=8192,
+        suffix_mean=256,
+        output_mean=128,
+        seed=seed,
+    )
+
+
+def _fleet_rag_corpus_trace(seed: int) -> List[Request]:
+    return rag_corpus_trace(
+        num_requests=100,
+        arrival_rate=1.2,
+        num_documents=16,
+        document_tokens=16_384,
+        question_mean=384,
+        output_mean=128,
+        seed=seed,
+        system_tokens=1024,
+    )
+
+
+def _fleet_agentic_trace(seed: int) -> List[Request]:
+    return agentic_tree_trace(
+        num_sessions=16,
+        turns_per_session=5,
+        scaffold_tokens=4096,
+        turn_tokens=512,
+        output_mean=160,
+        seed=seed,
+        session_rate=0.8,
+    )
+
+
 FLEET_SCENARIO_REGISTRY: Dict[str, FleetScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -288,6 +341,36 @@ FLEET_SCENARIO_REGISTRY: Dict[str, FleetScenario] = {
             slo=SLO(ttft=5.0, tpot=0.08),
             router="kv-aware",
         ),
+        FleetScenario(
+            name="shared-system-prompt",
+            description="chat behind one 8K system prompt, prefix caching + rate autoscaler",
+            trace_factory=_fleet_shared_prompt_trace,
+            initial_replicas=2,
+            max_replicas=8,
+            slo=SLO(ttft=2.5, tpot=0.05),
+            autoscaler=AutoscalerConfig(
+                policy="arrival-rate", interval=5.0, replica_rps=1.0, headroom=1.2
+            ),
+            prefix_caching=True,
+        ),
+        FleetScenario(
+            name="rag-shared-corpus",
+            description="Zipf RAG corpus routed kv-aware onto prefix-warm replicas",
+            trace_factory=_fleet_rag_corpus_trace,
+            initial_replicas=3,
+            slo=SLO(ttft=6.0, tpot=0.06),
+            router="kv-aware",
+            prefix_caching=True,
+        ),
+        FleetScenario(
+            name="agentic-prefix-tree",
+            description="agent sessions pinned to prefix-warm homes via session affinity",
+            trace_factory=_fleet_agentic_trace,
+            initial_replicas=3,
+            slo=SLO(ttft=3.0, tpot=0.05),
+            router="session-affinity",
+            prefix_caching=True,
+        ),
     )
 }
 
@@ -313,19 +396,22 @@ def run_fleet_scenario(
     with_failures: bool = True,
     collect_timeline: bool = False,
     fast_forward: bool = True,
+    prefix_caching: Optional[bool] = None,
 ) -> FleetResult:
     """Simulate a fleet scenario end to end.
 
-    ``router`` / ``replicas`` / ``autoscale`` override the scenario's
-    defaults (the CLI and the capacity planner map their flags through
-    here); ``with_failures=False`` strips the scenario's failure plan;
-    ``fast_forward=False`` runs the naive per-iteration reference stepper
-    instead of the pre-planned decode stretches.
+    ``router`` / ``replicas`` / ``autoscale`` / ``prefix_caching`` override
+    the scenario's defaults (the CLI and the capacity planner map their
+    flags through here); ``with_failures=False`` strips the scenario's
+    failure plan; ``fast_forward=False`` runs the naive per-iteration
+    reference stepper instead of the pre-planned decode stretches.
     """
     model = get_model_config(scenario.model)
     config = scenario.fleet_config(replicas=replicas, autoscale=autoscale)
     if not fast_forward:
         config = replace(config, fast_forward=False)
+    if prefix_caching is not None:
+        config = replace(config, prefix_caching=prefix_caching)
     engine = FleetEngine(
         model,
         config,

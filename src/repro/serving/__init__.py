@@ -10,35 +10,49 @@ Modules
 -------
 ``workload``
     Deterministic request-trace generators (Poisson, bursty, long-context,
-    replay).
+    replay) plus the shared-prefix families (common system prompt, Zipf RAG
+    corpus, agentic prefix trees) whose requests declare symbolic
+    ``Request.prefix`` segments.
 ``paged_kv``
     Paged KV-cache allocator with block tables and eviction accounting,
-    built on :class:`~repro.core.kv_cache.ChunkedKVCache`.
+    built on :class:`~repro.core.kv_cache.ChunkedKVCache`; optionally backs
+    the leading blocks of a request by shared, reference-counted prefix
+    blocks (``prefix_caching=True``).
+``prefix_cache``
+    The shared-prefix index itself: a radix tree of published KV blocks
+    with copy-on-write refcounts and LRU eviction of unreferenced blocks.
 ``batcher``
     Continuous batching: token-budget admission, chunked prefill, FCFS and
-    priority policies, memory-pressure preemption.
+    priority policies, memory-pressure preemption, prefix-cache consultation
+    on admission and block publication as prefill commits.
 ``engine``
     Discrete-event serving loops — colocated, and prefill/decode
     disaggregated with comm-priced KV hand-off.
 ``metrics``
-    TTFT/TPOT/E2E percentiles, goodput under SLO, KV utilization.
+    TTFT/TPOT/E2E percentiles, goodput under SLO, KV utilization, prefix
+    hit rate and saved prefill FLOPs.
 ``scenarios``
     Named scenario registry (chat, RAG, 512K summarisation, bursty
-    long-prompt, mixed fleet) plus the ``run_scenario`` driver.
+    long-prompt, mixed fleet, shared-system-prompt, rag-shared-corpus,
+    agentic-prefix-tree) plus the ``run_scenario`` driver.
 """
 
 from .batcher import BatcherConfig, ContinuousBatcher, IterationPlan, Phase, RequestState
 from .engine import DisaggregatedEngine, ServingConfig, ServingEngine, ServingResult
 from .metrics import SLO, RequestRecord, ServingMetrics, compute_metrics, percentile
 from .paged_kv import PagedKVAllocator, PagedKVStats, blocks_for_tokens
+from .prefix_cache import PrefixCache, PrefixCacheStats, prefix_block_keys
 from .scenarios import SCENARIO_REGISTRY, ServingScenario, get_scenario, run_scenario
 from .workload import (
     Request,
+    agentic_tree_trace,
     bursty_trace,
     long_context_trace,
     merge_traces,
     poisson_trace,
+    rag_corpus_trace,
     replay_trace,
+    shared_prefix_trace,
 )
 
 __all__ = [
@@ -46,8 +60,14 @@ __all__ = [
     "poisson_trace",
     "bursty_trace",
     "long_context_trace",
+    "shared_prefix_trace",
+    "rag_corpus_trace",
+    "agentic_tree_trace",
     "replay_trace",
     "merge_traces",
+    "PrefixCache",
+    "PrefixCacheStats",
+    "prefix_block_keys",
     "PagedKVAllocator",
     "PagedKVStats",
     "blocks_for_tokens",

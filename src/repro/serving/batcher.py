@@ -37,10 +37,11 @@ import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .metrics import RequestRecord
 from .paged_kv import PagedKVAllocator, blocks_for_tokens
+from .prefix_cache import prefix_block_keys
 from .workload import Request
 
 __all__ = [
@@ -162,6 +163,7 @@ class ContinuousBatcher:
         config: Optional[BatcherConfig] = None,
         prefill_only: bool = False,
         decode_only: bool = False,
+        prefill_flops_of: Optional[Callable[[int, int], float]] = None,
     ):
         if prefill_only and decode_only:
             raise ValueError("a pool cannot be both prefill_only and decode_only")
@@ -169,6 +171,13 @@ class ContinuousBatcher:
         self.config = config or BatcherConfig()
         self.prefill_only = prefill_only
         self.decode_only = decode_only
+        # Prefix caching is the allocator's capability; the batcher merely
+        # consults it on admission and publishes blocks as prefill commits.
+        self.prefix_caching = allocator.prefix_caching and not decode_only
+        # Prices one prefill chunk's layer FLOPs at a KV offset — installed
+        # by the owning pool so the batcher can meter executed and
+        # cache-skipped prefill work without knowing the model.
+        self._prefill_flops_of = prefill_flops_of
         # ``waiting`` preserves exact queue order (arrivals append, preempted
         # victims re-enter at the front) but is a deque so FCFS admission pops
         # the head in O(1) instead of shifting the whole backlog.  Under the
@@ -184,6 +193,11 @@ class ContinuousBatcher:
         self.tokens_prefilled = 0
         self.tokens_preempted_requeued = 0
         self.preemptions = 0
+        # Shared-prefix accounting (all zero when prefix caching is off).
+        self.prefix_hit_tokens = 0
+        self.prefix_hit_requests = 0
+        self.prefix_flops_saved = 0.0
+        self.prefill_flops_executed = 0.0
 
     # ------------------------------------------------------------------
     # Queue management
@@ -290,7 +304,7 @@ class ContinuousBatcher:
             if not self.allocator.reserve(state.request.request_id, state.prefilled + chunk):
                 continue  # wait for blocks to free up
             plan.prefill.append((state, chunk))
-            self.tokens_prefilled += chunk
+            self._meter_prefill(chunk, state.prefilled)
             budget -= chunk
 
         # 3. Admission of new requests with the remaining budget.
@@ -323,18 +337,56 @@ class ContinuousBatcher:
                 continue
             if budget <= 0:
                 break
+            if self.prefix_caching and state.prefilled == 0 and state.request.prefix:
+                self._consult_prefix_cache(state)
             chunk = min(budget, cfg.prefill_chunk_tokens, state.prefill_remaining)
             if chunk <= 0:
                 break
-            if self.allocator.free_blocks - blocks_for_tokens(chunk, self.allocator.block_tokens) < watermark_blocks:
+            need_blocks = blocks_for_tokens(
+                state.prefilled + chunk, self.allocator.block_tokens
+            ) - self.allocator.blocks_held(rid)
+            free = self.allocator.free_blocks + self.allocator.reclaimable_blocks
+            if free - need_blocks < watermark_blocks:
                 break
-            if not self.allocator.reserve(rid, chunk):
+            if not self.allocator.reserve(rid, state.prefilled + chunk):
                 break
             self._activate(state, index, Phase.PREFILL)
             self.tokens_admitted += state.prefill_remaining
             plan.prefill.append((state, chunk))
-            self.tokens_prefilled += chunk
+            self._meter_prefill(chunk, state.prefilled)
             budget -= chunk
+
+    def _meter_prefill(self, chunk: int, kv_offset: int) -> None:
+        self.tokens_prefilled += chunk
+        if self._prefill_flops_of is not None:
+            self.prefill_flops_executed += self._prefill_flops_of(chunk, kv_offset)
+
+    def _consult_prefix_cache(self, state: RequestState) -> None:
+        """Skip prefill for the request's cached prefix blocks (admission).
+
+        The longest cached run of the request's prefix blocks is referenced
+        copy-on-write and counted as already prefilled; at least one prompt
+        token always stays uncached so the request still runs a prefill
+        completion (which samples its first output token).  References stick
+        even when admission then fails on budget or watermark this iteration
+        — the request retries with the references (and the skip) intact.
+        """
+        request = state.request
+        block_tokens = self.allocator.block_tokens
+        keys = prefix_block_keys(request.prefix, block_tokens)
+        if not keys:
+            return
+        cap = (state.prefill_target - 1) // block_tokens
+        matched = self.allocator.acquire_prefix(request.request_id, keys, max_blocks=cap)
+        if not matched:
+            return
+        cached = matched * block_tokens
+        state.prefilled = cached
+        state.record.prefix_cached_tokens += cached
+        self.prefix_hit_tokens += cached
+        self.prefix_hit_requests += 1
+        if self._prefill_flops_of is not None:
+            self.prefix_flops_saved += self._prefill_flops_of(cached, 0)
 
     def _activate(self, state: RequestState, waiting_index: int, phase: Phase) -> None:
         if waiting_index == 0:
@@ -361,6 +413,14 @@ class ContinuousBatcher:
         departed: List[RequestState] = []
         for state, chunk in plan.prefill:
             state.prefilled += chunk
+            if self.prefix_caching and state.request.prefix:
+                # Freshly computed prefix blocks become shareable the moment
+                # their tokens are prefilled (copy-on-write publication).
+                self.allocator.publish_prefix(
+                    state.request.request_id,
+                    prefix_block_keys(state.request.prefix, self.allocator.block_tokens),
+                    state.prefilled,
+                )
             if state.prefilled < state.prefill_target:
                 continue
             if state.record.first_token_time is None:

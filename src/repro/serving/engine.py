@@ -85,6 +85,13 @@ class ServingConfig:
     #: the module docstring).  ``False`` forces the naive one-iteration-at-a-
     #: time reference stepper.
     fast_forward: bool = True
+    #: Shared-prefix KV caching: requests whose prompts declare a shared
+    #: prefix (:attr:`~repro.serving.workload.Request.prefix`) skip prefill
+    #: for cached prefix blocks, which are reference-counted in a radix tree
+    #: (:mod:`repro.serving.prefix_cache`) and evicted LRU-first only under
+    #: memory pressure.  Off by default: with ``False`` every simulated
+    #: number is byte-identical to the pre-prefix engine.
+    prefix_caching: bool = False
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -113,11 +120,23 @@ class ServingResult:
     tokens_prefilled: int
     tokens_preempted_requeued: int
     preemptions: int
+    #: Shared-prefix caching outcomes (all zero when ``prefix_caching=False``).
+    prefix_hit_tokens: int = 0
+    prefix_hit_requests: int = 0
+    prefix_flops_saved: float = 0.0
+    prefill_flops_executed: float = 0.0
+    prefix_evictions: int = 0
 
     @property
     def token_accounting_balanced(self) -> bool:
         """The engine's conservation law over a fully drained trace."""
         return self.tokens_admitted == self.tokens_prefilled + self.tokens_preempted_requeued
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of required prompt tokens served from the prefix cache."""
+        required = self.prefix_hit_tokens + self.tokens_prefilled
+        return self.prefix_hit_tokens / required if required else 0.0
 
 
 @dataclass
@@ -167,9 +186,25 @@ class _Pool:
         self.config = config
         self.costs = cost_model or CostModel(config.gpu)
         self.total_kv_blocks = self._kv_blocks()
-        self.allocator = PagedKVAllocator(self.total_kv_blocks, config.block_tokens)
+        # A decode-only pool never prefills, so prefix caching has nothing to
+        # skip there; the prefill pool of a disaggregated pair gets it.
+        self.allocator = PagedKVAllocator(
+            self.total_kv_blocks,
+            config.block_tokens,
+            prefix_caching=config.prefix_caching and not decode_only,
+        )
+        num_layers = model.num_layers
+
+        def prefill_flops_of(chunk: int, kv_offset: int) -> float:
+            """Layer FLOPs of one prefill chunk (sampling head excluded)."""
+            return (layer_forward_flops(model, chunk, kv_offset) * num_layers).total
+
         self.batcher = ContinuousBatcher(
-            self.allocator, config.batcher, prefill_only=prefill_only, decode_only=decode_only
+            self.allocator,
+            config.batcher,
+            prefill_only=prefill_only,
+            decode_only=decode_only,
+            prefill_flops_of=prefill_flops_of,
         )
         # Subclassed cost models may override ``time_of``; only the pristine
         # CostModel is safe to inline (and hence to fast-forward through).
@@ -418,9 +453,17 @@ class _Pool:
         n = len(running)
         if n == 0 or n > self.config.batcher.max_batch_tokens:
             return 0
+        allocator = self.allocator
         limit: Optional[int] = None
         for state in running:
             if state.phase is not Phase.DECODE:
+                return 0
+            # The stretch arithmetic assumes the steady decode invariant
+            # "reservation == context - 1" (the token being generated claims
+            # its slot next step).  A request that just re-prefilled a
+            # crash-transferred context still reserves its full context until
+            # its first decode commit — step that iteration naively.
+            if allocator.tokens_of(state.request.request_id) != state.context_tokens - 1:
                 return 0
             remaining = state.request.output_tokens - state.decoded
             if limit is None or remaining < limit:
@@ -428,13 +471,7 @@ class _Pool:
         steps = limit - 1
         if steps < 1:
             return 0
-        allocator = self.allocator
         contexts = [state.context_tokens for state in running]
-        # The fast loop tracks stored tokens incrementally; bail out to the
-        # naive stepper if the allocator holds anything else (it never does —
-        # only running requests hold blocks — but exactness beats trust).
-        if allocator.stored_tokens != sum(contexts) - n:
-            return 0
         block_tokens = allocator.block_tokens
         held = [allocator.blocks_held(state.request.request_id) for state in running]
         free = allocator.free_blocks
@@ -448,6 +485,10 @@ class _Pool:
                     need += extra
             return need
 
+        # ``free`` excludes unreferenced shared prefix blocks on purpose: a
+        # step that would have to reclaim cache space must run on the naive
+        # path (reclamation changes stored tokens, which the stretch tracks
+        # incrementally).
         if growth(steps - 1) > free:
             if growth(0) > free:
                 return 0  # the very next decode step already needs preemption
@@ -495,7 +536,10 @@ class _Pool:
                 n = len(running)
                 horizon = pending[cursor].pool_arrival if cursor < len(pending) else None
                 contexts = [state.context_tokens for state in running]
-                stored = sum(contexts) - n
+                # Physical occupancy, shared prefix blocks counted once; each
+                # decode step then adds exactly one private token per request,
+                # replaying the naive stepper's utilization reads bit-exactly.
+                stored = allocator.stored_tokens
                 steps = 0
                 while steps < max_steps:
                     duration = self.decode_iteration_time(contexts)
@@ -612,6 +656,9 @@ class ServingEngine:
         arrivals = [r.request.arrival_time for r in records]
         duration = max(outcome.end_time - min(arrivals), 1e-12) if records else 0.0
         batcher = self.pool.batcher
+        prefix = self.pool.allocator.prefix
+        prefix_evictions = prefix.evicted_blocks if prefix is not None else 0
+        required = batcher.prefix_hit_tokens + batcher.tokens_prefilled
         metrics = compute_metrics(
             records,
             duration,
@@ -619,6 +666,10 @@ class ServingEngine:
             kv_utilization_mean=outcome.kv_mean,
             kv_utilization_peak=outcome.kv_peak,
             preemptions=batcher.preemptions,
+            prefix_hit_rate=batcher.prefix_hit_tokens / required if required else 0.0,
+            prefix_hit_tokens=batcher.prefix_hit_tokens,
+            prefix_flops_saved=batcher.prefix_flops_saved,
+            prefix_evictions=prefix_evictions,
         )
         return ServingResult(
             mode="colocated",
@@ -631,6 +682,11 @@ class ServingEngine:
             tokens_prefilled=batcher.tokens_prefilled,
             tokens_preempted_requeued=batcher.tokens_preempted_requeued,
             preemptions=batcher.preemptions,
+            prefix_hit_tokens=batcher.prefix_hit_tokens,
+            prefix_hit_requests=batcher.prefix_hit_requests,
+            prefix_flops_saved=batcher.prefix_flops_saved,
+            prefill_flops_executed=batcher.prefill_flops_executed,
+            prefix_evictions=prefix_evictions,
         )
 
 
@@ -728,6 +784,12 @@ class DisaggregatedEngine:
         weight = sum(w for _, w in spans)
         kv_mean = sum(v * w for v, w in spans) / weight if weight > 0 else 0.0
         preemptions = self.prefill_pool.batcher.preemptions + self.decode_pool.batcher.preemptions
+        pf, dc = self.prefill_pool.batcher, self.decode_pool.batcher
+        prefix = self.prefill_pool.allocator.prefix
+        prefix_evictions = prefix.evicted_blocks if prefix is not None else 0
+        hit_tokens = pf.prefix_hit_tokens + dc.prefix_hit_tokens
+        prefilled = pf.tokens_prefilled + dc.tokens_prefilled
+        required = hit_tokens + prefilled
         metrics = compute_metrics(
             records,
             duration,
@@ -735,8 +797,11 @@ class DisaggregatedEngine:
             kv_utilization_mean=kv_mean,
             kv_utilization_peak=max(prefill_run.kv_peak, decode_run.kv_peak),
             preemptions=preemptions,
+            prefix_hit_rate=hit_tokens / required if required else 0.0,
+            prefix_hit_tokens=hit_tokens,
+            prefix_flops_saved=pf.prefix_flops_saved + dc.prefix_flops_saved,
+            prefix_evictions=prefix_evictions,
         )
-        pf, dc = self.prefill_pool.batcher, self.decode_pool.batcher
         return ServingResult(
             mode="disaggregated",
             metrics=metrics,
@@ -746,8 +811,13 @@ class DisaggregatedEngine:
             kv_capacity_tokens=self.prefill_pool.kv_capacity_tokens
             + self.decode_pool.kv_capacity_tokens,
             tokens_admitted=pf.tokens_admitted + dc.tokens_admitted,
-            tokens_prefilled=pf.tokens_prefilled + dc.tokens_prefilled,
+            tokens_prefilled=prefilled,
             tokens_preempted_requeued=pf.tokens_preempted_requeued
             + dc.tokens_preempted_requeued,
             preemptions=preemptions,
+            prefix_hit_tokens=hit_tokens,
+            prefix_hit_requests=pf.prefix_hit_requests + dc.prefix_hit_requests,
+            prefix_flops_saved=pf.prefix_flops_saved + dc.prefix_flops_saved,
+            prefill_flops_executed=pf.prefill_flops_executed + dc.prefill_flops_executed,
+            prefix_evictions=prefix_evictions,
         )

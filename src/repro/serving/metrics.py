@@ -94,6 +94,9 @@ class RequestRecord:
     first_token_time: Optional[float] = None
     finish_time: Optional[float] = None
     preemptions: int = 0
+    #: Prompt tokens served from the shared-prefix KV cache, summed over
+    #: every (re-)admission of the request.
+    prefix_cached_tokens: int = 0
 
     @property
     def finished(self) -> bool:
@@ -147,6 +150,11 @@ class ServingMetrics:
     kv_utilization_peak: float
     preemptions: int
     slo: SLO = field(default_factory=SLO)
+    #: Shared-prefix caching aggregates (zero when the feature is off).
+    prefix_hit_rate: float = 0.0
+    prefix_hit_tokens: int = 0
+    prefix_flops_saved: float = 0.0
+    prefix_evictions: int = 0
 
     def to_rows(self) -> List[tuple]:
         return [
@@ -163,6 +171,13 @@ class ServingMetrics:
             ),
             ("KV-cache utilization mean / peak", f"{format_percent(self.kv_utilization_mean)} / {format_percent(self.kv_utilization_peak)}"),
             ("preemptions", f"{self.preemptions}"),
+            (
+                "prefix cache hit rate / saved",
+                f"{format_percent(self.prefix_hit_rate)} / "
+                f"{self.prefix_hit_tokens} tokens "
+                f"({self.prefix_flops_saved / 1e12:.1f} TFLOPs), "
+                f"{self.prefix_evictions} evictions",
+            ),
         ]
 
     def to_text(self, title: str = "serving metrics") -> str:
@@ -176,6 +191,10 @@ def compute_metrics(
     kv_utilization_mean: float = 0.0,
     kv_utilization_peak: float = 0.0,
     preemptions: int = 0,
+    prefix_hit_rate: float = 0.0,
+    prefix_hit_tokens: int = 0,
+    prefix_flops_saved: float = 0.0,
+    prefix_evictions: int = 0,
 ) -> ServingMetrics:
     """Aggregate per-request records into :class:`ServingMetrics`."""
     done = [r for r in records if r.finished]
@@ -207,4 +226,8 @@ def compute_metrics(
         kv_utilization_peak=kv_utilization_peak,
         preemptions=preemptions,
         slo=slo,
+        prefix_hit_rate=prefix_hit_rate,
+        prefix_hit_tokens=prefix_hit_tokens,
+        prefix_flops_saved=prefix_flops_saved,
+        prefix_evictions=prefix_evictions,
     )

@@ -13,17 +13,33 @@ invariants carry over — and adds the serving-side bookkeeping on top:
 * token-granular **reserve/append** (blocks are acquired lazily as the
   request's context crosses block boundaries),
 * **eviction/preemption** accounting, used by the batcher when decode can no
-  longer grow a context and a victim must be re-queued.
+  longer grow a context and a victim must be re-queued,
+* optional **shared-prefix caching** (``prefix_caching=True``): the leading
+  blocks of a request's context can reference blocks published to a
+  :class:`~repro.serving.prefix_cache.PrefixCache` radix tree instead of
+  private copies.  Sharing is copy-on-write at block granularity (decode
+  tokens and uncached prompt tails always land in private blocks), shared
+  blocks are reference-counted, and unreferenced shared blocks stay resident
+  until the pool actually needs the space — at which point :meth:`reserve`
+  reclaims them least-recently-used first, before any live request is
+  preempted.  With ``prefix_caching=False`` (the default) every code path is
+  byte-identical to the pre-prefix allocator.
 
 Capacity is expressed in blocks; :func:`blocks_for_tokens` converts.
+``stored_tokens`` counts *physical* tokens: a shared block's tokens count
+once no matter how many requests reference it, so KV-utilization metrics
+keep meaning memory occupancy (logical context can exceed capacity when
+sharing is high — that surplus is exactly the effective-capacity gain the
+fleet autoscaler observes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.kv_cache import ChunkedKVCache, KVCacheStats
+from .prefix_cache import PrefixCache, PrefixCacheStats
 
 __all__ = ["PagedKVAllocator", "PagedKVStats", "blocks_for_tokens"]
 
@@ -47,6 +63,7 @@ class PagedKVStats:
     block_tokens: int
     evictions: int
     cache: KVCacheStats
+    prefix: Optional[PrefixCacheStats] = None
 
     @property
     def free_blocks(self) -> int:
@@ -75,7 +92,7 @@ class PagedKVStats:
 class PagedKVAllocator:
     """Block-table allocator multiplexing requests over a chunk pool."""
 
-    def __init__(self, total_blocks: int, block_tokens: int):
+    def __init__(self, total_blocks: int, block_tokens: int, prefix_caching: bool = False):
         if total_blocks < 1:
             raise ValueError("total_blocks must be >= 1")
         if block_tokens < 1:
@@ -85,12 +102,21 @@ class PagedKVAllocator:
         self._cache = ChunkedKVCache(capacity_chunks=total_blocks)
         self._tables: Dict[Hashable, List[Tuple[Hashable, int]]] = {}
         self._tokens: Dict[Hashable, int] = {}
-        self._stored = 0  # incremental sum of _tokens (int, hence exact)
+        # Monotonic per-request private-block key counter: publication pops
+        # leading table entries, so ``len(table)`` would recycle keys.  With
+        # prefix caching off the counter always equals ``len(table)``.
+        self._next_key: Dict[Hashable, int] = {}
+        self._stored = 0  # incremental physical token count (int, hence exact)
         self._evictions = 0
+        self.prefix: Optional[PrefixCache] = PrefixCache() if prefix_caching else None
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def prefix_caching(self) -> bool:
+        return self.prefix is not None
+
     @property
     def used_blocks(self) -> int:
         return self._cache.live_chunks
@@ -98,6 +124,11 @@ class PagedKVAllocator:
     @property
     def free_blocks(self) -> int:
         return self.total_blocks - self._cache.live_chunks
+
+    @property
+    def reclaimable_blocks(self) -> int:
+        """Unreferenced shared prefix blocks :meth:`reserve` may reclaim."""
+        return self.prefix.evictable_blocks if self.prefix is not None else 0
 
     @property
     def stored_tokens(self) -> int:
@@ -117,21 +148,114 @@ class PagedKVAllocator:
         return self._tokens.get(request_id, 0)
 
     def blocks_held(self, request_id: Hashable) -> int:
-        """Blocks currently backing the request's reservation."""
-        return len(self._tables.get(request_id, ()))
+        """Blocks backing the request's reservation (shared refs + private)."""
+        held = len(self._tables.get(request_id, ()))
+        if self.prefix is not None:
+            held += self.prefix.refs_of(request_id)
+        return held
 
     def block_table(self, request_id: Hashable) -> List[Tuple[Hashable, int]]:
-        """The request's ordered ``(key, chunk_id)`` block table."""
+        """The request's ordered private ``(key, chunk_id)`` block table."""
         return list(self._tables.get(request_id, ()))
 
     def holds(self, request_id: Hashable) -> bool:
-        return request_id in self._tables
+        if request_id in self._tables:
+            return True
+        return self.prefix is not None and self.prefix.refs_of(request_id) > 0
 
     def can_reserve(self, request_id: Hashable, new_total_tokens: int) -> bool:
-        """Whether growing the request to ``new_total_tokens`` would fit."""
-        have = len(self._tables.get(request_id, ()))
-        need = blocks_for_tokens(new_total_tokens, self.block_tokens) - have
-        return need <= self.free_blocks
+        """Whether growing the request to ``new_total_tokens`` would fit.
+
+        Counts unreferenced shared prefix blocks as reclaimable space —
+        :meth:`reserve` evicts them on demand before giving up.
+        """
+        need = blocks_for_tokens(new_total_tokens, self.block_tokens) - self.blocks_held(
+            request_id
+        )
+        return need <= self.free_blocks + self.reclaimable_blocks
+
+    # ------------------------------------------------------------------
+    # Shared-prefix operations (no-ops when ``prefix_caching=False``)
+    # ------------------------------------------------------------------
+    def match_prefix(self, keys: Sequence[Hashable]) -> int:
+        """Read-only longest-prefix match over the shared-block index."""
+        if self.prefix is None or not keys:
+            return 0
+        return self.prefix.match(keys)
+
+    def acquire_prefix(
+        self, request_id: Hashable, keys: Sequence[Hashable], max_blocks: Optional[int] = None
+    ) -> int:
+        """Reference the leading cached blocks of ``keys`` for a fresh request.
+
+        Must run before the request's first :meth:`reserve` (its context is
+        still empty); the matched span becomes the request's leading blocks
+        and its token reservation starts at ``matched * block_tokens``.
+        ``max_blocks`` caps the hit (callers keep at least one prompt token
+        uncached so the request still samples its first output token).
+        Returns the number of blocks referenced.
+        """
+        if self.prefix is None or not keys:
+            return 0
+        if self.holds(request_id) or request_id in self._tokens:
+            raise ValueError(
+                f"acquire_prefix({request_id!r}) requires an empty reservation"
+            )
+        if max_blocks is not None:
+            keys = keys[: max(0, max_blocks)]
+        matched = self.prefix.acquire(request_id, keys)
+        if matched:
+            # The referenced tokens are already resident (counted when first
+            # published), so the physical store does not change.
+            self._tokens[request_id] = matched * self.block_tokens
+        return matched
+
+    def publish_prefix(
+        self, request_id: Hashable, keys: Sequence[Hashable], prefilled_tokens: int
+    ) -> int:
+        """Publish the request's freshly prefilled leading blocks for sharing.
+
+        Called after prefill progress: every not-yet-shared prefix block now
+        fully covered by ``prefilled_tokens`` is handed over to the prefix
+        tree — the private chunk is re-homed under the content key, or freed
+        when a concurrent twin already published the same block (dedup).
+        Returns the number of blocks published or deduplicated.
+        """
+        cache = self.prefix
+        if cache is None or not keys:
+            return 0
+        refs = cache.refs_of(request_id)
+        if refs >= len(keys):
+            return 0
+        table = self._tables.get(request_id)
+        block_tokens = self.block_tokens
+        moved = 0
+        while refs < len(keys) and (refs + 1) * block_tokens <= prefilled_tokens:
+            if not table:
+                break  # defensive: nothing private left to publish
+            private_key, _ = table[0]
+            content_key = keys[refs]
+            chunk_key = ("pfx", content_key)
+            if cache.publish(request_id, content_key, chunk_key):
+                self._cache.rename(private_key, chunk_key)
+            else:
+                # A twin published this block first; our copy is redundant.
+                self._cache.release(private_key)
+                self._stored -= block_tokens
+            table.pop(0)
+            refs += 1
+            moved += 1
+        return moved
+
+    def _reclaim(self, blocks: int) -> int:
+        """Evict unreferenced shared blocks to free at least ``blocks``."""
+        if self.prefix is None:
+            return 0
+        freed = self.prefix.evict(blocks)
+        for chunk_key in freed:
+            self._cache.release(chunk_key)
+        self._stored -= len(freed) * self.block_tokens
+        return len(freed)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -140,9 +264,10 @@ class PagedKVAllocator:
         """Grow the request's reservation to cover ``new_total_tokens``.
 
         Acquires exactly the blocks the growth needs (reusing freed chunks
-        through the underlying cache) and returns ``True``; returns ``False``
-        without side effects when the pool cannot satisfy the growth — the
-        batcher then either waits or preempts a victim.
+        through the underlying cache, reclaiming unreferenced shared prefix
+        blocks LRU-first when the pool is short) and returns ``True``;
+        returns ``False`` without side effects when the pool cannot satisfy
+        the growth — the batcher then either waits or preempts a victim.
         """
         if new_total_tokens < 0:
             raise ValueError("new_total_tokens must be non-negative")
@@ -152,14 +277,26 @@ class PagedKVAllocator:
                 f"cannot shrink reservation of {request_id!r} "
                 f"({current} -> {new_total_tokens} tokens); use release()"
             )
-        if not self.can_reserve(request_id, new_total_tokens):
-            return False
-        table = self._tables.setdefault(request_id, [])
-        target_blocks = blocks_for_tokens(new_total_tokens, self.block_tokens)
-        while len(table) < target_blocks:
-            key = (request_id, len(table))
+        refs = self.prefix.refs_of(request_id) if self.prefix is not None else 0
+        table = self._tables.get(request_id)
+        have = len(table) if table is not None else 0
+        target_private = blocks_for_tokens(new_total_tokens, self.block_tokens) - refs
+        need = target_private - have
+        if need > self.free_blocks:
+            if need > self.free_blocks + self.reclaimable_blocks:
+                return False
+            self._reclaim(need - self.free_blocks)
+            if need > self.free_blocks:
+                return False  # defensive: reclaim came up short
+        if table is None:
+            table = self._tables.setdefault(request_id, [])
+        next_key = self._next_key.get(request_id, 0)
+        while len(table) < target_private:
+            key = (request_id, next_key)
+            next_key += 1
             chunk = self._cache.acquire(key)
             table.append((key, chunk.chunk_id))
+        self._next_key[request_id] = next_key
         self._tokens[request_id] = new_total_tokens
         self._stored += new_total_tokens - current
         return True
@@ -171,32 +308,43 @@ class PagedKVAllocator:
         each id, but without the per-call admission arithmetic: a block is
         acquired only when the one-token growth crosses a block boundary.
         The caller (the engines' decode fast-forward path) must have verified
-        the pool can absorb the growth; an oversubscribed step therefore
-        raises ``MemoryError`` from the chunk pool instead of returning
-        ``False``.
+        the pool can absorb the growth without reclaiming shared blocks; an
+        oversubscribed step therefore raises ``MemoryError`` from the chunk
+        pool instead of returning ``False``.
         """
         tokens = self._tokens
         tables = self._tables
+        next_keys = self._next_key
         block_tokens = self.block_tokens
         for request_id in request_ids:
             grown = tokens[request_id] + 1
             tokens[request_id] = grown
             if (grown - 1) % block_tokens == 0:
-                table = tables[request_id]
-                key = (request_id, len(table))
+                next_key = next_keys.get(request_id, 0)
+                key = (request_id, next_key)
+                next_keys[request_id] = next_key + 1
                 chunk = self._cache.acquire(key)
-                table.append((key, chunk.chunk_id))
+                tables[request_id].append((key, chunk.chunk_id))
         self._stored += len(request_ids)
 
     def release(self, request_id: Hashable) -> int:
-        """Free every block of a finished request; returns blocks freed."""
+        """Free a finished request's blocks; returns blocks released.
+
+        Private blocks return to the pool; shared prefix references are
+        dropped (the blocks stay resident for future hits until the pool
+        reclaims them).  The return value counts both.
+        """
         table = self._tables.pop(request_id, None)
-        if table is None:
+        refs = 0
+        if self.prefix is not None:
+            refs = self.prefix.release(request_id)
+        if table is None and refs == 0:
             return 0
-        for key, _ in table:
+        for key, _ in table or ():
             self._cache.release(key)
-        self._stored -= self._tokens.pop(request_id, 0)
-        return len(table)
+        self._stored -= self._tokens.pop(request_id, 0) - refs * self.block_tokens
+        self._next_key.pop(request_id, None)
+        return len(table or ()) + refs
 
     def evict(self, request_id: Hashable) -> int:
         """Free a *victim's* blocks (preemption); counted separately."""
@@ -208,6 +356,10 @@ class PagedKVAllocator:
     def clear(self) -> None:
         for request_id in list(self._tables):
             self.release(request_id)
+        if self.prefix is not None:
+            for request_id in self.prefix.referenced_requests():
+                self.release(request_id)
+            self._reclaim(self.prefix.evictable_blocks)
 
     # ------------------------------------------------------------------
     def stats(self) -> PagedKVStats:
@@ -218,4 +370,5 @@ class PagedKVAllocator:
             block_tokens=self.block_tokens,
             evictions=self._evictions,
             cache=self._cache.stats(),
+            prefix=self.prefix.stats() if self.prefix is not None else None,
         )

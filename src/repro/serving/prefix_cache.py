@@ -1,0 +1,305 @@
+"""Radix-tree prefix index over paged-KV blocks (shared-prefix caching).
+
+Real long-context fleets share enormous prompt prefixes across requests —
+chat system prompts, RAG corpus documents, agent scaffolds — and a serving
+system that recomputes those prefixes for every request wastes most of its
+prefill FLOPs.  This module is the index that makes the reuse explicit:
+
+* a request declares its shareable prompt head as an ordered tuple of
+  ``(segment_id, tokens)`` pairs (:attr:`~repro.serving.workload.Request.prefix`);
+  equal segment ids denote equal token content, so the simulator never needs
+  real tokens to decide whether two prompts share KV state;
+* :func:`prefix_block_keys` maps that symbolic prefix onto **block-granular
+  content keys**: block ``b`` of the prefix is shareable between two requests
+  iff the segment path covering tokens ``[0, (b+1) * block_tokens)`` is
+  identical — exactly the hash-chain scheme production paged-attention
+  servers use, expressed over segment ids instead of token hashes;
+* :class:`PrefixCache` stores published blocks as a **radix tree**: one node
+  per block, children keyed by the next block's content key, so every
+  root-to-node path spells one cached prefix and longest-prefix match is a
+  walk from the root.
+
+Sharing is **copy-on-write at block granularity**: a request referencing a
+cached block never writes into it (decode tokens and uncached prompt tails
+always land in request-private blocks), so a shared block needs reference
+counting, never duplication.  The invariants the tests pin:
+
+* **Refcount conservation** — every node's refcount equals the number of
+  live requests whose leading block span includes it, across admissions,
+  preemptions, finishes and replica crashes.
+* **Upward closure** — requests reference contiguous *leading* spans, so a
+  referenced node's ancestors are always referenced; eviction therefore only
+  ever removes refcount-zero subtrees, leaf-first.
+* **LRU eviction** — blocks whose refcount drops to zero stay resident (a
+  future request may hit them) and are reclaimed least-recently-used first,
+  only when the allocator actually needs the space, and **never while
+  referenced**.
+
+The cache owns no memory itself: chunks stay inside the allocator's
+:class:`~repro.core.kv_cache.ChunkedKVCache` pool, re-homed under
+``("pfx", content_key)`` keys at publication time and handed back to the
+allocator on eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["PrefixCache", "PrefixCacheStats", "prefix_block_keys"]
+
+
+@lru_cache(maxsize=1 << 14)
+def prefix_block_keys(
+    prefix: Tuple[Tuple[Hashable, int], ...], block_tokens: int
+) -> Tuple[Hashable, ...]:
+    """Content keys of the full KV blocks covered by a symbolic prefix.
+
+    ``prefix`` is the request's ordered ``(segment_id, tokens)`` tuple; the
+    key of block ``b`` is ``(covering_path, b)`` where ``covering_path`` is
+    the minimal leading run of segment ids spanning ``(b + 1) * block_tokens``
+    tokens.  Two requests share block ``b`` exactly when their segment paths
+    agree that far — the radix-tree equality the cache is built on.  Only
+    *full* blocks are shareable (a partial tail block would mix shared and
+    private tokens); callers get one key per full block, in order.
+    """
+    if block_tokens < 1:
+        raise ValueError("block_tokens must be >= 1")
+    keys: List[Hashable] = []
+    path: List[Hashable] = []
+    covered = 0
+    boundary = block_tokens
+    for segment_id, tokens in prefix:
+        path.append(segment_id)
+        covered += tokens
+        while boundary <= covered:
+            keys.append((tuple(path), len(keys)))
+            boundary += block_tokens
+    return tuple(keys)
+
+
+@dataclass(frozen=True)
+class PrefixCacheStats:
+    """Counters the prefix cache accumulates over one allocator's lifetime."""
+
+    nodes: int
+    referenced_nodes: int
+    hit_blocks: int
+    missed_blocks: int
+    published_blocks: int
+    evicted_blocks: int
+    dedup_blocks: int
+
+    @property
+    def block_hit_rate(self) -> float:
+        """Fraction of looked-up prefix blocks served from the cache."""
+        total = self.hit_blocks + self.missed_blocks
+        return self.hit_blocks / total if total else 0.0
+
+
+class _Node:
+    """One cached prefix block: a radix-tree node owning one pool chunk."""
+
+    __slots__ = ("key", "chunk_key", "refcount", "parent", "children")
+
+    def __init__(self, key: Hashable, chunk_key: Hashable, parent: Optional["_Node"]):
+        self.key = key
+        self.chunk_key = chunk_key
+        self.refcount = 0
+        self.parent = parent
+        self.children: Dict[Hashable, "_Node"] = {}
+
+
+class PrefixCache:
+    """Block-granular radix tree with refcounts and LRU of unreferenced nodes."""
+
+    def __init__(self) -> None:
+        # Flat index for O(1) longest-prefix walks; the tree structure lives
+        # in the nodes' parent/children links (publication always extends an
+        # existing path, so the index and the tree stay consistent).
+        self._nodes: Dict[Hashable, _Node] = {}
+        self._roots: Dict[Hashable, _Node] = {}
+        # Per-request leading reference spans (ordered, contiguous from the
+        # root) — the copy-on-write read set of each live request.
+        self._refs: Dict[Hashable, List[_Node]] = {}
+        # Unreferenced-but-resident nodes in eviction order (head = LRU).
+        self._lru: "OrderedDict[Hashable, _Node]" = OrderedDict()
+        self.hit_blocks = 0
+        self.missed_blocks = 0
+        self.published_blocks = 0
+        self.evicted_blocks = 0
+        self.dedup_blocks = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def evictable_blocks(self) -> int:
+        """Resident blocks no live request references (LRU candidates)."""
+        return len(self._lru)
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._nodes
+
+    def refs_of(self, request_id: Hashable) -> int:
+        """Blocks the request currently references (its leading shared span)."""
+        return len(self._refs.get(request_id, ()))
+
+    def referenced_requests(self) -> List[Hashable]:
+        return list(self._refs)
+
+    def match(self, keys: Sequence[Hashable]) -> int:
+        """Longest-prefix match: leading blocks of ``keys`` that are cached.
+
+        Read-only (no refcount or LRU side effects) — the fleet routers use
+        it to observe per-replica hit potential without committing anything.
+        """
+        matched = 0
+        for key in keys:
+            if key not in self._nodes:
+                break
+            matched += 1
+        return matched
+
+    # ------------------------------------------------------------------
+    # Reference management
+    # ------------------------------------------------------------------
+    def acquire(self, request_id: Hashable, keys: Sequence[Hashable]) -> int:
+        """Reference the leading cached blocks of ``keys`` for a request.
+
+        Returns the number of blocks referenced (the hit length).  Blocks
+        whose refcount was zero leave the LRU — they are pinned until
+        :meth:`release`.  A request must not hold references already.
+        """
+        if request_id in self._refs:
+            raise ValueError(f"request {request_id!r} already holds prefix references")
+        span: List[_Node] = []
+        for key in keys:
+            node = self._nodes.get(key)
+            if node is None:
+                break
+            if node.refcount == 0:
+                del self._lru[key]
+            node.refcount += 1
+            span.append(node)
+        if span:
+            self._refs[request_id] = span
+        self.hit_blocks += len(span)
+        self.missed_blocks += len(keys) - len(span)
+        return len(span)
+
+    def release(self, request_id: Hashable) -> int:
+        """Drop a request's references; zero-refcount blocks become LRU tails.
+
+        Returns the number of references dropped.  The blocks stay resident —
+        release never frees memory, eviction does.
+        """
+        span = self._refs.pop(request_id, None)
+        if span is None:
+            return 0
+        for node in span:
+            node.refcount -= 1
+            if node.refcount == 0:
+                self._lru[node.key] = node  # most-recently-used tail
+        return len(span)
+
+    # ------------------------------------------------------------------
+    # Publication (copy-on-write hand-over of a request-private block)
+    # ------------------------------------------------------------------
+    def publish(self, request_id: Hashable, key: Hashable, chunk_key: Hashable) -> bool:
+        """Publish a just-prefilled private block as the next shared block.
+
+        ``key`` must be the block key immediately following the request's
+        current reference span (publication proceeds leading-block first, so
+        the span stays contiguous).  Two outcomes:
+
+        * the key is new — a node adopting the pool chunk under ``chunk_key``
+          joins the tree with refcount 1 (held by the publisher); returns
+          ``True`` (the caller re-homes the chunk under ``chunk_key``);
+        * the key was concurrently published by a twin request — the existing
+          node is referenced instead and ``False`` is returned so the caller
+          frees its duplicate private block (block-level dedup).
+        """
+        span = self._refs.setdefault(request_id, [])
+        node = self._nodes.get(key)
+        if node is not None:
+            if node.refcount == 0:
+                del self._lru[key]
+            node.refcount += 1
+            span.append(node)
+            self.dedup_blocks += 1
+            return False
+        parent = span[-1] if span else None
+        node = _Node(key, chunk_key, parent)
+        node.refcount = 1
+        self._nodes[key] = node
+        if parent is None:
+            self._roots[key] = node
+        else:
+            parent.children[key] = node
+        span.append(node)
+        self.published_blocks += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def evict(self, blocks: int) -> List[Hashable]:
+        """Reclaim up to ``blocks`` unreferenced blocks, LRU- and leaf-first.
+
+        Returns the chunk keys of the evicted blocks (the allocator releases
+        them back to the pool).  Referenced blocks are never candidates.
+        Each round reclaims the least-recently-used node that is currently a
+        leaf — a node with resident children waits until its subtree has been
+        reclaimed (upward closure guarantees those children are themselves
+        unreferenced), so the oldest chain drains deepest-block-first before
+        any younger chain is touched.
+        """
+        freed: List[Hashable] = []
+        while len(freed) < blocks:
+            victim: Optional[_Node] = None
+            for node in self._lru.values():
+                if not node.children:
+                    victim = node
+                    break
+            if victim is None:
+                break  # nothing evictable (empty LRU, or only referenced trees)
+            del self._lru[victim.key]
+            del self._nodes[victim.key]
+            if victim.parent is None:
+                del self._roots[victim.key]
+            else:
+                del victim.parent.children[victim.key]
+            freed.append(victim.chunk_key)
+            self.evicted_blocks += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    def check_refcounts(self) -> bool:
+        """Refcount conservation: node refcounts == live request references."""
+        counts: Dict[Hashable, int] = {}
+        for span in self._refs.values():
+            for node in span:
+                counts[node.key] = counts.get(node.key, 0) + 1
+        for key, node in self._nodes.items():
+            if node.refcount != counts.get(key, 0):
+                return False
+            if (node.refcount == 0) != (key in self._lru):
+                return False
+        return not (set(counts) - set(self._nodes))
+
+    def stats(self) -> PrefixCacheStats:
+        return PrefixCacheStats(
+            nodes=len(self._nodes),
+            referenced_nodes=len(self._nodes) - len(self._lru),
+            hit_blocks=self.hit_blocks,
+            missed_blocks=self.missed_blocks,
+            published_blocks=self.published_blocks,
+            evicted_blocks=self.evicted_blocks,
+            dedup_blocks=self.dedup_blocks,
+        )

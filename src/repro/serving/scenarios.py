@@ -23,6 +23,16 @@ The registry:
     disaggregation shows its tail-TTFT advantage.
 ``mixed-fleet``
     Chat, RAG and summarisation traffic multiplexed on one deployment.
+``shared-system-prompt``
+    Chat traffic behind one large common system prompt, with shared-prefix
+    KV caching on: all but the first request skip the system prompt's
+    prefill (the ≥2x TTFT / prefill-FLOPs acceptance scenario).
+``rag-shared-corpus``
+    RAG over a fixed document corpus with Zipf-skewed popularity: hot
+    documents stay KV-resident, cold ones exercise LRU eviction.
+``agentic-prefix-tree``
+    Interleaved multi-turn agent sessions sharing a scaffold, each turn
+    extending its session's branch of the prefix tree.
 """
 
 from __future__ import annotations
@@ -37,10 +47,13 @@ from .engine import DisaggregatedEngine, ServingConfig, ServingEngine, ServingRe
 from .metrics import SLO
 from .workload import (
     Request,
+    agentic_tree_trace,
     bursty_trace,
     long_context_trace,
     merge_traces,
     poisson_trace,
+    rag_corpus_trace,
+    shared_prefix_trace,
 )
 
 __all__ = ["ServingScenario", "SCENARIO_REGISTRY", "get_scenario", "run_scenario"]
@@ -59,11 +72,14 @@ class ServingScenario:
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
     block_tokens: int = 256
     prefill_fraction: float = 0.5
+    prefix_caching: bool = False
 
     def make_trace(self, seed: int = 0) -> List[Request]:
         return self.trace_factory(seed)
 
-    def serving_config(self, num_gpus: Optional[int] = None) -> ServingConfig:
+    def serving_config(
+        self, num_gpus: Optional[int] = None, prefix_caching: Optional[bool] = None
+    ) -> ServingConfig:
         """The scenario's engine configuration (colocated TPOT cap wired in).
 
         The cap protects at 70% of the TPOT SLO: decode-only iterations and
@@ -75,6 +91,7 @@ class ServingScenario:
             block_tokens=self.block_tokens,
             batcher=self.batcher,
             tpot_cap=0.7 * self.slo.tpot,
+            prefix_caching=self.prefix_caching if prefix_caching is None else prefix_caching,
         )
 
 
@@ -157,6 +174,41 @@ def _mixed_fleet_trace(seed: int) -> List[Request]:
     return merge_traces(chat, rag, summarize)
 
 
+def _shared_system_prompt_trace(seed: int) -> List[Request]:
+    return shared_prefix_trace(
+        num_requests=120,
+        arrival_rate=1.5,
+        prefix_tokens=8192,
+        suffix_mean=256,
+        output_mean=128,
+        seed=seed,
+    )
+
+
+def _rag_shared_corpus_trace(seed: int) -> List[Request]:
+    return rag_corpus_trace(
+        num_requests=90,
+        arrival_rate=0.8,
+        num_documents=24,
+        document_tokens=16_384,
+        question_mean=384,
+        output_mean=128,
+        seed=seed,
+        system_tokens=1024,
+    )
+
+
+def _agentic_prefix_tree_trace(seed: int) -> List[Request]:
+    return agentic_tree_trace(
+        num_sessions=12,
+        turns_per_session=6,
+        scaffold_tokens=4096,
+        turn_tokens=512,
+        output_mean=192,
+        seed=seed,
+    )
+
+
 SCENARIO_REGISTRY: Dict[str, ServingScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -193,6 +245,36 @@ SCENARIO_REGISTRY: Dict[str, ServingScenario] = {
             trace_factory=_mixed_fleet_trace,
             slo=SLO(ttft=5.0, tpot=0.06),
         ),
+        ServingScenario(
+            name="shared-system-prompt",
+            description="chat behind one 8K system prompt, shared-prefix KV caching on",
+            trace_factory=_shared_system_prompt_trace,
+            model="llama-13b",
+            num_gpus=4,
+            slo=SLO(ttft=2.0, tpot=0.05),
+            prefix_caching=True,
+        ),
+        ServingScenario(
+            name="rag-shared-corpus",
+            description="RAG over a 24-document shared corpus (Zipf popularity, LRU pressure)",
+            trace_factory=_rag_shared_corpus_trace,
+            model="llama-13b",
+            # Two GPUs hold ~145K KV tokens against a ~400K-token corpus, so
+            # cold documents are admitted and reclaimed LRU-first while hot
+            # ones stay resident — the eviction path under real pressure.
+            num_gpus=2,
+            slo=SLO(ttft=6.0, tpot=0.06),
+            prefix_caching=True,
+        ),
+        ServingScenario(
+            name="agentic-prefix-tree",
+            description="interleaved agent sessions extending a shared prefix tree",
+            trace_factory=_agentic_prefix_tree_trace,
+            model="llama-13b",
+            num_gpus=4,
+            slo=SLO(ttft=3.0, tpot=0.05),
+            prefix_caching=True,
+        ),
     )
 }
 
@@ -218,20 +300,22 @@ def run_scenario(
     seed: int = 0,
     policy: Optional[str] = None,
     fast_forward: bool = True,
+    prefix_caching: Optional[bool] = None,
 ) -> ServingResult:
     """Simulate a scenario end to end with either deployment.
 
-    ``model`` / ``num_gpus`` / ``policy`` override the scenario's defaults
-    (the CLI maps its flags straight through here).  ``fast_forward=False``
-    runs the naive one-iteration-at-a-time stepper — the reference oracle
-    the decode fast-forward path is equivalence-tested against.
+    ``model`` / ``num_gpus`` / ``policy`` / ``prefix_caching`` override the
+    scenario's defaults (the CLI maps its flags straight through here).
+    ``fast_forward=False`` runs the naive one-iteration-at-a-time stepper —
+    the reference oracle the decode fast-forward path is equivalence-tested
+    against.
     """
     if mode not in ("colocated", "disaggregated"):
         raise UnknownNameError(
             f"unknown serving mode {mode!r}; available: ['colocated', 'disaggregated']"
         )
     model_config = get_model_config(model or scenario.model)
-    config = scenario.serving_config(num_gpus)
+    config = scenario.serving_config(num_gpus, prefix_caching=prefix_caching)
     if policy is not None:
         config = replace(config, batcher=replace(config.batcher, policy=policy))
     if not fast_forward:

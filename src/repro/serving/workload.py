@@ -16,19 +16,37 @@ Four families cover the scenarios the registry exposes:
   of very long prompts (RAG / long-document summarisation traffic);
 * :func:`replay_trace` — verbatim replay of explicit
   ``(arrival, prompt, output)`` triples for table-driven tests.
+
+Three further families model **shared prompt prefixes** (the traffic that
+makes prefix-aware KV caching worthwhile).  A request's shareable prompt
+head is declared symbolically as :attr:`Request.prefix` — an ordered tuple
+of ``(segment_id, tokens)`` pairs, where equal segment ids denote equal
+token content:
+
+* :func:`shared_prefix_trace` — every request prepends one common system
+  prompt (chat products, tool-use scaffolds);
+* :func:`rag_corpus_trace` — requests retrieve documents from a shared
+  corpus, popular documents drawn more often (Zipf-weighted), so prefix
+  reuse competes for cache residency and exercises LRU eviction;
+* :func:`agentic_tree_trace` — multi-turn agent sessions whose prompts grow
+  by appending each turn's context, forming a prefix *tree*: every session
+  chains off one shared scaffold, every turn extends its session's branch.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Request",
     "poisson_trace",
     "bursty_trace",
     "long_context_trace",
+    "shared_prefix_trace",
+    "rag_corpus_trace",
+    "agentic_tree_trace",
     "replay_trace",
     "merge_traces",
 ]
@@ -42,6 +60,16 @@ class Request:
 
     ``priority`` is only consulted by the priority admission policy; lower
     values are served first (0 is the default and the most urgent).
+
+    ``prefix`` declares the shareable head of the prompt as ordered
+    ``(segment_id, tokens)`` pairs — equal segment ids denote equal token
+    content, so the simulator can decide KV-reuse without real tokens.  The
+    engines only consult it when ``prefix_caching`` is enabled; an empty
+    tuple (the default) makes the request behave exactly as before.
+
+    ``session`` optionally names the conversation the request belongs to
+    (the fleet's session-affinity router groups by it); ``None`` falls back
+    to the fleet's id-modulo session assignment.
     """
 
     request_id: int
@@ -49,6 +77,8 @@ class Request:
     prompt_tokens: int
     output_tokens: int
     priority: int = 0
+    prefix: Tuple[Tuple[Hashable, int], ...] = field(default=())
+    session: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
@@ -57,6 +87,21 @@ class Request:
             raise ValueError("prompt_tokens must be >= 1")
         if self.output_tokens < 1:
             raise ValueError("output_tokens must be >= 1")
+        prefix_total = 0
+        for _, tokens in self.prefix:
+            if tokens < 1:
+                raise ValueError("prefix segments must hold >= 1 token")
+            prefix_total += tokens
+        if prefix_total > self.prompt_tokens:
+            raise ValueError(
+                f"prefix covers {prefix_total} tokens but the prompt has "
+                f"only {self.prompt_tokens}"
+            )
+
+    @property
+    def prefix_tokens(self) -> int:
+        """Tokens of the prompt covered by the declared shared prefix."""
+        return sum(tokens for _, tokens in self.prefix)
 
     @property
     def total_tokens(self) -> int:
@@ -190,6 +235,165 @@ def long_context_trace(
             )
         )
     return requests
+
+
+def shared_prefix_trace(
+    num_requests: int,
+    arrival_rate: float,
+    prefix_tokens: int,
+    suffix_mean: int,
+    output_mean: int,
+    seed: int = 0,
+    suffix_cv: float = 0.5,
+    output_cv: float = 0.5,
+    prefix_id: Hashable = "system-prompt",
+    max_output_tokens: int = 8192,
+) -> List[Request]:
+    """Poisson arrivals that all share one ``prefix_tokens``-token prompt head.
+
+    The canonical chat-product shape: a large common system prompt (tool
+    definitions, policies, few-shot examples) followed by a short per-user
+    suffix.  Every request carries the same single-segment prefix, so a
+    prefix-aware KV cache serves all but the first request's prefix prefill
+    from memory.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if prefix_tokens < 1:
+        raise ValueError("prefix_tokens must be >= 1")
+    rng = random.Random(seed)
+    prefix = ((prefix_id, prefix_tokens),)
+    requests: List[Request] = []
+    t = 0.0
+    for i in range(num_requests):
+        t += rng.expovariate(arrival_rate)
+        suffix = _lognormal_tokens(rng, suffix_mean, suffix_cv, 1_048_576)
+        requests.append(
+            Request(
+                request_id=i,
+                arrival_time=t,
+                prompt_tokens=prefix_tokens + suffix,
+                output_tokens=_lognormal_tokens(rng, output_mean, output_cv, max_output_tokens),
+                prefix=prefix,
+            )
+        )
+    return requests
+
+
+def rag_corpus_trace(
+    num_requests: int,
+    arrival_rate: float,
+    num_documents: int,
+    document_tokens: int,
+    question_mean: int,
+    output_mean: int,
+    seed: int = 0,
+    system_tokens: int = 0,
+    zipf_exponent: float = 1.0,
+    max_output_tokens: int = 8192,
+) -> List[Request]:
+    """RAG traffic over a shared corpus: prompt = system + document + question.
+
+    Each request retrieves one of ``num_documents`` fixed documents, drawn
+    Zipf-weighted (popular documents much more often) so the prefix cache
+    sees skewed reuse: hot documents stay resident, cold ones are admitted
+    and evicted LRU-first when the KV pool is short.  An optional common
+    system prompt precedes every document, making the prefix two segments
+    deep — requests for different documents still share the system blocks.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if num_documents < 1:
+        raise ValueError("num_documents must be >= 1")
+    if document_tokens < 1:
+        raise ValueError("document_tokens must be >= 1")
+    if system_tokens < 0:
+        raise ValueError("system_tokens must be non-negative")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** zipf_exponent for rank in range(num_documents)]
+    requests: List[Request] = []
+    t = 0.0
+    for i in range(num_requests):
+        t += rng.expovariate(arrival_rate)
+        document = rng.choices(range(num_documents), weights=weights)[0]
+        prefix: Tuple[Tuple[Hashable, int], ...] = ((("doc", document), document_tokens),)
+        prompt = document_tokens
+        if system_tokens:
+            prefix = (("rag-system", system_tokens),) + prefix
+            prompt += system_tokens
+        question = _lognormal_tokens(rng, question_mean, 0.4, 1_048_576)
+        requests.append(
+            Request(
+                request_id=i,
+                arrival_time=t,
+                prompt_tokens=prompt + question,
+                output_tokens=_lognormal_tokens(rng, output_mean, 0.5, max_output_tokens),
+                prefix=prefix,
+            )
+        )
+    return requests
+
+
+def agentic_tree_trace(
+    num_sessions: int,
+    turns_per_session: int,
+    scaffold_tokens: int,
+    turn_tokens: int,
+    output_mean: int,
+    seed: int = 0,
+    session_rate: float = 0.5,
+    turn_gap: float = 4.0,
+    max_output_tokens: int = 8192,
+) -> List[Request]:
+    """Multi-turn agent sessions forming a shared prefix *tree*.
+
+    Every session starts from one common agent scaffold of
+    ``scaffold_tokens`` (shared across *all* sessions); each turn's prompt
+    is the scaffold plus the session's accumulated turns plus the new turn,
+    so consecutive turns of a session share an ever-growing prefix branch.
+    Sessions start Poisson-spaced at ``session_rate`` per second and turns
+    follow ``turn_gap`` seconds apart (jittered), interleaving branches the
+    way concurrent agent runs do.
+    """
+    if num_sessions < 1 or turns_per_session < 1:
+        raise ValueError("num_sessions and turns_per_session must be >= 1")
+    if scaffold_tokens < 1 or turn_tokens < 1:
+        raise ValueError("scaffold_tokens and turn_tokens must be >= 1")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    rid = 0
+    session_start = 0.0
+    for session in range(num_sessions):
+        session_start += rng.expovariate(session_rate)
+        t = session_start
+        history: List[Tuple[Hashable, int]] = [("scaffold", scaffold_tokens)]
+        history_tokens = scaffold_tokens
+        for turn in range(turns_per_session):
+            if turn:
+                t += turn_gap * (0.5 + rng.random())
+            new_turn = max(1, int(turn_tokens * (0.5 + rng.random())))
+            requests.append(
+                Request(
+                    request_id=rid,
+                    arrival_time=t,
+                    prompt_tokens=history_tokens + new_turn,
+                    output_tokens=_lognormal_tokens(
+                        rng, output_mean, 0.4, max_output_tokens
+                    ),
+                    prefix=tuple(history),
+                    session=session,
+                )
+            )
+            rid += 1
+            # The next turn's prompt embeds this turn's input verbatim.
+            history.append((("turn", session, turn), new_turn))
+            history_tokens += new_turn
+    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return [replace(request, request_id=i) for i, request in enumerate(requests)]
 
 
 def replay_trace(

@@ -80,6 +80,7 @@ _FINGERPRINTED_MODULES = (
     "repro.serving.engine",
     "repro.serving.metrics",
     "repro.serving.paged_kv",
+    "repro.serving.prefix_cache",
     "repro.serving.scenarios",
     "repro.serving.workload",
     "repro.sweep.evaluators",

@@ -240,11 +240,13 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
     from ..serving.scenarios import get_scenario, run_scenario
 
     scenario = get_scenario(str(point["scenario"]))
+    prefix_caching = point.get("prefix_caching")
     result = run_scenario(
         scenario,
         str(point.get("mode", "colocated")),
         seed=int(point.get("seed", 0)),
         fast_forward=bool(point.get("fast_forward", True)),
+        prefix_caching=None if prefix_caching is None else bool(prefix_caching),
     )
     m = result.metrics
     return {
@@ -268,6 +270,11 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         "preemptions": m.preemptions,
         "slo_ttft": m.slo.ttft,
         "slo_tpot": m.slo.tpot,
+        "prefix_hit_rate": result.prefix_hit_rate,
+        "prefix_hit_tokens": result.prefix_hit_tokens,
+        "prefix_flops_saved": result.prefix_flops_saved,
+        "prefill_flops_executed": result.prefill_flops_executed,
+        "prefix_evictions": result.prefix_evictions,
     }
 
 
@@ -283,6 +290,7 @@ def evaluate_fleet_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
     router = point.get("router")
     replicas = point.get("replicas")
     autoscale = point.get("autoscale")
+    prefix_caching = point.get("prefix_caching")
     result = run_fleet_scenario(
         scenario,
         router=None if router is None else str(router),
@@ -292,6 +300,7 @@ def evaluate_fleet_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         autoscale=None if autoscale is None else bool(autoscale),
         with_failures=bool(point.get("with_failures", True)),
         fast_forward=bool(point.get("fast_forward", True)),
+        prefix_caching=None if prefix_caching is None else bool(prefix_caching),
     )
     m = result.metrics
     f = result.fleet
@@ -328,6 +337,11 @@ def evaluate_fleet_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         "cost_usd": f.cost_usd,
         "iterations": result.iterations,
         "token_accounting_balanced": result.token_accounting_balanced,
+        "prefix_hit_rate": result.prefix_hit_rate,
+        "prefix_hit_tokens": result.prefix_hit_tokens,
+        "prefix_flops_saved": result.prefix_flops_saved,
+        "prefill_flops_executed": result.prefill_flops_executed,
+        "prefix_evictions": result.prefix_evictions,
     }
 
 

@@ -469,7 +469,16 @@ def _serving_golden(scenario: str) -> Dict[str, Scalar]:
 
 
 def _register_serving_goldens() -> None:
-    for scenario in ("chat", "rag-long-prompt", "summarize-512k", "bursty-long", "mixed-fleet"):
+    for scenario in (
+        "chat",
+        "rag-long-prompt",
+        "summarize-512k",
+        "bursty-long",
+        "mixed-fleet",
+        "shared-system-prompt",
+        "rag-shared-corpus",
+        "agentic-prefix-tree",
+    ):
         GOLDEN_REGISTRY[f"serving-{scenario}"] = GoldenDefinition(
             name=f"serving-{scenario}",
             compute=(lambda s: (lambda: _serving_golden(s)))(scenario),
@@ -478,6 +487,58 @@ def _register_serving_goldens() -> None:
 
 
 _register_serving_goldens()
+
+
+# ---------------------------------------------------------------------------
+# Prefix caching A/B: the acceptance evidence that shared-prefix KV caching
+# buys >= 2x median TTFT and >= 2x prefill FLOPs on shared-prompt traffic.
+# ---------------------------------------------------------------------------
+_PREFIX_AB_METRICS = (
+    "ttft_p50",
+    "ttft_p99",
+    "tpot_p50",
+    "goodput_fraction",
+    "prefix_hit_rate",
+    "prefix_hit_tokens",
+    "prefix_flops_saved",
+    "prefill_flops_executed",
+    "prefix_evictions",
+    "preemptions",
+)
+
+
+def _prefix_ab_golden(scenario: str) -> Dict[str, Scalar]:
+    from .engine import run_sweep
+    from .spec import SweepSpec
+
+    spec = SweepSpec.make(
+        name=f"golden-prefix-ab-{scenario}",
+        evaluator="serving-scenario",
+        axes={"prefix_caching": (False, True)},
+        base={"scenario": scenario, "mode": "colocated", "seed": 0},
+    )
+    result = run_sweep(spec)
+    metrics: Dict[str, Scalar] = {}
+    for point, row in result:
+        label = "cached" if point["prefix_caching"] else "uncached"
+        for key in _PREFIX_AB_METRICS:
+            metrics[f"{label}.{key}"] = row[key]
+    return metrics
+
+
+def _register_prefix_ab_goldens() -> None:
+    for scenario in ("shared-system-prompt", "rag-shared-corpus", "agentic-prefix-tree"):
+        GOLDEN_REGISTRY[f"prefix-ab-{scenario}"] = GoldenDefinition(
+            name=f"prefix-ab-{scenario}",
+            compute=(lambda s: (lambda: _prefix_ab_golden(s)))(scenario),
+            description=(
+                f"prefix caching on/off A/B of the {scenario!r} scenario "
+                "(TTFT, hit rate, prefill FLOPs executed/saved)"
+            ),
+        )
+
+
+_register_prefix_ab_goldens()
 
 
 # ---------------------------------------------------------------------------
@@ -527,3 +588,36 @@ def _register_fleet_goldens() -> None:
 
 
 _register_fleet_goldens()
+
+
+def _fleet_prefix_golden() -> Dict[str, Scalar]:
+    """Fleet-level prefix A/B: routing, autoscaling and caching composed."""
+    from .engine import run_sweep
+    from .spec import SweepSpec
+
+    spec = SweepSpec.make(
+        name="golden-fleet-prefix",
+        evaluator="fleet-scenario",
+        axes={"prefix_caching": (False, True)},
+        base={"scenario": "shared-system-prompt", "seed": 0},
+    )
+    result = run_sweep(spec)
+    metrics: Dict[str, Scalar] = {}
+    keys = ("ttft_p50", "ttft_p99", "goodput_fraction", "gpu_hours", "replicas_peak",
+            "prefix_hit_rate", "prefix_evictions", "preemptions")
+    for point, row in result:
+        label = "cached" if point["prefix_caching"] else "uncached"
+        for key in keys:
+            metrics[f"{label}.{key}"] = row[key]
+    return metrics
+
+
+GOLDEN_REGISTRY["fleet-shared-system-prompt"] = GoldenDefinition(
+    name="fleet-shared-system-prompt",
+    compute=_fleet_prefix_golden,
+    description=(
+        "fleet shared-system-prompt scenario with prefix caching on/off: "
+        "TTFT, GPU-hours and peak replicas under the rate autoscaler's "
+        "effective-capacity signal"
+    ),
+)

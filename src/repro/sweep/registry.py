@@ -15,6 +15,9 @@ one of the paper-scale grids:
 ``fleet``
     Representative fleet scenarios under the load-oblivious and token-aware
     routers (the fleet comparison table's core grid).
+``prefix-cache``
+    The shared-prefix scenario families with prefix caching A/B'd on and
+    off (the prefix-cache comparison table's grid).
 """
 
 from __future__ import annotations
@@ -35,6 +38,15 @@ _SERVING_SCENARIOS = (
     "summarize-512k",
     "bursty-long",
     "mixed-fleet",
+    "shared-system-prompt",
+    "rag-shared-corpus",
+    "agentic-prefix-tree",
+)
+
+_PREFIX_SCENARIOS = (
+    "shared-system-prompt",
+    "rag-shared-corpus",
+    "agentic-prefix-tree",
 )
 
 
@@ -89,6 +101,16 @@ SWEEP_REGISTRY: Dict[str, SweepSpec] = {
             },
             base={"seed": 0},
             description="fleet scenarios x routing policies (goodput/TTFT/GPU-hours)",
+        ),
+        SweepSpec.make(
+            name="prefix-cache",
+            evaluator="serving-scenario",
+            axes={
+                "scenario": _PREFIX_SCENARIOS,
+                "prefix_caching": (False, True),
+            },
+            base={"seed": 0, "mode": "colocated"},
+            description="shared-prefix scenarios, caching A/B (TTFT/prefill-FLOPs saved)",
         ),
     )
 }
