@@ -21,6 +21,8 @@ import time
 import pytest
 
 from _bench_artifact import BenchArtifact
+from repro.fleet import get_fleet_scenario, run_fleet_scenario
+from repro.obs import EventRecorder
 from repro.serving import get_scenario, run_scenario
 
 _ARTIFACT = BenchArtifact("BENCH_SERVING_JSON", "BENCH_serving.json")
@@ -159,6 +161,57 @@ def test_shared_prefix_cache_prefill_savings(once):
     # The skipped work is accounted, not lost: skipped + executed covers the
     # uncached run's prefill demand (re-prefill after preemption aside).
     assert cached.prefix_flops_saved > cached.prefill_flops_executed
+
+
+def test_recorder_overhead(once):
+    """Event recording must be near-free: <10% wall-clock on steady-chat.
+
+    Runs the ``steady-chat`` fleet scenario — the acceptance workload the
+    fast-forward gate also uses, hundreds of overlapping requests across an
+    autoscaled pool — with and without an :class:`EventRecorder` attached.
+    One warm-up run feeds the process-global FLOPs caches, then the two arms
+    interleave over three rounds and the best round of each is compared, so
+    a background hiccup in either arm cannot decide the gate.  The observed
+    run must also stay byte-identical: recording may cost wall-clock, never
+    a simulated number.
+    """
+    scenario = get_fleet_scenario("steady-chat")
+
+    def both():
+        run_fleet_scenario(scenario, seed=0)  # warm-up, discarded
+        plain_walls, observed_walls = [], []
+        for _ in range(3):
+            start = time.perf_counter()
+            plain = run_fleet_scenario(scenario, seed=0)
+            plain_walls.append(time.perf_counter() - start)
+            recorder = EventRecorder()
+            start = time.perf_counter()
+            observed = run_fleet_scenario(scenario, seed=0, observe=recorder)
+            observed_walls.append(time.perf_counter() - start)
+        return plain, min(plain_walls), observed, min(observed_walls), recorder
+
+    plain, plain_wall, observed, observed_wall, recorder = once(both)
+    overhead = observed_wall / max(plain_wall, 1e-9)
+    _record(
+        "steady-chat.recorder-overhead",
+        observed,
+        observed_wall,
+        plain_wall_seconds=plain_wall,
+        recorder_overhead=overhead,
+        events_recorded=len(recorder),
+    )
+    print()
+    print(f"recorder off wall: {plain_wall:8.3f} s")
+    print(f"recorder on  wall: {observed_wall:8.3f} s  ({(overhead - 1) * 100:+.1f}%)")
+    print(f"events recorded:   {len(recorder)}")
+
+    assert len(recorder) > 0
+    assert observed.metrics.ttft_p99 == plain.metrics.ttft_p99
+    assert observed.metrics.goodput_fraction == plain.metrics.goodput_fraction
+    assert [r.finish_time for r in observed.records] == [
+        r.finish_time for r in plain.records
+    ]
+    assert overhead < 1.10
 
 
 def test_serving_disaggregation_tail_latency(once):

@@ -135,6 +135,20 @@ Everything stays exact: decode fast-forwarding composes with prefix caching
 bit-identically, and with ``prefix_caching=False`` every simulated number is
 byte-identical to the pre-prefix engines (pinned by goldens and the
 equivalence suite).
+
+Observability layer (``repro.obs``)
+-----------------------------------
+Opt-in, zero-cost-when-off instrumentation over both engines (see
+``docs/observability.md``): a structured lifecycle **event recorder**
+(``ServingConfig.observe`` / ``FleetConfig.observe``), a **Perfetto/Chrome
+trace exporter** with per-pool tracks, request lifelines and counter
+tracks, **windowed time series** backed by constant-memory P² quantile
+sketches, an **SLO burn-rate monitor**, and a **self-profiler** metering
+simulator wall-clock per engine phase — all surfaced through the
+``serve`` / ``fleet run`` CLI flags ``--trace`` / ``--timeseries`` /
+``--slo-report`` / ``--self-profile``.  With no recorder attached every
+simulated number is byte-identical (pinned by the goldens and
+``tests/test_obs_recorder.py``).
 """
 
 from . import (
@@ -144,6 +158,7 @@ from . import (
     hardware,
     model,
     numerics,
+    obs,
     parallel,
     schedules,
     serving,
@@ -180,6 +195,7 @@ __all__ = [
     "hardware",
     "model",
     "numerics",
+    "obs",
     "parallel",
     "schedules",
     "serving",

@@ -12,7 +12,7 @@ from ..schedules.formulas import (
     bubble_fraction_estimate,
     slimpipe_accumulated_activation_factor,
 )
-from . import figures, report, tables
+from . import figures, observability, report, tables
 
 
 def __getattr__(name):
@@ -34,6 +34,7 @@ __all__ = [
     "figures",
     "tables",
     "report",
+    "observability",
     "serving",
     "fleet",
     "activation_memory_factor",

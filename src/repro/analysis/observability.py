@@ -1,0 +1,52 @@
+"""Text renderers for the observability layer's outputs.
+
+The :mod:`repro.obs` primitives return plain data (event streams, phase
+profiles, burn windows); this module turns them into the aligned tables the
+CLI prints, following the same :func:`~repro.analysis.report.render_table`
+discipline as the serving and fleet reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..obs.events import CLUSTER_TRACK, EventRecorder
+from ..obs.profile import PhaseProfiler
+from .report import format_percent, render_table
+
+__all__ = ["event_summary_rows", "event_summary_table", "profile_rows", "profile_table"]
+
+
+def event_summary_rows(recorder: EventRecorder) -> List[Tuple[str, int]]:
+    """(kind, count) rows sorted by count descending, kind ascending."""
+    counts = recorder.counts()
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def event_summary_table(recorder: EventRecorder, title: str = "recorded events") -> str:
+    """Aligned per-kind event counts plus the recorded track labels."""
+    rows = event_summary_rows(recorder)
+    table = render_table(["event", "count"], rows, title=title)
+    tracks = ", ".join(
+        name for track, name in sorted(recorder.track_names.items()) if track != CLUSTER_TRACK
+    )
+    footer = f"{len(recorder)} events on {len(recorder.track_names)} tracks"
+    if tracks:
+        footer += f" ({tracks})"
+    return table + footer + "\n"
+
+
+def profile_rows(profiler: PhaseProfiler) -> List[Tuple[str, int, str, str]]:
+    """(phase, calls, seconds, share) rows, largest total first."""
+    return [
+        (phase, calls, f"{seconds:.4f}s", format_percent(fraction))
+        for phase, calls, seconds, fraction in profiler.rows()
+    ]
+
+
+def profile_table(profiler: PhaseProfiler, title: str = "simulator self-profile") -> str:
+    """Aligned wall-clock-per-phase table of one observed run."""
+    if not profiler.phases:
+        return f"{title}: no phases metered (the run recorded no work)\n"
+    table = render_table(["phase", "calls", "wall-clock", "share"], profile_rows(profiler), title=title)
+    return table + f"metered total {profiler.total_seconds():.4f}s\n"

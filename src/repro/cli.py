@@ -17,8 +17,13 @@ Six subcommands cover the library's main workflows without writing Python:
     continuous batching with chunked prefill and a paged KV cache, either
     colocated or prefill/decode-disaggregated, printing TTFT/TPOT
     percentiles, goodput under SLO, KV-cache utilization and prefix-cache
-    hit rate; optionally export the iteration timeline as a Chrome trace or
-    compare both deployments side by side.  Decode fast-forwarding is on by
+    hit rate; optionally compare both deployments side by side.  The
+    observability flags — shared with ``fleet run`` — opt into the event
+    recorder (:mod:`repro.obs`): ``--trace`` writes a Perfetto/Chrome trace
+    with request lifelines and counter tracks, ``--timeseries`` a windowed
+    TTFT/TPOT/goodput export, ``--slo-report`` prints the SLO burn-rate
+    table and ``--self-profile`` the simulator's own wall-clock per engine
+    phase.  Decode fast-forwarding is on by
     default and exact (bit-identical metrics, several times faster);
     ``--no-fast-forward`` steps every iteration naively — useful only as the
     reference oracle.  ``--prefix-caching`` / ``--no-prefix-caching``
@@ -72,11 +77,13 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis import figures, tables
+from .analysis.observability import profile_table
 from .analysis.report import format_bytes, format_percent, render_table
 from .constants import UnknownNameError, tokens_from_k
 from .core.planner import SlimPipeOptions, SlimPipePlanner
 from .hardware.topology import hopper_cluster
 from .model.config import MODEL_REGISTRY, get_model_config
+from .obs import EventRecorder, build_timeseries, burn_report, write_perfetto
 from .parallel.config import ParallelConfig, WorkloadConfig
 from .sim.trace import write_chrome_trace
 from .systems import DeepSpeedSystem, MegatronSystem, SlimPipeSystem
@@ -232,7 +239,11 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
         prefix_caching = True
     elif args.no_prefix_caching:
         prefix_caching = False
+    observing = bool(
+        args.trace or args.timeseries or args.slo_report or args.self_profile
+    )
     for mode in modes:
+        recorder = EventRecorder(profile=args.self_profile) if observing else None
         result = run_scenario(
             scenario,
             mode,
@@ -242,6 +253,7 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
             policy=args.policy,
             fast_forward=not args.no_fast_forward,
             prefix_caching=prefix_caching,
+            observe=recorder,
         )
         print(
             _serving_result_text(
@@ -253,12 +265,27 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
             )
         )
         if args.trace:
-            path = args.trace
-            if len(modes) > 1:
-                root, ext = os.path.splitext(path)
-                path = f"{root}.{mode}{ext}"
-            print(f"Chrome trace written to {write_chrome_trace(result.timeline, path)}")
+            path = _mode_suffixed(args.trace, mode, len(modes) > 1)
+            written = write_perfetto(recorder, path, timeline=result.timeline)
+            print(f"Perfetto trace written to {written}")
+        if args.timeseries:
+            path = _mode_suffixed(args.timeseries, mode, len(modes) > 1)
+            series = build_timeseries(recorder, slo=scenario.slo)
+            print(f"time series written to {series.write(path)}")
+        if args.slo_report:
+            report = burn_report(recorder, scenario.slo)
+            print(report.to_text(title=f"SLO burn-rate | {scenario.name} | {mode}"))
+        if args.self_profile:
+            print(profile_table(recorder.profiler))
     return 0
+
+
+def _mode_suffixed(path: str, mode: str, comparing: bool) -> str:
+    """``out.json`` -> ``out.colocated.json`` when writing both modes."""
+    if not comparing:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}.{mode}{ext}"
 
 
 # ---------------------------------------------------------------------------
@@ -276,6 +303,10 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         prefix_caching = True
     elif args.no_prefix_caching:
         prefix_caching = False
+    observing = bool(
+        args.trace or args.timeseries or args.slo_report or args.self_profile
+    )
+    recorder = EventRecorder(profile=args.self_profile) if observing else None
     try:
         result = run_fleet_scenario(
             scenario,
@@ -285,9 +316,9 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             load_scale=args.load_scale,
             autoscale=False if args.no_autoscale else None,
             with_failures=not args.no_failures,
-            collect_timeline=bool(args.trace),
             fast_forward=not args.no_fast_forward,
             prefix_caching=prefix_caching,
+            observe=recorder,
         )
     except ValueError as error:
         # Infeasible deployments (model does not fit the replica's GPU
@@ -308,7 +339,18 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         f"{result.tokens_preempted_requeued}"
     )
     if args.trace:
-        print(f"Chrome trace written to {write_chrome_trace(result.timeline, args.trace)}")
+        # Iteration spans are reconstructed from the recorded events (one
+        # ITERATION per naive iteration, one STRETCH per coalesced decode
+        # stretch), so no separate timeline collection is needed.
+        print(f"Perfetto trace written to {write_perfetto(recorder, args.trace)}")
+    if args.timeseries:
+        series = build_timeseries(recorder, slo=scenario.slo)
+        print(f"time series written to {series.write(args.timeseries)}")
+    if args.slo_report:
+        report = burn_report(recorder, scenario.slo)
+        print(report.to_text(title=f"SLO burn-rate | {scenario.name}"))
+    if args.self_profile:
+        print(profile_table(recorder.profiler))
     return 0
 
 
@@ -472,6 +514,34 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``serve`` / ``fleet run`` observability exports.
+
+    Any of them turns the event recorder on for the run; none of them leaves
+    the simulation's hot path untouched (and its numbers byte-identical).
+    """
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Perfetto/Chrome trace JSON of the observed run",
+    )
+    parser.add_argument(
+        "--timeseries",
+        metavar="PATH",
+        help="write windowed TTFT/TPOT/goodput/queue/KV time series JSON",
+    )
+    parser.add_argument(
+        "--slo-report",
+        action="store_true",
+        help="print the windowed SLO burn-rate report",
+    )
+    parser.add_argument(
+        "--self-profile",
+        action="store_true",
+        help="meter the simulator's own wall-clock per engine phase",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SlimPipe reproduction command-line interface"
@@ -521,7 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="simulate both deployments and print both metric tables",
     )
-    serve.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+    _add_observability_flags(serve)
     serve.add_argument(
         "--no-fast-forward",
         action="store_true",
@@ -565,7 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument(
         "--no-failures", action="store_true", help="strip the scenario's failure plan"
     )
-    fleet_run.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+    _add_observability_flags(fleet_run)
     fleet_run.add_argument(
         "--no-fast-forward",
         action="store_true",

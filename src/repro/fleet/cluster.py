@@ -41,6 +41,8 @@ from ..analysis.report import render_table
 from ..hardware.gpu import get_gpu_spec
 from ..model.config import ModelConfig
 from ..model.costs import PassKind
+from ..obs import events as obs_events
+from ..obs.events import EventRecorder
 from ..schedules.base import Pass
 from ..serving.batcher import BatcherConfig, IterationPlan, RequestState
 from ..serving.engine import ServingConfig, _Pool
@@ -94,6 +96,10 @@ class FleetConfig:
     #: prefix blocks skip prefill, routers observe per-replica hit potential
     #: and the arrival-rate autoscaler credits the effective-capacity gain.
     prefix_caching: bool = False
+    #: Opt-in observability: an :class:`~repro.obs.events.EventRecorder`
+    #: threaded into every replica pool and the cluster loop itself.  ``None``
+    #: (the default) keeps every emit site dormant and the run byte-identical.
+    observe: Optional[EventRecorder] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.gpus_per_replica < 1:
@@ -133,6 +139,7 @@ class FleetConfig:
             tpot_cap=self.tpot_cap,
             fast_forward=self.fast_forward,
             prefix_caching=self.prefix_caching,
+            observe=self.observe,
         )
 
     def session_of(self, request: Request) -> int:
@@ -166,6 +173,9 @@ class _Replica:
         self.fleet_config = config
         self.serving_config = config.serving_config(self.gpu_name)
         self.pool = _Pool(model, config.gpus_per_replica, self.serving_config)
+        # The batcher's events belong to this replica's track, not a pool
+        # device index (inert when no recorder is configured).
+        self.pool.batcher.obs_track = replica_id
         self.state = _ReplicaState.PROVISIONING
         self.draining = False
         self.slowdown = 1.0
@@ -181,6 +191,12 @@ class _Replica:
         self.ff_steps = 0
         self.ff_contexts: Optional[List[int]] = None
         self.ff_ids: Optional[List[int]] = None
+        # Observability only (maintained when a recorder is attached): the
+        # stretch's start time and completed-iteration count, so the whole
+        # stretch rolls up into one STRETCH event instead of thousands of
+        # per-iteration samples.
+        self.ff_start = 0.0
+        self.ff_done = 0
         self.provisioned_at = 0.0
         self.retired_at: Optional[float] = None
         self.iterations = 0
@@ -282,6 +298,7 @@ class _Replica:
     def recover(self) -> None:
         """Restart after a crash with a fresh (empty) pool."""
         self.pool = _Pool(self.model, self.fleet_config.gpus_per_replica, self.serving_config)
+        self.pool.batcher.obs_track = self.replica_id
         self.state = _ReplicaState.ACTIVE
         self.slowdown = 1.0
         self.slow_until = 0.0  # a restart replaces the degraded machine
@@ -441,8 +458,19 @@ class FleetEngine:
         replica = _Replica(len(self._replicas), self.model, self.config)
         replica.provisioned_at = now
         self._replicas.append(replica)
+        obs = self._obs
+        if obs is not None:
+            obs.register_track(
+                replica.replica_id,
+                f"replica {replica.replica_id} ({replica.gpu_name})",
+            )
+            obs.emit(
+                now, obs_events.PROVISION, replica.replica_id, None, (delay,)
+            )
         if delay <= 0:
             replica.state = _ReplicaState.ACTIVE
+            if obs is not None:
+                obs.emit(now, obs_events.ACTIVATE, replica.replica_id)
         else:
             self._push(now + delay, _PROVISION, replica.replica_id)
         return replica
@@ -453,6 +481,11 @@ class FleetEngine:
     def _route(self, state: RequestState, now: float) -> None:
         candidates = [r for r in self._replicas if r.accepts_work]
         if not candidates:
+            if self._obs is not None:
+                self._obs.emit(
+                    now, obs_events.HELD, obs_events.CLUSTER_TRACK,
+                    state.request.request_id,
+                )
             self._held.append(state)
             return
         snapshots = [r.snapshot(state.request) for r in candidates]
@@ -465,6 +498,12 @@ class FleetEngine:
                 f"not among the offered {sorted(by_id)}"
             )
         replica = by_id[choice]
+        if self._obs is not None:
+            snap = snapshots[candidates.index(replica)]
+            self._obs.emit(
+                now, obs_events.ROUTE, choice, state.request.request_id,
+                (snap.queue_depth, snap.prefix_match_blocks),
+            )
         state.pool_arrival = now
         replica.pool.batcher.enqueue(state)
         # New work changes the next plan's composition: end any pre-planned
@@ -491,19 +530,31 @@ class FleetEngine:
             if replica.draining:
                 self._retire(replica, now)
             return
+        obs = self._obs
+        prof = obs.profiler if obs is not None else None
+        if obs is not None:
+            batcher.now = now
+        clock_start = prof.clock() if prof is not None else 0.0
         if self._start_stretch(replica, now):
+            if prof is not None:
+                prof.add("fast-forward", prof.clock() - clock_start)
             return
         plan = batcher.plan(replica.pool.prefill_budget())
         while plan.empty and batcher.running:
             if batcher._preempt_victim(plan) is None:
                 break
             plan = batcher.plan(replica.pool.prefill_budget())
+        if prof is not None:
+            prof.add("admission", prof.clock() - clock_start)
         if plan.empty:
             raise RuntimeError(
                 f"replica {replica.replica_id} stalled with queued work "
                 "and no runnable batch"
             )
+        clock_start = prof.clock() if prof is not None else 0.0
         duration = replica.pool.iteration_time(plan) * replica.slowdown
+        if prof is not None:
+            prof.add("pricing", prof.clock() - clock_start)
         replica.busy_plan = plan
         self._push(now + duration, _ITERATION, (replica.replica_id, replica.epoch, duration))
 
@@ -524,6 +575,9 @@ class FleetEngine:
         steps = pool.decode_stretch_length()
         if steps < 1:
             return False
+        if self._obs is not None:
+            replica.ff_start = now
+            replica.ff_done = 0
         batcher = pool.batcher
         running = batcher.running
         replica.ff_contexts = [state.context_tokens for state in running]
@@ -553,6 +607,26 @@ class FleetEngine:
             )
         if self._spans is not None:
             self._spans.append((replica.replica_id, now - duration, now))
+        obs = self._obs
+        if obs is not None:
+            if stretch:
+                # Stretch iterations are uniform by construction; they roll
+                # up into one STRETCH event when the stretch ends (below, or
+                # at the crash site) instead of one sample per heap event.
+                replica.ff_done += 1
+            else:
+                batcher = replica.pool.batcher
+                obs.emit(
+                    now, obs_events.ITERATION, replica.replica_id, None,
+                    (
+                        duration,
+                        plan.prefill_tokens,
+                        len(plan.decode),
+                        len(batcher.waiting),
+                        len(batcher.running),
+                        utilization,
+                    ),
+                )
         if stretch:
             # Exactly what batcher.commit() does for a pure-decode plan whose
             # requests all have further tokens to go: no departures, no
@@ -574,10 +648,19 @@ class FleetEngine:
                     (replica.replica_id, replica.epoch, next_duration),
                 )
             else:
+                if obs is not None:
+                    obs.emit(
+                        now, obs_events.STRETCH, replica.replica_id, None,
+                        (replica.ff_done, len(plan.decode), replica.ff_start, utilization),
+                    )
                 replica.clear_stretch()
                 self._kick(replica, now)
             return
+        prof = obs.profiler if obs is not None else None
+        clock_start = prof.clock() if prof is not None else 0.0
         departed = replica.pool.batcher.commit(plan, now)
+        if prof is not None:
+            prof.add("commit", prof.clock() - clock_start)
         replica.requests_served += len(departed)
         self._finished += len(departed)
         if replica.draining and not replica.has_work:
@@ -590,6 +673,8 @@ class FleetEngine:
         replica.state = _ReplicaState.RETIRED
         replica.draining = False
         replica.retired_at = now
+        if self._obs is not None:
+            self._obs.emit(now, obs_events.RETIRE, replica.replica_id)
 
     # ------------------------------------------------------------------
     # Autoscaling
@@ -629,6 +714,11 @@ class FleetEngine:
         )
         target = max(cfg.min_replicas, min(cfg.max_replicas, self._autoscaler.desired(view)))
         current = len(provisioned)
+        if self._obs is not None:
+            self._obs.emit(
+                now, obs_events.SCALE, obs_events.CLUSTER_TRACK, None,
+                (current, target, view.queue_depth, self._rate_ewma),
+            )
         if target > current:
             self._scale_up(target - current, now)
         elif target < current:
@@ -638,6 +728,10 @@ class FleetEngine:
 
     def _scale_up(self, count: int, now: float) -> None:
         self._scale_up_events += 1
+        if self._obs is not None:
+            self._obs.emit(
+                now, obs_events.SCALE_UP, obs_events.CLUSTER_TRACK, None, (count,)
+            )
         added = 0
         # Cheapest first: cancel drains, then spend the warm pool, then cold.
         for replica in self._replicas:
@@ -657,6 +751,10 @@ class FleetEngine:
 
     def _scale_down(self, count: int, now: float) -> None:
         self._scale_down_events += 1
+        if self._obs is not None:
+            self._obs.emit(
+                now, obs_events.SCALE_DOWN, obs_events.CLUSTER_TRACK, None, (count,)
+            )
         candidates = sorted(
             (r for r in self._provisioned() if r.state is _ReplicaState.ACTIVE),
             key=lambda r: (r.outstanding_tokens(), -r.replica_id),
@@ -679,6 +777,11 @@ class FleetEngine:
         victim = candidates[event.replica_index % len(candidates)]
         if event.kind == "slow":
             self._slow_events += 1
+            if self._obs is not None:
+                self._obs.emit(
+                    now, obs_events.SLOW, victim.replica_id, None,
+                    (event.slowdown, event.duration),
+                )
             victim.slowdown = max(victim.slowdown, event.slowdown)
             # Overlapping windows extend the degradation; only the _SLOW_END
             # at (or past) the high-water mark ends it.
@@ -686,7 +789,27 @@ class FleetEngine:
             self._push(now + event.duration, _SLOW_END, victim.replica_id)
             return
         self._crashes += 1
+        if (
+            self._obs is not None
+            and victim.ff_plan is not None
+            and victim.ff_done > 0
+        ):
+            # The crash aborts a stretch mid-flight; flush the completed
+            # portion so the trace shows the work that did happen.
+            self._obs.emit(
+                now, obs_events.STRETCH, victim.replica_id, None,
+                (
+                    victim.ff_done,
+                    len(victim.ff_plan.decode),
+                    victim.ff_start,
+                    victim.pool.allocator.token_utilization,
+                ),
+            )
         lost = victim.fail_over()
+        if self._obs is not None:
+            self._obs.emit(
+                now, obs_events.CRASH, victim.replica_id, None, (len(lost),)
+            )
         self._push(now + event.duration, _RECOVER, victim.replica_id)
         for state in lost:
             self._rerouted += 1
@@ -731,6 +854,7 @@ class FleetEngine:
         self._rate_ewma: Optional[float] = None
         self._autoscaler: Autoscaler = make_autoscaler(cfg.autoscaler)
         self._spans: Optional[List[Tuple[int, float, float]]] = [] if collect_timeline else None
+        self._obs: Optional[EventRecorder] = cfg.observe
 
         for _ in range(cfg.initial_replicas):
             self._new_replica(0.0, 0.0)
@@ -752,6 +876,11 @@ class FleetEngine:
             now = time
             if kind == _ARRIVAL:
                 self._arrivals_since_tick += 1
+                if self._obs is not None:
+                    self._obs.emit(
+                        now, obs_events.ARRIVE, obs_events.CLUSTER_TRACK,
+                        payload.request_id,
+                    )
                 self._route(RequestState(record=records[payload.request_id]), now)
             elif kind == _ITERATION:
                 replica_id, epoch, duration = payload
@@ -763,6 +892,8 @@ class FleetEngine:
                 replica = self._replicas[payload]
                 if replica.state is _ReplicaState.PROVISIONING:
                     replica.state = _ReplicaState.ACTIVE
+                    if self._obs is not None:
+                        self._obs.emit(now, obs_events.ACTIVATE, replica.replica_id)
                     self._flush_held(now)
                     self._kick(replica, now)
             elif kind == _FAIL:
@@ -772,12 +903,16 @@ class FleetEngine:
                 replica = self._replicas[payload]
                 if replica.state is _ReplicaState.FAILED:
                     replica.recover()
+                    if self._obs is not None:
+                        self._obs.emit(now, obs_events.RECOVER, replica.replica_id)
                     self._flush_held(now)
                     self._kick(replica, now)
             elif kind == _SLOW_END:
                 replica = self._replicas[payload]
                 if now >= replica.slow_until - 1e-12:
                     replica.slowdown = 1.0
+                    if self._obs is not None:
+                        self._obs.emit(now, obs_events.SLOW_END, replica.replica_id)
             elif kind == _SCALE:
                 if self._finished < self._num_requests:
                     self._on_scale(now)

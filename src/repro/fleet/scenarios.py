@@ -51,6 +51,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..constants import UnknownNameError
 from ..model.config import get_model_config
+from ..obs.events import EventRecorder
 from ..serving.batcher import BatcherConfig
 from ..serving.metrics import SLO
 from ..serving.workload import (
@@ -397,6 +398,7 @@ def run_fleet_scenario(
     collect_timeline: bool = False,
     fast_forward: bool = True,
     prefix_caching: Optional[bool] = None,
+    observe: Optional[EventRecorder] = None,
 ) -> FleetResult:
     """Simulate a fleet scenario end to end.
 
@@ -405,6 +407,8 @@ def run_fleet_scenario(
     flags through here); ``with_failures=False`` strips the scenario's
     failure plan; ``fast_forward=False`` runs the naive per-iteration
     reference stepper instead of the pre-planned decode stretches.
+    ``observe`` threads an :class:`~repro.obs.events.EventRecorder` through
+    the cluster and every replica pool (opt-in observability).
     """
     model = get_model_config(scenario.model)
     config = scenario.fleet_config(replicas=replicas, autoscale=autoscale)
@@ -412,6 +416,8 @@ def run_fleet_scenario(
         config = replace(config, fast_forward=False)
     if prefix_caching is not None:
         config = replace(config, prefix_caching=prefix_caching)
+    if observe is not None:
+        config = replace(config, observe=observe)
     engine = FleetEngine(
         model,
         config,

@@ -1,0 +1,49 @@
+"""Unified observability layer for the serving and fleet engines.
+
+``repro.obs`` makes an otherwise black-box simulation inspectable without
+perturbing it:
+
+* :mod:`~repro.obs.events` — the structured :class:`EventRecorder` the
+  engines thread lifecycle events through (opt-in via
+  ``ServingConfig.observe`` / ``FleetConfig.observe``; with it unset the
+  hot path is untouched and every simulated number byte-identical);
+* :mod:`~repro.obs.trace` — Perfetto/Chrome trace export: one track per
+  pool/replica, request lifelines, counter tracks;
+* :mod:`~repro.obs.sketch` — streaming P² quantile sketches (constant
+  memory, no sample lists);
+* :mod:`~repro.obs.timeseries` — windowed TTFT/TPOT/goodput/queue/KV time
+  series built from the event stream;
+* :mod:`~repro.obs.slo` — SLO burn-rate monitoring with per-window error
+  budget accounting;
+* :mod:`~repro.obs.profile` — self-profiling of the simulator's own
+  wall-clock per engine phase;
+* :mod:`~repro.obs.chrome` — the shared Chrome trace-event JSON
+  scaffolding (also used by :mod:`repro.sim.trace`).
+
+See ``docs/observability.md`` for the architecture and event taxonomy.
+"""
+
+from .events import Event, EventRecorder
+from .profile import PhaseProfiler
+from .sketch import P2Quantile, QuantileSketch
+from .slo import SLOBurnMonitor, SLOReport, burn_report, burn_report_from_records
+from .timeseries import MetricSeries, TimeSeries, WindowedCounter, build_timeseries
+from .trace import to_perfetto, write_perfetto
+
+__all__ = [
+    "Event",
+    "EventRecorder",
+    "PhaseProfiler",
+    "P2Quantile",
+    "QuantileSketch",
+    "SLOBurnMonitor",
+    "SLOReport",
+    "burn_report",
+    "burn_report_from_records",
+    "MetricSeries",
+    "TimeSeries",
+    "WindowedCounter",
+    "build_timeseries",
+    "to_perfetto",
+    "write_perfetto",
+]

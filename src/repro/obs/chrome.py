@@ -1,0 +1,165 @@
+"""Shared Chrome trace-event JSON scaffolding.
+
+Both trace exporters — the pipeline timeline exporter
+(:mod:`repro.sim.trace`) and the serving/fleet event-stream exporter
+(:mod:`repro.obs.trace`) — emit the same ``chrome://tracing`` / Perfetto
+JSON dialect: a flat ``traceEvents`` list of metadata (``ph: "M"``),
+complete (``"X"``), counter (``"C"``), instant (``"i"``) and async
+(``"b"``/``"e"``/``"n"``) events inside a ``displayTimeUnit`` container.
+This module is the one place that dialect is spelled out; the exporters
+only decide *which* events to emit.
+
+Times are simulated seconds everywhere in the repo; ``time_unit_us``
+scales them into trace microseconds (the default maps one simulated
+second to one trace second).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "process_name_event",
+    "thread_name_event",
+    "complete_event",
+    "counter_event",
+    "instant_event",
+    "async_begin_event",
+    "async_end_event",
+    "async_instant_event",
+    "trace_container",
+    "write_trace",
+]
+
+
+def process_name_event(pid: int, name: str) -> Dict:
+    """``process_name`` metadata: labels one pid row group in the viewer."""
+    return {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+
+
+def thread_name_event(pid: int, tid: int, name: str) -> Dict:
+    """``thread_name`` metadata: labels one track inside a process group."""
+    return {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid, "args": {"name": name}}
+
+
+def complete_event(
+    name: str,
+    pid: int,
+    tid: int,
+    start: float,
+    duration: float,
+    time_unit_us: float,
+    cat: Optional[str] = None,
+    args: Optional[Dict] = None,
+) -> Dict:
+    """A ``"X"`` span: one box on a track, from ``start`` for ``duration``."""
+    event: Dict = {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": start * time_unit_us,
+        "dur": duration * time_unit_us,
+    }
+    if cat is not None:
+        event["cat"] = cat
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def counter_event(
+    name: str, pid: int, time: float, value: float, time_unit_us: float
+) -> Dict:
+    """A ``"C"`` sample: one point of a counter track named ``name``."""
+    return {
+        "name": name,
+        "ph": "C",
+        "pid": pid,
+        "tid": 0,
+        "ts": time * time_unit_us,
+        "args": {"value": value},
+    }
+
+
+def instant_event(
+    name: str,
+    pid: int,
+    tid: int,
+    time: float,
+    time_unit_us: float,
+    args: Optional[Dict] = None,
+) -> Dict:
+    """A ``"i"`` marker (global scope): a vertical tick at one instant."""
+    event: Dict = {
+        "name": name,
+        "ph": "i",
+        "s": "g",
+        "pid": pid,
+        "tid": tid,
+        "ts": time * time_unit_us,
+    }
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def _async_event(
+    ph: str,
+    name: str,
+    cat: str,
+    pid: int,
+    event_id: int,
+    time: float,
+    time_unit_us: float,
+    args: Optional[Dict] = None,
+) -> Dict:
+    event: Dict = {
+        "name": name,
+        "cat": cat,
+        "ph": ph,
+        "id": event_id,
+        "pid": pid,
+        "tid": 0,
+        "ts": time * time_unit_us,
+    }
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def async_begin_event(
+    name: str, cat: str, pid: int, event_id: int, time: float, time_unit_us: float,
+    args: Optional[Dict] = None,
+) -> Dict:
+    """Open one async lifeline (``"b"``); pair with :func:`async_end_event`."""
+    return _async_event("b", name, cat, pid, event_id, time, time_unit_us, args)
+
+
+def async_end_event(
+    name: str, cat: str, pid: int, event_id: int, time: float, time_unit_us: float,
+    args: Optional[Dict] = None,
+) -> Dict:
+    """Close one async lifeline (``"e"``) opened under the same (cat, id)."""
+    return _async_event("e", name, cat, pid, event_id, time, time_unit_us, args)
+
+
+def async_instant_event(
+    name: str, cat: str, pid: int, event_id: int, time: float, time_unit_us: float,
+    args: Optional[Dict] = None,
+) -> Dict:
+    """A ``"n"`` marker pinned onto an open async lifeline."""
+    return _async_event("n", name, cat, pid, event_id, time, time_unit_us, args)
+
+
+def trace_container(events: List[Dict]) -> Dict:
+    """Wrap an event list in the top-level Chrome trace JSON object."""
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(trace: Dict, path: str) -> str:
+    """Serialise one trace container to ``path`` and return the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return path

@@ -1,0 +1,53 @@
+"""Self-profiling of the simulator's own wall-clock, per engine phase.
+
+Simulated time is deterministic; *host* time spent producing it is not, and
+future performance PRs need to know where it goes.  The
+:class:`PhaseProfiler` is a dict of phase name → (calls, total seconds)
+fed by ``time.perf_counter()`` pairs at the engines' phase boundaries
+(admission, pricing, fast-forward, eviction, commit, routing).  It is
+attached to an :class:`~repro.obs.events.EventRecorder` only when the
+recorder is created with ``profile=True``, and its numbers never enter the
+event stream or any simulated metric — they are wall-clock, hence
+nondeterministic, hence reported strictly out-of-band.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Tuple
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates host wall-clock per named engine phase."""
+
+    __slots__ = ("phases",)
+
+    #: Re-exported so instrumentation sites need one attribute lookup.
+    clock = staticmethod(perf_counter)
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, List[float]] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall-clock to ``phase``."""
+        entry = self.phases.get(phase)
+        if entry is None:
+            self.phases[phase] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    def total_seconds(self) -> float:
+        return sum(entry[1] for entry in self.phases.values())
+
+    def rows(self) -> List[Tuple[str, int, float, float]]:
+        """(phase, calls, seconds, fraction) rows, largest first."""
+        total = self.total_seconds()
+        return [
+            (phase, int(entry[0]), entry[1], entry[1] / total if total > 0 else 0.0)
+            for phase, entry in sorted(
+                self.phases.items(), key=lambda item: -item[1][1]
+            )
+        ]

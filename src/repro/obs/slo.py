@@ -1,0 +1,254 @@
+"""SLO burn-rate monitoring over windowed request outcomes.
+
+Error-budget arithmetic, applied to the simulator: if the operator promises
+that a ``target`` fraction of requests meets the latency SLO (TTFT and TPOT
+bounds both), the error budget is ``1 - target``.  For each fixed-width
+window of simulated time the monitor tallies finished requests (and their
+output tokens) into *good* — met both bounds — and *bad*, and reports the
+window's **burn rate**: the bad fraction divided by the error budget.  A
+burn rate of 1.0 spends budget exactly as provisioned; above
+``burn_threshold`` (default 1.0) the window is flagged as a *burn period* —
+the moments an on-call alert would have fired.
+
+The monitor is streaming (``observe`` one finish at a time, constant memory
+per window) and consumes either a recorded event stream
+(:func:`burn_report`) or plain request records
+(:func:`burn_report_from_records`), so it works with or without the full
+recorder.  The SLO object is duck-typed (``ttft``/``tpot`` attributes) to
+keep this module import-free of the serving layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.report import format_percent, render_table
+from .events import FINISH, EventRecorder
+
+__all__ = ["BurnWindow", "SLOReport", "SLOBurnMonitor", "burn_report", "burn_report_from_records"]
+
+
+@dataclass
+class BurnWindow:
+    """Good/bad accounting of one window of simulated time."""
+
+    start: float
+    end: float
+    requests: int
+    good_requests: int
+    total_tokens: int
+    good_tokens: int
+    burn_rate: float
+
+    @property
+    def bad_requests(self) -> int:
+        return self.requests - self.good_requests
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of the window's requests that met the SLO."""
+        return self.good_requests / self.requests if self.requests else 1.0
+
+    @property
+    def token_attainment(self) -> float:
+        return self.good_tokens / self.total_tokens if self.total_tokens else 1.0
+
+
+@dataclass
+class SLOReport:
+    """Burn-rate report over one observed run."""
+
+    window: float
+    target: float
+    burn_threshold: float
+    windows: List[BurnWindow]
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    @property
+    def burn_windows(self) -> List[BurnWindow]:
+        """Windows whose burn rate exceeds the threshold (the alert moments)."""
+        return [w for w in self.windows if w.burn_rate > self.burn_threshold]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(w.requests for w in self.windows)
+
+    @property
+    def total_good(self) -> int:
+        return sum(w.good_requests for w in self.windows)
+
+    @property
+    def overall_attainment(self) -> float:
+        total = self.total_requests
+        return self.total_good / total if total else 1.0
+
+    @property
+    def budget_consumed(self) -> float:
+        """Overall bad fraction relative to the error budget (1.0 = all spent)."""
+        total = self.total_requests
+        if not total or self.error_budget <= 0:
+            return 0.0
+        return ((total - self.total_good) / total) / self.error_budget
+
+    def to_rows(self) -> List[tuple]:
+        rows = []
+        for w in self.windows:
+            flag = "BURN" if w.burn_rate > self.burn_threshold else ""
+            rows.append(
+                (
+                    f"{w.start:.0f}-{w.end:.0f}s",
+                    w.requests,
+                    format_percent(w.attainment),
+                    format_percent(w.token_attainment),
+                    f"{w.burn_rate:.2f}x",
+                    flag,
+                )
+            )
+        return rows
+
+    def to_text(self, title: str = "SLO burn-rate") -> str:
+        header = (
+            f"target {format_percent(self.target)} attainment "
+            f"(error budget {format_percent(self.error_budget)}), "
+            f"{self.window:g}s windows: "
+            f"{len(self.burn_windows)}/{len(self.windows)} burning, "
+            f"overall attainment {format_percent(self.overall_attainment)}, "
+            f"budget consumed {self.budget_consumed:.2f}x\n"
+        )
+        table = render_table(
+            ["window", "requests", "good", "good tokens", "burn", ""],
+            self.to_rows(),
+            title=title,
+        )
+        return table + header
+
+    def to_json(self) -> Dict:
+        return {
+            "window_seconds": self.window,
+            "target": self.target,
+            "burn_threshold": self.burn_threshold,
+            "error_budget": self.error_budget,
+            "overall_attainment": self.overall_attainment,
+            "budget_consumed": self.budget_consumed,
+            "burn_window_count": len(self.burn_windows),
+            "windows": [
+                {
+                    "start": w.start,
+                    "end": w.end,
+                    "requests": w.requests,
+                    "good_requests": w.good_requests,
+                    "total_tokens": w.total_tokens,
+                    "good_tokens": w.good_tokens,
+                    "attainment": w.attainment,
+                    "burn_rate": w.burn_rate,
+                    "burning": w.burn_rate > self.burn_threshold,
+                }
+                for w in self.windows
+            ],
+        }
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1, sort_keys=True)
+        return path
+
+
+class SLOBurnMonitor:
+    """Streaming good/total tally per window of simulated time."""
+
+    def __init__(
+        self,
+        slo: object,
+        window: float = 10.0,
+        target: float = 0.95,
+        burn_threshold: float = 1.0,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        self.slo = slo
+        self.window = window
+        self.target = target
+        self.burn_threshold = burn_threshold
+        # bucket -> [requests, good_requests, total_tokens, good_tokens]
+        self._buckets: Dict[int, List[int]] = {}
+
+    def observe(self, finish_time: float, ttft: float, tpot: float, output_tokens: int) -> None:
+        """Account one finished request into its finish-time window."""
+        good = ttft <= self.slo.ttft and tpot <= self.slo.tpot
+        bucket = int(finish_time // self.window)
+        entry = self._buckets.get(bucket)
+        if entry is None:
+            entry = self._buckets[bucket] = [0, 0, 0, 0]
+        entry[0] += 1
+        entry[2] += output_tokens
+        if good:
+            entry[1] += 1
+            entry[3] += output_tokens
+
+    def report(self) -> SLOReport:
+        budget = 1.0 - self.target
+        windows = []
+        for bucket, (requests, good, tokens, good_tokens) in sorted(self._buckets.items()):
+            bad_fraction = (requests - good) / requests if requests else 0.0
+            windows.append(
+                BurnWindow(
+                    start=bucket * self.window,
+                    end=(bucket + 1) * self.window,
+                    requests=requests,
+                    good_requests=good,
+                    total_tokens=tokens,
+                    good_tokens=good_tokens,
+                    burn_rate=bad_fraction / budget if budget > 0 else 0.0,
+                )
+            )
+        return SLOReport(
+            window=self.window,
+            target=self.target,
+            burn_threshold=self.burn_threshold,
+            windows=windows,
+        )
+
+
+def burn_report(
+    recorder: EventRecorder,
+    slo: object,
+    window: float = 10.0,
+    target: float = 0.95,
+    burn_threshold: float = 1.0,
+) -> SLOReport:
+    """Burn-rate report from a recorded event stream's ``FINISH`` events."""
+    monitor = SLOBurnMonitor(slo, window=window, target=target, burn_threshold=burn_threshold)
+    for event in recorder.events:
+        if event.kind == FINISH:
+            ttft, tpot, output_tokens = event.data
+            monitor.observe(event.time, ttft, tpot, output_tokens)
+    return monitor.report()
+
+
+def burn_report_from_records(
+    records: Iterable[object],
+    slo: object,
+    window: float = 10.0,
+    target: float = 0.95,
+    burn_threshold: float = 1.0,
+) -> SLOReport:
+    """Burn-rate report straight from finished request records.
+
+    Works without any recorder (``records`` are
+    :class:`~repro.serving.metrics.RequestRecord`-shaped: ``finished``,
+    ``finish_time``, ``ttft``, ``tpot`` and ``request.output_tokens``).
+    """
+    monitor = SLOBurnMonitor(slo, window=window, target=target, burn_threshold=burn_threshold)
+    for record in records:
+        if record.finished:
+            monitor.observe(
+                record.finish_time, record.ttft, record.tpot, record.request.output_tokens
+            )
+    return monitor.report()

@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Deque, List, Optional, Tuple
 
+from ..obs import events as obs_events
+from ..obs.events import EventRecorder
 from .metrics import RequestRecord
 from .paged_kv import PagedKVAllocator, blocks_for_tokens
 from .prefix_cache import prefix_block_keys
@@ -198,6 +200,14 @@ class ContinuousBatcher:
         self.prefix_hit_requests = 0
         self.prefix_flops_saved = 0.0
         self.prefill_flops_executed = 0.0
+        # Observability: the owning pool/engine installs the recorder, keeps
+        # ``obs_track`` at this pool's track id (pool device or fleet replica
+        # id) and advances ``now`` to the current iteration's planning time
+        # before calling into the batcher.  All three stay inert when no
+        # recorder is configured.
+        self.obs: Optional[EventRecorder] = None
+        self.obs_track = 0
+        self.now = 0.0
 
     # ------------------------------------------------------------------
     # Queue management
@@ -262,6 +272,11 @@ class ContinuousBatcher:
         victim.phase = Phase.WAITING
         self.waiting.appendleft(victim)
         self._push_waiting(victim)
+        if self.obs is not None:
+            self.obs.emit(
+                self.now, obs_events.PREEMPT, self.obs_track,
+                victim.request.request_id,
+            )
         return victim
 
     # ------------------------------------------------------------------
@@ -387,6 +402,11 @@ class ContinuousBatcher:
         self.prefix_hit_requests += 1
         if self._prefill_flops_of is not None:
             self.prefix_flops_saved += self._prefill_flops_of(cached, 0)
+        if self.obs is not None:
+            self.obs.emit(
+                self.now, obs_events.PREFIX_HIT, self.obs_track,
+                request.request_id, (cached,),
+            )
 
     def _activate(self, state: RequestState, waiting_index: int, phase: Phase) -> None:
         if waiting_index == 0:
@@ -399,6 +419,11 @@ class ContinuousBatcher:
         state.admission_index = self._admissions
         self._admissions += 1
         self.running.append(state)
+        if self.obs is not None:
+            self.obs.emit(
+                self.now, obs_events.ADMIT, self.obs_track,
+                state.request.request_id, (phase.value,),
+            )
 
     # ------------------------------------------------------------------
     # Committing an executed iteration
@@ -411,7 +436,13 @@ class ContinuousBatcher:
         hand-off to the decode pool.
         """
         departed: List[RequestState] = []
+        obs = self.obs
         for state, chunk in plan.prefill:
+            if obs is not None:
+                obs.emit(
+                    end_time, obs_events.PREFILL, self.obs_track,
+                    state.request.request_id, (chunk, state.prefilled),
+                )
             state.prefilled += chunk
             if self.prefix_caching and state.request.prefix:
                 # Freshly computed prefix blocks become shareable the moment
@@ -427,6 +458,12 @@ class ContinuousBatcher:
                 # Completing the prefill also samples the first output token.
                 state.record.first_token_time = end_time
                 state.decoded = max(state.decoded, 1)
+                if obs is not None:
+                    obs.emit(
+                        end_time, obs_events.FIRST_TOKEN, self.obs_track,
+                        state.request.request_id,
+                        (end_time - state.request.arrival_time,),
+                    )
             if state.decoded >= state.request.output_tokens:
                 self._finish(state, end_time, departed)
             elif self.prefill_only:
@@ -434,6 +471,11 @@ class ContinuousBatcher:
                 self.running.remove(state)
                 self.allocator.release(state.request.request_id)
                 departed.append(state)
+                if obs is not None:
+                    obs.emit(
+                        end_time, obs_events.HANDOFF, self.obs_track,
+                        state.request.request_id,
+                    )
             else:
                 state.phase = Phase.DECODE
         for state in plan.decode:
@@ -448,3 +490,10 @@ class ContinuousBatcher:
         self.running.remove(state)
         self.allocator.release(state.request.request_id)
         departed.append(state)
+        if self.obs is not None:
+            record = state.record
+            self.obs.emit(
+                end_time, obs_events.FINISH, self.obs_track,
+                state.request.request_id,
+                (record.ttft, record.tpot, state.request.output_tokens),
+            )

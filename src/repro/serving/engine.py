@@ -55,6 +55,8 @@ from ..hardware.comm import CommModel
 from ..hardware.gpu import GPUSpec, HOPPER_80GB
 from ..hardware.topology import ClusterTopology
 from ..model.config import ModelConfig
+from ..obs import events as obs_events
+from ..obs.events import EventRecorder
 from ..model.costs import CostModel, PassKind
 from ..model.flops import FlopsBreakdown, layer_forward_flops, output_layer_flops
 from ..model.memory import kv_cache_bytes_per_token_per_layer
@@ -92,6 +94,12 @@ class ServingConfig:
     #: memory pressure.  Off by default: with ``False`` every simulated
     #: number is byte-identical to the pre-prefix engine.
     prefix_caching: bool = False
+    #: Opt-in observability: an :class:`~repro.obs.events.EventRecorder` the
+    #: engine emits lifecycle events into.  ``None`` (the default) keeps the
+    #: hot path untouched — every emit site is guarded — so all simulated
+    #: numbers are byte-identical with the recorder absent.  Excluded from
+    #: equality/hash: two configs that simulate identically compare equal.
+    observe: Optional[EventRecorder] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -206,6 +214,17 @@ class _Pool:
             decode_only=decode_only,
             prefill_flops_of=prefill_flops_of,
         )
+        # Observability (None keeps every emit site dormant).  The batcher
+        # shares the pool's recorder; its track id is set when the pool runs
+        # (or, for fleet pools, to the owning replica's id).
+        self.obs = config.observe
+        self.batcher.obs = self.obs
+        if prefill_only:
+            self.track_name = "prefill pool"
+        elif decode_only:
+            self.track_name = "decode pool"
+        else:
+            self.track_name = "pool"
         # Subclassed cost models may override ``time_of``; only the pristine
         # CostModel is safe to inline (and hence to fast-forward through).
         self.exact_pricing = type(self.costs) is CostModel
@@ -523,9 +542,20 @@ class _Pool:
         allocator = self.allocator
         capacity_tokens = allocator.total_blocks * allocator.block_tokens
         max_iterations = self.config.max_iterations
+        obs = self.obs
+        prof = obs.profiler if obs is not None else None
+        if obs is not None:
+            obs.register_track(device, self.track_name)
+            batcher.obs_track = device
         while True:
             while cursor < len(pending) and pending[cursor].pool_arrival <= now + 1e-12:
-                batcher.enqueue(pending[cursor])
+                state = pending[cursor]
+                batcher.enqueue(state)
+                if obs is not None:
+                    obs.emit(
+                        state.pool_arrival, obs_events.ARRIVE, device,
+                        state.request.request_id,
+                    )
                 cursor += 1
             max_steps = self.decode_stretch_length()
             if max_steps > 0:
@@ -541,6 +571,8 @@ class _Pool:
                 # replaying the naive stepper's utilization reads bit-exactly.
                 stored = allocator.stored_tokens
                 steps = 0
+                stretch_start = now
+                clock_start = prof.clock() if prof is not None else 0.0
                 while steps < max_steps:
                     duration = self.decode_iteration_time(contexts)
                     now += duration
@@ -578,30 +610,65 @@ class _Pool:
                     # The last executed iteration reserved context - 1 tokens
                     # (the token it generated claims its slot next step).
                     allocator.reserve(state.request.request_id, state.context_tokens - 1)
+                if prof is not None:
+                    prof.add("fast-forward", prof.clock() - clock_start)
+                if obs is not None:
+                    obs.emit(
+                        now, obs_events.STRETCH, device, None,
+                        (steps, n, stretch_start, stored / capacity_tokens),
+                    )
                 continue
             if not batcher.has_work:
                 if cursor < len(pending):
                     now = pending[cursor].pool_arrival
                     continue
                 break
+            if obs is not None:
+                batcher.now = now
+            clock_start = prof.clock() if prof is not None else 0.0
             plan = batcher.plan(self.prefill_budget())
+            if prof is not None:
+                prof.add("admission", prof.clock() - clock_start)
             if plan.empty:
-                if batcher.running and batcher._preempt_victim(plan) is not None:
-                    continue  # freed blocks; replan
+                if batcher.running:
+                    clock_start = prof.clock() if prof is not None else 0.0
+                    victim = batcher._preempt_victim(plan)
+                    if prof is not None:
+                        prof.add("eviction", prof.clock() - clock_start)
+                    if victim is not None:
+                        continue  # freed blocks; replan
                 if cursor < len(pending):
                     now = pending[cursor].pool_arrival
                     continue
                 raise RuntimeError(
                     "serving pool stalled with queued work and no runnable batch"
                 )
+            clock_start = prof.clock() if prof is not None else 0.0
             duration = self.iteration_time(plan)
+            if prof is not None:
+                prof.add("pricing", prof.clock() - clock_start)
             now += duration
             iterations += 1
             utilization = allocator.token_utilization
             kv_weighted += utilization * duration
             kv_time += duration
             kv_peak = max(kv_peak, utilization)
+            clock_start = prof.clock() if prof is not None else 0.0
             departed.extend(batcher.commit(plan, now))
+            if prof is not None:
+                prof.add("commit", prof.clock() - clock_start)
+            if obs is not None:
+                obs.emit(
+                    now, obs_events.ITERATION, device, None,
+                    (
+                        duration,
+                        plan.prefill_tokens,
+                        len(plan.decode),
+                        len(batcher.waiting),
+                        len(batcher.running),
+                        utilization,
+                    ),
+                )
             if timeline is not None:
                 timeline.add(
                     TimelineSpan(

@@ -45,9 +45,13 @@ class PercentileSummary:
 
     __slots__ = ("_ordered",)
 
-    def __init__(self, values: Sequence[float]):
+    def __init__(self, values: Sequence[float], metric: Optional[str] = None):
         if not values:
-            raise ValueError("percentile of empty sequence")
+            name = metric or "sample"
+            raise ValueError(
+                f"cannot summarise {name}: no samples were collected "
+                "(did any request finish?)"
+            )
         self._ordered = sorted(values)
 
     def at(self, q: float) -> float:
@@ -64,9 +68,12 @@ class PercentileSummary:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``."""
-    return PercentileSummary(values).at(q)
+def percentile(values: Sequence[float], q: float, metric: Optional[str] = None) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+
+    ``metric`` names the quantity in the empty-sample error message.
+    """
+    return PercentileSummary(values, metric=metric).at(q)
 
 
 @dataclass(frozen=True)
@@ -199,10 +206,14 @@ def compute_metrics(
     """Aggregate per-request records into :class:`ServingMetrics`."""
     done = [r for r in records if r.finished]
     if not done:
-        raise ValueError("no finished requests to aggregate")
-    ttfts = PercentileSummary([r.ttft for r in done])
-    tpots = PercentileSummary([r.tpot for r in done])
-    e2es = PercentileSummary([r.e2e_latency for r in done])
+        raise ValueError(
+            f"no finished requests to aggregate ({len(records)} records, "
+            "0 finished) — the trace may be empty or the run ended before "
+            "any request completed"
+        )
+    ttfts = PercentileSummary([r.ttft for r in done], metric="TTFT")
+    tpots = PercentileSummary([r.tpot for r in done], metric="TPOT")
+    e2es = PercentileSummary([r.e2e_latency for r in done], metric="E2E latency")
     output_tokens = sum(r.request.output_tokens for r in done)
     span = max(duration, 1e-12)
     good = sum(1 for r in done if r.meets(slo))

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..constants import UnknownNameError
 from ..model.config import get_model_config
+from ..obs.events import EventRecorder
 from .batcher import BatcherConfig
 from .engine import DisaggregatedEngine, ServingConfig, ServingEngine, ServingResult
 from .metrics import SLO
@@ -301,6 +302,7 @@ def run_scenario(
     policy: Optional[str] = None,
     fast_forward: bool = True,
     prefix_caching: Optional[bool] = None,
+    observe: Optional[EventRecorder] = None,
 ) -> ServingResult:
     """Simulate a scenario end to end with either deployment.
 
@@ -308,7 +310,9 @@ def run_scenario(
     scenario's defaults (the CLI maps its flags straight through here).
     ``fast_forward=False`` runs the naive one-iteration-at-a-time stepper —
     the reference oracle the decode fast-forward path is equivalence-tested
-    against.
+    against.  ``observe`` threads an
+    :class:`~repro.obs.events.EventRecorder` through the engine (opt-in
+    observability; ``None`` leaves the hot path untouched).
     """
     if mode not in ("colocated", "disaggregated"):
         raise UnknownNameError(
@@ -320,6 +324,8 @@ def run_scenario(
         config = replace(config, batcher=replace(config.batcher, policy=policy))
     if not fast_forward:
         config = replace(config, fast_forward=False)
+    if observe is not None:
+        config = replace(config, observe=observe)
     trace = scenario.make_trace(seed)
     if mode == "disaggregated":
         engine = DisaggregatedEngine(

@@ -9,13 +9,18 @@ examples and handy when debugging schedules:
   SlimPipe iteration can be inspected in a real trace viewer;
 * :func:`utilization_summary` — per-device busy/idle accounting as plain
   dictionaries for quick reporting.
+
+The trace-event JSON dialect itself (metadata / complete / counter event
+shapes, the ``traceEvents`` container) lives in :mod:`repro.obs.chrome`,
+shared with the serving/fleet event-stream exporter
+(:mod:`repro.obs.trace`).
 """
 
 from __future__ import annotations
 
-import json
 from typing import Dict, List
 
+from ..obs import chrome
 from .timeline import Timeline
 
 __all__ = ["to_chrome_trace", "write_chrome_trace", "utilization_summary"]
@@ -39,13 +44,7 @@ def to_chrome_trace(timeline: Timeline, time_unit_us: float = 1e6) -> Dict:
     events: List[Dict] = []
     for device in range(timeline.num_devices):
         events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": device,
-                "args": {"name": f"pipeline device {device}"},
-            }
+            chrome.thread_name_event(0, device, f"pipeline device {device}")
         )
     for span in timeline.spans:
         work = span.work
@@ -54,30 +53,27 @@ def to_chrome_trace(timeline: Timeline, time_unit_us: float = 1e6) -> Dict:
         if work.slice_index is not None:
             name += f" slice{work.slice_index}"
         events.append(
-            {
-                "name": name,
-                "cat": kind,
-                "ph": "X",
-                "pid": 0,
-                "tid": span.device,
-                "ts": span.start * time_unit_us,
-                "dur": span.duration * time_unit_us,
-                "args": {
+            chrome.complete_event(
+                name,
+                0,
+                span.device,
+                span.start,
+                span.duration,
+                time_unit_us,
+                cat=kind,
+                args={
                     "microbatch": work.microbatch,
                     "stage": work.stage,
                     "slice": work.slice_index,
                 },
-            }
+            )
         )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return chrome.trace_container(events)
 
 
 def write_chrome_trace(timeline: Timeline, path: str, time_unit_us: float = 1e6) -> str:
     """Serialise :func:`to_chrome_trace` to ``path`` and return the path."""
-    trace = to_chrome_trace(timeline, time_unit_us)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(trace, handle)
-    return path
+    return chrome.write_trace(to_chrome_trace(timeline, time_unit_us), path)
 
 
 def utilization_summary(timeline: Timeline) -> List[Dict[str, float]]:

@@ -29,6 +29,7 @@ REQUIRED_GUIDES = (
     "fleet.md",
     "sweep.md",
     "metrics.md",
+    "observability.md",
     "cookbook.md",
 )
 

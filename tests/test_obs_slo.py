@@ -1,0 +1,247 @@
+"""SLO burn-rate arithmetic, windowed time series, and empty-sample errors.
+
+The burn windows are checked against hand-computed traces: known finish
+times with known TTFT/TPOT against a known SLO, so every window's
+good/total tally, burn rate and flag is arithmetic on paper first and an
+assertion second.  The time-series half pins the window bucketing and the
+double-count guard for disaggregated arrivals; the tail covers satellite
+work on the friendlier empty-sample errors.
+"""
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs.events import EventRecorder
+from repro.obs.slo import SLOBurnMonitor, burn_report, burn_report_from_records
+from repro.obs.timeseries import build_timeseries
+from repro.serving.metrics import (
+    SLO,
+    PercentileSummary,
+    RequestRecord,
+    compute_metrics,
+    percentile,
+)
+from repro.serving.scenarios import SCENARIO_REGISTRY, run_scenario
+from repro.serving.workload import Request
+
+_SLO = SLO(ttft=1.0, tpot=0.05)
+
+
+def _finish(monitor, time, good, tokens=10):
+    # Good requests sit well inside both bounds; bad ones blow the TTFT bound.
+    monitor.observe(time, 0.5 if good else 2.0, 0.01, tokens)
+
+
+def test_burn_rate_hand_computed():
+    # target 90% => error budget 10%.  Window [0, 10): 4 good of 5 =>
+    # bad fraction 0.2 => burn 2.0x.  Window [10, 20): all 3 good => 0x.
+    # Window [20, 30): 1 good of 4 => bad 0.75 => burn 7.5x.
+    monitor = SLOBurnMonitor(_SLO, window=10.0, target=0.9)
+    for t in (1.0, 2.0, 3.0, 4.0):
+        _finish(monitor, t, good=True)
+    _finish(monitor, 9.0, good=False)
+    for t in (11.0, 15.0, 19.9):
+        _finish(monitor, t, good=True)
+    _finish(monitor, 20.0, good=True)
+    for t in (21.0, 22.0, 25.0):
+        _finish(monitor, t, good=False)
+    report = monitor.report()
+    assert [(w.start, w.end) for w in report.windows] == [
+        (0.0, 10.0),
+        (10.0, 20.0),
+        (20.0, 30.0),
+    ]
+    assert [w.requests for w in report.windows] == [5, 3, 4]
+    assert [w.good_requests for w in report.windows] == [4, 3, 1]
+    assert report.windows[0].burn_rate == pytest.approx(2.0)
+    assert report.windows[1].burn_rate == 0.0
+    assert report.windows[2].burn_rate == pytest.approx(7.5)
+    # Default threshold 1.0: windows 0 and 2 are burning.
+    assert report.burn_windows == [report.windows[0], report.windows[2]]
+    assert report.overall_attainment == pytest.approx(8 / 12)
+    # Overall bad fraction 4/12 against a 0.1 budget.
+    assert report.budget_consumed == pytest.approx((4 / 12) / 0.1)
+
+
+def test_burn_accounts_tokens_and_attainment():
+    monitor = SLOBurnMonitor(_SLO, window=5.0, target=0.95)
+    _finish(monitor, 1.0, good=True, tokens=30)
+    _finish(monitor, 2.0, good=False, tokens=70)
+    report = monitor.report()
+    (window,) = report.windows
+    assert window.total_tokens == 100
+    assert window.good_tokens == 30
+    assert window.attainment == pytest.approx(0.5)
+    assert window.token_attainment == pytest.approx(0.3)
+    assert window.bad_requests == 1
+    # bad fraction 0.5 over a 5% budget.
+    assert window.burn_rate == pytest.approx(10.0)
+
+
+def test_boundary_finish_lands_in_next_window():
+    monitor = SLOBurnMonitor(_SLO, window=10.0, target=0.9)
+    _finish(monitor, 10.0, good=True)
+    (window,) = monitor.report().windows
+    assert (window.start, window.end) == (10.0, 20.0)
+
+
+def test_burn_threshold_and_validation():
+    monitor = SLOBurnMonitor(_SLO, window=10.0, target=0.9, burn_threshold=3.0)
+    for t in (1.0, 2.0, 3.0, 4.0):
+        _finish(monitor, t, good=True)
+    _finish(monitor, 5.0, good=False)
+    report = monitor.report()  # burn 2.0x < 3.0x threshold
+    assert report.burn_windows == []
+    with pytest.raises(ValueError, match="window"):
+        SLOBurnMonitor(_SLO, window=0.0)
+    with pytest.raises(ValueError, match="target"):
+        SLOBurnMonitor(_SLO, target=1.0)
+
+
+def test_report_serialisation(tmp_path):
+    monitor = SLOBurnMonitor(_SLO, window=10.0, target=0.9)
+    _finish(monitor, 1.0, good=False)
+    report = monitor.report()
+    text = report.to_text()
+    assert "BURN" in text
+    assert "budget consumed" in text
+    payload = report.to_json()
+    assert payload["windows"][0]["burning"] is True
+    assert payload["error_budget"] == pytest.approx(0.1)
+    import json
+
+    path = report.write(str(tmp_path / "slo.json"))
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == json.loads(json.dumps(payload))
+
+
+def _recorded_chat():
+    recorder = EventRecorder()
+    result = run_scenario(SCENARIO_REGISTRY["chat"], "colocated", seed=0, observe=recorder)
+    return recorder, result
+
+
+def test_burn_report_sources_agree():
+    # The event-stream and request-record paths must tally identically.
+    recorder, result = _recorded_chat()
+    slo = SCENARIO_REGISTRY["chat"].slo
+    from_events = burn_report(recorder, slo)
+    from_records = burn_report_from_records(result.records, slo)
+    assert from_events.to_json() == from_records.to_json()
+    good = sum(1 for r in result.records if r.meets(slo))
+    assert from_events.total_good == good
+    assert from_events.total_requests == sum(1 for r in result.records if r.finished)
+
+
+# ---------------------------------------------------------------------------
+# Windowed time series
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_recorder():
+    recorder = EventRecorder()
+    recorder.emit(0.5, obs_events.ARRIVE, 0, 1)
+    recorder.emit(1.0, obs_events.ARRIVE, 0, 2)
+    recorder.emit(2.0, obs_events.FIRST_TOKEN, 0, 1, (1.5,))
+    # finish data: (ttft, tpot, output_tokens)
+    recorder.emit(6.0, obs_events.FINISH, 0, 1, (1.5, 0.02, 40))
+    recorder.emit(7.0, obs_events.FINISH, 0, 2, (0.2, 0.2, 60))
+    # iteration data: (duration, prefill_tokens, decodes, queue, running, kv)
+    recorder.emit(3.0, obs_events.ITERATION, 0, None, (0.1, 100, 8, 3, 4, 0.25))
+    recorder.emit(8.0, obs_events.ITERATION, 0, None, (0.1, 0, 16, 1, 2, 0.75))
+    return recorder
+
+
+def test_timeseries_window_arithmetic():
+    series = build_timeseries(_synthetic_recorder(), window=5.0, slo=_SLO)
+    arrivals = series.counters["arrivals"].intervals()
+    assert arrivals == [{"start": 0.0, "end": 5.0, "count": 2.0, "per_second": 0.4}]
+    finished = series.counters["finished_requests"].intervals()
+    assert finished == [{"start": 5.0, "end": 10.0, "count": 2.0, "per_second": 0.4}]
+    assert series.counters["output_tokens"].total == 100.0
+    # Request 1 blows TTFT, request 2 blows TPOT: neither is good.
+    assert "good_requests" not in series.counters
+    tpot = series.metrics["tpot"].intervals()
+    assert tpot == [
+        {"start": 5.0, "end": 10.0, "count": 2, "mean": pytest.approx(0.11), "min": 0.02, "max": 0.2}
+    ]
+    batch = series.metrics["batch_tokens"].intervals()
+    assert batch[0]["mean"] == 108.0  # 100 prefill + 8 decode
+    assert batch[1]["mean"] == 16.0
+    kv = series.metrics["kv_utilization"]
+    assert kv.sketch.summary()["min"] == 0.25
+    assert kv.sketch.summary()["max"] == 0.75
+
+
+def test_timeseries_goodput_counter():
+    recorder = EventRecorder()
+    recorder.emit(1.0, obs_events.FINISH, 0, 1, (0.5, 0.01, 10))  # good
+    recorder.emit(2.0, obs_events.FINISH, 0, 2, (2.0, 0.01, 10))  # bad TTFT
+    series = build_timeseries(recorder, window=5.0, slo=_SLO)
+    assert series.counters["good_requests"].total == 1.0
+    assert series.counters["finished_requests"].total == 2.0
+
+
+def test_timeseries_ignores_decode_pool_rearrivals():
+    recorder = EventRecorder()
+    recorder.emit(0.0, obs_events.ARRIVE, 0, 1)
+    recorder.emit(1.0, obs_events.ARRIVE, 1, 1)  # decode-pool re-observation
+    series = build_timeseries(recorder, window=5.0)
+    assert series.counters["arrivals"].total == 1.0
+
+
+def test_timeseries_disaggregated_counts_each_request_once():
+    recorder = EventRecorder()
+    result = run_scenario(
+        SCENARIO_REGISTRY["chat"], "disaggregated", seed=0, observe=recorder
+    )
+    series = build_timeseries(recorder)
+    assert series.counters["arrivals"].total == len(result.records)
+
+
+def test_timeseries_export_shape(tmp_path):
+    recorder, _ = _recorded_chat()
+    series = build_timeseries(recorder, slo=SCENARIO_REGISTRY["chat"].slo)
+    payload = series.to_json()
+    assert payload["window_seconds"] == 5.0
+    assert {"ttft", "tpot", "queue_depth", "batch_tokens", "kv_utilization"} <= set(
+        payload["metrics"]
+    )
+    for block in payload["metrics"].values():
+        assert block["summary"]["count"] >= 1
+        assert block["intervals"]
+    import json
+
+    path = series.write(str(tmp_path / "timeseries.json"))
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == json.loads(json.dumps(payload))
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError, match="window"):
+        build_timeseries(EventRecorder(), window=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Friendlier empty-sample errors (satellite: metrics error messages)
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_empty_error_names_metric():
+    with pytest.raises(ValueError, match="cannot summarise TTFT"):
+        percentile([], 95.0, metric="TTFT")
+    with pytest.raises(ValueError, match="cannot summarise sample"):
+        PercentileSummary([])
+    with pytest.raises(ValueError, match="did any request finish"):
+        PercentileSummary([], metric="TPOT")
+
+
+def test_compute_metrics_zero_finished_error_counts_records():
+    records = [
+        RequestRecord(request=Request(request_id=i, arrival_time=0.0, prompt_tokens=8, output_tokens=4))
+        for i in range(3)
+    ]
+    with pytest.raises(ValueError, match="3 records, 0 finished"):
+        compute_metrics(records, duration=1.0, slo=SLO())
+    with pytest.raises(ValueError, match="0 records"):
+        compute_metrics([], duration=1.0, slo=SLO())
