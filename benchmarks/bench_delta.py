@@ -9,8 +9,21 @@ printed to stdout otherwise)::
         --current /tmp/BENCH_serving.json --title "serving benchmarks"
 
 The table shows simulator wall seconds per benchmark with the relative
-delta, plus any benchmark added or removed.  Exit code is always 0 — the
-table is informational; hard perf gates live in the benchmarks themselves.
+delta, plus any benchmark added or removed.  By default the exit code is
+0 — the table is informational.
+
+``--gate`` turns the comparison into a CI gate: the run fails (exit 1)
+when any benchmark present on both sides regressed beyond the thresholds —
+simulator wall-clock up by more than ``--max-wall-regression`` (relative,
+default 25%) or goodput fraction down by more than ``--max-goodput-drop``
+(absolute, default 0.01).  Benchmarks that exist on only one side (added or
+removed) are reported but never gate.  An intentional regression lands by
+updating the committed baseline in the same PR, or by applying the
+``perf-regression-ok`` label, which skips the gate step in CI (see
+``.github/workflows/ci.yml``)::
+
+    python benchmarks/bench_delta.py --baseline BENCH_serving.json \
+        --current /tmp/BENCH_serving.json --gate
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ import json
 import os
 import sys
 from pathlib import Path
+from typing import List
 
 
 def _load(path: str) -> dict:
@@ -51,18 +65,89 @@ def delta_table(baseline: dict, current: dict, title: str) -> str:
     return "\n".join(lines)
 
 
+def gate_violations(
+    baseline: dict,
+    current: dict,
+    max_wall_regression: float = 0.25,
+    max_goodput_drop: float = 0.01,
+) -> List[str]:
+    """One human-readable line per benchmark regressed beyond a threshold.
+
+    Only benchmarks present in both artifacts participate; a zero-wall
+    baseline entry cannot gate on wall-clock (no meaningful relative delta).
+    """
+    violations: List[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        before, after = baseline[name], current[name]
+        wall_before = before.get("wall_seconds")
+        wall_after = after.get("wall_seconds")
+        if wall_before and wall_after is not None:
+            change = (wall_after - wall_before) / wall_before
+            if change > max_wall_regression:
+                violations.append(
+                    f"{name}: wall {wall_before:.3f}s -> {wall_after:.3f}s "
+                    f"({change:+.1%} > +{max_wall_regression:.0%} allowed)"
+                )
+        good_before = before.get("goodput_fraction")
+        good_after = after.get("goodput_fraction")
+        if good_before is not None and good_after is not None:
+            drop = good_before - good_after
+            if drop > max_goodput_drop:
+                violations.append(
+                    f"{name}: goodput {good_before:.3f} -> {good_after:.3f} "
+                    f"(-{drop:.3f} > -{max_goodput_drop:.3f} allowed)"
+                )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
     parser.add_argument("--current", required=True, help="freshly emitted BENCH_*.json")
     parser.add_argument("--title", default="benchmark deltas")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 on regressions beyond the thresholds (see module docstring)",
+    )
+    parser.add_argument(
+        "--max-wall-regression",
+        type=float,
+        default=0.25,
+        help="allowed relative wall-clock increase per benchmark (default: 0.25)",
+    )
+    parser.add_argument(
+        "--max-goodput-drop",
+        type=float,
+        default=0.01,
+        help="allowed absolute goodput-fraction decrease per benchmark (default: 0.01)",
+    )
     args = parser.parse_args(argv)
-    table = delta_table(_load(args.baseline), _load(args.current), args.title)
+    baseline, current = _load(args.baseline), _load(args.current)
+    table = delta_table(baseline, current, args.title)
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:
         with open(summary, "a") as fh:
             fh.write(table + "\n")
     print(table)
+    if args.gate:
+        violations = gate_violations(
+            baseline,
+            current,
+            max_wall_regression=args.max_wall_regression,
+            max_goodput_drop=args.max_goodput_drop,
+        )
+        if violations:
+            print("benchmark gate FAILED:", file=sys.stderr)
+            for line in violations:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                "update the committed baseline or apply the perf-regression-ok "
+                "label to land an intentional regression",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"benchmark gate passed ({len(set(baseline) & set(current))} compared)")
     return 0
 
 

@@ -16,13 +16,14 @@ perf trajectory per commit: simulator wall seconds, simulated iterations per
 wall second, the fast-forward speedup and the headline serving metrics.
 """
 
+import gc
 import time
 
 import pytest
 
 from _bench_artifact import BenchArtifact
 from repro.fleet import get_fleet_scenario, run_fleet_scenario
-from repro.obs import EventRecorder
+from repro.obs import EventRecorder, build_attributions, verify_conservation
 from repro.serving import get_scenario, run_scenario
 
 _ARTIFACT = BenchArtifact("BENCH_SERVING_JSON", "BENCH_serving.json")
@@ -170,28 +171,39 @@ def test_recorder_overhead(once):
     fast-forward gate also uses, hundreds of overlapping requests across an
     autoscaled pool — with and without an :class:`EventRecorder` attached.
     One warm-up run feeds the process-global FLOPs caches, then the two arms
-    interleave over three rounds and the best round of each is compared, so
-    a background hiccup in either arm cannot decide the gate.  The observed
-    run must also stay byte-identical: recording may cost wall-clock, never
-    a simulated number.
+    interleave over seven rounds and the gate compares the best *paired*
+    ratio: the arms run back to back inside each round exactly so that host
+    noise (CPU contention, frequency drift) hits both sides of one ratio,
+    and the cleanest round estimates the true overhead — on a busy host the
+    per-round swing is several times that overhead, so comparing the
+    independent floors of the two arms instead would need far more draws to
+    converge.  Each timed run starts from a collected heap: without it, the
+    garbage of one arm is collected inside the other arm's timing.  The
+    observed run must also stay byte-identical: recording may cost
+    wall-clock, never a simulated number.
     """
     scenario = get_fleet_scenario("steady-chat")
 
     def both():
         run_fleet_scenario(scenario, seed=0)  # warm-up, discarded
         plain_walls, observed_walls = [], []
-        for _ in range(3):
+        for _ in range(7):
+            gc.collect()
             start = time.perf_counter()
             plain = run_fleet_scenario(scenario, seed=0)
             plain_walls.append(time.perf_counter() - start)
             recorder = EventRecorder()
+            gc.collect()
             start = time.perf_counter()
             observed = run_fleet_scenario(scenario, seed=0, observe=recorder)
             observed_walls.append(time.perf_counter() - start)
-        return plain, min(plain_walls), observed, min(observed_walls), recorder
+        return plain, plain_walls, observed, observed_walls, recorder
 
-    plain, plain_wall, observed, observed_wall, recorder = once(both)
-    overhead = observed_wall / max(plain_wall, 1e-9)
+    plain, plain_walls, observed, observed_walls, recorder = once(both)
+    plain_wall, observed_wall = min(plain_walls), min(observed_walls)
+    overhead = min(
+        o / max(p, 1e-9) for p, o in zip(plain_walls, observed_walls)
+    )
     _record(
         "steady-chat.recorder-overhead",
         observed,
@@ -202,7 +214,8 @@ def test_recorder_overhead(once):
     )
     print()
     print(f"recorder off wall: {plain_wall:8.3f} s")
-    print(f"recorder on  wall: {observed_wall:8.3f} s  ({(overhead - 1) * 100:+.1f}%)")
+    print(f"recorder on  wall: {observed_wall:8.3f} s")
+    print(f"best paired round: {(overhead - 1) * 100:+.1f}%")
     print(f"events recorded:   {len(recorder)}")
 
     assert len(recorder) > 0
@@ -212,6 +225,51 @@ def test_recorder_overhead(once):
         r.finish_time for r in plain.records
     ]
     assert overhead < 1.10
+
+
+def test_attribution_overhead(once):
+    """Critical-path reconstruction must stay cheap next to the simulation.
+
+    Runs the same ``steady-chat`` fleet workload the recorder-overhead gate
+    uses with a profiling recorder attached, then rebuilds every request's
+    span decomposition (and proves the spans conserve the measured
+    latencies).  The attribution pass is pure post-processing — it reads the
+    recorded stream, never the engines — so it is gated against the
+    simulation's own wall-clock: the diagnosis must not cost more than the
+    run it explains.
+    """
+    scenario = get_fleet_scenario("steady-chat")
+
+    def run():
+        recorder = EventRecorder(profile=True)
+        start = time.perf_counter()
+        observed = run_fleet_scenario(scenario, seed=0, observe=recorder)
+        sim_wall = time.perf_counter() - start
+        attributions = build_attributions(recorder)
+        checked = verify_conservation(recorder, attributions, records=observed.records)
+        return recorder, observed, attributions, checked, sim_wall
+
+    recorder, observed, attributions, checked, sim_wall = once(run)
+    calls, attribution_wall = recorder.profiler.phases["attribution"]
+    overhead = attribution_wall / max(sim_wall, 1e-9)
+    _record(
+        "steady-chat.attribution-overhead",
+        observed,
+        sim_wall,
+        attribution_wall_seconds=attribution_wall,
+        attribution_overhead=overhead,
+        requests_attributed=len(attributions),
+        requests_conservation_checked=checked,
+    )
+    print()
+    print(f"simulation  wall: {sim_wall:8.3f} s")
+    print(f"attribution wall: {attribution_wall:8.3f} s  "
+          f"({overhead * 100:.1f}% of simulation, {calls} pass(es))")
+    print(f"requests attributed/conservation-checked: {len(attributions)}/{checked}")
+
+    assert checked == observed.metrics.num_requests
+    assert len(attributions) >= checked
+    assert overhead < 1.0
 
 
 def test_serving_disaggregation_tail_latency(once):

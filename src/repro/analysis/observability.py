@@ -8,13 +8,27 @@ discipline as the serving and fleet reports.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from ..obs.anomaly import Anomaly
+from ..obs.attribution import RunDiff, TailAttribution, tail_attribution
+from ..obs.critical_path import RequestAttribution
 from ..obs.events import CLUSTER_TRACK, EventRecorder
 from ..obs.profile import PhaseProfiler
 from .report import format_percent, render_table
 
-__all__ = ["event_summary_rows", "event_summary_table", "profile_rows", "profile_table"]
+__all__ = [
+    "event_summary_rows",
+    "event_summary_table",
+    "profile_rows",
+    "profile_table",
+    "attribution_rows",
+    "attribution_table",
+    "diff_rows",
+    "diff_table",
+    "anomaly_rows",
+    "anomaly_table",
+]
 
 
 def event_summary_rows(recorder: EventRecorder) -> List[Tuple[str, int]]:
@@ -50,3 +64,105 @@ def profile_table(profiler: PhaseProfiler, title: str = "simulator self-profile"
         return f"{title}: no phases metered (the run recorded no work)\n"
     table = render_table(["phase", "calls", "wall-clock", "share"], profile_rows(profiler), title=title)
     return table + f"metered total {profiler.total_seconds():.4f}s\n"
+
+
+def attribution_rows(tail: TailAttribution) -> List[Tuple[str, str, str, str]]:
+    """(span, tail seconds, tail share, mean seconds) rows per span kind."""
+    kinds = list(tail.totals)
+    for kind in tail.mean:
+        if kind not in tail.totals:
+            kinds.append(kind)
+    return [
+        (
+            kind,
+            f"{tail.totals.get(kind, 0.0):.3f}s",
+            format_percent(tail.shares.get(kind, 0.0)),
+            f"{tail.mean.get(kind, 0.0):.3f}s",
+        )
+        for kind in kinds
+    ]
+
+
+def attribution_table(
+    attributions: Dict[int, RequestAttribution],
+    metric: str = "ttft",
+    quantile: float = 99.0,
+    title: str = "latency attribution",
+) -> str:
+    """Aligned tail-attribution table of one run's span breakdown."""
+    tail = tail_attribution(attributions, metric=metric, quantile=quantile)
+    table = render_table(
+        [
+            "span",
+            f"p{quantile:g} tail",
+            "tail share",
+            "mean/request",
+        ],
+        attribution_rows(tail),
+        title=f"{title} ({metric})",
+    )
+    footer = (
+        f"p{tail.quantile:g} {tail.metric} = {tail.threshold:.3f}s over "
+        f"{len(tail.request_ids)} tail request(s): "
+        + ", ".join(f"{rid}" for rid in tail.request_ids[:8])
+        + ("…" if len(tail.request_ids) > 8 else "")
+    )
+    return table + footer + "\n"
+
+
+def diff_rows(diff: RunDiff) -> List[Tuple[str, str, str, str]]:
+    """(span, baseline mean, current mean, delta) rows per span kind."""
+    return [
+        (
+            kind,
+            f"{diff.baseline_mean.get(kind, 0.0):.3f}s",
+            f"{diff.current_mean.get(kind, 0.0):.3f}s",
+            f"{delta:+.3f}s",
+        )
+        for kind, delta in diff.span_deltas.items()
+    ]
+
+
+def diff_table(diff: RunDiff, title: str = "run diff") -> str:
+    """Aligned two-run diff: which span buckets moved the quantile."""
+    table = render_table(
+        ["span", "baseline mean", "current mean", "delta"],
+        diff_rows(diff),
+        title=f"{title} ({diff.metric} p{diff.quantile:g})",
+    )
+    dominant = diff.dominant()
+    footer = (
+        f"p{diff.quantile:g} {diff.metric}: {diff.baseline_value:.3f}s -> "
+        f"{diff.current_value:.3f}s ({diff.delta:+.3f}s); "
+        f"prefix-cache tokens/request {diff.baseline_prefix_tokens:.0f} -> "
+        f"{diff.current_prefix_tokens:.0f}"
+    )
+    if dominant is not None:
+        footer += f"; dominant shift: {dominant} ({diff.span_deltas[dominant]:+.3f}s)"
+    return table + footer + "\n"
+
+
+def anomaly_rows(anomalies: Sequence[Anomaly]) -> List[Tuple[str, str, str, str, str]]:
+    """(time, kind, metric, observed vs baseline, severity) rows."""
+    return [
+        (
+            f"{a.time:.1f}s",
+            a.kind,
+            a.metric,
+            f"{a.value:.3f} vs {a.baseline:.3f}",
+            f"{a.severity:.1f}",
+        )
+        for a in anomalies
+    ]
+
+
+def anomaly_table(anomalies: Sequence[Anomaly], title: str = "anomalies") -> str:
+    """Aligned table of detected anomalies (empty-safe)."""
+    if not anomalies:
+        return f"{title}: none detected\n"
+    table = render_table(
+        ["time", "kind", "metric", "observed", "severity"],
+        anomaly_rows(anomalies),
+        title=title,
+    )
+    return table + f"{len(anomalies)} anomalies\n"

@@ -1,6 +1,6 @@
 """Command-line interface for the SlimPipe reproduction.
 
-Six subcommands cover the library's main workflows without writing Python:
+Seven subcommands cover the library's main workflows without writing Python:
 
 ``plan``
     Grid-search the best hybrid-parallelism configuration of each training
@@ -23,7 +23,14 @@ Six subcommands cover the library's main workflows without writing Python:
     with request lifelines and counter tracks, ``--timeseries`` a windowed
     TTFT/TPOT/goodput export, ``--slo-report`` prints the SLO burn-rate
     table and ``--self-profile`` the simulator's own wall-clock per engine
-    phase.  Decode fast-forwarding is on by
+    phase.  The diagnosis flags build on the same recorder: ``--explain``
+    prints the per-request critical-path attribution of the run's latency
+    tail plus detected anomalies, ``--events PATH`` saves the raw stream as
+    JSONL, ``--diff-against PATH`` explains which span buckets moved a
+    latency quantile versus a previously saved stream, and
+    ``--incident-report PATH`` writes the correlated anomaly/cluster-event
+    postmortem (markdown, or JSON when the path ends in ``.json``).
+    Decode fast-forwarding is on by
     default and exact (bit-identical metrics, several times faster);
     ``--no-fast-forward`` steps every iteration naively — useful only as the
     reference oracle.  ``--prefix-caching`` / ``--no-prefix-caching``
@@ -56,6 +63,13 @@ Six subcommands cover the library's main workflows without writing Python:
     prefix-cache on/off comparison (``experiments prefix-cache``), or a
     registered sweep, directly from the analysis layer.
 
+``obs``
+    Offline analysis of a saved event stream: ``obs explain events.jsonl``
+    reloads a ``--events`` JSONL and prints the event summary, latency
+    attribution, anomaly table and (optionally) the incident report —
+    ``--diff-against`` works here too, so two saved runs can be compared
+    without re-simulating either.
+
 ``sweep``
     Drive the declarative sweep engine (``repro.sweep``): ``sweep run
     --name fig12 --workers 4`` evaluates a registered grid over worker
@@ -77,13 +91,28 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis import figures, tables
-from .analysis.observability import profile_table
+from .analysis.observability import (
+    anomaly_table,
+    attribution_table,
+    diff_table,
+    event_summary_table,
+    profile_table,
+)
 from .analysis.report import format_bytes, format_percent, render_table
 from .constants import UnknownNameError, tokens_from_k
 from .core.planner import SlimPipeOptions, SlimPipePlanner
 from .hardware.topology import hopper_cluster
 from .model.config import MODEL_REGISTRY, get_model_config
-from .obs import EventRecorder, build_timeseries, burn_report, write_perfetto
+from .obs import (
+    EventRecorder,
+    build_attributions,
+    build_timeseries,
+    burn_report,
+    diff_attributions,
+    incident_report,
+    write_incident_report,
+    write_perfetto,
+)
 from .parallel.config import ParallelConfig, WorkloadConfig
 from .sim.trace import write_chrome_trace
 from .systems import DeepSpeedSystem, MegatronSystem, SlimPipeSystem
@@ -239,9 +268,7 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
         prefix_caching = True
     elif args.no_prefix_caching:
         prefix_caching = False
-    observing = bool(
-        args.trace or args.timeseries or args.slo_report or args.self_profile
-    )
+    observing = _observing(args)
     for mode in modes:
         recorder = EventRecorder(profile=args.self_profile) if observing else None
         result = run_scenario(
@@ -264,9 +291,25 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
                 ),
             )
         )
+        attributions = anomalies = None
+        if recorder is not None:
+            attributions, anomalies = _diagnose(
+                args,
+                recorder,
+                scenario.slo,
+                label=f"{scenario.name} | {mode}",
+                mode=mode,
+                comparing=len(modes) > 1,
+            )
         if args.trace:
             path = _mode_suffixed(args.trace, mode, len(modes) > 1)
-            written = write_perfetto(recorder, path, timeline=result.timeline)
+            written = write_perfetto(
+                recorder,
+                path,
+                timeline=result.timeline,
+                anomalies=anomalies,
+                attributions=attributions,
+            )
             print(f"Perfetto trace written to {written}")
         if args.timeseries:
             path = _mode_suffixed(args.timeseries, mode, len(modes) > 1)
@@ -288,6 +331,72 @@ def _mode_suffixed(path: str, mode: str, comparing: bool) -> str:
     return f"{root}.{mode}{ext}"
 
 
+def _observing(args: argparse.Namespace) -> bool:
+    """True when any observability/diagnosis flag needs the event recorder."""
+    return bool(
+        args.trace
+        or args.timeseries
+        or args.slo_report
+        or args.self_profile
+        or args.explain
+        or args.diff_against
+        or args.incident_report
+        or args.events
+    )
+
+
+def _load_events(path: str) -> EventRecorder:
+    """Reload a ``--events`` JSONL, mapping file problems to user errors."""
+    try:
+        return EventRecorder.from_jsonl(path)
+    except OSError as error:
+        raise ValueError(f"cannot read event stream {path}: {error}")
+    except (KeyError, ValueError) as error:
+        raise ValueError(f"malformed event stream {path}: {error}")
+
+
+def _diagnose(
+    args: argparse.Namespace,
+    recorder: EventRecorder,
+    slo,
+    label: str,
+    mode: str = "",
+    comparing: bool = False,
+):
+    """The shared ``serve`` / ``fleet run`` diagnosis exports.
+
+    Returns ``(attributions, anomalies)`` so the Perfetto exporter can attach
+    the anomaly marker track and per-request span breakdowns; each is ``None``
+    when the corresponding diagnosis was not requested, which keeps a plain
+    ``--trace`` export byte-identical to earlier releases.
+    """
+    attributions = anomalies = None
+    if args.explain or args.diff_against:
+        attributions = build_attributions(recorder)
+    if args.explain:
+        print(attribution_table(attributions, title=f"latency attribution | {label}"))
+    if args.diff_against:
+        baseline = build_attributions(_load_events(args.diff_against))
+        diff = diff_attributions(baseline, attributions, metric="ttft", quantile=50.0)
+        print(diff_table(diff, title=f"vs {args.diff_against} | {label}"))
+    if args.explain or args.incident_report:
+        report = incident_report(recorder, slo=slo, title=label)
+        anomalies = report.anomalies
+        if args.explain:
+            print(anomaly_table(anomalies, title=f"anomalies | {label}"))
+        if args.incident_report:
+            path = _mode_suffixed(args.incident_report, mode, comparing)
+            written = write_incident_report(report, path)
+            print(
+                f"incident report written to {written} "
+                f"({len(report.incidents)} incident(s), {len(anomalies)} anomaly(ies))"
+            )
+    if args.events:
+        path = _mode_suffixed(args.events, mode, comparing)
+        print(f"event stream written to {recorder.to_jsonl(path)}")
+    return attributions, anomalies
+
+
 # ---------------------------------------------------------------------------
 # fleet
 # ---------------------------------------------------------------------------
@@ -303,9 +412,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         prefix_caching = True
     elif args.no_prefix_caching:
         prefix_caching = False
-    observing = bool(
-        args.trace or args.timeseries or args.slo_report or args.self_profile
-    )
+    observing = _observing(args)
     recorder = EventRecorder(profile=args.self_profile) if observing else None
     try:
         result = run_fleet_scenario(
@@ -338,11 +445,23 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         f"{result.tokens_admitted}/{result.tokens_prefilled}/"
         f"{result.tokens_preempted_requeued}"
     )
+    attributions = anomalies = None
+    if recorder is not None:
+        try:
+            attributions, anomalies = _diagnose(
+                args, recorder, scenario.slo, label=scenario.name
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.trace:
         # Iteration spans are reconstructed from the recorded events (one
         # ITERATION per naive iteration, one STRETCH per coalesced decode
         # stretch), so no separate timeline collection is needed.
-        print(f"Perfetto trace written to {write_perfetto(recorder, args.trace)}")
+        written = write_perfetto(
+            recorder, args.trace, anomalies=anomalies, attributions=attributions
+        )
+        print(f"Perfetto trace written to {written}")
     if args.timeseries:
         series = build_timeseries(recorder, slo=scenario.slo)
         print(f"time series written to {series.write(args.timeseries)}")
@@ -431,6 +550,47 @@ def _cmd_sweep_golden(args: argparse.Namespace) -> int:
     if failures:
         print(f"{failures} of {len(names)} goldens failed", file=sys.stderr)
         return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# obs
+# ---------------------------------------------------------------------------
+def _cmd_obs_explain(args: argparse.Namespace) -> int:
+    try:
+        recorder = _load_events(args.events)
+        baseline = _load_events(args.diff_against) if args.diff_against else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    label = os.path.basename(args.events)
+    print(event_summary_table(recorder, title=f"recorded events | {label}"))
+    attributions = build_attributions(recorder)
+    print(
+        attribution_table(
+            attributions,
+            quantile=args.quantile,
+            title=f"latency attribution | {label}",
+        )
+    )
+    if baseline is not None:
+        diff = diff_attributions(
+            build_attributions(baseline), attributions, metric="ttft", quantile=50.0
+        )
+        print(diff_table(diff, title=f"vs {os.path.basename(args.diff_against)} | {label}"))
+    slo = None
+    if args.slo_ttft is not None:
+        from .serving.metrics import SLO
+
+        slo = SLO(ttft=args.slo_ttft, tpot=args.slo_tpot)
+    report = incident_report(recorder, slo=slo, title=label)
+    print(anomaly_table(report.anomalies, title=f"anomalies | {label}"))
+    if args.incident_report:
+        written = write_incident_report(report, args.incident_report)
+        print(
+            f"incident report written to {written} "
+            f"({len(report.incidents)} incident(s), {len(report.anomalies)} anomaly(ies))"
+        )
     return 0
 
 
@@ -539,6 +699,29 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--self-profile",
         action="store_true",
         help="meter the simulator's own wall-clock per engine phase",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the latency-attribution and anomaly tables for the run",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        help="write the raw event stream as JSONL (reload with `obs explain`)",
+    )
+    parser.add_argument(
+        "--diff-against",
+        metavar="PATH",
+        help="diff this run's span breakdown against a saved --events JSONL",
+    )
+    parser.add_argument(
+        "--incident-report",
+        metavar="PATH",
+        help=(
+            "write the anomaly/cluster-event postmortem "
+            "(markdown, or JSON when PATH ends in .json)"
+        ),
     )
 
 
@@ -693,6 +876,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", help="experiment ids, e.g. fig2 fig12 tab4")
     experiments.add_argument("--list", action="store_true", help="list available experiments")
     experiments.set_defaults(handler=_cmd_experiments)
+
+    obs = subparsers.add_parser("obs", help="offline analysis of saved event streams")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_explain = obs_sub.add_parser(
+        "explain", help="attribution/anomaly/incident analysis of an --events JSONL"
+    )
+    obs_explain.add_argument("events", help="event stream JSONL written by --events")
+    obs_explain.add_argument(
+        "--diff-against",
+        metavar="PATH",
+        default=None,
+        help="baseline event stream JSONL to diff this run against",
+    )
+    obs_explain.add_argument(
+        "--quantile",
+        type=float,
+        default=99.0,
+        help="tail quantile for the attribution table (default: 99)",
+    )
+    obs_explain.add_argument(
+        "--slo-ttft",
+        type=float,
+        default=None,
+        help="TTFT bound in seconds (enables SLO burn-rate anomaly detection)",
+    )
+    obs_explain.add_argument(
+        "--slo-tpot",
+        type=float,
+        default=0.1,
+        help="TPOT bound in seconds (used with --slo-ttft)",
+    )
+    obs_explain.add_argument(
+        "--incident-report",
+        metavar="PATH",
+        default=None,
+        help="also write the incident-report artifact",
+    )
+    obs_explain.set_defaults(handler=_cmd_obs_explain)
 
     sweep = subparsers.add_parser(
         "sweep", help="run declarative sweeps and manage golden metrics"

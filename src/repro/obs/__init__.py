@@ -18,12 +18,44 @@ perturbing it:
 * :mod:`~repro.obs.profile` — self-profiling of the simulator's own
   wall-clock per engine phase;
 * :mod:`~repro.obs.chrome` — the shared Chrome trace-event JSON
-  scaffolding (also used by :mod:`repro.sim.trace`).
+  scaffolding (also used by :mod:`repro.sim.trace`);
+* :mod:`~repro.obs.critical_path` — per-request span reconstruction with a
+  float-exact conservation oracle (spans tile measured TTFT/E2E);
+* :mod:`~repro.obs.attribution` — tail attribution tables and the two-run
+  differ ("why did p99 regress between config A and B");
+* :mod:`~repro.obs.anomaly` — streaming EWMA/level-shift/burn detectors
+  emitting typed :class:`Anomaly` records;
+* :mod:`~repro.obs.incident` — anomaly/cluster-event correlation into a
+  deterministic incident timeline and markdown postmortem.
 
 See ``docs/observability.md`` for the architecture and event taxonomy.
 """
 
+from .anomaly import Anomaly, detect_anomalies
+from .attribution import (
+    RunDiff,
+    TailAttribution,
+    diff_attributions,
+    mean_breakdown,
+    tail_attribution,
+)
+from .critical_path import (
+    ConservationError,
+    RequestAttribution,
+    Span,
+    build_attributions,
+    slow_windows,
+    verify_conservation,
+)
 from .events import Event, EventRecorder
+from .incident import (
+    ClusterMoment,
+    Incident,
+    IncidentReport,
+    incident_report,
+    render_postmortem,
+    write_incident_report,
+)
 from .profile import PhaseProfiler
 from .sketch import P2Quantile, QuantileSketch
 from .slo import SLOBurnMonitor, SLOReport, burn_report, burn_report_from_records
@@ -46,4 +78,23 @@ __all__ = [
     "build_timeseries",
     "to_perfetto",
     "write_perfetto",
+    "Span",
+    "RequestAttribution",
+    "ConservationError",
+    "build_attributions",
+    "slow_windows",
+    "verify_conservation",
+    "TailAttribution",
+    "RunDiff",
+    "mean_breakdown",
+    "tail_attribution",
+    "diff_attributions",
+    "Anomaly",
+    "detect_anomalies",
+    "ClusterMoment",
+    "Incident",
+    "IncidentReport",
+    "incident_report",
+    "render_postmortem",
+    "write_incident_report",
 ]

@@ -1,0 +1,272 @@
+"""Streaming anomaly detection over windowed time series.
+
+Detectors consume the uniform window axis of
+:mod:`repro.obs.timeseries` (gap rows included) and emit typed
+:class:`Anomaly` records; they never look at wall-clock and keep O(1)
+state per series, so detection is deterministic and could run online
+against a live stream.  Three detectors cover the ROADMAP's operations
+story:
+
+* :func:`ewma_anomalies` — an exponentially-weighted mean/variance
+  tracker flags windows whose value z-scores away from the smoothed
+  baseline (queue-depth spikes after a crash, TTFT bursts);
+* :func:`level_shift_anomalies` — compares adjacent fixed-width window
+  groups and flags sustained level changes (a slow window doubling TTFT
+  is a shift, not a spike);
+* :func:`burn_anomalies` — escalates :class:`~repro.obs.slo.SLOReport`
+  burn windows when the budget burns for several consecutive windows.
+
+:func:`detect_anomalies` runs the whole battery over a recorder —
+queue depth, TTFT, the prefix-cache hit rate (when the run used the
+cache) and SLO burn — and returns one chronologically sorted list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import events as ev
+from .events import EventRecorder
+from .slo import SLOReport, burn_report
+from .timeseries import build_timeseries
+
+__all__ = [
+    "Anomaly",
+    "ewma_anomalies",
+    "level_shift_anomalies",
+    "burn_anomalies",
+    "hit_rate_intervals",
+    "detect_anomalies",
+]
+
+EWMA_SPIKE = "ewma-spike"
+LEVEL_SHIFT = "level-shift"
+SLO_BURN = "slo-burn"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected deviation, anchored to a simulated-time window."""
+
+    time: float          #: detection moment (end of the flagged window)
+    kind: str            #: ewma-spike | level-shift | slo-burn
+    metric: str          #: series the detector ran on
+    value: float         #: observed value in the flagged window
+    baseline: float      #: what the detector expected instead
+    severity: float      #: z-score / shift ratio / peak burn rate
+    window: Tuple[float, float]  #: [start, end) of the flagged window(s)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "metric": self.metric,
+            "value": self.value,
+            "baseline": self.baseline,
+            "severity": self.severity,
+            "window": list(self.window),
+        }
+
+
+def ewma_anomalies(
+    metric: str,
+    intervals: Sequence[Dict[str, Optional[float]]],
+    alpha: float = 0.3,
+    threshold: float = 3.0,
+    warmup: int = 3,
+    min_scale: float = 1e-3,
+) -> List[Anomaly]:
+    """Flag windows whose mean z-scores beyond ``threshold`` from the EWMA.
+
+    Gap rows (``mean is None``) freeze the tracker without emitting.  The
+    deviation scale is floored at 10% of the smoothed mean and at
+    ``min_scale`` (and z saturates at ±99) so a perfectly flat warm-up —
+    common for queue depth in a healthy run — cannot make the first wiggle
+    infinitely severe.
+    """
+    out: List[Anomaly] = []
+    mean: Optional[float] = None
+    var = 0.0
+    seen = 0
+    for row in intervals:
+        value = row["mean"]
+        if value is None:
+            continue
+        if mean is None:
+            mean = value
+            seen = 1
+            continue
+        scale = max(var ** 0.5, 0.1 * abs(mean), min_scale)
+        z = (value - mean) / scale
+        z = max(-99.0, min(99.0, z))
+        if seen >= warmup and abs(z) >= threshold:
+            out.append(
+                Anomaly(
+                    time=row["end"],
+                    kind=EWMA_SPIKE,
+                    metric=metric,
+                    value=value,
+                    baseline=mean,
+                    severity=z,
+                    window=(row["start"], row["end"]),
+                )
+            )
+        delta = value - mean
+        mean += alpha * delta
+        var = (1.0 - alpha) * (var + alpha * delta * delta)
+        seen += 1
+    return out
+
+
+def level_shift_anomalies(
+    metric: str,
+    intervals: Sequence[Dict[str, Optional[float]]],
+    group: int = 3,
+    ratio: float = 2.0,
+    min_delta: float = 0.0,
+) -> List[Anomaly]:
+    """Flag sustained level changes between adjacent window groups.
+
+    At every boundary the mean of the next ``group`` sampled windows is
+    compared against the mean of the previous ``group``; a ratio beyond
+    ``ratio`` (either direction) and an absolute change of at least
+    ``min_delta`` is a shift.  Only the rising edge is emitted, so one
+    sustained change yields one anomaly, not one per window.
+    """
+    points = [
+        (row["start"], row["end"], row["mean"])
+        for row in intervals
+        if row["mean"] is not None
+    ]
+    out: List[Anomaly] = []
+    shifted = False
+    for i in range(group, len(points) - group + 1):
+        before = sum(p[2] for p in points[i - group : i]) / group
+        after = sum(p[2] for p in points[i : i + group]) / group
+        low = min(abs(before), abs(after))
+        high = max(abs(before), abs(after))
+        level_ratio = high / low if low > 1e-12 else (0.0 if high <= 1e-12 else ratio)
+        is_shift = level_ratio >= ratio and abs(after - before) >= min_delta
+        if is_shift and not shifted:
+            start, end = points[i][0], points[i][1]
+            out.append(
+                Anomaly(
+                    time=end,
+                    kind=LEVEL_SHIFT,
+                    metric=metric,
+                    value=after,
+                    baseline=before,
+                    severity=level_ratio,
+                    window=(start, end),
+                )
+            )
+        shifted = is_shift
+    return out
+
+
+def burn_anomalies(report: SLOReport, consecutive: int = 2) -> List[Anomaly]:
+    """Escalate ``consecutive`` back-to-back burning windows to an anomaly."""
+    out: List[Anomaly] = []
+    run: List = []
+    windows = list(report.windows) + [None]
+    for window in windows:
+        burning = window is not None and window.burn_rate > report.burn_threshold
+        if burning and (not run or window.start == run[-1].end):
+            run.append(window)
+            continue
+        if len(run) >= consecutive:
+            peak = max(w.burn_rate for w in run)
+            worst = min(w.attainment for w in run)
+            out.append(
+                Anomaly(
+                    time=run[consecutive - 1].end,
+                    kind=SLO_BURN,
+                    metric="goodput",
+                    value=worst,
+                    baseline=report.target,
+                    severity=peak,
+                    window=(run[0].start, run[-1].end),
+                )
+            )
+        run = [window] if burning else []
+    return out
+
+
+def hit_rate_intervals(
+    recorder: EventRecorder, window: float
+) -> List[Dict[str, Optional[float]]]:
+    """Per-window prefix-cache hit rate (hit tokens / admitted prompt tokens).
+
+    Windows where prefill ran without any cache activity rate 0.0; windows
+    with no prefill at all are gaps.  Empty when the run never touched the
+    prefix cache.
+    """
+    hits: Dict[int, float] = {}
+    prefills: Dict[int, float] = {}
+    for event in recorder.events:
+        bucket = int(event.time // window)
+        if event.kind == ev.PREFIX_HIT:
+            hits[bucket] = hits.get(bucket, 0.0) + event.data[0]
+        elif event.kind == ev.PREFILL:
+            prefills[bucket] = prefills.get(bucket, 0.0) + event.data[0]
+    if not hits:
+        return []
+    buckets = set(hits) | set(prefills)
+    first, last = min(buckets), max(buckets)
+    rows: List[Dict[str, Optional[float]]] = []
+    for bucket in range(first, last + 1):
+        hit = hits.get(bucket, 0.0)
+        total = hit + prefills.get(bucket, 0.0)
+        rows.append(
+            {
+                "start": bucket * window,
+                "end": (bucket + 1) * window,
+                "count": int(total),
+                "mean": (hit / total) if total > 0 else None,
+                "min": None,
+                "max": None,
+            }
+        )
+    return rows
+
+
+def detect_anomalies(
+    recorder: EventRecorder,
+    slo: Optional[object] = None,
+    window: float = 5.0,
+    ewma_threshold: float = 3.0,
+    shift_ratio: float = 2.0,
+    burn_consecutive: int = 2,
+) -> List[Anomaly]:
+    """Run the full detector battery over one recorded run.
+
+    ``slo`` is duck-typed (``ttft``/``tpot`` bounds) like everywhere else
+    in the obs layer; without it the SLO-burn escalation is skipped.
+    """
+    series = build_timeseries(recorder, window=window, slo=slo)
+    anomalies: List[Anomaly] = []
+    for name in ("queue_depth", "ttft"):
+        metric = series.metrics.get(name)
+        if metric is None:
+            continue
+        rows = metric.intervals()
+        anomalies.extend(ewma_anomalies(name, rows, threshold=ewma_threshold))
+        anomalies.extend(level_shift_anomalies(name, rows, ratio=shift_ratio))
+    hit_rows = hit_rate_intervals(recorder, window)
+    if hit_rows:
+        anomalies.extend(
+            ewma_anomalies("prefix_hit_rate", hit_rows, threshold=ewma_threshold)
+        )
+        anomalies.extend(
+            level_shift_anomalies("prefix_hit_rate", hit_rows, ratio=shift_ratio)
+        )
+    if slo is not None:
+        anomalies.extend(
+            burn_anomalies(
+                burn_report(recorder, slo, window=window),
+                consecutive=burn_consecutive,
+            )
+        )
+    anomalies.sort(key=lambda a: (a.time, a.metric, a.kind))
+    return anomalies

@@ -1,0 +1,395 @@
+"""Per-request critical-path reconstruction from the recorded event stream.
+
+Every finished request's life is re-derived purely from the
+:class:`~repro.obs.events.EventRecorder` stream as a gapless chain of
+:class:`Span` tiles — queue wait, prefill chunks, re-prefill after
+preemption or crash failover, decode, preemption re-queue, disaggregated
+KV-handoff transfer, decode-pool queueing — optionally split and flagged
+where the span overlaps an injected slow-node window.
+
+The load-bearing invariant is **float-exact conservation**: adjacent spans
+share their boundary float *identically* (``spans[i].end is the same float
+as spans[i + 1].start``), the first boundary is the request's arrival
+timestamp, one interior boundary is its first-token timestamp and the last
+boundary is its finish timestamp — all taken verbatim from event
+timestamps.  TTFT and E2E therefore telescope out of the chain with the
+*same single subtraction* the engines' own
+:class:`~repro.serving.metrics.RequestRecord` properties perform, so the
+reconstruction equals the measured latency bit-for-bit, with no epsilon.
+:func:`verify_conservation` is the oracle that asserts all of this for
+every request of a run.
+
+Nothing here feeds back into the engines: reconstruction happens after the
+run (or offline, from a JSONL stream reloaded with
+``EventRecorder.from_jsonl``), keeping the zero-cost-when-off and
+byte-identical-when-on guarantees of :mod:`repro.obs.events` untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import events as ev
+from .events import EventRecorder
+
+__all__ = [
+    "Span",
+    "RequestAttribution",
+    "ConservationError",
+    "build_attributions",
+    "slow_windows",
+    "verify_conservation",
+    "QUEUE",
+    "PREFILL_SPAN",
+    "REPREFILL",
+    "DECODE",
+    "PREEMPT_REQUEUE",
+    "CRASH_REQUEUE",
+    "KV_HANDOFF",
+    "DECODE_QUEUE",
+    "SLOW_NODE",
+]
+
+# Span kinds.  ``SLOW_NODE`` is not a state of its own: running spans that
+# overlap a slow window are split at the window boundary and the inside
+# parts re-labelled, so the inflation shows up as its own bucket.
+QUEUE = "queue"                      # arrival → first admission
+PREFILL_SPAN = "prefill"             # admission / previous chunk → chunk end
+REPREFILL = "re-prefill"             # prefill of context already delivered once
+DECODE = "decode"                    # first token (or re-prefill end) → finish
+PREEMPT_REQUEUE = "preempt-requeue"  # eviction → re-admission
+CRASH_REQUEUE = "crash-requeue"      # replica crash → re-admission elsewhere
+KV_HANDOFF = "kv-handoff"            # prefill-pool release → decode-pool arrival
+DECODE_QUEUE = "decode-queue"        # decode-pool arrival → decode admission
+SLOW_NODE = "slow-node"              # running span portion inside a slow window
+
+
+@dataclass(frozen=True)
+class Span:
+    """One tile of a request's timeline on one track."""
+
+    kind: str
+    start: float
+    end: float
+    track: int
+    slow: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RequestAttribution:
+    """The reconstructed, gapless span chain of one request."""
+
+    request_id: int
+    arrival_time: float
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    spans: List[Span] = field(default_factory=list)
+    prefix_cached_tokens: int = 0
+    preemptions: int = 0
+    crash_reroutes: int = 0
+    output_tokens: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def ttft(self) -> float:
+        """Telescoped TTFT — the same subtraction ``RequestRecord.ttft`` does."""
+        if self.first_token_time is None:
+            raise ValueError(f"request {self.request_id} produced no token")
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        if self.finish_time is None:
+            raise ValueError(f"request {self.request_id} did not finish")
+        return self.finish_time - self.arrival_time
+
+    def breakdown(self, until_first_token: bool = False) -> Dict[str, float]:
+        """Seconds per span kind (slow portions bucketed as ``slow-node``).
+
+        With ``until_first_token`` only spans before the first-token boundary
+        contribute — the TTFT decomposition; otherwise the full E2E one.
+        """
+        out: Dict[str, float] = {}
+        cut = self.first_token_time if until_first_token else None
+        for span in self.spans:
+            if cut is not None and span.start >= cut:
+                break
+            key = SLOW_NODE if span.slow else span.kind
+            out[key] = out.get(key, 0.0) + span.duration
+        return out
+
+
+class ConservationError(AssertionError):
+    """A span chain failed to tile a request's measured timeline exactly."""
+
+
+# ---------------------------------------------------------------------------
+# Reconstruction
+# ---------------------------------------------------------------------------
+
+
+class _Walk:
+    """Mutable per-request state while walking the stream."""
+
+    __slots__ = ("attr", "cursor", "status", "wait_kind", "track", "target")
+
+    def __init__(self, attr: RequestAttribution):
+        self.attr = attr
+        self.cursor = attr.arrival_time
+        self.status = "queued"  # queued | prefill | decode | handoff | done
+        self.wait_kind = QUEUE
+        self.track = ev.CLUSTER_TRACK
+        self.target = 0
+
+    def tile(self, kind: str, end: float, track: Optional[int] = None) -> None:
+        """Close the open interval ``[cursor, end]`` as one span.
+
+        Never rewinds: the engines may stamp an admission marginally before
+        the recorded arrival (the first wake at t=0 admits a request whose
+        arrival timestamp is a denormal epsilon later), and such a
+        degenerate wait is an empty tile, not a negative one.
+        """
+        if end > self.cursor:
+            self.attr.spans.append(
+                Span(kind, self.cursor, end, self.track if track is None else track)
+            )
+            self.cursor = end
+
+    def running_kind(self) -> str:
+        if self.status == "decode":
+            return DECODE
+        if self.attr.first_token_time is not None:
+            return REPREFILL
+        return PREFILL_SPAN
+
+
+def build_attributions(recorder: EventRecorder) -> Dict[int, RequestAttribution]:
+    """Reconstruct every request's span chain from the event stream.
+
+    Returns attributions keyed by request id in first-seen order.  Slow-node
+    windows are applied afterwards (running spans split at window bounds).
+    When the recorder carries a :class:`~repro.obs.profile.PhaseProfiler`
+    the work is metered under the ``attribution`` phase.
+    """
+    profiler = recorder.profiler
+    started = profiler.clock() if profiler is not None else 0.0
+    walks: Dict[int, _Walk] = {}
+    for event in recorder.events:
+        rid = event.request_id
+        if rid is None:
+            continue
+        kind = event.kind
+        walk = walks.get(rid)
+        if walk is None:
+            if kind != ev.ARRIVE:
+                raise ValueError(
+                    f"request {rid}: stream starts with {kind!r}, not arrival"
+                )
+            walks[rid] = _Walk(RequestAttribution(rid, event.time))
+            continue
+        if kind == ev.ARRIVE:
+            # Second arrival: the disaggregated decode pool received the
+            # context after the KV transfer.
+            if walk.status == "handoff":
+                walk.tile(KV_HANDOFF, event.time, track=event.track)
+                walk.status = "queued"
+                walk.wait_kind = DECODE_QUEUE
+                walk.track = event.track
+        elif kind in (ev.ROUTE, ev.HELD):
+            if walk.status in ("prefill", "decode"):
+                # A routing decision for a request that was running can only
+                # mean its replica crashed: close the discarded work and
+                # count the failover.
+                walk.tile(walk.running_kind(), event.time)
+                walk.status = "queued"
+                walk.wait_kind = CRASH_REQUEUE
+                walk.attr.crash_reroutes += 1
+        elif kind == ev.ADMIT:
+            phase, _prefilled, target = event.data
+            walk.track = event.track
+            walk.tile(walk.wait_kind, event.time)
+            walk.status = "decode" if phase == "decode" else "prefill"
+            walk.target = target
+        elif kind == ev.PREFILL:
+            chunk, offset, target = event.data
+            walk.tile(walk.running_kind(), event.time)
+            if offset + chunk >= target:
+                # Prefill complete; after a post-first-token re-prefill no
+                # FIRST_TOKEN re-fires, so this is the only decode boundary.
+                walk.status = "decode"
+        elif kind == ev.FIRST_TOKEN:
+            walk.attr.first_token_time = event.time
+            walk.status = "decode"
+        elif kind == ev.PREEMPT:
+            walk.tile(walk.running_kind(), event.time)
+            walk.status = "queued"
+            walk.wait_kind = PREEMPT_REQUEUE
+            walk.attr.preemptions += 1
+        elif kind == ev.PREFIX_HIT:
+            walk.attr.prefix_cached_tokens += event.data[0]
+        elif kind == ev.HANDOFF:
+            walk.tile(walk.running_kind(), event.time)
+            walk.status = "handoff"
+        elif kind == ev.FINISH:
+            walk.tile(walk.running_kind(), event.time)
+            walk.attr.finish_time = event.time
+            walk.attr.output_tokens = event.data[2]
+            walk.status = "done"
+    attributions = {rid: walk.attr for rid, walk in walks.items()}
+    windows = slow_windows(recorder)
+    if windows:
+        for attr in attributions.values():
+            attr.spans = _apply_slow_windows(attr.spans, windows)
+    if profiler is not None:
+        profiler.add("attribution", profiler.clock() - started)
+    return attributions
+
+
+def slow_windows(recorder: EventRecorder) -> Dict[int, List[Tuple[float, float]]]:
+    """Merged slow intervals per track, truncated where the replica crashes.
+
+    Overlapping injections extend one window to the high-water ``slow_until``
+    (mirroring the cluster's bookkeeping); a crash resets the slowdown, so an
+    open window closes at the crash timestamp.  A window still open when the
+    stream ends closes at its high-water mark.
+    """
+    open_at: Dict[int, float] = {}
+    high: Dict[int, float] = {}
+    out: Dict[int, List[Tuple[float, float]]] = {}
+    for event in recorder.events:
+        kind = event.kind
+        if kind == ev.SLOW:
+            _slowdown, duration = event.data
+            if event.track not in open_at:
+                open_at[event.track] = event.time
+            high[event.track] = max(
+                high.get(event.track, 0.0), event.time + duration
+            )
+        elif kind in (ev.SLOW_END, ev.CRASH):
+            start = open_at.pop(event.track, None)
+            if start is not None and event.time > start:
+                out.setdefault(event.track, []).append((start, event.time))
+    for track, start in open_at.items():
+        if high[track] > start:
+            out.setdefault(track, []).append((start, high[track]))
+    return out
+
+
+def _apply_slow_windows(
+    spans: List[Span], windows: Dict[int, List[Tuple[float, float]]]
+) -> List[Span]:
+    """Split running spans at slow-window bounds, flagging the inside parts.
+
+    Cut points are window boundary floats inserted verbatim, so adjacent
+    pieces still share their boundary identically and the chain's outer
+    endpoints are untouched — conservation survives the split.
+    """
+    running = (PREFILL_SPAN, REPREFILL, DECODE)
+    out: List[Span] = []
+    for span in spans:
+        track_windows = windows.get(span.track)
+        if track_windows is None or span.kind not in running:
+            out.append(span)
+            continue
+        cursor = span.start
+        for w_start, w_end in track_windows:
+            if w_end <= cursor or w_start >= span.end:
+                continue
+            if w_start > cursor:
+                out.append(Span(span.kind, cursor, w_start, span.track))
+                cursor = w_start
+            slow_end = min(w_end, span.end)
+            out.append(Span(span.kind, cursor, slow_end, span.track, slow=True))
+            cursor = slow_end
+        if cursor < span.end:
+            out.append(Span(span.kind, cursor, span.end, span.track))
+        elif cursor > span.end:  # pragma: no cover - windows are sorted/merged
+            raise ValueError("slow window cut past span end")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Conservation oracle
+# ---------------------------------------------------------------------------
+
+
+def verify_conservation(
+    recorder: EventRecorder,
+    attributions: Optional[Dict[int, RequestAttribution]] = None,
+    records=None,
+) -> int:
+    """Assert float-exact conservation for every request of a run.
+
+    For each request the span chain must tile ``[arrival, finish]`` with
+    identical shared boundaries, the first-token timestamp must be one of
+    those boundaries, and the telescoped TTFT/E2E must equal the engine's
+    own measurements bit-for-bit (via the FIRST_TOKEN/FINISH event payloads
+    and, when ``records`` are supplied, the ``RequestRecord`` properties).
+    Returns the number of requests checked; raises :class:`ConservationError`
+    on the first violation.
+    """
+    if attributions is None:
+        attributions = build_attributions(recorder)
+    measured_ttft: Dict[int, float] = {}
+    measured_finish: Dict[int, Tuple[float, float]] = {}
+    for event in recorder.events:
+        if event.kind == ev.FIRST_TOKEN:
+            measured_ttft[event.request_id] = event.data[0]
+        elif event.kind == ev.FINISH:
+            measured_finish[event.request_id] = (event.time, event.data[0])
+    by_id = {}
+    if records is not None:
+        by_id = {r.request.request_id: r for r in records}
+    checked = 0
+    for rid, attr in attributions.items():
+        def bail(message: str) -> None:
+            raise ConservationError(f"request {rid}: {message}")
+
+        boundaries = {attr.arrival_time}
+        cursor = attr.arrival_time
+        for span in attr.spans:
+            if span.start != cursor:
+                bail(
+                    f"span chain has a gap: {span.kind} starts at "
+                    f"{span.start!r}, previous boundary {cursor!r}"
+                )
+            if span.end < span.start:
+                bail(f"span {span.kind} runs backwards")
+            cursor = span.end
+            boundaries.add(cursor)
+        if attr.first_token_time is not None:
+            if attr.first_token_time not in boundaries:
+                bail("first-token timestamp is not a span boundary")
+            if attr.ttft != measured_ttft[rid]:
+                bail(
+                    f"telescoped TTFT {attr.ttft!r} != measured "
+                    f"{measured_ttft[rid]!r}"
+                )
+        if attr.finished:
+            finish_time, event_ttft = measured_finish[rid]
+            if cursor != finish_time:
+                bail(
+                    f"last boundary {cursor!r} != finish timestamp "
+                    f"{finish_time!r}"
+                )
+            if attr.ttft != event_ttft:
+                bail("TTFT drifted between first-token and finish events")
+            record = by_id.get(rid)
+            if record is not None:
+                if attr.ttft != record.ttft:
+                    bail(f"TTFT {attr.ttft!r} != record {record.ttft!r}")
+                if attr.e2e_latency != record.e2e_latency:
+                    bail(
+                        f"E2E {attr.e2e_latency!r} != record "
+                        f"{record.e2e_latency!r}"
+                    )
+            checked += 1
+    return checked

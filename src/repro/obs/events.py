@@ -74,12 +74,13 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # Event kinds.  Request lifecycle:
 ARRIVE = "arrive"            # request reached a pool / the cluster router
-ADMIT = "admit"              # batcher activated the request (data: phase name)
-PREFILL = "prefill"          # one prefill chunk executed (data: (chunk, offset))
+ADMIT = "admit"              # batcher activated the request (data: (phase name, prefilled, prefill_target))
+PREFILL = "prefill"          # one prefill chunk executed (data: (chunk, offset, prefill_target))
 FIRST_TOKEN = "first-token"  # prefill completed, first token sampled (data: (ttft,))
 FINISH = "finish"            # final token delivered (data: (ttft, tpot, output_tokens))
 HANDOFF = "handoff"          # prefill pool released the context for transfer
 PREEMPT = "preempt"          # victim evicted, re-queued for full re-prefill
+                             # (data: (prefilled_lost, decoded, new_prefill_target))
 PREFIX_HIT = "prefix-hit"    # admission served tokens from the prefix cache (data: (tokens,))
 # Engine progress:
 ITERATION = "iteration"      # one executed iteration (data: ITER_* tuple)
@@ -187,6 +188,35 @@ class EventRecorder:
             if event.request_id is not None and event.request_id not in seen:
                 seen[event.request_id] = None
         return list(seen)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "EventRecorder":
+        """Reload a stream written by :meth:`to_jsonl` (offline analysis).
+
+        Track labels are not serialised, so exporters fall back to their
+        generic ``track N`` labels on a reloaded stream.
+        """
+        import json
+
+        recorder = cls()
+        append = recorder.events.append
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                data = raw["data"]
+                append(
+                    Event(
+                        raw["time"],
+                        raw["kind"],
+                        raw["track"],
+                        raw["request_id"],
+                        tuple(data) if data is not None else None,
+                    )
+                )
+        return recorder
 
     def to_jsonl(self, path: str) -> str:
         """Write the raw stream as JSON lines (one event object per line)."""

@@ -1,0 +1,293 @@
+"""Correlate anomalies with cluster events into an incident postmortem.
+
+The last step of the diagnosis chain: :mod:`repro.obs.anomaly` says *when*
+a run misbehaved, the cluster's own lifecycle events (crash, recover, slow
+window, scaling) say *what happened to the machines* — this module joins
+the two into a deterministic incident timeline and renders the markdown
+postmortem an on-call engineer would otherwise write by hand.
+
+Correlation is deliberately simple and auditable: anomalies within
+``2 × window`` of each other belong to one incident, and every causal
+cluster event (crash, slow-window open, scale decision, retirement) inside
+the incident's span — extended ``horizon`` seconds into the past, because
+a crash at t=20 shows up in windowed metrics a little later — is listed as
+a root-cause candidate, most recent first.  Everything is derived from
+simulated timestamps, so the same run always yields the same postmortem,
+byte for byte (pinned by a golden test on the ``unreliable`` scenario).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import events as ev
+from .anomaly import Anomaly, detect_anomalies
+from .events import EventRecorder
+
+__all__ = [
+    "ClusterMoment",
+    "Incident",
+    "IncidentReport",
+    "cluster_moments",
+    "correlate",
+    "incident_report",
+    "render_postmortem",
+    "write_incident_report",
+]
+
+#: Cluster event kinds that can plausibly *cause* an anomaly …
+_CAUSAL_KINDS = (ev.CRASH, ev.SLOW, ev.SCALE_UP, ev.SCALE_DOWN, ev.RETIRE)
+#: … and the ones that merely describe the cluster's reaction.
+_CONTEXT_KINDS = (ev.RECOVER, ev.SLOW_END, ev.PROVISION, ev.ACTIVATE)
+
+
+@dataclass(frozen=True)
+class ClusterMoment:
+    """One cluster-level lifecycle event with a human-readable description."""
+
+    time: float
+    kind: str
+    track: int
+    label: str    #: replica/cluster name the event happened on
+    detail: str   #: e.g. "crash (7 in-flight requests lost)"
+
+    @property
+    def causal(self) -> bool:
+        return self.kind in _CAUSAL_KINDS
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "track": self.track,
+            "label": self.label,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class Incident:
+    """One correlated cluster of anomalies with its root-cause candidates."""
+
+    start: float
+    end: float
+    anomalies: List[Anomaly]
+    causes: List[ClusterMoment] = field(default_factory=list)
+    context: List[ClusterMoment] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "anomalies": [a.to_json() for a in self.anomalies],
+            "causes": [m.to_json() for m in self.causes],
+            "context": [m.to_json() for m in self.context],
+        }
+
+
+@dataclass
+class IncidentReport:
+    """The full diagnosis of one observed run."""
+
+    title: str
+    window: float
+    horizon: float
+    anomalies: List[Anomaly]
+    moments: List[ClusterMoment]
+    incidents: List[Incident]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "title": self.title,
+            "window_seconds": self.window,
+            "horizon_seconds": self.horizon,
+            "anomaly_count": len(self.anomalies),
+            "incident_count": len(self.incidents),
+            "anomalies": [a.to_json() for a in self.anomalies],
+            "cluster_events": [m.to_json() for m in self.moments],
+            "incidents": [i.to_json() for i in self.incidents],
+            "markdown": render_postmortem(self),
+        }
+
+
+def _moment_detail(event) -> Optional[str]:
+    kind = event.kind
+    if kind == ev.CRASH:
+        return f"crash ({int(event.data[0])} in-flight requests lost)"
+    if kind == ev.RECOVER:
+        return "recovered with an empty pool"
+    if kind == ev.SLOW:
+        slowdown, duration = event.data
+        return f"slow window opened ({slowdown:g}x for {duration:g}s)"
+    if kind == ev.SLOW_END:
+        return "slow window closed"
+    if kind == ev.SCALE_UP:
+        return f"scale-up by {int(event.data[0])}"
+    if kind == ev.SCALE_DOWN:
+        return f"scale-down by {int(event.data[0])}"
+    if kind == ev.PROVISION:
+        return f"provisioning started ({event.data[0]:g}s lead time)"
+    if kind == ev.ACTIVATE:
+        return "replica active"
+    if kind == ev.RETIRE:
+        return "replica retired"
+    return None
+
+
+def cluster_moments(recorder: EventRecorder) -> List[ClusterMoment]:
+    """Extract the cluster lifecycle timeline from a recorded stream."""
+    moments: List[ClusterMoment] = []
+    for event in recorder.events:
+        detail = _moment_detail(event)
+        if detail is None:
+            continue
+        if event.track == ev.CLUSTER_TRACK:
+            label = "cluster"
+        else:
+            label = recorder.track_names.get(event.track, f"track {event.track}")
+        moments.append(
+            ClusterMoment(event.time, event.kind, event.track, label, detail)
+        )
+    return moments
+
+
+def correlate(
+    anomalies: List[Anomaly],
+    moments: List[ClusterMoment],
+    window: float = 5.0,
+    horizon: float = 15.0,
+) -> List[Incident]:
+    """Group anomalies into incidents and attach root-cause candidates."""
+    incidents: List[Incident] = []
+    group: List[Anomaly] = []
+
+    def flush() -> None:
+        if not group:
+            return
+        start = min(a.window[0] for a in group)
+        end = max(a.window[1] for a in group)
+        causes = [
+            m
+            for m in moments
+            if m.causal and start - horizon <= m.time <= end
+        ]
+        causes.sort(key=lambda m: (-m.time, m.track))
+        context = [
+            m
+            for m in moments
+            if not m.causal and start - horizon <= m.time <= end
+        ]
+        incidents.append(Incident(start, end, list(group), causes, context))
+        group.clear()
+
+    for anomaly in anomalies:
+        if group and anomaly.time - group[-1].time > 2.0 * window:
+            flush()
+        group.append(anomaly)
+    flush()
+    return incidents
+
+
+def incident_report(
+    recorder: EventRecorder,
+    slo: Optional[object] = None,
+    window: float = 5.0,
+    horizon: float = 15.0,
+    title: str = "observed run",
+) -> IncidentReport:
+    """Detect, correlate and package the diagnosis of one run."""
+    anomalies = detect_anomalies(recorder, slo=slo, window=window)
+    moments = cluster_moments(recorder)
+    incidents = correlate(anomalies, moments, window=window, horizon=horizon)
+    return IncidentReport(
+        title=title,
+        window=window,
+        horizon=horizon,
+        anomalies=anomalies,
+        moments=moments,
+        incidents=incidents,
+    )
+
+
+def _describe(anomaly: Anomaly) -> str:
+    if anomaly.kind == "slo-burn":
+        return (
+            f"SLO burn: attainment fell to {anomaly.value:.2f} "
+            f"(target {anomaly.baseline:.2f}, peak burn {anomaly.severity:.1f}x)"
+        )
+    if anomaly.kind == "level-shift":
+        return (
+            f"{anomaly.metric} level shift: {anomaly.baseline:.3f} -> "
+            f"{anomaly.value:.3f} ({anomaly.severity:.1f}x)"
+        )
+    return (
+        f"{anomaly.metric} spike: {anomaly.value:.3f} vs baseline "
+        f"{anomaly.baseline:.3f} (z={anomaly.severity:.1f})"
+    )
+
+
+def render_postmortem(report: IncidentReport) -> str:
+    """Render the deterministic markdown postmortem of one run."""
+    lines: List[str] = []
+    lines.append(f"# Postmortem: {report.title}")
+    lines.append("")
+    lines.append(
+        f"{len(report.anomalies)} anomalies in {len(report.incidents)} "
+        f"incident(s); {len(report.moments)} cluster events "
+        f"({report.window:g}s detection windows, {report.horizon:g}s "
+        "root-cause horizon)."
+    )
+    lines.append("")
+    if report.moments:
+        lines.append("## Cluster timeline")
+        lines.append("")
+        lines.append("| time (s) | where | event |")
+        lines.append("| --- | --- | --- |")
+        for moment in report.moments:
+            lines.append(
+                f"| {moment.time:.2f} | {moment.label} | {moment.detail} |"
+            )
+        lines.append("")
+    if not report.incidents:
+        lines.append("No anomalies detected; nothing to correlate.")
+        lines.append("")
+        return "\n".join(lines)
+    for index, incident in enumerate(report.incidents, start=1):
+        lines.append(
+            f"## Incident {index}: t={incident.start:.2f}-{incident.end:.2f}s"
+        )
+        lines.append("")
+        lines.append("Root-cause candidates (most recent first):")
+        lines.append("")
+        if incident.causes:
+            for moment in incident.causes:
+                lines.append(
+                    f"- t={moment.time:.2f}s {moment.label}: {moment.detail}"
+                )
+        else:
+            lines.append(
+                "- none found in the horizon (load-driven or external cause)"
+            )
+        lines.append("")
+        lines.append("Detected anomalies:")
+        lines.append("")
+        for anomaly in incident.anomalies:
+            lines.append(
+                f"- t={anomaly.time:.2f}s [{anomaly.kind}] {_describe(anomaly)}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_incident_report(report: IncidentReport, path: str) -> str:
+    """Write the report — JSON (markdown embedded) for ``.json`` paths,
+    plain markdown otherwise."""
+    if path.endswith(".json"):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=1, sort_keys=True)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_postmortem(report))
+    return path

@@ -14,7 +14,10 @@ stream into fixed-width simulated-time windows:
   keep per-window counts.
 
 Everything is computed from simulated timestamps only, so the export is
-deterministic and byte-stable across runs.
+deterministic and byte-stable across runs.  Interval rows span the full
+range from the first to the last observed window: empty windows appear as
+explicit gaps (zero counts; ``None`` statistics) so every consumer sees a
+uniform time axis regardless of how bursty the run was.
 """
 
 from __future__ import annotations
@@ -60,7 +63,16 @@ class WindowedCounter:
         return sum(self.buckets.values())
 
     def intervals(self) -> List[Dict[str, float]]:
-        """Sorted per-window rows: start/end, count, rate per second."""
+        """Per-window rows: start/end, count, rate per second.
+
+        The rows cover every window between the first and last observed
+        one — zero-event windows appear explicitly with a zero count, so
+        consumers (plots, anomaly detectors) see a uniform time axis.
+        """
+        if not self.buckets:
+            return []
+        first = min(self.buckets)
+        last = max(self.buckets)
         return [
             {
                 "start": bucket * self.window,
@@ -68,7 +80,8 @@ class WindowedCounter:
                 "count": count,
                 "per_second": count / self.window,
             }
-            for bucket, count in sorted(self.buckets.items())
+            for bucket in range(first, last + 1)
+            for count in (self.buckets.get(bucket, 0.0),)
         ]
 
 
@@ -101,19 +114,36 @@ class MetricSeries:
                 entry[3] = value
         self.sketch.add(value)
 
-    def intervals(self) -> List[Dict[str, float]]:
-        """Sorted per-window rows: start/end, count, mean, min, max."""
-        return [
-            {
+    def intervals(self) -> List[Dict[str, Optional[float]]]:
+        """Per-window rows: start/end, count, mean, min, max.
+
+        The rows cover every window between the first and last sampled
+        one — zero-sample windows render as explicit gaps (count 0,
+        mean/min/max ``None``) rather than being silently dropped, so the
+        time axis stays uniform for detectors and plots.
+        """
+        if not self.buckets:
+            return []
+        first = min(self.buckets)
+        last = max(self.buckets)
+        rows: List[Dict[str, Optional[float]]] = []
+        for bucket in range(first, last + 1):
+            entry = self.buckets.get(bucket)
+            row: Dict[str, Optional[float]] = {
                 "start": bucket * self.window,
                 "end": (bucket + 1) * self.window,
-                "count": int(entry[0]),
-                "mean": entry[1] / entry[0],
-                "min": entry[2],
-                "max": entry[3],
             }
-            for bucket, entry in sorted(self.buckets.items())
-        ]
+            if entry is None:
+                row.update(count=0, mean=None, min=None, max=None)
+            else:
+                row.update(
+                    count=int(entry[0]),
+                    mean=entry[1] / entry[0],
+                    min=entry[2],
+                    max=entry[3],
+                )
+            rows.append(row)
+        return rows
 
 
 @dataclass

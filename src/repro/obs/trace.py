@@ -21,6 +21,10 @@ load directly.  Layout:
   autoscaler's queue/arrival-rate/replica-target signals at every tick.
 * **pid 3 — cluster**: instant markers for cluster-level moments (scale
   decisions, requests held with no replica accepting work).
+* **pid 4 — diagnosis** (only when ``anomalies`` are passed in): one
+  instant marker per detected anomaly, carrying the detector's verdict in
+  its args.  Passing ``attributions`` additionally attaches the
+  per-request span breakdown to the request lifeline's closing event.
 
 The export is a pure function of the event stream and timeline, so two
 identical runs serialise to byte-identical JSON (pinned by
@@ -68,6 +72,7 @@ _ENGINE_PID = 0
 _REQUEST_PID = 1
 _COUNTER_PID = 2
 _CLUSTER_PID = 3
+_DIAGNOSIS_PID = 4
 
 #: Replica/pool lifecycle kinds rendered as instant markers on their track.
 _TRACK_MARKERS = {PROVISION, ACTIVATE, RETIRE, CRASH, RECOVER, SLOW, SLOW_END}
@@ -85,6 +90,8 @@ def to_perfetto(
     recorder: EventRecorder,
     timeline: Optional[object] = None,
     time_unit_us: float = 1e6,
+    anomalies: Optional[List[object]] = None,
+    attributions: Optional[Dict[int, object]] = None,
 ) -> Dict:
     """Build the Chrome trace-event JSON container for one recorded run.
 
@@ -93,6 +100,12 @@ def to_perfetto(
     ``ITERATION``/``STRETCH`` events only feed the counter tracks.  Without
     a timeline the spans are reconstructed from those events instead (one
     box per naive iteration, one ``decode xN`` box per stretch).
+
+    ``anomalies`` (from :func:`repro.obs.anomaly.detect_anomalies`) adds
+    the diagnosis marker track; ``attributions`` (from
+    :func:`repro.obs.critical_path.build_attributions`) attaches each
+    finished request's span breakdown to its lifeline-closing event.  Both
+    default to off, which keeps the base export byte-identical.
     """
     if time_unit_us <= 0:
         raise ValueError("time_unit_us must be positive")
@@ -105,6 +118,20 @@ def to_perfetto(
     events.append(chrome.process_name_event(_REQUEST_PID, "requests"))
     events.append(chrome.process_name_event(_COUNTER_PID, "counters"))
     events.append(chrome.process_name_event(_CLUSTER_PID, "cluster"))
+    if anomalies is not None:
+        events.append(chrome.process_name_event(_DIAGNOSIS_PID, "diagnosis"))
+        events.append(chrome.thread_name_event(_DIAGNOSIS_PID, 0, "anomalies"))
+        for anomaly in anomalies:
+            events.append(
+                chrome.instant_event(
+                    f"{anomaly.kind}:{anomaly.metric}",
+                    _DIAGNOSIS_PID,
+                    0,
+                    anomaly.time,
+                    time_unit_us,
+                    args=anomaly.to_json(),
+                )
+            )
     for track in tracks:
         events.append(
             chrome.thread_name_event(_ENGINE_PID, track, _track_label(recorder, track))
@@ -221,9 +248,22 @@ def to_perfetto(
         elif kind in (FINISH, HANDOFF):
             if rid is not None and open_lifelines.get(rid):
                 open_lifelines[rid] = False
+                args = None
+                if kind == FINISH and attributions is not None:
+                    attribution = attributions.get(rid)
+                    if attribution is not None:
+                        args = {
+                            "ttft": attribution.ttft,
+                            "e2e": attribution.e2e_latency,
+                            "preemptions": attribution.preemptions,
+                            "crash_reroutes": attribution.crash_reroutes,
+                            "prefix_cached_tokens": attribution.prefix_cached_tokens,
+                            "spans": attribution.breakdown(),
+                        }
                 events.append(
                     chrome.async_end_event(
-                        f"request {rid}", "request", _REQUEST_PID, rid, time, time_unit_us
+                        f"request {rid}", "request", _REQUEST_PID, rid, time,
+                        time_unit_us, args=args,
                     )
                 )
         elif kind in _LIFELINE_MARKERS:
@@ -271,6 +311,14 @@ def write_perfetto(
     path: str,
     timeline: Optional[object] = None,
     time_unit_us: float = 1e6,
+    anomalies: Optional[List[object]] = None,
+    attributions: Optional[Dict[int, object]] = None,
 ) -> str:
     """Serialise :func:`to_perfetto` to ``path`` and return the path."""
-    return chrome.write_trace(to_perfetto(recorder, timeline, time_unit_us), path)
+    return chrome.write_trace(
+        to_perfetto(
+            recorder, timeline, time_unit_us,
+            anomalies=anomalies, attributions=attributions,
+        ),
+        path,
+    )

@@ -265,6 +265,7 @@ class ContinuousBatcher:
         self.preemptions += 1
         victim.record.preemptions += 1
         self.tokens_preempted_requeued += victim.prefill_remaining
+        prefilled_lost = victim.prefilled
         # The whole context (prompt plus any already-generated tokens) must be
         # re-prefilled on resume; tokens already delivered stay delivered.
         victim.prefill_target = victim.context_tokens
@@ -276,6 +277,7 @@ class ContinuousBatcher:
             self.obs.emit(
                 self.now, obs_events.PREEMPT, self.obs_track,
                 victim.request.request_id,
+                (prefilled_lost, victim.decoded, victim.prefill_target),
             )
         return victim
 
@@ -422,7 +424,8 @@ class ContinuousBatcher:
         if self.obs is not None:
             self.obs.emit(
                 self.now, obs_events.ADMIT, self.obs_track,
-                state.request.request_id, (phase.value,),
+                state.request.request_id,
+                (phase.value, state.prefilled, state.prefill_target),
             )
 
     # ------------------------------------------------------------------
@@ -441,7 +444,8 @@ class ContinuousBatcher:
             if obs is not None:
                 obs.emit(
                     end_time, obs_events.PREFILL, self.obs_track,
-                    state.request.request_id, (chunk, state.prefilled),
+                    state.request.request_id,
+                    (chunk, state.prefilled, state.prefill_target),
                 )
             state.prefilled += chunk
             if self.prefix_caching and state.request.prefix:

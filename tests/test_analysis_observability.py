@@ -1,0 +1,87 @@
+"""Byte-deterministic goldens for the observability text renderers.
+
+The CLI prints these tables verbatim, so their exact bytes are part of the
+user-facing contract: one serving run (``chat``) and one fleet run
+(``unreliable``) are rendered — event summary, tail attribution, anomaly
+table — plus the two-run diff table on the prefix-cache A/B, and compared
+against ``tests/goldens/obs-render-*.txt`` byte-for-byte.  Regenerate
+deliberately with ``REPRO_REGEN_OBS_GOLDENS=1``.
+"""
+
+import os
+from pathlib import Path
+
+from repro.analysis.observability import (
+    anomaly_table,
+    attribution_table,
+    diff_table,
+    event_summary_table,
+)
+from repro.fleet.scenarios import FLEET_SCENARIO_REGISTRY, run_fleet_scenario
+from repro.obs import (
+    EventRecorder,
+    build_attributions,
+    detect_anomalies,
+    diff_attributions,
+)
+from repro.serving.scenarios import SCENARIO_REGISTRY, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+REGEN = os.environ.get("REPRO_REGEN_OBS_GOLDENS") == "1"
+
+
+def _check(name, text):
+    path = GOLDEN_DIR / f"obs-render-{name}.txt"
+    if REGEN:
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"missing golden {path.name}; regenerate with REPRO_REGEN_OBS_GOLDENS=1"
+    )
+    assert text == path.read_text()
+
+
+def _render_bundle(recorder, label):
+    attributions = build_attributions(recorder)
+    anomalies = detect_anomalies(recorder)
+    return "".join(
+        [
+            event_summary_table(recorder, title=f"recorded events | {label}"),
+            "\n",
+            attribution_table(attributions, title=f"latency attribution | {label}"),
+            "\n",
+            anomaly_table(anomalies, title=f"anomalies | {label}"),
+        ]
+    )
+
+
+def test_serving_renderers_match_golden():
+    recorder = EventRecorder()
+    run_scenario(SCENARIO_REGISTRY["chat"], "colocated", seed=0, observe=recorder)
+    _check("serving-chat", _render_bundle(recorder, "chat | colocated"))
+
+
+def test_fleet_renderers_match_golden():
+    recorder = EventRecorder()
+    run_fleet_scenario(FLEET_SCENARIO_REGISTRY["unreliable"], seed=0, observe=recorder)
+    _check("fleet-unreliable", _render_bundle(recorder, "unreliable"))
+
+
+def test_diff_renderer_matches_golden():
+    def attributions(**kwargs):
+        recorder = EventRecorder()
+        run_scenario(
+            SCENARIO_REGISTRY["shared-system-prompt"],
+            "colocated",
+            seed=0,
+            observe=recorder,
+            **kwargs,
+        )
+        return build_attributions(recorder)
+
+    diff = diff_attributions(attributions(), attributions(prefix_caching=False))
+    _check("diff-prefix-cache", diff_table(diff, title="prefix caching on -> off"))
+
+
+def test_anomaly_table_is_empty_safe():
+    assert anomaly_table([], title="quiet run") == "quiet run: none detected\n"

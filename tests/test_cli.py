@@ -125,6 +125,127 @@ class TestServeCommand:
         assert "llama-70b" in err
 
 
+class TestDiagnosisFlags:
+    def test_serve_explain_prints_attribution_and_anomalies(self, capsys):
+        exit_code = main(["serve", "--scenario", "chat", "--explain"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "latency attribution | chat | colocated" in out
+        assert "anomalies | chat | colocated" in out
+
+    def test_serve_events_round_trip_through_obs_explain(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["serve", "--scenario", "chat", "--events", str(events)]) == 0
+        capsys.readouterr()
+        assert events.exists()
+        assert main(["obs", "explain", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded events | events.jsonl" in out
+        assert "latency attribution" in out
+        assert "anomalies" in out
+
+    def test_serve_diff_against_saved_baseline(self, tmp_path, capsys):
+        events = tmp_path / "base.jsonl"
+        scenario = ["serve", "--scenario", "shared-system-prompt"]
+        assert main(scenario + ["--events", str(events)]) == 0
+        capsys.readouterr()
+        assert main(
+            scenario + ["--no-prefix-caching", "--diff-against", str(events)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dominant shift: prefill" in out
+
+    def test_diff_against_missing_file_is_a_user_error(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "chat", "--diff-against", "/nonexistent.jsonl"]
+        )
+        assert exit_code == 2
+        assert "cannot read event stream" in capsys.readouterr().err
+
+    def test_fleet_incident_report_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "incident.json"
+        exit_code = main(
+            [
+                "fleet", "run",
+                "--scenario", "unreliable",
+                "--explain",
+                "--incident-report", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "incident report written to" in out
+        payload = json.loads(path.read_text())
+        assert payload["incident_count"] >= 1
+        assert "# Postmortem" in payload["markdown"]
+        causes = [
+            cause["kind"]
+            for incident in payload["incidents"]
+            for cause in incident["causes"]
+        ]
+        assert "crash" in causes
+
+    def test_fleet_incident_report_markdown(self, tmp_path, capsys):
+        path = tmp_path / "incident.md"
+        assert main(
+            ["fleet", "run", "--scenario", "unreliable", "--incident-report", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert path.read_text().startswith("# Postmortem")
+
+    def test_explain_enriches_the_trace(self, tmp_path, capsys):
+        plain_path = tmp_path / "plain.json"
+        rich_path = tmp_path / "rich.json"
+        serve = ["serve", "--scenario", "chat"]
+        assert main(serve + ["--trace", str(plain_path)]) == 0
+        assert main(serve + ["--trace", str(rich_path), "--explain"]) == 0
+        capsys.readouterr()
+
+        def processes(path):
+            trace = json.loads(path.read_text())
+            return {
+                e["args"]["name"]
+                for e in trace["traceEvents"]
+                if e.get("name") == "process_name"
+            }
+
+        # The base export is untouched; --explain adds the diagnosis track
+        # and per-request span args on the lifeline closes.
+        assert processes(plain_path) == {"engine", "requests", "counters", "cluster"}
+        assert processes(rich_path) == {
+            "engine", "requests", "counters", "cluster", "diagnosis",
+        }
+        rich = json.loads(rich_path.read_text())
+        closes = [
+            e for e in rich["traceEvents"] if e.get("ph") == "e" and e.get("args")
+        ]
+        assert closes and "spans" in closes[0]["args"]
+
+    def test_obs_explain_missing_file_exits_cleanly(self, capsys):
+        assert main(["obs", "explain", "/nonexistent.jsonl"]) == 2
+        assert "cannot read event stream" in capsys.readouterr().err
+
+    def test_obs_explain_diff_and_report(self, tmp_path, capsys):
+        base, current = tmp_path / "base.jsonl", tmp_path / "current.jsonl"
+        scenario = ["serve", "--scenario", "shared-system-prompt"]
+        assert main(scenario + ["--events", str(base)]) == 0
+        assert main(scenario + ["--no-prefix-caching", "--events", str(current)]) == 0
+        capsys.readouterr()
+        report = tmp_path / "report.md"
+        exit_code = main(
+            [
+                "obs", "explain", str(current),
+                "--diff-against", str(base),
+                "--slo-ttft", "2.0",
+                "--incident-report", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "dominant shift: prefill" in out
+        assert report.read_text().startswith("# Postmortem")
+
+
 class TestExperimentsCommand:
     def test_list(self, capsys):
         assert main(["experiments", "--list"]) == 0

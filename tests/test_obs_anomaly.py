@@ -1,0 +1,206 @@
+"""Anomaly detectors and the incident/postmortem pipeline.
+
+The detectors are pure functions over windowed interval rows (gap rows
+included), so each one is unit-tested on synthetic series first; then the
+full pipeline — detect anomalies on a recorded run, correlate them with
+cluster events, render the postmortem — is pinned byte-exactly on the
+``unreliable`` fleet scenario, whose injected crash and slow window must
+come out named as root causes (regenerate the golden deliberately with
+``REPRO_REGEN_OBS_GOLDENS=1``).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.scenarios import FLEET_SCENARIO_REGISTRY, run_fleet_scenario
+from repro.obs import EventRecorder, detect_anomalies, incident_report, render_postmortem
+from repro.obs.anomaly import (
+    EWMA_SPIKE,
+    LEVEL_SHIFT,
+    SLO_BURN,
+    burn_anomalies,
+    ewma_anomalies,
+    hit_rate_intervals,
+    level_shift_anomalies,
+)
+from repro.obs.incident import write_incident_report
+from repro.obs.slo import BurnWindow, SLOReport
+from repro.serving.scenarios import SCENARIO_REGISTRY, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+REGEN = os.environ.get("REPRO_REGEN_OBS_GOLDENS") == "1"
+
+
+def _rows(values, window=5.0):
+    """Interval rows from a list of means (None = gap), aligned at t=0."""
+    return [
+        {
+            "start": i * window,
+            "end": (i + 1) * window,
+            "count": 0 if value is None else 1,
+            "mean": value,
+            "min": value,
+            "max": value,
+        }
+        for i, value in enumerate(values)
+    ]
+
+
+class TestEwma:
+    def test_flags_a_spike_after_warmup(self):
+        rows = _rows([1.0, 1.0, 1.0, 1.0, 10.0, 1.0])
+        anomalies = ewma_anomalies("ttft", rows)
+        assert [a.kind for a in anomalies] == [EWMA_SPIKE]
+        spike = anomalies[0]
+        assert spike.value == 10.0
+        assert spike.window == (20.0, 25.0)
+        assert spike.time == 25.0
+        assert spike.severity > 3.0
+
+    def test_quiet_series_is_clean(self):
+        assert ewma_anomalies("ttft", _rows([1.0, 1.01, 0.99, 1.0, 1.02])) == []
+
+    def test_gap_rows_freeze_the_tracker(self):
+        with_gaps = _rows([1.0, 1.0, None, None, 1.0, 10.0])
+        without = _rows([1.0, 1.0, 1.0, 10.0])
+        assert [a.value for a in ewma_anomalies("m", with_gaps, warmup=2)] == [
+            a.value for a in ewma_anomalies("m", without, warmup=2)
+        ]
+
+    def test_warmup_suppresses_early_windows(self):
+        # The same spike inside the warm-up window must not fire.
+        assert ewma_anomalies("m", _rows([1.0, 10.0]), warmup=3) == []
+
+    def test_severity_is_clamped_on_flat_baselines(self):
+        rows = _rows([0.0, 0.0, 0.0, 0.0, 0.5])
+        anomalies = ewma_anomalies("queue_depth", rows)
+        assert len(anomalies) == 1
+        assert abs(anomalies[0].severity) <= 99.0
+
+
+class TestLevelShift:
+    def test_flags_a_sustained_doubling_once(self):
+        rows = _rows([1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0])
+        anomalies = level_shift_anomalies("ttft", rows)
+        assert [a.kind for a in anomalies] == [LEVEL_SHIFT]
+        assert anomalies[0].baseline == pytest.approx(1.0)
+        assert anomalies[0].value == pytest.approx(3.0)
+
+    def test_single_window_blip_is_not_a_shift(self):
+        # A lone blip the 3-window group mean absorbs (5/3 < 2x) is the
+        # EWMA detector's business, not a level change.
+        rows = _rows([1.0, 1.0, 1.0, 3.0, 1.0, 1.0, 1.0])
+        assert level_shift_anomalies("ttft", rows) == []
+
+    def test_downward_shift_also_fires(self):
+        rows = _rows([4.0, 4.0, 4.0, 1.0, 1.0, 1.0])
+        anomalies = level_shift_anomalies("ttft", rows)
+        assert len(anomalies) == 1
+        assert anomalies[0].value < anomalies[0].baseline
+
+
+class TestBurn:
+    @staticmethod
+    def _window(start, burn, attainment=0.5):
+        good = int(10 * attainment)
+        return BurnWindow(
+            start=start,
+            end=start + 10.0,
+            requests=10,
+            good_requests=good,
+            total_tokens=1000,
+            good_tokens=100 * good,
+            burn_rate=burn,
+        )
+
+    def _report(self, windows):
+        return SLOReport(window=10.0, target=0.95, burn_threshold=1.0, windows=windows)
+
+    def test_escalates_consecutive_burns(self):
+        report = self._report(
+            [self._window(0.0, 0.5), self._window(10.0, 2.0), self._window(20.0, 3.0)]
+        )
+        anomalies = burn_anomalies(report, consecutive=2)
+        assert [a.kind for a in anomalies] == [SLO_BURN]
+        assert anomalies[0].window == (10.0, 30.0)
+        assert anomalies[0].severity == 3.0  # peak burn rate of the run
+
+    def test_single_burning_window_is_not_escalated(self):
+        report = self._report([self._window(0.0, 2.0), self._window(10.0, 0.5)])
+        assert burn_anomalies(report, consecutive=2) == []
+
+    def test_non_adjacent_burns_do_not_chain(self):
+        # SLOReport skips empty windows, so list adjacency is not time
+        # adjacency: a gap between burning windows breaks the run.
+        report = self._report([self._window(0.0, 2.0), self._window(30.0, 2.0)])
+        assert burn_anomalies(report, consecutive=2) == []
+
+
+def test_hit_rate_intervals_empty_without_cache():
+    recorder = EventRecorder()
+    run_scenario(SCENARIO_REGISTRY["chat"], "colocated", seed=0, observe=recorder)
+    assert hit_rate_intervals(recorder, 5.0) == []
+
+
+def test_hit_rate_intervals_track_the_cache():
+    recorder = EventRecorder()
+    run_scenario(
+        SCENARIO_REGISTRY["shared-system-prompt"], "colocated", seed=0, observe=recorder
+    )
+    rows = hit_rate_intervals(recorder, 5.0)
+    assert rows
+    sampled = [row["mean"] for row in rows if row["mean"] is not None]
+    assert sampled and all(0.0 <= rate <= 1.0 for rate in sampled)
+
+
+def _unreliable_recorder():
+    recorder = EventRecorder()
+    run_fleet_scenario(FLEET_SCENARIO_REGISTRY["unreliable"], seed=0, observe=recorder)
+    return recorder
+
+
+def test_detect_anomalies_on_unreliable_is_sorted_and_typed():
+    anomalies = detect_anomalies(_unreliable_recorder())
+    assert anomalies
+    assert all(a.kind in (EWMA_SPIKE, LEVEL_SHIFT, SLO_BURN) for a in anomalies)
+    keys = [(a.time, a.metric, a.kind) for a in anomalies]
+    assert keys == sorted(keys)
+
+
+def test_unreliable_postmortem_names_injected_failures():
+    scenario = FLEET_SCENARIO_REGISTRY["unreliable"]
+    report = incident_report(
+        _unreliable_recorder(), slo=scenario.slo, title="unreliable"
+    )
+    assert report.incidents, "the crash/slow scenario must produce an incident"
+    causes = [moment for incident in report.incidents for moment in incident.causes]
+    assert any(moment.kind == "crash" for moment in causes)
+    assert any(moment.kind == "slow" for moment in causes)
+    markdown = render_postmortem(report)
+    assert "# Postmortem: unreliable" in markdown
+    assert "## Cluster timeline" in markdown
+
+    golden = GOLDEN_DIR / "obs-postmortem-unreliable.md"
+    if REGEN:
+        golden.write_text(markdown)
+    else:
+        assert golden.exists(), (
+            "missing postmortem golden; regenerate with REPRO_REGEN_OBS_GOLDENS=1"
+        )
+        assert markdown == golden.read_text()
+
+
+def test_incident_report_json_artifact_embeds_markdown(tmp_path):
+    scenario = FLEET_SCENARIO_REGISTRY["unreliable"]
+    report = incident_report(_unreliable_recorder(), slo=scenario.slo, title="t")
+    json_path = write_incident_report(report, str(tmp_path / "incident.json"))
+    import json as json_module
+
+    payload = json_module.loads(Path(json_path).read_text())
+    assert payload["anomaly_count"] == len(report.anomalies)
+    assert payload["incident_count"] == len(report.incidents)
+    assert payload["markdown"] == render_postmortem(report)
+    md_path = write_incident_report(report, str(tmp_path / "incident.md"))
+    assert Path(md_path).read_text() == render_postmortem(report)

@@ -1,0 +1,131 @@
+"""Tail attribution and the two-run differ, pinned against goldens.
+
+The attribution layer turns per-request span chains into population-level
+answers — "where did the p99 go" and "why did the quantile move between
+config A and B".  Both answers are pure functions of the deterministic
+event stream, so this suite pins them twice over:
+
+* **golden attribution tables** for three serving and three fleet
+  scenarios (``tests/goldens/obs-attribution-*.json``, exact float
+  equality via the JSON round-trip; regenerate deliberately with
+  ``REPRO_REGEN_OBS_GOLDENS=1``), and
+* **the acceptance diff**: turning shared-prefix KV caching off on the
+  ``shared-system-prompt`` scenario must shift median TTFT, and the differ
+  must attribute that shift predominantly to the prefill span while the
+  prefix-token accounting collapses to zero.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.scenarios import FLEET_SCENARIO_REGISTRY, run_fleet_scenario
+from repro.obs import (
+    EventRecorder,
+    build_attributions,
+    diff_attributions,
+    mean_breakdown,
+    tail_attribution,
+)
+from repro.serving.scenarios import SCENARIO_REGISTRY, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+REGEN = os.environ.get("REPRO_REGEN_OBS_GOLDENS") == "1"
+
+SERVING_GOLDEN_SCENARIOS = ("chat", "bursty-long", "shared-system-prompt")
+FLEET_GOLDEN_SCENARIOS = ("steady-chat", "unreliable", "flash-crowd")
+
+
+def _serving_attributions(name, mode="colocated", **kwargs):
+    recorder = EventRecorder()
+    run_scenario(SCENARIO_REGISTRY[name], mode, seed=0, observe=recorder, **kwargs)
+    return build_attributions(recorder)
+
+
+def _fleet_attributions(name):
+    recorder = EventRecorder()
+    run_fleet_scenario(FLEET_SCENARIO_REGISTRY[name], seed=0, observe=recorder)
+    return build_attributions(recorder)
+
+
+def _golden_payload(attributions):
+    tail = tail_attribution(attributions, metric="ttft", quantile=99.0)
+    return {
+        "mean_ttft_breakdown": mean_breakdown(attributions, metric="ttft"),
+        "mean_e2e_breakdown": mean_breakdown(attributions, metric="e2e"),
+        "tail": {
+            "metric": tail.metric,
+            "quantile": tail.quantile,
+            "threshold": tail.threshold,
+            "request_ids": tail.request_ids,
+            "totals": tail.totals,
+            "shares": tail.shares,
+        },
+    }
+
+
+def _check_golden(name, payload):
+    path = GOLDEN_DIR / f"obs-attribution-{name}.json"
+    if REGEN:
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden {path.name}; regenerate with REPRO_REGEN_OBS_GOLDENS=1"
+    )
+    # JSON round-trips floats exactly, so this is bit-exact equality.
+    assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+
+
+@pytest.mark.parametrize("scenario_name", SERVING_GOLDEN_SCENARIOS)
+def test_serving_attribution_matches_golden(scenario_name):
+    payload = _golden_payload(_serving_attributions(scenario_name))
+    _check_golden(f"serving-{scenario_name}", payload)
+
+
+@pytest.mark.parametrize("scenario_name", FLEET_GOLDEN_SCENARIOS)
+def test_fleet_attribution_matches_golden(scenario_name):
+    payload = _golden_payload(_fleet_attributions(scenario_name))
+    _check_golden(f"fleet-{scenario_name}", payload)
+
+
+def test_tail_shares_sum_to_one():
+    tail = tail_attribution(_serving_attributions("chat"), metric="ttft")
+    assert sum(tail.shares.values()) == pytest.approx(1.0)
+    assert tail.request_ids
+    assert set(tail.totals) == set(tail.shares)
+
+
+def test_prefix_cache_diff_attributes_prefill():
+    # The acceptance bar for the differ: prefix caching on (scenario
+    # default) vs off on the identical trace — the median-TTFT regression
+    # must land predominantly in the prefill span, with the prefix-token
+    # accounting dropping to zero.
+    cached = _serving_attributions("shared-system-prompt")
+    uncached = _serving_attributions("shared-system-prompt", prefix_caching=False)
+    diff = diff_attributions(cached, uncached, metric="ttft", quantile=50.0)
+    assert diff.delta > 0.0
+    assert diff.dominant() == "prefill"
+    assert diff.span_deltas["prefill"] > 0.5 * diff.delta
+    assert diff.baseline_prefix_tokens > 0.0
+    assert diff.current_prefix_tokens == 0.0
+
+
+def test_diff_is_antisymmetric():
+    cached = _serving_attributions("shared-system-prompt")
+    uncached = _serving_attributions("shared-system-prompt", prefix_caching=False)
+    forward = diff_attributions(cached, uncached)
+    backward = diff_attributions(uncached, cached)
+    assert forward.delta == -backward.delta
+    for kind, delta in forward.span_deltas.items():
+        assert backward.span_deltas[kind] == -delta
+
+
+def test_attributions_survive_jsonl_round_trip(tmp_path):
+    # Offline analysis must see the same spans as the live recorder.
+    recorder = EventRecorder()
+    run_scenario(SCENARIO_REGISTRY["chat"], "colocated", seed=0, observe=recorder)
+    path = recorder.to_jsonl(str(tmp_path / "events.jsonl"))
+    reloaded = EventRecorder.from_jsonl(path)
+    assert build_attributions(reloaded) == build_attributions(recorder)

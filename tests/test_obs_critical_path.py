@@ -1,0 +1,197 @@
+"""The span decomposition must conserve measured latency float-exactly.
+
+:func:`repro.obs.build_attributions` reconstructs each request's critical
+path (queue wait, prefill chunks, decode, preemption re-queues, KV hand-off,
+crash re-routes, slow-node inflation) purely from the recorded event stream.
+The central invariant is *conservation*: the spans tile the request's
+lifetime with shared boundary timestamps taken verbatim from the events, so
+``first_token - arrival`` and ``finish - arrival`` recover the engine's own
+TTFT and E2E latency **bit-exactly** — not within a tolerance.  This suite
+pins that oracle across every registered serving scenario (both deployment
+modes), every registered fleet scenario (crashes, slow windows, autoscaling
+included), hypothesis-generated random traces and a preemption-pressure
+trace, and checks the per-kind structure of the decomposition itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.scenarios import FLEET_SCENARIO_REGISTRY, run_fleet_scenario
+from repro.model.config import get_model_config
+from repro.obs import (
+    EventRecorder,
+    build_attributions,
+    slow_windows,
+    verify_conservation,
+)
+from repro.obs.critical_path import (
+    CRASH_REQUEUE,
+    DECODE,
+    DECODE_QUEUE,
+    KV_HANDOFF,
+    PREEMPT_REQUEUE,
+    PREFILL_SPAN,
+    QUEUE,
+    SLOW_NODE,
+)
+from repro.serving.batcher import BatcherConfig
+from repro.serving.engine import ServingConfig, ServingEngine
+from repro.serving.metrics import SLO
+from repro.serving.scenarios import SCENARIO_REGISTRY, run_scenario
+from repro.serving.workload import replay_trace
+
+LLAMA_13B = get_model_config("llama-13b")
+
+
+def _span_kinds(attributions):
+    return {span.kind for attr in attributions.values() for span in attr.spans}
+
+
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIO_REGISTRY))
+@pytest.mark.parametrize("mode", ["colocated", "disaggregated"])
+def test_serving_scenarios_conserve(scenario_name, mode):
+    recorder = EventRecorder()
+    result = run_scenario(
+        SCENARIO_REGISTRY[scenario_name], mode, seed=0, observe=recorder
+    )
+    checked = verify_conservation(recorder, records=result.records)
+    assert checked == sum(1 for r in result.records if r.finished)
+    assert checked > 0
+
+
+@pytest.mark.parametrize("scenario_name", sorted(FLEET_SCENARIO_REGISTRY))
+def test_fleet_scenarios_conserve(scenario_name):
+    recorder = EventRecorder()
+    result = run_fleet_scenario(
+        FLEET_SCENARIO_REGISTRY[scenario_name], seed=0, observe=recorder
+    )
+    checked = verify_conservation(recorder, records=result.records)
+    assert checked == sum(1 for r in result.records if r.finished)
+    assert checked > 0
+
+
+def test_colocated_breakdown_structure():
+    recorder = EventRecorder()
+    result = run_scenario(SCENARIO_REGISTRY["chat"], "colocated", seed=0, observe=recorder)
+    attributions = build_attributions(recorder)
+    kinds = _span_kinds(attributions)
+    assert {QUEUE, PREFILL_SPAN, DECODE} <= kinds
+    # No disaggregation, failures or preemptions in steady chat.
+    assert KV_HANDOFF not in kinds and CRASH_REQUEUE not in kinds
+    for attr in attributions.values():
+        if not attr.finished:
+            continue
+        # Durations sum to the telescoped E2E up to float-summation noise;
+        # the *exact* equality lives in the boundary chaining the
+        # conservation oracle asserts.
+        assert sum(attr.breakdown().values()) == pytest.approx(attr.e2e_latency)
+        assert sum(attr.breakdown(until_first_token=True).values()) == pytest.approx(
+            attr.ttft
+        )
+        assert attr.output_tokens > 0
+
+
+def test_disaggregated_breakdown_has_handoff():
+    recorder = EventRecorder()
+    run_scenario(SCENARIO_REGISTRY["chat"], "disaggregated", seed=0, observe=recorder)
+    attributions = build_attributions(recorder)
+    kinds = _span_kinds(attributions)
+    assert KV_HANDOFF in kinds
+    assert DECODE_QUEUE in kinds
+
+
+def test_preemption_pressure_attributed_and_conserved():
+    # Oversubscribes the 1-GPU llama-13b KV pool so preempt/requeue cycles
+    # (including re-prefill of evicted context) land inside the spans.
+    recorder = EventRecorder()
+    config = ServingConfig(
+        num_gpus=1,
+        batcher=BatcherConfig(max_batch_tokens=4096, prefill_chunk_tokens=2048),
+        observe=recorder,
+    )
+    trace = replay_trace([(0.0, 4096, 2048) for _ in range(12)])
+    result = ServingEngine(LLAMA_13B, config).run(trace, SLO())
+    assert result.preemptions > 0
+    attributions = build_attributions(recorder)
+    verify_conservation(recorder, attributions, records=result.records)
+    assert sum(a.preemptions for a in attributions.values()) == result.preemptions
+    assert PREEMPT_REQUEUE in _span_kinds(attributions)
+
+
+def test_unreliable_fleet_attributes_crashes_and_slow_windows():
+    recorder = EventRecorder()
+    result = run_fleet_scenario(
+        FLEET_SCENARIO_REGISTRY["unreliable"], seed=0, observe=recorder
+    )
+    attributions = build_attributions(recorder)
+    verify_conservation(recorder, attributions, records=result.records)
+    # The scenario's failure plan: replica 0 crashes at t=20, the replica at
+    # active index 1 (= replica 2) slows at t=35 and crashes at t=50, which
+    # truncates its slow window.
+    windows = slow_windows(recorder)
+    assert windows == {2: [(35.0, 50.0)]}
+    reroutes = sum(a.crash_reroutes for a in attributions.values())
+    assert reroutes == result.fleet.rerouted_requests > 0
+    kinds = _span_kinds(attributions)
+    assert CRASH_REQUEUE in kinds
+    assert SLOW_NODE in _span_kinds(attributions) or any(
+        span.slow for attr in attributions.values() for span in attr.spans
+    )
+
+
+def test_attribution_is_pure_post_processing():
+    # Building attributions twice from the same stream yields equal results
+    # and never mutates the recorder.
+    recorder = EventRecorder()
+    run_scenario(SCENARIO_REGISTRY["chat"], "colocated", seed=0, observe=recorder)
+    before = list(recorder.events)
+    first = build_attributions(recorder)
+    second = build_attributions(recorder)
+    assert recorder.events == before
+    assert first == second
+
+
+class TestRandomTraces:
+    """Hypothesis property: conservation holds for arbitrary small traces."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        triples=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                st.integers(min_value=1, max_value=6000),
+                st.integers(min_value=1, max_value=600),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        priority_policy=st.booleans(),
+    )
+    def test_conserves_on_random_traces(self, triples, priority_policy):
+        recorder = EventRecorder()
+        config = ServingConfig(
+            num_gpus=1,
+            batcher=BatcherConfig(
+                max_batch_tokens=4096,
+                prefill_chunk_tokens=2048,
+                policy="priority" if priority_policy else "fcfs",
+            ),
+            observe=recorder,
+        )
+        trace = replay_trace(sorted(triples))
+        result = ServingEngine(LLAMA_13B, config).run(trace, SLO())
+        checked = verify_conservation(recorder, records=result.records)
+        assert checked == sum(1 for r in result.records if r.finished)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10))
+    def test_conserves_under_failures_across_seeds(self, seed):
+        # Random arrival traces through the crash/slow failure plan: the
+        # re-route and slow-window bookkeeping must conserve on all of them.
+        recorder = EventRecorder()
+        result = run_fleet_scenario(
+            FLEET_SCENARIO_REGISTRY["unreliable"], seed=seed, observe=recorder
+        )
+        checked = verify_conservation(recorder, records=result.records)
+        assert checked == sum(1 for r in result.records if r.finished)

@@ -1,0 +1,76 @@
+"""Window alignment and empty-window gap handling of the time series.
+
+Satellite of the diagnosis layer: detectors assume a *uniform* window axis
+— every interval row between the first and last observed window exists,
+with zero-sample windows rendered as explicit gaps (count 0, ``None``
+statistics for metrics; zero counts for counters) rather than silently
+dropped.  Windows are anchored at t=0 via ``int(time // window)`` for every
+stream, so the serving engines' track clocks and the fleet's cluster clock
+land in identical buckets for identical timestamps.
+"""
+
+from repro.obs import EventRecorder, build_timeseries
+from repro.obs.events import CLUSTER_TRACK, Event
+from repro.obs.events import ARRIVE, FIRST_TOKEN
+from repro.obs.timeseries import MetricSeries, WindowedCounter
+
+
+class TestMetricSeriesGaps:
+    def test_zero_sample_windows_are_explicit_gaps(self):
+        series = MetricSeries("ttft", 5.0)
+        series.add(1.0, 0.5)
+        series.add(17.0, 1.0)
+        rows = series.intervals()
+        assert [(row["start"], row["end"]) for row in rows] == [
+            (0.0, 5.0),
+            (5.0, 10.0),
+            (10.0, 15.0),
+            (15.0, 20.0),
+        ]
+        assert rows[0]["mean"] == 0.5 and rows[0]["count"] == 1
+        for gap in rows[1:3]:
+            assert gap["count"] == 0
+            assert gap["mean"] is None
+            assert gap["min"] is None
+            assert gap["max"] is None
+        assert rows[3]["mean"] == 1.0
+
+    def test_no_samples_means_no_rows(self):
+        assert MetricSeries("ttft", 5.0).intervals() == []
+
+
+class TestCounterGaps:
+    def test_zero_event_windows_count_zero(self):
+        counter = WindowedCounter("arrivals", 5.0)
+        counter.add(1.0)
+        counter.add(17.0, amount=2.0)
+        rows = counter.intervals()
+        assert [row["count"] for row in rows] == [1.0, 0.0, 0.0, 2.0]
+        assert [row["per_second"] for row in rows] == [0.2, 0.0, 0.0, 0.4]
+        assert [(row["start"], row["end"]) for row in rows] == [
+            (0.0, 5.0),
+            (5.0, 10.0),
+            (10.0, 15.0),
+            (15.0, 20.0),
+        ]
+        assert counter.total == 3.0
+
+
+def test_serving_and_fleet_clocks_share_the_window_axis():
+    # One synthetic stream with an engine-track event and a cluster-track
+    # event at the same timestamps: both must fold into the same buckets
+    # (anchored at t=0), and the sparse middle stays an explicit gap row.
+    recorder = EventRecorder()
+    for time in (1.0, 17.0):
+        recorder.events.append(Event(time, ARRIVE, 0, 1, None))
+        recorder.events.append(Event(time, ARRIVE, CLUSTER_TRACK, 2, None))
+        recorder.events.append(Event(time, FIRST_TOKEN, 0, 1, (0.25,)))
+    series = build_timeseries(recorder, window=5.0)
+    arrivals = series.counters["arrivals"].intervals()
+    ttft = series.metrics["ttft"].intervals()
+    # Track-0 and cluster-track arrivals land in one shared counter/bucket.
+    assert [row["count"] for row in arrivals] == [2.0, 0.0, 0.0, 2.0]
+    assert [(row["start"], row["end"]) for row in arrivals] == [
+        (row["start"], row["end"]) for row in ttft
+    ]
+    assert [row["mean"] for row in ttft] == [0.25, None, None, 0.25]
