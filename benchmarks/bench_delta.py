@@ -70,11 +70,19 @@ def gate_violations(
     current: dict,
     max_wall_regression: float = 0.25,
     max_goodput_drop: float = 0.01,
+    max_overhead_pct: float = 10.0,
+    max_memory_regression: float = 0.50,
 ) -> List[str]:
     """One human-readable line per benchmark regressed beyond a threshold.
 
     Only benchmarks present in both artifacts participate; a zero-wall
     baseline entry cannot gate on wall-clock (no meaningful relative delta).
+    Two gates read the *current* side against absolute/relative ceilings
+    rather than raw deltas: ``recorder_overhead_pct`` must stay under
+    ``max_overhead_pct`` (the recorder's contract is "near-free", not
+    "no slower than last time"), and ``peak_tracemalloc_mb`` — emitted by
+    the massive-scale benchmarks — may not grow more than
+    ``max_memory_regression`` relative to the committed baseline.
     """
     violations: List[str] = []
     for name in sorted(set(baseline) & set(current)):
@@ -96,6 +104,21 @@ def gate_violations(
                 violations.append(
                     f"{name}: goodput {good_before:.3f} -> {good_after:.3f} "
                     f"(-{drop:.3f} > -{max_goodput_drop:.3f} allowed)"
+                )
+        overhead_pct = after.get("recorder_overhead_pct")
+        if overhead_pct is not None and overhead_pct > max_overhead_pct:
+            violations.append(
+                f"{name}: recorder overhead {overhead_pct:+.1f}% "
+                f"> +{max_overhead_pct:.1f}% allowed"
+            )
+        mem_before = before.get("peak_tracemalloc_mb")
+        mem_after = after.get("peak_tracemalloc_mb")
+        if mem_before and mem_after is not None:
+            growth = (mem_after - mem_before) / mem_before
+            if growth > max_memory_regression:
+                violations.append(
+                    f"{name}: peak memory {mem_before:.1f}MB -> {mem_after:.1f}MB "
+                    f"({growth:+.1%} > +{max_memory_regression:.0%} allowed)"
                 )
     return violations
 
@@ -122,6 +145,19 @@ def main(argv=None) -> int:
         default=0.01,
         help="allowed absolute goodput-fraction decrease per benchmark (default: 0.01)",
     )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=10.0,
+        help="ceiling on the current recorder_overhead_pct (default: 10.0)",
+    )
+    parser.add_argument(
+        "--max-memory-regression",
+        type=float,
+        default=0.50,
+        help="allowed relative peak_tracemalloc_mb increase per benchmark "
+        "(default: 0.50)",
+    )
     args = parser.parse_args(argv)
     baseline, current = _load(args.baseline), _load(args.current)
     table = delta_table(baseline, current, args.title)
@@ -136,6 +172,8 @@ def main(argv=None) -> int:
             current,
             max_wall_regression=args.max_wall_regression,
             max_goodput_drop=args.max_goodput_drop,
+            max_overhead_pct=args.max_overhead_pct,
+            max_memory_regression=args.max_memory_regression,
         )
         if violations:
             print("benchmark gate FAILED:", file=sys.stderr)

@@ -210,6 +210,7 @@ def test_recorder_overhead(once):
         observed_wall,
         plain_wall_seconds=plain_wall,
         recorder_overhead=overhead,
+        recorder_overhead_pct=(overhead - 1.0) * 100.0,
         events_recorded=len(recorder),
     )
     print()

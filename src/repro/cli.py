@@ -268,6 +268,11 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
         prefix_caching = True
     elif args.no_prefix_caching:
         prefix_caching = False
+    retain_records = None
+    if args.retain_records:
+        retain_records = True
+    elif args.no_retain_records:
+        retain_records = False
     observing = _observing(args)
     for mode in modes:
         recorder = EventRecorder(profile=args.self_profile) if observing else None
@@ -281,6 +286,8 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
             fast_forward=not args.no_fast_forward,
             prefix_caching=prefix_caching,
             observe=recorder,
+            retain_records=retain_records,
+            max_requests=args.max_requests,
         )
         print(
             _serving_result_text(
@@ -790,6 +797,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-prefix-caching",
         action="store_true",
         help="force shared-prefix KV caching off (the A/B baseline)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="truncate the workload to its first N requests (smoke-test a "
+        "slice of a massive scenario without paying for the full trace)",
+    )
+    retain_group = serve.add_mutually_exclusive_group()
+    retain_group.add_argument(
+        "--retain-records",
+        action="store_true",
+        help="force per-request record retention on (default: the scenario's "
+        "setting; massive-* scenarios stream with bounded memory)",
+    )
+    retain_group.add_argument(
+        "--no-retain-records",
+        action="store_true",
+        help="fold finished requests into a bounded streaming accumulator "
+        "and drop per-request state (colocated only)",
     )
     serve.add_argument("--list", action="store_true", help="list available scenarios")
     serve.set_defaults(handler=_cmd_serve)

@@ -35,7 +35,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.report import render_table
 from ..hardware.gpu import get_gpu_spec
@@ -46,7 +46,13 @@ from ..obs.events import EventRecorder
 from ..schedules.base import Pass
 from ..serving.batcher import BatcherConfig, IterationPlan, RequestState
 from ..serving.engine import ServingConfig, _Pool
-from ..serving.metrics import SLO, RequestRecord, ServingMetrics, compute_metrics
+from ..serving.metrics import (
+    SLO,
+    RequestRecord,
+    ServingMetrics,
+    StreamingMetrics,
+    compute_metrics,
+)
 from ..serving.prefix_cache import prefix_block_keys
 from ..serving.workload import Request
 from ..sim.timeline import Timeline, TimelineSpan
@@ -96,6 +102,14 @@ class FleetConfig:
     #: prefix blocks skip prefill, routers observe per-replica hit potential
     #: and the arrival-rate autoscaler credits the effective-capacity gain.
     prefix_caching: bool = False
+    #: Keep every :class:`RequestRecord` in the result (the default,
+    #: byte-identical path).  ``False`` streams: arrivals are pulled lazily
+    #: from the trace iterable (one in flight on the heap at a time),
+    #: finished requests fold into a bounded-memory
+    #: :class:`~repro.serving.metrics.StreamingMetrics` accumulator and are
+    #: dropped, so a million-request fleet run holds O(replicas + batch)
+    #: state.  Incompatible with ``collect_timeline=True``.
+    retain_records: bool = True
     #: Opt-in observability: an :class:`~repro.obs.events.EventRecorder`
     #: threaded into every replica pool and the cluster loop itself.  ``None``
     #: (the default) keeps every emit site dormant and the run byte-identical.
@@ -405,6 +419,9 @@ class FleetResult:
     prefix_flops_saved: float = 0.0
     prefill_flops_executed: float = 0.0
     prefix_evictions: int = 0
+    #: ``False`` when the run streamed (``FleetConfig.retain_records=False``):
+    #: ``records`` is empty and metrics came from a bounded accumulator.
+    retain_records: bool = True
 
     @property
     def token_accounting_balanced(self) -> bool:
@@ -663,6 +680,11 @@ class FleetEngine:
             prof.add("commit", prof.clock() - clock_start)
         replica.requests_served += len(departed)
         self._finished += len(departed)
+        if self._streaming is not None:
+            # Bounded-memory fold: the departed records are dropped here —
+            # nothing outside the accumulator ever sees them again.
+            for state in departed:
+                self._streaming.observe(state.record)
         if replica.draining and not replica.has_work:
             self._retire(replica, now)
         else:
@@ -826,23 +848,54 @@ class FleetEngine:
     # ------------------------------------------------------------------
     # The run
     # ------------------------------------------------------------------
+    def _push_next_arrival(self) -> None:
+        """Pull one request from the streaming trace onto the event heap."""
+        stream = self._arrival_stream
+        if stream is None:
+            return
+        request = next(stream, None)
+        if request is None:
+            self._arrival_stream = None
+            # Exhausted: the run completes when every pushed arrival finishes.
+            self._num_requests = self._pushed_arrivals
+            return
+        arrival = request.arrival_time
+        if arrival < self._last_arrival:
+            raise ValueError(
+                "streaming fleet traces must be sorted by arrival_time "
+                f"(request {request.request_id!r} arrives at {arrival!r} "
+                f"after {self._last_arrival!r})"
+            )
+        self._last_arrival = arrival
+        if self._pushed_arrivals == 0:
+            self._first_arrival = arrival
+        self._pushed_arrivals += 1
+        self._push(arrival, _ARRIVAL, request)
+
     def run(
         self,
-        trace: Sequence[Request],
+        trace: Iterable[Request],
         slo: Optional[SLO] = None,
         collect_timeline: bool = False,
     ) -> FleetResult:
-        if not trace:
-            raise ValueError("fleet run needs a non-empty trace")
         slo = slo or SLO()
         cfg = self.config
+        streaming = not cfg.retain_records
+        if streaming and collect_timeline:
+            raise ValueError(
+                "collect_timeline needs O(iterations) span memory; "
+                "incompatible with retain_records=False"
+            )
+        if not streaming and not isinstance(trace, Sequence):
+            trace = list(trace)
+        if isinstance(trace, Sequence) and not trace:
+            raise ValueError("fleet run needs a non-empty trace")
 
         self._heap: List[tuple] = []
         self._seq = 0
         self._replicas: List[_Replica] = []
         self._held: List[RequestState] = []
         self._finished = 0
-        self._num_requests = len(trace)
         self._total_iterations = 0
         self._rerouted = 0
         self._crashes = 0
@@ -855,15 +908,37 @@ class FleetEngine:
         self._autoscaler: Autoscaler = make_autoscaler(cfg.autoscaler)
         self._spans: Optional[List[Tuple[int, float, float]]] = [] if collect_timeline else None
         self._obs: Optional[EventRecorder] = cfg.observe
+        self._streaming: Optional[StreamingMetrics] = (
+            StreamingMetrics(slo) if streaming else None
+        )
+        self._arrival_stream: Optional[Iterator[Request]] = None
+        self._pushed_arrivals = 0
+        self._last_arrival = float("-inf")
+        self._first_arrival = 0.0
 
         for _ in range(cfg.initial_replicas):
             self._new_replica(0.0, 0.0)
 
-        records = {request.request_id: RequestRecord(request) for request in trace}
-        if len(records) != len(trace):
-            raise ValueError("trace carries duplicate request ids")
-        for request in sorted(trace, key=lambda r: (r.arrival_time, r.request_id)):
-            self._push(request.arrival_time, _ARRIVAL, request)
+        if streaming:
+            # Lazy arrivals: exactly one future arrival sits on the heap;
+            # popping it pulls the next from the iterator.  Until the
+            # iterator exhausts, the total is unknown — ``inf`` keeps every
+            # "more work coming" condition true; exhaustion pins it to the
+            # pushed count.  (The eager path's global duplicate-id check is
+            # skipped here: it would need O(trace) memory.)
+            records: Dict[object, RequestRecord] = {}
+            self._num_requests = float("inf")
+            self._arrival_stream = iter(trace)
+            self._push_next_arrival()
+            if self._pushed_arrivals == 0:
+                raise ValueError("fleet run needs a non-empty trace")
+        else:
+            records = {request.request_id: RequestRecord(request) for request in trace}
+            if len(records) != len(trace):
+                raise ValueError("trace carries duplicate request ids")
+            self._num_requests = len(trace)
+            for request in sorted(trace, key=lambda r: (r.arrival_time, r.request_id)):
+                self._push(request.arrival_time, _ARRIVAL, request)
         for event in self.failure_plan.events:
             self._push(event.time, _FAIL, event)
         if cfg.autoscaler.policy != "none":
@@ -881,7 +956,12 @@ class FleetEngine:
                         now, obs_events.ARRIVE, obs_events.CLUSTER_TRACK,
                         payload.request_id,
                     )
-                self._route(RequestState(record=records[payload.request_id]), now)
+                if self._streaming is not None:
+                    record = RequestRecord(payload)
+                    self._push_next_arrival()
+                else:
+                    record = records[payload.request_id]
+                self._route(RequestState(record=record), now)
             elif kind == _ITERATION:
                 replica_id, epoch, duration = payload
                 replica = self._replicas[replica_id]
@@ -934,8 +1014,11 @@ class FleetEngine:
         self, records: List[RequestRecord], end_time: float, slo: SLO
     ) -> FleetResult:
         cfg = self.config
-        arrivals = [r.request.arrival_time for r in records]
-        duration = max(end_time - min(arrivals), 1e-12)
+        if self._streaming is not None:
+            duration = max(end_time - self._first_arrival, 1e-12)
+        else:
+            arrivals = [r.request.arrival_time for r in records]
+            duration = max(end_time - min(arrivals), 1e-12)
         busy = sum(r.busy_time for r in self._replicas)
         kv_mean = (
             sum(r.kv_weighted for r in self._replicas) / busy if busy > 0 else 0.0
@@ -956,10 +1039,7 @@ class FleetEngine:
             flops_executed += fe
             prefix_evictions += ev
         required = hit_tokens + prefilled
-        metrics = compute_metrics(
-            records,
-            duration,
-            slo,
+        metric_kwargs = dict(
             kv_utilization_mean=kv_mean,
             kv_utilization_peak=max((r.kv_peak for r in self._replicas), default=0.0),
             preemptions=preemptions,
@@ -968,6 +1048,10 @@ class FleetEngine:
             prefix_flops_saved=flops_saved,
             prefix_evictions=prefix_evictions,
         )
+        if self._streaming is not None:
+            metrics = self._streaming.finalize(duration, **metric_kwargs)
+        else:
+            metrics = compute_metrics(records, duration, slo, **metric_kwargs)
         hours_by_type: Dict[str, float] = {}
         for replica in self._replicas:
             hours = replica.gpu_seconds(end_time) / 3600.0
@@ -1036,4 +1120,5 @@ class FleetEngine:
             prefix_flops_saved=flops_saved,
             prefill_flops_executed=flops_executed,
             prefix_evictions=prefix_evictions,
+            retain_records=self._streaming is None,
         )

@@ -10,9 +10,11 @@ Modules
 -------
 ``workload``
     Deterministic request-trace generators (Poisson, bursty, long-context,
-    replay) plus the shared-prefix families (common system prompt, Zipf RAG
-    corpus, agentic prefix trees) whose requests declare symbolic
-    ``Request.prefix`` segments.
+    diurnal/weekly rate curves, replay) plus the shared-prefix families
+    (common system prompt, Zipf RAG corpus, agentic prefix trees) whose
+    requests declare symbolic ``Request.prefix`` segments.  Every generator
+    also has a lazy ``*_stream`` form — the list APIs are thin wrappers —
+    so million-request traces never need to be materialized.
 ``paged_kv``
     Paged KV-cache allocator with block tables and eviction accounting,
     built on :class:`~repro.core.kv_cache.ChunkedKVCache`; optionally backs
@@ -30,41 +32,73 @@ Modules
     disaggregated with comm-priced KV hand-off.
 ``metrics``
     TTFT/TPOT/E2E percentiles, goodput under SLO, KV utilization, prefix
-    hit rate and saved prefill FLOPs.
+    hit rate and saved prefill FLOPs — record-based (``compute_metrics``)
+    or bounded-memory streaming (``StreamingMetrics``, P² sketches).
+``columnar``
+    Struct-of-arrays decode state backing the pure-decode stretch planner's
+    vectorized block-growth bound and bulk commit.
 ``scenarios``
     Named scenario registry (chat, RAG, 512K summarisation, bursty
     long-prompt, mixed fleet, shared-system-prompt, rag-shared-corpus,
-    agentic-prefix-tree) plus the ``run_scenario`` driver.
+    agentic-prefix-tree, plus the streaming ``massive-*`` family) and the
+    ``run_scenario`` driver.
 """
 
 from .batcher import BatcherConfig, ContinuousBatcher, IterationPlan, Phase, RequestState
+from .columnar import DecodeColumns
 from .engine import DisaggregatedEngine, ServingConfig, ServingEngine, ServingResult
-from .metrics import SLO, RequestRecord, ServingMetrics, compute_metrics, percentile
+from .metrics import (
+    SLO,
+    RequestRecord,
+    ServingMetrics,
+    StreamingMetrics,
+    compute_metrics,
+    percentile,
+)
 from .paged_kv import PagedKVAllocator, PagedKVStats, blocks_for_tokens
 from .prefix_cache import PrefixCache, PrefixCacheStats, prefix_block_keys
 from .scenarios import SCENARIO_REGISTRY, ServingScenario, get_scenario, run_scenario
 from .workload import (
     Request,
     agentic_tree_trace,
+    bursty_stream,
     bursty_trace,
+    diurnal_stream,
+    diurnal_trace,
+    long_context_stream,
     long_context_trace,
     merge_traces,
+    poisson_stream,
     poisson_trace,
+    rag_corpus_stream,
     rag_corpus_trace,
     replay_trace,
+    shared_prefix_stream,
     shared_prefix_trace,
+    weekly_stream,
+    weekly_trace,
 )
 
 __all__ = [
     "Request",
     "poisson_trace",
+    "poisson_stream",
     "bursty_trace",
+    "bursty_stream",
     "long_context_trace",
+    "long_context_stream",
     "shared_prefix_trace",
+    "shared_prefix_stream",
     "rag_corpus_trace",
+    "rag_corpus_stream",
+    "diurnal_trace",
+    "diurnal_stream",
+    "weekly_trace",
+    "weekly_stream",
     "agentic_tree_trace",
     "replay_trace",
     "merge_traces",
+    "DecodeColumns",
     "PrefixCache",
     "PrefixCacheStats",
     "prefix_block_keys",
@@ -83,6 +117,7 @@ __all__ = [
     "SLO",
     "RequestRecord",
     "ServingMetrics",
+    "StreamingMetrics",
     "compute_metrics",
     "percentile",
     "ServingScenario",

@@ -1,0 +1,98 @@
+"""Struct-of-arrays decode state for the pure-decode stretch planner.
+
+The fast-forward path (PR 4) coalesces stable pure-decode stretches: no
+arrivals, no prefill, every running request decoding.  Planning a stretch
+needs, per candidate step, the KV-block growth of *every* running request
+— an O(batch) integer fold that the reference implementation ran as a
+Python loop inside a binary search.  At massive-scenario batch sizes that
+fold dominates the planner, so this module keeps the per-stretch request
+state as numpy int64 columns (context length, blocks held) and runs the
+growth bound and the end-of-stretch reservation plan as vectorized array
+arithmetic instead of per-``RequestState`` attribute reads.
+
+Everything here is **integer** arithmetic — numpy int64 adds, floor
+divides and sums are exact, so the planner's step bound and the commit's
+block counts are bit-identical to the scalar reference (proven by
+``tests/test_fast_forward_equivalence.py``).  The per-step *float* pricing
+(``decode_iteration_time``) deliberately stays a Python loop in the
+engine: float summation order is part of the bit-exactness contract and
+numpy's pairwise summation would break it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DecodeColumns"]
+
+
+class DecodeColumns:
+    """Columnar snapshot of a pool's running decode batch.
+
+    Built once per stretch-planning attempt from the batcher's running
+    list, in running order (which is also chunk-acquisition order at
+    commit time).  ``contexts`` holds each request's context length at the
+    start of the stretch; ``held`` the KV blocks currently backing its
+    reservation (shared prefix refs + private blocks).
+    """
+
+    __slots__ = ("request_ids", "contexts", "held", "block_tokens")
+
+    def __init__(
+        self,
+        request_ids: List[Hashable],
+        contexts: Sequence[int],
+        held: Sequence[int],
+        block_tokens: int,
+    ):
+        self.request_ids = request_ids
+        self.contexts = np.asarray(contexts, dtype=np.int64)
+        self.held = np.asarray(held, dtype=np.int64)
+        self.block_tokens = block_tokens
+
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+    def growth(self, step: int) -> int:
+        """Extra blocks needed by the reservations of iteration ``step``."""
+        block_tokens = self.block_tokens
+        extra = (self.contexts + (step + block_tokens - 1)) // block_tokens - self.held
+        return int(np.maximum(extra, 0).sum())
+
+    def stretch_bound(self, steps: int, free_blocks: int) -> int:
+        """Cap ``steps`` to the longest prefix whose block growth fits.
+
+        Identical structure to the scalar reference: if the full stretch
+        fits it runs whole; if even the next step needs more blocks than
+        the pool has free, the iteration must go through preemption
+        planning (returns 0); otherwise binary-search the last step whose
+        cumulative growth fits.
+        """
+        if self.growth(steps - 1) <= free_blocks:
+            return steps
+        if self.growth(0) > free_blocks:
+            return 0
+        low, high = 0, steps - 1  # growth(low) fits, growth(high) does not
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self.growth(mid) <= free_blocks:
+                low = mid
+            else:
+                high = mid
+        return low + 1
+
+    def commit_plan(self, steps: int) -> Tuple[List[int], List[int]]:
+        """Per-request ``(new_total_tokens, extra_blocks)`` after ``steps``.
+
+        The last executed iteration reserves ``context + steps - 1`` tokens
+        (the token it generated claims its slot next step); the extra-block
+        count is exactly what serial :meth:`PagedKVAllocator.reserve` calls
+        would acquire, computed for the whole batch in one vector pass.
+        """
+        block_tokens = self.block_tokens
+        new_totals = self.contexts + (steps - 1)
+        target = (new_totals + block_tokens - 1) // block_tokens
+        extra = np.maximum(target - self.held, 0)
+        return new_totals.tolist(), extra.tolist()

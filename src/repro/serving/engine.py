@@ -49,7 +49,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..hardware.comm import CommModel
 from ..hardware.gpu import GPUSpec, HOPPER_80GB
@@ -63,7 +63,8 @@ from ..model.memory import kv_cache_bytes_per_token_per_layer
 from ..schedules.base import Pass
 from ..sim.timeline import Timeline, TimelineSpan
 from .batcher import BatcherConfig, ContinuousBatcher, IterationPlan, Phase, RequestState
-from .metrics import SLO, RequestRecord, ServingMetrics, compute_metrics
+from .columnar import DecodeColumns
+from .metrics import SLO, RequestRecord, ServingMetrics, StreamingMetrics, compute_metrics
 from .paged_kv import PagedKVAllocator
 from .workload import Request
 
@@ -87,6 +88,16 @@ class ServingConfig:
     #: the module docstring).  ``False`` forces the naive one-iteration-at-a-
     #: time reference stepper.
     fast_forward: bool = True
+    #: Keep every :class:`RequestRecord` (and the iteration timeline) in the
+    #: result.  ``True`` — the default — is the byte-identical record-based
+    #: path every golden and the obs/diagnosis layer depend on.  ``False``
+    #: streams: arrivals are pulled lazily from the trace iterable, finished
+    #: requests fold into a :class:`~repro.serving.metrics.StreamingMetrics`
+    #: accumulator and are dropped, so memory stays bounded no matter how
+    #: many requests the trace holds (massive-* scenarios).  Requires the
+    #: colocated engine; record consumers (``--explain``, attribution,
+    #: ``--diff-against``) need ``True``.
+    retain_records: bool = True
     #: Shared-prefix KV caching: requests whose prompts declare a shared
     #: prefix (:attr:`~repro.serving.workload.Request.prefix`) skip prefill
     #: for cached prefix blocks, which are reference-counted in a radix tree
@@ -134,6 +145,9 @@ class ServingResult:
     prefix_flops_saved: float = 0.0
     prefill_flops_executed: float = 0.0
     prefix_evictions: int = 0
+    #: ``False`` when the run streamed: ``records`` is empty and ``timeline``
+    #: has no spans — metrics came from a bounded-memory accumulator instead.
+    retain_records: bool = True
 
     @property
     def token_accounting_balanced(self) -> bool:
@@ -157,6 +171,13 @@ class _PoolRun:
     kv_mean: float
     kv_peak: float
     busy_time: float
+
+
+#: Decode-batch size above which the stretch planner switches from the
+#: scalar growth fold to the columnar (numpy) plan.  Below it, array
+#: construction costs more than it saves; both paths are integer-exact and
+#: interchangeable (pinned by the fast-forward equivalence suite).
+COLUMNAR_MIN_BATCH = 64
 
 
 @lru_cache(maxsize=1 << 17)
@@ -238,6 +259,9 @@ class _Pool:
         # and memoized iteration durations per exact batch composition.
         self._decode_pairs: Dict[int, Tuple[float, float]] = {}
         self._duration_cache: Dict[tuple, float] = {}
+        # Columnar snapshot of the batch behind the most recent successful
+        # stretch plan; the stretch executor reuses it for the bulk commit.
+        self._stretch_columns: Optional[DecodeColumns] = None
 
     # ------------------------------------------------------------------
     # Capacity
@@ -349,7 +373,13 @@ class _Pool:
                 linear += pair[0]
                 attention += pair[1]
             duration = self._pair_time(linear, attention, plan.batch_tokens)
-            if len(self._duration_cache) >= (1 << 16):
+            # Keys are O(batch) tuples and unique compositions scale with the
+            # iteration count, so a large bound makes peak memory grow with
+            # trace length.  The memo's value is within-iteration reuse (the
+            # prefill-budget search prices ~10 candidate plans per iteration);
+            # cross-iteration repeats are rare at scale, so a small bound
+            # keeps peak memory flat with no measurable throughput cost.
+            if len(self._duration_cache) >= (1 << 12):
                 self._duration_cache.clear()
             self._duration_cache[key] = duration
         return duration
@@ -490,35 +520,57 @@ class _Pool:
         steps = limit - 1
         if steps < 1:
             return 0
-        contexts = [state.context_tokens for state in running]
-        block_tokens = allocator.block_tokens
-        held = [allocator.blocks_held(state.request.request_id) for state in running]
-        free = allocator.free_blocks
+        if n < COLUMNAR_MIN_BATCH:
+            # Small batches: the scalar fold beats the columnar plan's numpy
+            # array construction (fleet replicas and chat-scale pools live
+            # here), and the common case needs exactly one growth probe.
+            self._stretch_columns = None
+            contexts = [state.context_tokens for state in running]
+            block_tokens = allocator.block_tokens
+            held = [allocator.blocks_held(state.request.request_id) for state in running]
+            free = allocator.free_blocks
 
-        def growth(step: int) -> int:
-            """Extra blocks needed by the reservations of iteration ``step``."""
-            need = 0
-            for context, blocks in zip(contexts, held):
-                extra = (context + step + block_tokens - 1) // block_tokens - blocks
-                if extra > 0:
-                    need += extra
-            return need
+            def growth(step: int) -> int:
+                """Extra blocks needed by the reservations of iteration ``step``."""
+                need = 0
+                for context, blocks in zip(contexts, held):
+                    extra = (context + step + block_tokens - 1) // block_tokens - blocks
+                    if extra > 0:
+                        need += extra
+                return need
 
-        # ``free`` excludes unreferenced shared prefix blocks on purpose: a
-        # step that would have to reclaim cache space must run on the naive
-        # path (reclamation changes stored tokens, which the stretch tracks
-        # incrementally).
-        if growth(steps - 1) > free:
-            if growth(0) > free:
-                return 0  # the very next decode step already needs preemption
-            low, high = 0, steps - 1  # growth(low) fits, growth(high) does not
-            while high - low > 1:
-                mid = (low + high) // 2
-                if growth(mid) <= free:
-                    low = mid
-                else:
-                    high = mid
-            steps = low + 1
+            # ``free`` excludes unreferenced shared prefix blocks on purpose:
+            # a step that would have to reclaim cache space must run on the
+            # naive path (reclamation changes stored tokens, which the
+            # stretch tracks incrementally).
+            if growth(steps - 1) > free:
+                if growth(0) > free:
+                    return 0  # the very next decode step already needs preemption
+                low, high = 0, steps - 1  # growth(low) fits, growth(high) does not
+                while high - low > 1:
+                    mid = (low + high) // 2
+                    if growth(mid) <= free:
+                        low = mid
+                    else:
+                        high = mid
+                steps = low + 1
+            return steps
+        # Columnar plan: context lengths and blocks held become int64 arrays,
+        # so the KV-growth bound (and later the commit's reservation plan)
+        # are vectorized folds — integer arithmetic, hence still bit-exact.
+        columns = DecodeColumns(
+            [state.request.request_id for state in running],
+            [state.context_tokens for state in running],
+            [allocator.blocks_held(state.request.request_id) for state in running],
+            allocator.block_tokens,
+        )
+        # ``free_blocks`` excludes unreferenced shared prefix blocks on
+        # purpose: a step that would have to reclaim cache space must run on
+        # the naive path (reclamation changes stored tokens, which the
+        # stretch tracks incrementally).
+        steps = columns.stretch_bound(steps, allocator.free_blocks)
+        if steps > 0:
+            self._stretch_columns = columns
         return steps
 
     # ------------------------------------------------------------------
@@ -526,12 +578,21 @@ class _Pool:
     # ------------------------------------------------------------------
     def run(
         self,
-        states: Sequence[RequestState],
+        states: Union[Sequence[RequestState], Iterator[RequestState]],
         timeline: Optional[Timeline] = None,
         device: int = 0,
+        on_depart: Optional[Callable[[RequestState], None]] = None,
     ) -> _PoolRun:
-        pending = sorted(states, key=lambda s: (s.pool_arrival, s.request.request_id))
-        cursor = 0
+        if isinstance(states, Sequence):
+            stream: Iterator[RequestState] = iter(
+                sorted(states, key=lambda s: (s.pool_arrival, s.request.request_id))
+            )
+        else:
+            # Streaming input: states are pulled one at a time, so the pool
+            # never materializes the trace.  The caller guarantees
+            # non-decreasing ``pool_arrival`` order (the engines validate).
+            stream = iter(states)
+        upcoming = next(stream, None)
         now = 0.0
         iterations = 0
         departed: List[RequestState] = []
@@ -548,15 +609,14 @@ class _Pool:
             obs.register_track(device, self.track_name)
             batcher.obs_track = device
         while True:
-            while cursor < len(pending) and pending[cursor].pool_arrival <= now + 1e-12:
-                state = pending[cursor]
-                batcher.enqueue(state)
+            while upcoming is not None and upcoming.pool_arrival <= now + 1e-12:
+                batcher.enqueue(upcoming)
                 if obs is not None:
                     obs.emit(
-                        state.pool_arrival, obs_events.ARRIVE, device,
-                        state.request.request_id,
+                        upcoming.pool_arrival, obs_events.ARRIVE, device,
+                        upcoming.request.request_id,
                     )
-                cursor += 1
+                upcoming = next(stream, None)
             max_steps = self.decode_stretch_length()
             if max_steps > 0:
                 # Coalesced decode stretch: replay the naive stepper's exact
@@ -564,7 +624,7 @@ class _Pool:
                 # without replanning, repricing or reallocating per step.
                 running = batcher.running
                 n = len(running)
-                horizon = pending[cursor].pool_arrival if cursor < len(pending) else None
+                horizon = upcoming.pool_arrival if upcoming is not None else None
                 contexts = [state.context_tokens for state in running]
                 # Physical occupancy, shared prefix blocks counted once; each
                 # decode step then adds exactly one private token per request,
@@ -605,11 +665,28 @@ class _Pool:
                     steps += 1
                     if horizon is not None and horizon <= now + 1e-12:
                         break
-                for state in running:
-                    state.decoded += steps
-                    # The last executed iteration reserved context - 1 tokens
-                    # (the token it generated claims its slot next step).
-                    allocator.reserve(state.request.request_id, state.context_tokens - 1)
+                # Bulk reservation commit: the last executed iteration
+                # reserved context - 1 tokens per request (the token it
+                # generated claims its slot next step).  Large batches commit
+                # through the columnar plan (every new total and block delta
+                # in one vectorized pass); small ones reserve per request —
+                # the two are exactly equivalent (``bulk_reserve_decode``
+                # replays ``reserve``'s bookkeeping in the same order).
+                columns = self._stretch_columns
+                if columns is None:
+                    for state in running:
+                        state.decoded += steps
+                        allocator.reserve(
+                            state.request.request_id, state.context_tokens - 1
+                        )
+                else:
+                    new_totals, extra_blocks = columns.commit_plan(steps)
+                    allocator.bulk_reserve_decode(
+                        columns.request_ids, new_totals, extra_blocks
+                    )
+                    self._stretch_columns = None
+                    for state in running:
+                        state.decoded += steps
                 if prof is not None:
                     prof.add("fast-forward", prof.clock() - clock_start)
                 if obs is not None:
@@ -619,8 +696,8 @@ class _Pool:
                     )
                 continue
             if not batcher.has_work:
-                if cursor < len(pending):
-                    now = pending[cursor].pool_arrival
+                if upcoming is not None:
+                    now = upcoming.pool_arrival
                     continue
                 break
             if obs is not None:
@@ -637,8 +714,8 @@ class _Pool:
                         prof.add("eviction", prof.clock() - clock_start)
                     if victim is not None:
                         continue  # freed blocks; replan
-                if cursor < len(pending):
-                    now = pending[cursor].pool_arrival
+                if upcoming is not None:
+                    now = upcoming.pool_arrival
                     continue
                 raise RuntimeError(
                     "serving pool stalled with queued work and no runnable batch"
@@ -654,7 +731,14 @@ class _Pool:
             kv_time += duration
             kv_peak = max(kv_peak, utilization)
             clock_start = prof.clock() if prof is not None else 0.0
-            departed.extend(batcher.commit(plan, now))
+            finished = batcher.commit(plan, now)
+            if on_depart is None:
+                departed.extend(finished)
+            else:
+                # Streaming consumer: fold the finished request in and drop
+                # it — the pool retains no per-request state past departure.
+                for state in finished:
+                    on_depart(state)
             if prof is not None:
                 prof.add("commit", prof.clock() - clock_start)
             if obs is not None:
@@ -714,9 +798,11 @@ class ServingEngine:
         self.config = config or ServingConfig()
         self.pool = _Pool(model, self.config.num_gpus, self.config, cost_model)
 
-    def run(self, trace: Sequence[Request], slo: Optional[SLO] = None) -> ServingResult:
+    def run(self, trace: Iterable[Request], slo: Optional[SLO] = None) -> ServingResult:
         slo = slo or SLO()
-        states = _make_states(trace)
+        if not self.config.retain_records:
+            return self._run_streaming(trace, slo)
+        states = _make_states(list(trace) if not isinstance(trace, Sequence) else trace)
         timeline = Timeline(num_devices=1)
         outcome = self.pool.run(states, timeline=timeline, device=0)
         records = [state.record for state in states]
@@ -756,6 +842,76 @@ class ServingEngine:
             prefix_evictions=prefix_evictions,
         )
 
+    def _run_streaming(self, trace: Iterable[Request], slo: SLO) -> ServingResult:
+        """Bounded-memory run: lazy arrivals in, streaming accumulator out.
+
+        The trace is pulled one request at a time (it may be a generator a
+        million requests long), finished requests fold into a
+        :class:`StreamingMetrics` accumulator and are dropped, and neither
+        records nor timeline spans are retained — peak memory is set by the
+        batch, the KV pool and the sketch, not by the trace length.
+        """
+        streaming = StreamingMetrics(slo)
+        # Mutable cells: the generator below runs inside the pool loop, and
+        # the first arrival anchors the run's duration measurement.
+        first_arrival = [0.0]
+        seen = [False]
+
+        def states() -> Iterator[RequestState]:
+            last = float("-inf")
+            for request in trace:
+                arrival = request.arrival_time
+                if arrival < last:
+                    raise ValueError(
+                        "streaming traces must be sorted by arrival_time "
+                        f"(request {request.request_id!r} arrives at {arrival!r} "
+                        f"after {last!r})"
+                    )
+                last = arrival
+                if not seen[0]:
+                    first_arrival[0] = arrival
+                    seen[0] = True
+                yield RequestState(record=RequestRecord(request))
+
+        outcome = self.pool.run(
+            states(),
+            device=0,
+            on_depart=lambda state: streaming.observe(state.record),
+        )
+        duration = max(outcome.end_time - first_arrival[0], 1e-12) if seen[0] else 0.0
+        batcher = self.pool.batcher
+        prefix = self.pool.allocator.prefix
+        prefix_evictions = prefix.evicted_blocks if prefix is not None else 0
+        required = batcher.prefix_hit_tokens + batcher.tokens_prefilled
+        metrics = streaming.finalize(
+            duration,
+            kv_utilization_mean=outcome.kv_mean,
+            kv_utilization_peak=outcome.kv_peak,
+            preemptions=batcher.preemptions,
+            prefix_hit_rate=batcher.prefix_hit_tokens / required if required else 0.0,
+            prefix_hit_tokens=batcher.prefix_hit_tokens,
+            prefix_flops_saved=batcher.prefix_flops_saved,
+            prefix_evictions=prefix_evictions,
+        )
+        return ServingResult(
+            mode="colocated",
+            metrics=metrics,
+            records=[],
+            timeline=Timeline(num_devices=1),
+            iterations=outcome.iterations,
+            kv_capacity_tokens=self.pool.kv_capacity_tokens,
+            tokens_admitted=batcher.tokens_admitted,
+            tokens_prefilled=batcher.tokens_prefilled,
+            tokens_preempted_requeued=batcher.tokens_preempted_requeued,
+            preemptions=batcher.preemptions,
+            prefix_hit_tokens=batcher.prefix_hit_tokens,
+            prefix_hit_requests=batcher.prefix_hit_requests,
+            prefix_flops_saved=batcher.prefix_flops_saved,
+            prefill_flops_executed=batcher.prefill_flops_executed,
+            prefix_evictions=prefix_evictions,
+            retain_records=False,
+        )
+
 
 class DisaggregatedEngine:
     """Prefill/decode disaggregation with comm-priced KV hand-off.
@@ -778,6 +934,12 @@ class DisaggregatedEngine:
     ):
         self.model = model
         self.config = config or ServingConfig()
+        if not self.config.retain_records:
+            raise ValueError(
+                "retain_records=False (streaming) requires the colocated "
+                "engine: disaggregation replays the prefill pool's full "
+                "departure list into the decode pool"
+            )
         if not 0.0 < prefill_fraction < 1.0:
             raise ValueError("prefill_fraction must be in (0, 1)")
         total = self.config.num_gpus

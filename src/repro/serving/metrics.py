@@ -17,9 +17,10 @@ prefill/decode-disaggregation papers optimise for instead of raw throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import format_percent, render_table
+from ..obs.sketch import QuantileSketch
 from .workload import Request
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "RequestRecord",
     "ServingMetrics",
     "PercentileSummary",
+    "StreamingMetrics",
     "percentile",
     "compute_metrics",
 ]
@@ -66,6 +68,16 @@ class PercentileSummary:
         hi = min(lo + 1, len(ordered) - 1)
         frac = rank - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def count(self) -> int:
+        """Number of samples behind the summary (>= 1 by construction)."""
+        return len(self._ordered)
+
+    @property
+    def max(self) -> float:
+        """Largest observed sample (the p100 read, without interpolating)."""
+        return self._ordered[-1]
 
 
 def percentile(values: Sequence[float], q: float, metric: Optional[str] = None) -> float:
@@ -189,6 +201,136 @@ class ServingMetrics:
 
     def to_text(self, title: str = "serving metrics") -> str:
         return render_table(["metric", "value"], self.to_rows(), title=title)
+
+
+class StreamingMetrics:
+    """Bounded-memory aggregation of finished requests.
+
+    The streaming counterpart of :func:`compute_metrics`: engines fold each
+    finished :class:`RequestRecord` in with :meth:`observe` and then *drop*
+    it, so a million-request run holds O(1) metric state instead of a
+    million records.  Internals:
+
+    * **latency percentiles** come from P² quantile sketches
+      (:class:`~repro.obs.sketch.QuantileSketch`) — exact for five or fewer
+      samples (bit-identical to :class:`PercentileSummary`), approximate
+      within the documented P² bound beyond that;
+    * **counts, totals and goodput** (requests finished, output tokens,
+      SLO-meeting requests) are exact integer counters, so throughput,
+      goodput fraction and goodput RPS match the record-based path to the
+      last bit;
+    * **windowed finish counters** track completions per fixed time window
+      (O(duration / window) memory, independent of request count) for
+      arrival-curve introspection of diurnal traces.
+
+    :meth:`finalize` assembles the same :class:`ServingMetrics` dataclass
+    ``compute_metrics`` returns, taking the engine's exact KV/preemption/
+    prefix-FLOP counters as arguments just like the record-based path does.
+    """
+
+    __slots__ = (
+        "slo",
+        "window_seconds",
+        "finished",
+        "good_requests",
+        "output_tokens",
+        "last_finish_time",
+        "window_counts",
+        "_ttft",
+        "_tpot",
+        "_e2e",
+    )
+
+    def __init__(self, slo: Optional[SLO] = None, window_seconds: float = 60.0):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.slo = slo or SLO()
+        self.window_seconds = window_seconds
+        self.finished = 0
+        self.good_requests = 0
+        self.output_tokens = 0
+        self.last_finish_time = 0.0
+        #: Finished-request count per ``window_seconds`` bucket of finish
+        #: time, keyed by the bucket index (``finish_time // window``).
+        self.window_counts: Dict[int, int] = {}
+        self._ttft = QuantileSketch("TTFT")
+        self._tpot = QuantileSketch("TPOT")
+        self._e2e = QuantileSketch("E2E latency")
+
+    def observe(self, record: RequestRecord) -> None:
+        """Fold one *finished* request in; the caller may then drop it."""
+        if not record.finished:
+            raise ValueError(
+                f"request {record.request.request_id} has not finished; "
+                "StreamingMetrics only aggregates completed requests"
+            )
+        self.finished += 1
+        self.output_tokens += record.request.output_tokens
+        if record.meets(self.slo):
+            self.good_requests += 1
+        finish = record.finish_time
+        if finish > self.last_finish_time:
+            self.last_finish_time = finish
+        bucket = int(finish // self.window_seconds)
+        self.window_counts[bucket] = self.window_counts.get(bucket, 0) + 1
+        self._ttft.add(record.ttft)
+        self._tpot.add(record.tpot)
+        self._e2e.add(record.e2e_latency)
+
+    @property
+    def count(self) -> int:
+        return self.finished
+
+    def peak_window(self) -> tuple:
+        """``(window_start_time, count)`` of the busiest finish window."""
+        if not self.window_counts:
+            raise ValueError("no finished requests observed")
+        bucket, count = max(self.window_counts.items(), key=lambda item: (item[1], -item[0]))
+        return (bucket * self.window_seconds, count)
+
+    def finalize(
+        self,
+        duration: float,
+        kv_utilization_mean: float = 0.0,
+        kv_utilization_peak: float = 0.0,
+        preemptions: int = 0,
+        prefix_hit_rate: float = 0.0,
+        prefix_hit_tokens: int = 0,
+        prefix_flops_saved: float = 0.0,
+        prefix_evictions: int = 0,
+    ) -> ServingMetrics:
+        """Assemble :class:`ServingMetrics` from the folded stream."""
+        if self.finished == 0:
+            raise ValueError(
+                "no finished requests to aggregate (0 observed) — the trace "
+                "may be empty or the run ended before any request completed"
+            )
+        span = max(duration, 1e-12)
+        return ServingMetrics(
+            num_requests=self.finished,
+            duration=duration,
+            ttft_p50=self._ttft.quantile(0.5),
+            ttft_p95=self._ttft.quantile(0.95),
+            ttft_p99=self._ttft.quantile(0.99),
+            tpot_p50=self._tpot.quantile(0.5),
+            tpot_p95=self._tpot.quantile(0.95),
+            tpot_p99=self._tpot.quantile(0.99),
+            e2e_p50=self._e2e.quantile(0.5),
+            e2e_p95=self._e2e.quantile(0.95),
+            e2e_p99=self._e2e.quantile(0.99),
+            output_tokens_per_second=self.output_tokens / span,
+            requests_per_second=self.finished / span,
+            goodput_fraction=self.good_requests / self.finished,
+            goodput_rps=self.good_requests / span,
+            kv_utilization_mean=kv_utilization_mean,
+            kv_utilization_peak=kv_utilization_peak,
+            preemptions=preemptions,
+            slo=self.slo,
+            prefix_hit_rate=prefix_hit_rate,
+            prefix_hit_tokens=prefix_hit_tokens,
+            prefix_flops_saved=prefix_flops_saved,
+            prefix_evictions=prefix_evictions,
+        )
 
 
 def compute_metrics(

@@ -327,6 +327,44 @@ class PagedKVAllocator:
                 tables[request_id].append((key, chunk.chunk_id))
         self._stored += len(request_ids)
 
+    def bulk_reserve_decode(
+        self,
+        request_ids: Sequence[Hashable],
+        new_totals: Sequence[int],
+        extra_blocks: Sequence[int],
+    ) -> None:
+        """Grow many decode reservations at once (end of a coalesced stretch).
+
+        Equivalent to calling :meth:`reserve` once per request in order —
+        same chunk-acquisition order, same sequential private keys, same
+        integer ``stored_tokens`` bookkeeping — but with the per-call
+        admission arithmetic (block targets, free-pool checks, reclaim
+        probes) hoisted into the caller's vectorized stretch plan
+        (:meth:`~repro.serving.columnar.DecodeColumns.commit_plan`).  The
+        caller must have verified the pool absorbs the total growth without
+        reclaiming shared blocks; an oversubscribed bulk update therefore
+        raises ``MemoryError`` from the chunk pool instead of returning
+        ``False``.
+        """
+        tokens = self._tokens
+        tables = self._tables
+        next_keys = self._next_key
+        cache = self._cache
+        grown = 0
+        for request_id, new_total, extra in zip(request_ids, new_totals, extra_blocks):
+            grown += new_total - tokens[request_id]
+            tokens[request_id] = new_total
+            if extra > 0:
+                table = tables[request_id]
+                next_key = next_keys.get(request_id, 0)
+                for _ in range(extra):
+                    key = (request_id, next_key)
+                    next_key += 1
+                    chunk = cache.acquire(key)
+                    table.append((key, chunk.chunk_id))
+                next_keys[request_id] = next_key
+        self._stored += grown
+
     def release(self, request_id: Hashable) -> int:
         """Free a finished request's blocks; returns blocks released.
 

@@ -33,12 +33,25 @@ The registry:
 ``agentic-prefix-tree``
     Interleaved multi-turn agent sessions sharing a scaffold, each turn
     extending its session's branch of the prefix tree.
+``massive-chat``
+    One million chat requests at 250 req/s — the bounded-memory scale
+    tier.  Arrivals stream from a lazy generator and finished requests
+    fold into a :class:`~repro.serving.metrics.StreamingMetrics`
+    accumulator (``retain_records=False``), so peak memory is independent
+    of trace length.
+``massive-diurnal``
+    A quarter-million requests over a sinusoidal day curve (trough at
+    midnight, peak mid-day), streamed the same way.
+``massive-week``
+    Half a million requests over a seven-day curve with a weekend trough
+    on top of the daily sinusoid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from itertools import islice
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from ..constants import UnknownNameError
 from ..model.config import get_model_config
@@ -50,11 +63,14 @@ from .workload import (
     Request,
     agentic_tree_trace,
     bursty_trace,
+    diurnal_stream,
     long_context_trace,
     merge_traces,
+    poisson_stream,
     poisson_trace,
     rag_corpus_trace,
     shared_prefix_trace,
+    weekly_stream,
 )
 
 __all__ = ["ServingScenario", "SCENARIO_REGISTRY", "get_scenario", "run_scenario"]
@@ -74,9 +90,26 @@ class ServingScenario:
     block_tokens: int = 256
     prefill_fraction: float = 0.5
     prefix_caching: bool = False
+    #: Lazy arrival iterator for streaming runs; ``None`` falls back to
+    #: materializing :attr:`trace_factory` (fine at classic scenario sizes).
+    stream_factory: Optional[Callable[[int], Iterator[Request]]] = None
+    #: Default record retention: massive scenarios set ``False`` so a run
+    #: streams through a bounded-memory accumulator instead of keeping a
+    #: million :class:`RequestRecord` objects alive.
+    retain_records: bool = True
+    #: Override of :attr:`ServingConfig.max_iterations`; low-rate massive
+    #: traces decode in near-singleton batches, so their iteration count is
+    #: ~``num_requests * output_tokens`` and the default ceiling is too low.
+    max_iterations: Optional[int] = None
 
     def make_trace(self, seed: int = 0) -> List[Request]:
         return self.trace_factory(seed)
+
+    def make_stream(self, seed: int = 0) -> Iterator[Request]:
+        """Lazy arrival iterator (massive scenarios never materialize)."""
+        if self.stream_factory is not None:
+            return self.stream_factory(seed)
+        return iter(self.make_trace(seed))
 
     def serving_config(
         self, num_gpus: Optional[int] = None, prefix_caching: Optional[bool] = None
@@ -87,13 +120,17 @@ class ServingScenario:
         the chunk-granularity of the budget search both land slightly above
         the cap, so protecting exactly at the SLO would structurally miss it.
         """
-        return ServingConfig(
+        kwargs = dict(
             num_gpus=self.num_gpus if num_gpus is None else num_gpus,
             block_tokens=self.block_tokens,
             batcher=self.batcher,
             tpot_cap=0.7 * self.slo.tpot,
             prefix_caching=self.prefix_caching if prefix_caching is None else prefix_caching,
+            retain_records=self.retain_records,
         )
+        if self.max_iterations is not None:
+            kwargs["max_iterations"] = self.max_iterations
+        return ServingConfig(**kwargs)
 
 
 def _chat_trace(seed: int) -> List[Request]:
@@ -210,6 +247,60 @@ def _agentic_prefix_tree_trace(seed: int) -> List[Request]:
     )
 
 
+# Massive-family workload knobs.  Chat runs hot but sustainable: 150 req/s on
+# 4 GPUs keeps decode batches large (goodput 1.0, ttft_p99 ~40ms) while
+# staying below the prefill rate the TPOT cap can sustain — 250 req/s
+# diverges (the waiting queue grows without bound and goodput collapses).
+# The diurnal/weekly curves run at realistic low rates, where almost every
+# request decodes in a near-singleton batch the fast-forward path coalesces.
+def _massive_chat_stream(seed: int) -> Iterator[Request]:
+    return poisson_stream(
+        num_requests=1_000_000,
+        arrival_rate=150.0,
+        prompt_mean=256,
+        output_mean=32,
+        seed=seed,
+        max_prompt_tokens=4096,
+        max_output_tokens=512,
+    )
+
+
+def _massive_chat_trace(seed: int) -> List[Request]:
+    return list(_massive_chat_stream(seed))
+
+
+def _massive_diurnal_stream(seed: int) -> Iterator[Request]:
+    return diurnal_stream(
+        num_requests=250_000,
+        mean_rate=3.0,
+        prompt_mean=512,
+        output_mean=32,
+        seed=seed,
+        max_prompt_tokens=8192,
+        max_output_tokens=512,
+    )
+
+
+def _massive_diurnal_trace(seed: int) -> List[Request]:
+    return list(_massive_diurnal_stream(seed))
+
+
+def _massive_week_stream(seed: int) -> Iterator[Request]:
+    return weekly_stream(
+        num_requests=500_000,
+        weekday_rate=1.0,
+        prompt_mean=512,
+        output_mean=32,
+        seed=seed,
+        max_prompt_tokens=8192,
+        max_output_tokens=512,
+    )
+
+
+def _massive_week_trace(seed: int) -> List[Request]:
+    return list(_massive_week_stream(seed))
+
+
 SCENARIO_REGISTRY: Dict[str, ServingScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -276,6 +367,42 @@ SCENARIO_REGISTRY: Dict[str, ServingScenario] = {
             slo=SLO(ttft=3.0, tpot=0.05),
             prefix_caching=True,
         ),
+        ServingScenario(
+            name="massive-chat",
+            description="one million streamed chat requests at 250 req/s, bounded memory",
+            trace_factory=_massive_chat_trace,
+            stream_factory=_massive_chat_stream,
+            model="llama-13b",
+            num_gpus=4,
+            slo=SLO(ttft=2.0, tpot=0.05),
+            batcher=BatcherConfig(max_batch_tokens=8192, prefill_chunk_tokens=2048),
+            retain_records=False,
+            max_iterations=50_000_000,
+        ),
+        ServingScenario(
+            name="massive-diurnal",
+            description="250K streamed requests over a sinusoidal day curve",
+            trace_factory=_massive_diurnal_trace,
+            stream_factory=_massive_diurnal_stream,
+            model="llama-13b",
+            num_gpus=2,
+            slo=SLO(ttft=2.0, tpot=0.05),
+            batcher=BatcherConfig(max_batch_tokens=8192, prefill_chunk_tokens=2048),
+            retain_records=False,
+            max_iterations=50_000_000,
+        ),
+        ServingScenario(
+            name="massive-week",
+            description="500K streamed requests over a week curve with a weekend trough",
+            trace_factory=_massive_week_trace,
+            stream_factory=_massive_week_stream,
+            model="llama-13b",
+            num_gpus=2,
+            slo=SLO(ttft=2.0, tpot=0.05),
+            batcher=BatcherConfig(max_batch_tokens=8192, prefill_chunk_tokens=2048),
+            retain_records=False,
+            max_iterations=50_000_000,
+        ),
     )
 }
 
@@ -303,16 +430,20 @@ def run_scenario(
     fast_forward: bool = True,
     prefix_caching: Optional[bool] = None,
     observe: Optional[EventRecorder] = None,
+    retain_records: Optional[bool] = None,
+    max_requests: Optional[int] = None,
 ) -> ServingResult:
     """Simulate a scenario end to end with either deployment.
 
-    ``model`` / ``num_gpus`` / ``policy`` / ``prefix_caching`` override the
-    scenario's defaults (the CLI maps its flags straight through here).
-    ``fast_forward=False`` runs the naive one-iteration-at-a-time stepper —
-    the reference oracle the decode fast-forward path is equivalence-tested
-    against.  ``observe`` threads an
+    ``model`` / ``num_gpus`` / ``policy`` / ``prefix_caching`` /
+    ``retain_records`` override the scenario's defaults (the CLI maps its
+    flags straight through here).  ``fast_forward=False`` runs the naive
+    one-iteration-at-a-time stepper — the reference oracle the decode
+    fast-forward path is equivalence-tested against.  ``observe`` threads an
     :class:`~repro.obs.events.EventRecorder` through the engine (opt-in
-    observability; ``None`` leaves the hot path untouched).
+    observability; ``None`` leaves the hot path untouched).  ``max_requests``
+    truncates the workload — the supported way to smoke-test a slice of a
+    massive scenario without paying for the full trace.
     """
     if mode not in ("colocated", "disaggregated"):
         raise UnknownNameError(
@@ -320,16 +451,26 @@ def run_scenario(
         )
     model_config = get_model_config(model or scenario.model)
     config = scenario.serving_config(num_gpus, prefix_caching=prefix_caching)
+    retain = scenario.retain_records if retain_records is None else retain_records
+    if retain != config.retain_records:
+        config = replace(config, retain_records=retain)
     if policy is not None:
         config = replace(config, batcher=replace(config.batcher, policy=policy))
     if not fast_forward:
         config = replace(config, fast_forward=False)
     if observe is not None:
         config = replace(config, observe=observe)
-    trace = scenario.make_trace(seed)
+    if max_requests is not None:
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1 when given")
+        trace: Iterable[Request] = islice(scenario.make_stream(seed), max_requests)
+    elif retain:
+        trace = scenario.make_trace(seed)
+    else:
+        trace = scenario.make_stream(seed)
     if mode == "disaggregated":
         engine = DisaggregatedEngine(
             model_config, config, prefill_fraction=scenario.prefill_fraction
         )
-        return engine.run(trace, scenario.slo)
+        return engine.run(list(trace) if not isinstance(trace, list) else trace, scenario.slo)
     return ServingEngine(model_config, config).run(trace, scenario.slo)

@@ -241,12 +241,16 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
 
     scenario = get_scenario(str(point["scenario"]))
     prefix_caching = point.get("prefix_caching")
+    retain_records = point.get("retain_records")
+    max_requests = point.get("max_requests")
     result = run_scenario(
         scenario,
         str(point.get("mode", "colocated")),
         seed=int(point.get("seed", 0)),
         fast_forward=bool(point.get("fast_forward", True)),
         prefix_caching=None if prefix_caching is None else bool(prefix_caching),
+        retain_records=None if retain_records is None else bool(retain_records),
+        max_requests=None if max_requests is None else int(max_requests),
     )
     m = result.metrics
     return {

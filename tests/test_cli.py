@@ -124,6 +124,31 @@ class TestServeCommand:
         assert "unknown model" in err
         assert "llama-70b" in err
 
+    def test_massive_scenario_slice(self, capsys):
+        # Massive scenarios stream by default; --max-requests bounds the
+        # slice so the smoke stays cheap.
+        exit_code = main(
+            ["serve", "--scenario", "massive-diurnal", "--max-requests", "300"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "requests served" in out and "300" in out
+
+    def test_max_requests_must_be_positive(self, capsys):
+        assert main(["serve", "--scenario", "chat", "--max-requests", "0"]) == 2
+        assert "max_requests" in capsys.readouterr().err
+
+    def test_no_retain_records_on_a_classic_scenario(self, capsys):
+        assert main(["serve", "--scenario", "chat", "--no-retain-records"]) == 0
+        assert "goodput" in capsys.readouterr().out
+
+    def test_streaming_refuses_disaggregation(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "chat", "--no-retain-records", "--disaggregated"]
+        )
+        assert exit_code == 2
+        assert "colocated" in capsys.readouterr().err
+
 
 class TestDiagnosisFlags:
     def test_serve_explain_prints_attribution_and_anomalies(self, capsys):

@@ -1,0 +1,100 @@
+"""The columnar stretch planner must match the scalar reference bit-for-bit.
+
+``repro.serving.columnar.DecodeColumns`` vectorizes the pure-decode stretch
+planner's block-growth bound and end-of-stretch reservation plan as numpy
+int64 arithmetic.  The engine dispatches on batch size
+(``COLUMNAR_MIN_BATCH``): small batches run the original scalar fold, large
+ones the columnar plan — so the two implementations must be exactly
+interchangeable.  The scenario-level digests pin this end to end
+(`test_fast_forward_equivalence.py`); this suite pins it at the unit level
+over hypothesis-generated batches, where a mismatch names the operation
+that diverged instead of a whole-run digest.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.columnar import DecodeColumns
+from repro.serving.engine import COLUMNAR_MIN_BATCH
+
+
+def scalar_growth(contexts, held, block_tokens, step):
+    need = 0
+    for context, blocks in zip(contexts, held):
+        extra = (context + step + block_tokens - 1) // block_tokens - blocks
+        if extra > 0:
+            need += extra
+    return need
+
+
+def scalar_stretch_bound(contexts, held, block_tokens, steps, free):
+    if scalar_growth(contexts, held, block_tokens, steps - 1) <= free:
+        return steps
+    if scalar_growth(contexts, held, block_tokens, 0) > free:
+        return 0
+    low, high = 0, steps - 1
+    while high - low > 1:
+        mid = (low + high) // 2
+        if scalar_growth(contexts, held, block_tokens, mid) <= free:
+            low = mid
+        else:
+            high = mid
+    return low + 1
+
+
+def scalar_commit_plan(contexts, held, block_tokens, steps):
+    new_totals = [context + steps - 1 for context in contexts]
+    extra = [
+        max((total + block_tokens - 1) // block_tokens - blocks, 0)
+        for total, blocks in zip(new_totals, held)
+    ]
+    return new_totals, extra
+
+
+BATCHES = st.lists(
+    st.tuples(
+        st.integers(min_value=2, max_value=60_000),  # context length
+        st.integers(min_value=0, max_value=8),  # block slack vs minimum
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    batch=BATCHES,
+    block_tokens=st.sampled_from([16, 64, 256]),
+    steps=st.integers(min_value=1, max_value=4096),
+    free=st.integers(min_value=0, max_value=20_000),
+)
+def test_columnar_matches_scalar(batch, block_tokens, steps, free):
+    contexts = [context for context, _ in batch]
+    # Reservations in steady decode hold at least ceil((context-1)/bt)
+    # blocks; the slack models shared-prefix refs rounding the count up.
+    held = [
+        (context - 1 + block_tokens - 1) // block_tokens + slack
+        for context, slack in batch
+    ]
+    ids = list(range(len(batch)))
+    columns = DecodeColumns(ids, contexts, held, block_tokens)
+
+    for step in (0, 1, steps - 1, steps):
+        assert columns.growth(step) == scalar_growth(contexts, held, block_tokens, step)
+    assert columns.stretch_bound(steps, free) == scalar_stretch_bound(
+        contexts, held, block_tokens, steps, free
+    )
+    new_totals, extra = columns.commit_plan(steps)
+    ref_totals, ref_extra = scalar_commit_plan(contexts, held, block_tokens, steps)
+    assert new_totals == ref_totals
+    assert extra == ref_extra
+    # numpy must hand back Python ints, not int64 — allocator bookkeeping
+    # stores them in dicts shared with scalar-path values.
+    assert all(type(value) is int for value in new_totals + extra)
+
+
+def test_dispatch_threshold_is_sane():
+    # The engine's scalar fallback exists because array construction costs
+    # more than it saves on small batches; the threshold must stay within
+    # the regime real pools see so both paths keep getting exercised.
+    assert 1 < COLUMNAR_MIN_BATCH <= 512

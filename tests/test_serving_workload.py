@@ -1,14 +1,28 @@
 """Tests for the serving workload generators (repro.serving.workload)."""
 
+from itertools import islice
+from types import GeneratorType
+
 import pytest
 
 from repro.serving.workload import (
     Request,
+    bursty_stream,
     bursty_trace,
+    diurnal_stream,
+    diurnal_trace,
+    long_context_stream,
     long_context_trace,
     merge_traces,
+    poisson_stream,
     poisson_trace,
+    rag_corpus_stream,
+    rag_corpus_trace,
     replay_trace,
+    shared_prefix_stream,
+    shared_prefix_trace,
+    weekly_stream,
+    weekly_trace,
 )
 
 
@@ -78,6 +92,64 @@ class TestShapes:
             200, 1.0, 4096, 256, seed=0, prompt_cv=3.0, max_prompt_tokens=8192
         )
         assert max(r.prompt_tokens for r in trace) <= 8192
+
+
+class TestStreams:
+    """The lazy ``*_stream`` forms: identical requests, no materialization."""
+
+    @pytest.mark.parametrize(
+        "stream_fn, trace_fn, args",
+        [
+            (poisson_stream, poisson_trace, (40, 2.0, 1024, 128)),
+            (bursty_stream, bursty_trace, (3, 5, 10.0, 2048, 128)),
+            (long_context_stream, long_context_trace, (40, 1.0, 1024, 65536, 0.3, 128)),
+            (shared_prefix_stream, shared_prefix_trace, (40, 2.0, 4096, 256, 128)),
+            (rag_corpus_stream, rag_corpus_trace, (40, 2.0, 16, 2048, 128, 128)),
+            (diurnal_stream, diurnal_trace, (40, 2.0, 1024, 128)),
+            (weekly_stream, weekly_trace, (40, 2.0, 1024, 128)),
+        ],
+        ids=[
+            "poisson",
+            "bursty",
+            "long-context",
+            "shared-prefix",
+            "rag-corpus",
+            "diurnal",
+            "weekly",
+        ],
+    )
+    def test_stream_equals_trace(self, stream_fn, trace_fn, args):
+        stream = stream_fn(*args, seed=3)
+        assert isinstance(stream, GeneratorType)
+        assert list(stream) == trace_fn(*args, seed=3)
+
+    def test_streams_are_lazy(self):
+        # Pulling a handful of requests off a million-request stream must
+        # not materialize the rest (a list would allocate all of them).
+        head = list(islice(poisson_stream(1_000_000, 100.0, 256, 32, seed=0), 5))
+        assert len(head) == 5
+        arrivals = [r.arrival_time for r in head]
+        assert arrivals == sorted(arrivals)
+
+    def test_diurnal_day_curve_shape(self):
+        # The sine curve starts at the trough, peaks mid-period: the middle
+        # half-period must see clearly more arrivals than the edges.
+        trace = diurnal_trace(2000, 2.0, 256, 32, seed=0, period=1000.0, amplitude=0.8)
+        arrivals = [r.arrival_time for r in trace if r.arrival_time < 1000.0]
+        mid = sum(1 for t in arrivals if 250.0 <= t < 750.0)
+        edges = len(arrivals) - mid
+        assert arrivals == sorted(arrivals)
+        assert mid > 1.5 * edges
+
+    def test_weekly_weekend_trough(self):
+        day = 1000.0
+        trace = weekly_trace(
+            4000, 2.0, 256, 32, seed=0, weekend_factor=0.3, day_seconds=day
+        )
+        week = [r.arrival_time for r in trace if r.arrival_time < 7 * day]
+        weekday = sum(1 for t in week if t < 5 * day) / 5.0
+        weekend = sum(1 for t in week if t >= 5 * day) / 2.0
+        assert weekend < 0.6 * weekday
 
 
 class TestReplayAndMerge:
