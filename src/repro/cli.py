@@ -41,6 +41,15 @@ Seven subcommands cover the library's main workflows without writing Python:
         python -m repro.cli serve --scenario shared-system-prompt
         python -m repro.cli serve --scenario shared-system-prompt --no-prefix-caching
 
+    Multi-tenant scenarios (``noisy-neighbour``, ``tenant-flash-crowd``,
+    ``batch-backfill-under-interactive``) print a per-tenant QoS table after
+    the global metrics; ``--policy fair`` selects the weighted fair scheduler
+    on any scenario, ``--tenant NAME`` filters the report to one tenant,
+    ``--slo-class NAME`` swaps the global SLO for a named class, and
+    ``--tenant-report PATH`` exports the per-tenant numbers as JSON::
+
+        python -m repro.cli serve --scenario noisy-neighbour --tenant-report qos.json
+
 ``fleet``
     Drive the cluster-scale layer (``repro.fleet``): ``fleet run --scenario
     bursty-long --router least-tokens`` simulates a named fleet scenario —
@@ -60,8 +69,9 @@ Seven subcommands cover the library's main workflows without writing Python:
 ``experiments``
     Regenerate a chosen paper experiment's data table (Figures 1-3, 6-14 and
     Tables 2-4), the serving comparison, the fleet routing comparison, the
-    prefix-cache on/off comparison (``experiments prefix-cache``), or a
-    registered sweep, directly from the analysis layer.
+    prefix-cache on/off comparison (``experiments prefix-cache``), the
+    per-tenant FCFS-vs-fair QoS comparison (``experiments tenant-qos``), or
+    a registered sweep, directly from the analysis layer.
 
 ``obs``
     Offline analysis of a saved event stream: ``obs explain events.jsonl``
@@ -257,6 +267,19 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
     scenario = get_scenario(args.scenario)
     model_name = args.model or scenario.model
     get_model_config(model_name)  # fail fast with the list of valid names
+    if args.tenant is not None:
+        if scenario.tenancy is None:
+            raise ValueError(
+                f"scenario {scenario.name!r} configures no tenants; "
+                "--tenant needs a tenant-tagged scenario (e.g. noisy-neighbour)"
+            )
+        scenario.tenancy.get_tenant(args.tenant)  # exit 2 with valid names
+    if args.slo_class is not None:
+        from dataclasses import replace as _replace
+
+        from .serving.tenancy import get_slo_class
+
+        scenario = _replace(scenario, slo=get_slo_class(args.slo_class).slo)
     if args.compare:
         modes = ("colocated", "disaggregated")
     elif args.disaggregated:
@@ -298,6 +321,22 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
                 ),
             )
         )
+        if result.tenant_metrics:
+            from .serving.metrics import tenant_report_text
+
+            tenants = result.tenant_metrics
+            if args.tenant is not None:
+                tenants = {
+                    name: m for name, m in tenants.items() if name == args.tenant
+                }
+            print(
+                tenant_report_text(
+                    tenants, title=f"per-tenant QoS | {scenario.name} | {mode}"
+                )
+            )
+        if args.tenant_report:
+            path = _mode_suffixed(args.tenant_report, mode, len(modes) > 1)
+            print(f"tenant report written to {_write_tenant_report(result, scenario, mode, args, path)}")
         attributions = anomalies = None
         if recorder is not None:
             attributions, anomalies = _diagnose(
@@ -328,6 +367,42 @@ def _run_serve(args: argparse.Namespace, get_scenario, run_scenario) -> int:
         if args.self_profile:
             print(profile_table(recorder.profiler))
     return 0
+
+
+def _write_tenant_report(result, scenario, mode: str, args, path: str) -> str:
+    """Write the per-tenant QoS metrics as a JSON artifact (the CI schema)."""
+    import json
+
+    tenants = {}
+    for name, m in sorted(result.tenant_metrics.items()):
+        if args.tenant is not None and name != args.tenant:
+            continue
+        tenants[name] = {
+            "num_requests": m.num_requests,
+            "output_tokens": m.output_tokens,
+            "good_requests": m.good_requests,
+            "goodput_fraction": m.goodput_fraction,
+            "goodput_rps": m.goodput_rps,
+            "ttft_p50": m.ttft_p50,
+            "ttft_p95": m.ttft_p95,
+            "ttft_p99": m.ttft_p99,
+            "tpot_p50": m.tpot_p50,
+            "tpot_p95": m.tpot_p95,
+            "tpot_p99": m.tpot_p99,
+            "slo_ttft": m.slo.ttft,
+            "slo_tpot": m.slo.tpot,
+        }
+    payload = {
+        "scenario": scenario.name,
+        "mode": mode,
+        "seed": args.seed,
+        "policy": args.policy or scenario.batcher.policy,
+        "tenants": tenants,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    return path
 
 
 def _mode_suffixed(path: str, mode: str, comparing: bool) -> str:
@@ -628,11 +703,17 @@ def _experiment_registry() -> Dict[str, Callable[[], str]]:
 
         return prefix_cache_comparison().to_text()
 
+    def _tenant_qos_comparison() -> str:
+        from .analysis.serving import tenant_qos_comparison
+
+        return tenant_qos_comparison().to_text()
+
     return {
         "serving": _serving_comparison,
         "sweep": _sweep_experiment,
         "fleet": _fleet_comparison,
         "prefix-cache": _prefix_cache_comparison,
+        "tenant-qos": _tenant_qos_comparison,
         "fig1": lambda: figures.figure1_memory_footprint().to_text(),
         "fig2": lambda: figures.figure2_max_context().to_text(),
         "fig3": lambda: figures.figure3_bubble_fractions().to_text(),
@@ -768,7 +849,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--gpus", type=int, default=None, help="override the scenario's GPU count")
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
     serve.add_argument(
-        "--policy", choices=("fcfs", "priority"), default=None, help="admission policy"
+        "--policy",
+        choices=("fcfs", "priority", "fair"),
+        default=None,
+        help="admission policy (fair = weighted per-tenant fair scheduling)",
+    )
+    serve.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="restrict the per-tenant QoS report to one tenant (must be "
+        "configured by the scenario; unknown names exit 2)",
+    )
+    serve.add_argument(
+        "--slo-class",
+        default=None,
+        metavar="NAME",
+        help="override the scenario's global SLO with a named SLO class "
+        "(interactive / batch / best-effort; unknown names exit 2)",
+    )
+    serve.add_argument(
+        "--tenant-report",
+        metavar="PATH",
+        default=None,
+        help="write the per-tenant QoS metrics as a JSON artifact",
     )
     deployment = serve.add_mutually_exclusive_group()
     deployment.add_argument(

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 from ..constants import UnknownNameError
 
@@ -100,11 +100,23 @@ class FleetView:
     #: Fleet-wide fraction of required prompt tokens served from the shared
     #: prefix cache so far (0.0 when prefix caching is off).
     prefix_hit_rate: float = 0.0
+    #: Fleet-wide waiting-queue depth per tagged tenant (summed over every
+    #: provisioned replica plus the held queue), as name-sorted ``(tenant,
+    #: depth)`` pairs.  Empty for anonymous workloads or when tenancy is off,
+    #: so existing policies see exactly the view they saw before.
+    tenant_queue_depths: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def provisioned(self) -> int:
         """Replicas already paid for: active plus still-provisioning."""
         return self.active_replicas + self.provisioning_replicas
+
+    def tenant_queue_depth(self, tenant: str) -> int:
+        """Fleet-wide waiting count for one tenant (0 when absent)."""
+        for name, depth in self.tenant_queue_depths:
+            if name == tenant:
+                return depth
+        return 0
 
 
 class Autoscaler:

@@ -51,9 +51,12 @@ from ..serving.metrics import (
     RequestRecord,
     ServingMetrics,
     StreamingMetrics,
+    TenantMetrics,
     compute_metrics,
+    compute_tenant_metrics,
 )
 from ..serving.prefix_cache import prefix_block_keys
+from ..serving.tenancy import TenancyConfig
 from ..serving.workload import Request
 from ..sim.timeline import Timeline, TimelineSpan
 from .autoscaler import Autoscaler, AutoscalerConfig, FleetView, make_autoscaler
@@ -114,6 +117,13 @@ class FleetConfig:
     #: threaded into every replica pool and the cluster loop itself.  ``None``
     #: (the default) keeps every emit site dormant and the run byte-identical.
     observe: Optional[EventRecorder] = field(default=None, compare=False, repr=False)
+    #: Multi-tenant QoS contracts threaded into every replica's batcher (SLO
+    #: classes, fair-share weights) and into the per-tenant result metrics.
+    #: Token-bucket rate limits are a single-pool admission-control feature:
+    #: per-replica buckets would multiply every tenant's global rate by the
+    #: (autoscaled!) replica count, so a fleet rejects rate-limited tenants
+    #: rather than enforce a meaningless limit.  ``None`` disables tenancy.
+    tenancy: Optional[TenancyConfig] = None
 
     def __post_init__(self) -> None:
         if self.gpus_per_replica < 1:
@@ -139,6 +149,14 @@ class FleetConfig:
             raise ValueError("sessions must be non-negative")
         if self.tpot_cap is not None and self.tpot_cap <= 0:
             raise ValueError("tpot_cap must be positive when given")
+        if self.tenancy is not None:
+            limited = [s.name for s in self.tenancy.tenants if s.rate_limit is not None]
+            if limited:
+                raise ValueError(
+                    "fleet tenancy does not support token-bucket rate limits "
+                    f"(tenants {limited} set rate_limit); enforce admission "
+                    "control at the serving-engine level instead"
+                )
 
     def gpu_for(self, replica_id: int) -> str:
         """Device type of replica ``replica_id`` (cycled for heterogeneity)."""
@@ -154,6 +172,7 @@ class FleetConfig:
             fast_forward=self.fast_forward,
             prefix_caching=self.prefix_caching,
             observe=self.observe,
+            tenancy=self.tenancy,
         )
 
     def session_of(self, request: Request) -> int:
@@ -282,6 +301,7 @@ class _Replica:
             kv_free_fraction=allocator.free_blocks / allocator.total_blocks,
             gpu=self.gpu_name,
             prefix_match_blocks=match,
+            tenant_queue_depths=batcher.tenant_queue_depths(),
         )
 
     # ------------------------------------------------------------------
@@ -422,6 +442,9 @@ class FleetResult:
     #: ``False`` when the run streamed (``FleetConfig.retain_records=False``):
     #: ``records`` is empty and metrics came from a bounded accumulator.
     retain_records: bool = True
+    #: Per-tenant aggregates, keyed by tenant name (empty when the trace
+    #: carried no tenant tags; filled on both record and streaming paths).
+    tenant_metrics: Dict[str, TenantMetrics] = field(default_factory=dict)
 
     @property
     def token_accounting_balanced(self) -> bool:
@@ -724,6 +747,15 @@ class FleetEngine:
                 hit_tokens += tokens
                 prefilled += done
         required = hit_tokens + prefilled
+        tenant_depths: Dict[str, int] = {}
+        if self.config.tenancy is not None:
+            for replica in provisioned:
+                for tenant, depth in replica.pool.batcher.tenant_queue_depths():
+                    tenant_depths[tenant] = tenant_depths.get(tenant, 0) + depth
+            for state in self._held:
+                tenant = state.request.tenant
+                if tenant is not None:
+                    tenant_depths[tenant] = tenant_depths.get(tenant, 0) + 1
         view = FleetView(
             now=now,
             active_replicas=active,
@@ -733,6 +765,7 @@ class FleetEngine:
             running_requests=sum(len(r.pool.batcher.running) for r in provisioned),
             arrival_rate=self._rate_ewma,
             prefix_hit_rate=hit_tokens / required if required else 0.0,
+            tenant_queue_depths=tuple(sorted(tenant_depths.items())),
         )
         target = max(cfg.min_replicas, min(cfg.max_replicas, self._autoscaler.desired(view)))
         current = len(provisioned)
@@ -909,7 +942,12 @@ class FleetEngine:
         self._spans: Optional[List[Tuple[int, float, float]]] = [] if collect_timeline else None
         self._obs: Optional[EventRecorder] = cfg.observe
         self._streaming: Optional[StreamingMetrics] = (
-            StreamingMetrics(slo) if streaming else None
+            StreamingMetrics(
+                slo,
+                tenant_slos=cfg.tenancy.slo_map() if cfg.tenancy is not None else None,
+            )
+            if streaming
+            else None
         )
         self._arrival_stream: Optional[Iterator[Request]] = None
         self._pushed_arrivals = 0
@@ -1050,8 +1088,15 @@ class FleetEngine:
         )
         if self._streaming is not None:
             metrics = self._streaming.finalize(duration, **metric_kwargs)
+            tenant_metrics = self._streaming.tenant_metrics(duration)
         else:
             metrics = compute_metrics(records, duration, slo, **metric_kwargs)
+            tenant_metrics = compute_tenant_metrics(
+                records,
+                duration,
+                slo,
+                tenant_slos=cfg.tenancy.slo_map() if cfg.tenancy is not None else None,
+            )
         hours_by_type: Dict[str, float] = {}
         for replica in self._replicas:
             hours = replica.gpu_seconds(end_time) / 3600.0
@@ -1121,4 +1166,5 @@ class FleetEngine:
             prefill_flops_executed=flops_executed,
             prefix_evictions=prefix_evictions,
             retain_records=self._streaming is None,
+            tenant_metrics=tenant_metrics,
         )

@@ -44,7 +44,7 @@ deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..constants import UnknownNameError
 from ..serving.workload import Request
@@ -78,6 +78,18 @@ class ReplicaSnapshot:
     #: Leading blocks of the arriving request's declared prefix already
     #: cached on this replica (0 when prefix caching is off).
     prefix_match_blocks: int = 0
+    #: Waiting-queue depth per tagged tenant, as name-sorted ``(tenant,
+    #: depth)`` pairs — observable in real deployments via per-tenant queue
+    #: gauges.  Empty for anonymous (untagged) workloads, so policies that
+    #: ignore it behave exactly as before tenancy existed.
+    tenant_queue_depths: Tuple[Tuple[str, int], ...] = ()
+
+    def tenant_queue_depth(self, tenant: str) -> int:
+        """This replica's waiting count for one tenant (0 when absent)."""
+        for name, depth in self.tenant_queue_depths:
+            if name == tenant:
+                return depth
+        return 0
 
 
 class Router:

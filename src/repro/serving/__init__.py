@@ -24,16 +24,25 @@ Modules
     The shared-prefix index itself: a radix tree of published KV blocks
     with copy-on-write refcounts and LRU eviction of unreferenced blocks.
 ``batcher``
-    Continuous batching: token-budget admission, chunked prefill, FCFS and
-    priority policies, memory-pressure preemption, prefix-cache consultation
-    on admission and block publication as prefill commits.
+    Continuous batching: token-budget admission, chunked prefill, FCFS,
+    priority and weighted-fair (virtual-token-counter) policies,
+    memory-pressure preemption with per-tenant preemption costs,
+    token-bucket gating, prefix-cache consultation on admission and block
+    publication as prefill commits.
 ``engine``
     Discrete-event serving loops — colocated, and prefill/decode
     disaggregated with comm-priced KV hand-off.
 ``metrics``
     TTFT/TPOT/E2E percentiles, goodput under SLO, KV utilization, prefix
     hit rate and saved prefill FLOPs — record-based (``compute_metrics``)
-    or bounded-memory streaming (``StreamingMetrics``, P² sketches).
+    or bounded-memory streaming (``StreamingMetrics``, P² sketches) — plus
+    per-tenant aggregates (``TenantMetrics``) in both paths.
+``tenancy``
+    Multi-tenant QoS: named SLO classes (interactive / batch /
+    best-effort), per-tenant weights and token-bucket admission control
+    (``TenancyConfig`` / ``TenantSpec``), consumed by the batcher's
+    ``fair`` policy.  Entirely opt-in: ``tenancy=None`` (the default)
+    leaves every run byte-identical to a build without this module.
 ``columnar``
     Struct-of-arrays decode state backing the pure-decode stretch planner's
     vectorized block-growth bound and bulk commit.
@@ -52,12 +61,23 @@ from .metrics import (
     RequestRecord,
     ServingMetrics,
     StreamingMetrics,
+    TenantMetrics,
     compute_metrics,
+    compute_tenant_metrics,
     percentile,
+    tenant_report_text,
 )
 from .paged_kv import PagedKVAllocator, PagedKVStats, blocks_for_tokens
 from .prefix_cache import PrefixCache, PrefixCacheStats, prefix_block_keys
 from .scenarios import SCENARIO_REGISTRY, ServingScenario, get_scenario, run_scenario
+from .tenancy import (
+    SLO_CLASS_REGISTRY,
+    SLOClass,
+    TenancyConfig,
+    TenantSpec,
+    TokenBucket,
+    get_slo_class,
+)
 from .workload import (
     Request,
     agentic_tree_trace,
@@ -118,8 +138,17 @@ __all__ = [
     "RequestRecord",
     "ServingMetrics",
     "StreamingMetrics",
+    "TenantMetrics",
     "compute_metrics",
+    "compute_tenant_metrics",
     "percentile",
+    "tenant_report_text",
+    "SLOClass",
+    "SLO_CLASS_REGISTRY",
+    "get_slo_class",
+    "TenantSpec",
+    "TenancyConfig",
+    "TokenBucket",
     "ServingScenario",
     "SCENARIO_REGISTRY",
     "get_scenario",

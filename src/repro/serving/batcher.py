@@ -14,8 +14,25 @@ prefill chunks the iteration executes — under three constraints:
   newest / lowest-priority running request is **preempted** — its blocks are
   evicted and it re-enters the queue to re-prefill its full context;
 * an **admission policy**: ``fcfs`` (arrival order, preempted requests
-  re-queued at the front) or ``priority`` (lowest ``Request.priority``
-  first, arrival time as tie-break).
+  re-queued at the front), ``priority`` (lowest ``Request.priority``
+  first, arrival time as tie-break), or ``fair`` — weighted fair queueing
+  across tenants by **virtual token counters**: every tenant accrues
+  virtual time proportional to the tokens admitted on its behalf divided by
+  its fair-share weight, and admission always picks the waiting request of
+  the tenant with the smallest counter (arrival time, then request id, as
+  tie-breaks).  A tenant idle at enqueue time has its counter lifted to the
+  minimum over the active tenants, so idleness banks no credit.  With a
+  single tenant (or no tenant tags at all) every request shares one counter
+  and ``fair`` degenerates to exact FCFS order — the byte-identity property
+  ``tests/test_tenancy_properties.py`` pins down.
+
+When a :class:`~repro.serving.tenancy.TenancyConfig` is installed, two more
+mechanisms switch on: per-tenant **token-bucket admission control** (a
+request is only admitted once its tenant's bucket holds its total token
+footprint; the ``fair`` policy skips blocked tenants, ``fcfs``/``priority``
+block at the head) and **preemption-cost ordering** (victims are chosen
+lowest SLO-class cost first, so best-effort work is evicted before batch,
+and batch before interactive).
 
 Token accounting
 ----------------
@@ -37,13 +54,14 @@ import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..obs import events as obs_events
 from ..obs.events import EventRecorder
 from .metrics import RequestRecord
 from .paged_kv import PagedKVAllocator, blocks_for_tokens
 from .prefix_cache import prefix_block_keys
+from .tenancy import TenancyConfig, TokenBucket
 from .workload import Request
 
 __all__ = [
@@ -120,8 +138,10 @@ class BatcherConfig:
             raise ValueError("need 1 <= min_prefill_chunk <= prefill_chunk")
         if self.max_running_requests < 1:
             raise ValueError("max_running_requests must be >= 1")
-        if self.policy not in ("fcfs", "priority"):
-            raise ValueError(f"unknown policy {self.policy!r}; use 'fcfs' or 'priority'")
+        if self.policy not in ("fcfs", "priority", "fair"):
+            raise ValueError(
+                f"unknown policy {self.policy!r}; use 'fcfs', 'priority' or 'fair'"
+            )
         if not 0.0 <= self.admission_watermark < 1.0:
             raise ValueError("admission_watermark must be in [0, 1)")
 
@@ -166,6 +186,7 @@ class ContinuousBatcher:
         prefill_only: bool = False,
         decode_only: bool = False,
         prefill_flops_of: Optional[Callable[[int, int], float]] = None,
+        tenancy: Optional[TenancyConfig] = None,
     ):
         if prefill_only and decode_only:
             raise ValueError("a pool cannot be both prefill_only and decode_only")
@@ -173,6 +194,18 @@ class ContinuousBatcher:
         self.config = config or BatcherConfig()
         self.prefill_only = prefill_only
         self.decode_only = decode_only
+        # Tenancy is fully optional: with ``tenancy=None`` and no "fair"
+        # policy, every structure below stays empty and the scheduler is
+        # byte-identical to the pre-tenancy batcher.  Token buckets gate the
+        # *entry* pool only — in a disaggregated deployment the decode pool
+        # receives contexts already admitted (and charged) upstream.
+        self.tenancy = tenancy
+        self._buckets: Dict[str, TokenBucket] = (
+            tenancy.make_buckets() if tenancy is not None and not decode_only else {}
+        )
+        # Virtual token counters of the fair policy, keyed by tenant name
+        # (``None`` groups untagged requests into one shared counter).
+        self._virtual_tokens: Dict[Optional[str], float] = {}
         # Prefix caching is the allocator's capability; the batcher merely
         # consults it on admission and publishes blocks as prefill commits.
         self.prefix_caching = allocator.prefix_caching and not decode_only
@@ -223,7 +256,13 @@ class ContinuousBatcher:
                 f"tokens, exceeding the pool's KV capacity of "
                 f"{self.allocator.total_blocks * self.allocator.block_tokens} tokens"
             )
+        if self.tenancy is not None and state.request.tenant is not None:
+            # Fail fast (UnknownNameError, listing valid names) when a trace
+            # tags a tenant the installed contract table does not know.
+            self.tenancy.get_tenant(state.request.tenant)
         state.phase = Phase.WAITING
+        if self.config.policy == "fair":
+            self._lift_virtual(state.request.tenant)
         self.waiting.append(state)
         self._push_waiting(state)
 
@@ -234,9 +273,42 @@ class ContinuousBatcher:
                 (state.request.priority, state.pool_arrival, state.request.request_id, state),
             )
 
+    def _lift_virtual(self, tenant: Optional[str]) -> None:
+        """No credit for idleness: a returning tenant starts at the floor.
+
+        Called before the arriving request joins ``waiting``.  If the tenant
+        already has work in the pool its counter is live; otherwise it is
+        lifted to the minimum counter over the currently active tenants, so a
+        tenant that sat out an hour cannot monopolise the pool to "catch up".
+        """
+        active = {s.request.tenant for s in self.waiting}
+        active.update(s.request.tenant for s in self.running)
+        if tenant in active or not active:
+            return
+        floor = min(self._virtual_tokens.get(t, 0.0) for t in active)
+        if self._virtual_tokens.get(tenant, 0.0) < floor:
+            self._virtual_tokens[tenant] = floor
+
     @property
     def has_work(self) -> bool:
         return bool(self.waiting or self.running)
+
+    def tenant_queue_depths(self) -> Tuple[Tuple[str, int], ...]:
+        """Waiting-queue depth per tagged tenant, name-sorted.
+
+        Untagged requests are excluded, so an anonymous workload reports an
+        empty tuple — the shape fleet routers/autoscalers see today.  The
+        scan only runs once tenancy (or fair scheduling) is switched on, so
+        snapshot-heavy anonymous fleets pay nothing for it.
+        """
+        if self.tenancy is None and self.config.policy != "fair":
+            return ()
+        counts: Dict[str, int] = {}
+        for state in self.waiting:
+            tenant = state.request.tenant
+            if tenant is not None:
+                counts[tenant] = counts.get(tenant, 0) + 1
+        return tuple(sorted(counts.items()))
 
     def _next_waiting_index(self) -> int:
         if self.config.policy == "priority":
@@ -248,17 +320,105 @@ class ContinuousBatcher:
             return self.waiting.index(self._priority_heap[0][3])
         return 0
 
+    def _bucket_ready(self, state: RequestState) -> bool:
+        """True when the tenant's token bucket (if any) admits this request.
+
+        Only a request's *first* admission is rate-limited; a preempted
+        request was already charged, and re-prefill work is the scheduler's
+        fault, not the tenant's.
+        """
+        if not self._buckets or state.admission_index >= 0:
+            return True
+        bucket = self._buckets.get(state.request.tenant)
+        if bucket is None:
+            return True
+        return bucket.ready_time(self.now, state.request.total_tokens) <= self.now + 1e-12
+
+    def _select_admission_index(self) -> Optional[int]:
+        """Pick the next waiting request under the configured policy.
+
+        Returns ``None`` when admission is blocked by token buckets: the
+        fair policy scans past blocked tenants (they hold no head-of-line
+        claim), while ``fcfs``/``priority`` keep their strict order and stall
+        until the head's bucket refills.
+        """
+        if self.config.policy == "fair":
+            best: Optional[int] = None
+            best_key: Optional[Tuple[float, float, int]] = None
+            for index, state in enumerate(self.waiting):
+                if not self._bucket_ready(state):
+                    continue
+                key = (
+                    self._virtual_tokens.get(state.request.tenant, 0.0),
+                    state.pool_arrival,
+                    state.request.request_id,
+                )
+                if best_key is None or key < best_key:
+                    best, best_key = index, key
+            return best
+        index = self._next_waiting_index()
+        return index if self._bucket_ready(self.waiting[index]) else None
+
+    def next_admission_time(self) -> Optional[float]:
+        """Earliest time a bucket-blocked waiting request becomes admissible.
+
+        ``None`` when no waiting request is blocked purely by its tenant's
+        token bucket — the engine uses this to jump simulated time across a
+        rate-limit stall instead of declaring the pool wedged.  Policy-aware:
+        under ``fcfs``/``priority`` only the head-of-line request can be
+        admitted, so only *its* bucket matters — a later request that happens
+        to be grantable right now does not unblock the queue.
+        """
+        if not self._buckets or not self.waiting:
+            return None
+        if self.config.policy != "fair":
+            state = self.waiting[self._next_waiting_index()]
+            if state.admission_index >= 0:
+                return None
+            bucket = self._buckets.get(state.request.tenant)
+            if bucket is None:
+                return None
+            return bucket.ready_time(self.now, state.request.total_tokens)
+        best: Optional[float] = None
+        for state in self.waiting:
+            if state.admission_index >= 0:
+                continue
+            bucket = self._buckets.get(state.request.tenant)
+            if bucket is None:
+                continue
+            ready = bucket.ready_time(self.now, state.request.total_tokens)
+            if best is None or ready < best:
+                best = ready
+        return best
+
     # ------------------------------------------------------------------
     # Preemption
     # ------------------------------------------------------------------
     def _preempt_victim(self, plan: IterationPlan) -> Optional[RequestState]:
-        """Evict the newest / lowest-priority running request to free blocks."""
+        """Evict the newest / lowest-priority running request to free blocks.
+
+        With a tenancy config, SLO-class preemption cost outranks admission
+        recency: the cheapest class (best-effort, cost 0) is sacrificed
+        first, interactive (cost 2) last.  Untagged requests cost 0, so a
+        run without tenant tags keeps the historical victim order exactly.
+        """
         if not self.running:
             return None
-        victim = max(
-            self.running,
-            key=lambda s: (s.request.priority, s.admission_index),
-        )
+        tenancy = self.tenancy
+        if tenancy is None:
+            victim = max(
+                self.running,
+                key=lambda s: (s.request.priority, s.admission_index),
+            )
+        else:
+            victim = max(
+                self.running,
+                key=lambda s: (
+                    s.request.priority,
+                    -tenancy.preemption_cost_for(s.request.tenant),
+                    s.admission_index,
+                ),
+            )
         self.running.remove(victim)
         plan.drop(victim)
         self.allocator.evict(victim.request.request_id)
@@ -332,7 +492,9 @@ class ContinuousBatcher:
         cfg = self.config
         watermark_blocks = int(cfg.admission_watermark * self.allocator.total_blocks)
         while self.waiting and len(self.running) < cfg.max_running_requests:
-            index = self._next_waiting_index()
+            index = self._select_admission_index()
+            if index is None:
+                break
             state = self.waiting[index]
             rid = state.request.request_id
             if self.decode_only:
@@ -417,6 +579,22 @@ class ContinuousBatcher:
             del self.waiting[waiting_index]
         if self.config.policy == "priority":
             heapq.heappop(self._priority_heap)  # _next_waiting_index's pick
+        first_admission = state.admission_index < 0
+        if first_admission and self._buckets:
+            bucket = self._buckets.get(state.request.tenant)
+            if bucket is not None:
+                bucket.admit(self.now, state.request.total_tokens)
+        if self.config.policy == "fair":
+            # Charge the tenant's virtual clock for the work this admission
+            # buys: the outstanding prefill plus the undelivered output.
+            tenant = state.request.tenant
+            work = state.prefill_remaining + max(
+                0, state.request.output_tokens - state.decoded
+            )
+            weight = 1.0 if self.tenancy is None else self.tenancy.weight_for(tenant)
+            self._virtual_tokens[tenant] = (
+                self._virtual_tokens.get(tenant, 0.0) + work / weight
+            )
         state.phase = phase
         state.admission_index = self._admissions
         self._admissions += 1

@@ -64,8 +64,17 @@ from ..schedules.base import Pass
 from ..sim.timeline import Timeline, TimelineSpan
 from .batcher import BatcherConfig, ContinuousBatcher, IterationPlan, Phase, RequestState
 from .columnar import DecodeColumns
-from .metrics import SLO, RequestRecord, ServingMetrics, StreamingMetrics, compute_metrics
+from .metrics import (
+    SLO,
+    RequestRecord,
+    ServingMetrics,
+    StreamingMetrics,
+    TenantMetrics,
+    compute_metrics,
+    compute_tenant_metrics,
+)
 from .paged_kv import PagedKVAllocator
+from .tenancy import TenancyConfig
 from .workload import Request
 
 __all__ = ["ServingConfig", "ServingResult", "ServingEngine", "DisaggregatedEngine"]
@@ -111,6 +120,13 @@ class ServingConfig:
     #: numbers are byte-identical with the recorder absent.  Excluded from
     #: equality/hash: two configs that simulate identically compare equal.
     observe: Optional[EventRecorder] = field(default=None, compare=False, repr=False)
+    #: Multi-tenant QoS contract table (:mod:`repro.serving.tenancy`):
+    #: per-tenant SLO classes, fair-share weights and token-bucket rate
+    #: limits.  ``None`` — the default — disables admission control and
+    #: per-tenant SLO overrides entirely; combined with the default
+    #: scheduling policy every simulated number is byte-identical to the
+    #: pre-tenancy engine (pinned by ``tests/test_tenancy_properties.py``).
+    tenancy: Optional[TenancyConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -148,6 +164,9 @@ class ServingResult:
     #: ``False`` when the run streamed: ``records`` is empty and ``timeline``
     #: has no spans — metrics came from a bounded-memory accumulator instead.
     retain_records: bool = True
+    #: Per-tenant aggregates, keyed by tenant name.  Empty unless the trace
+    #: carried tenant tags (both record-based and streaming paths fill it).
+    tenant_metrics: Dict[str, TenantMetrics] = field(default_factory=dict)
 
     @property
     def token_accounting_balanced(self) -> bool:
@@ -234,6 +253,7 @@ class _Pool:
             prefill_only=prefill_only,
             decode_only=decode_only,
             prefill_flops_of=prefill_flops_of,
+            tenancy=config.tenancy,
         )
         # Observability (None keeps every emit site dormant).  The batcher
         # shares the pool's recorder; its track id is set when the pool runs
@@ -608,6 +628,10 @@ class _Pool:
         if obs is not None:
             obs.register_track(device, self.track_name)
             batcher.obs_track = device
+        # Token buckets refill against the batcher's clock, so it must track
+        # simulated time whenever admission control is live (the recorder
+        # needs it for event timestamps anyway).
+        track_now = obs is not None or bool(batcher._buckets)
         while True:
             while upcoming is not None and upcoming.pool_arrival <= now + 1e-12:
                 batcher.enqueue(upcoming)
@@ -700,7 +724,7 @@ class _Pool:
                     now = upcoming.pool_arrival
                     continue
                 break
-            if obs is not None:
+            if track_now:
                 batcher.now = now
             clock_start = prof.clock() if prof is not None else 0.0
             plan = batcher.plan(self.prefill_budget())
@@ -714,8 +738,15 @@ class _Pool:
                         prof.add("eviction", prof.clock() - clock_start)
                     if victim is not None:
                         continue  # freed blocks; replan
-                if upcoming is not None:
-                    now = upcoming.pool_arrival
+                # An idle pool with queued work is either waiting out a
+                # token-bucket refill (jump to the earliest grant time) or a
+                # future arrival — whichever unblocks first.
+                jump = upcoming.pool_arrival if upcoming is not None else None
+                ready = batcher.next_admission_time() if track_now else None
+                if ready is not None and ready > now + 1e-12:
+                    jump = ready if jump is None else min(jump, ready)
+                if jump is not None:
+                    now = jump
                     continue
                 raise RuntimeError(
                     "serving pool stalled with queued work and no runnable batch"
@@ -824,6 +855,13 @@ class ServingEngine:
             prefix_flops_saved=batcher.prefix_flops_saved,
             prefix_evictions=prefix_evictions,
         )
+        tenancy = self.config.tenancy
+        tenant_metrics = compute_tenant_metrics(
+            records,
+            duration,
+            slo,
+            tenant_slos=tenancy.slo_map() if tenancy is not None else None,
+        )
         return ServingResult(
             mode="colocated",
             metrics=metrics,
@@ -840,6 +878,7 @@ class ServingEngine:
             prefix_flops_saved=batcher.prefix_flops_saved,
             prefill_flops_executed=batcher.prefill_flops_executed,
             prefix_evictions=prefix_evictions,
+            tenant_metrics=tenant_metrics,
         )
 
     def _run_streaming(self, trace: Iterable[Request], slo: SLO) -> ServingResult:
@@ -851,7 +890,10 @@ class ServingEngine:
         records nor timeline spans are retained — peak memory is set by the
         batch, the KV pool and the sketch, not by the trace length.
         """
-        streaming = StreamingMetrics(slo)
+        tenancy = self.config.tenancy
+        streaming = StreamingMetrics(
+            slo, tenant_slos=tenancy.slo_map() if tenancy is not None else None
+        )
         # Mutable cells: the generator below runs inside the pool loop, and
         # the first arrival anchors the run's duration measurement.
         first_arrival = [0.0]
@@ -910,6 +952,7 @@ class ServingEngine:
             prefill_flops_executed=batcher.prefill_flops_executed,
             prefix_evictions=prefix_evictions,
             retain_records=False,
+            tenant_metrics=streaming.tenant_metrics(duration),
         )
 
 
@@ -1031,6 +1074,13 @@ class DisaggregatedEngine:
             prefix_flops_saved=pf.prefix_flops_saved + dc.prefix_flops_saved,
             prefix_evictions=prefix_evictions,
         )
+        tenancy = self.config.tenancy
+        tenant_metrics = compute_tenant_metrics(
+            records,
+            duration,
+            slo,
+            tenant_slos=tenancy.slo_map() if tenancy is not None else None,
+        )
         return ServingResult(
             mode="disaggregated",
             metrics=metrics,
@@ -1049,4 +1099,5 @@ class DisaggregatedEngine:
             prefix_flops_saved=pf.prefix_flops_saved + dc.prefix_flops_saved,
             prefill_flops_executed=pf.prefill_flops_executed + dc.prefill_flops_executed,
             prefix_evictions=prefix_evictions,
+            tenant_metrics=tenant_metrics,
         )

@@ -17,7 +17,7 @@ prefill/decode-disaggregation papers optimise for instead of raw throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.report import format_percent, render_table
 from ..obs.sketch import QuantileSketch
@@ -27,10 +27,13 @@ __all__ = [
     "SLO",
     "RequestRecord",
     "ServingMetrics",
+    "TenantMetrics",
     "PercentileSummary",
     "StreamingMetrics",
     "percentile",
     "compute_metrics",
+    "compute_tenant_metrics",
+    "tenant_report_text",
 ]
 
 
@@ -203,6 +206,68 @@ class ServingMetrics:
         return render_table(["metric", "value"], self.to_rows(), title=title)
 
 
+@dataclass
+class TenantMetrics:
+    """One tenant's slice of a run: latencies, goodput, SLO attainment.
+
+    Computed against the tenant's *own* SLO (its SLO class when a tenancy
+    config is installed, the run's global SLO otherwise).  Counter fields
+    (requests, tokens, good requests) are exact on both the record-based and
+    streaming paths; percentiles are exact record-side and P²-sketched
+    stream-side, the same contract :class:`StreamingMetrics` documents.
+    """
+
+    tenant: str
+    num_requests: int
+    output_tokens: int
+    good_requests: int
+    goodput_fraction: float
+    goodput_rps: float
+    ttft_p50: float
+    ttft_p95: float
+    ttft_p99: float
+    tpot_p50: float
+    tpot_p95: float
+    tpot_p99: float
+    e2e_p50: float
+    e2e_p95: float
+    e2e_p99: float
+    slo: SLO = field(default_factory=SLO)
+
+
+def tenant_report_text(
+    tenants: Mapping[str, TenantMetrics], title: str = "per-tenant QoS"
+) -> str:
+    """Render a per-tenant SLO attainment table (one row per tenant)."""
+    rows = []
+    for name in sorted(tenants):
+        m = tenants[name]
+        rows.append(
+            (
+                name,
+                f"{m.num_requests}",
+                f"{m.ttft_p50:.3f} / {m.ttft_p99:.3f}",
+                f"{m.tpot_p50 * 1e3:.1f} / {m.tpot_p99 * 1e3:.1f}",
+                f"{m.slo.ttft:g}s / {m.slo.tpot * 1e3:g}ms",
+                format_percent(m.goodput_fraction),
+                f"{m.goodput_rps:.2f}",
+            )
+        )
+    return render_table(
+        [
+            "tenant",
+            "requests",
+            "TTFT p50/p99 (s)",
+            "TPOT p50/p99 (ms)",
+            "SLO (TTFT/TPOT)",
+            "attainment",
+            "goodput req/s",
+        ],
+        rows,
+        title=title,
+    )
+
+
 class StreamingMetrics:
     """Bounded-memory aggregation of finished requests.
 
@@ -236,12 +301,20 @@ class StreamingMetrics:
         "output_tokens",
         "last_finish_time",
         "window_counts",
+        "tenant_slos",
+        "_tenants",
         "_ttft",
         "_tpot",
         "_e2e",
     )
 
-    def __init__(self, slo: Optional[SLO] = None, window_seconds: float = 60.0):
+    def __init__(
+        self,
+        slo: Optional[SLO] = None,
+        window_seconds: float = 60.0,
+        tenant_slos: Optional[Mapping[str, SLO]] = None,
+        _track_tenants: bool = True,
+    ):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         self.slo = slo or SLO()
@@ -253,6 +326,15 @@ class StreamingMetrics:
         #: Finished-request count per ``window_seconds`` bucket of finish
         #: time, keyed by the bucket index (``finish_time // window``).
         self.window_counts: Dict[int, int] = {}
+        #: Per-tenant SLO overrides (the tenant's SLO class); tenants not
+        #: listed are judged against the run's global ``slo``.
+        self.tenant_slos: Dict[str, SLO] = dict(tenant_slos) if tenant_slos else {}
+        # One nested single-level accumulator per tagged tenant; ``None`` in
+        # the nested accumulators themselves (no recursion).  Untagged
+        # traffic allocates nothing here.
+        self._tenants: Optional[Dict[str, "StreamingMetrics"]] = (
+            {} if _track_tenants else None
+        )
         self._ttft = QuantileSketch("TTFT")
         self._tpot = QuantileSketch("TPOT")
         self._e2e = QuantileSketch("E2E latency")
@@ -276,6 +358,18 @@ class StreamingMetrics:
         self._ttft.add(record.ttft)
         self._tpot.add(record.tpot)
         self._e2e.add(record.e2e_latency)
+        if self._tenants is not None:
+            tenant = record.request.tenant
+            if tenant is not None:
+                sub = self._tenants.get(tenant)
+                if sub is None:
+                    sub = StreamingMetrics(
+                        self.tenant_slos.get(tenant, self.slo),
+                        self.window_seconds,
+                        _track_tenants=False,
+                    )
+                    self._tenants[tenant] = sub
+                sub.observe(record)
 
     @property
     def count(self) -> int:
@@ -287,6 +381,34 @@ class StreamingMetrics:
             raise ValueError("no finished requests observed")
         bucket, count = max(self.window_counts.items(), key=lambda item: (item[1], -item[0]))
         return (bucket * self.window_seconds, count)
+
+    def tenant_metrics(self, duration: float) -> Dict[str, TenantMetrics]:
+        """Per-tenant aggregates of the folded stream (empty when untagged)."""
+        if not self._tenants:
+            return {}
+        span = max(duration, 1e-12)
+        out: Dict[str, TenantMetrics] = {}
+        for tenant in sorted(self._tenants):
+            sub = self._tenants[tenant]
+            out[tenant] = TenantMetrics(
+                tenant=tenant,
+                num_requests=sub.finished,
+                output_tokens=sub.output_tokens,
+                good_requests=sub.good_requests,
+                goodput_fraction=sub.good_requests / sub.finished,
+                goodput_rps=sub.good_requests / span,
+                ttft_p50=sub._ttft.quantile(0.5),
+                ttft_p95=sub._ttft.quantile(0.95),
+                ttft_p99=sub._ttft.quantile(0.99),
+                tpot_p50=sub._tpot.quantile(0.5),
+                tpot_p95=sub._tpot.quantile(0.95),
+                tpot_p99=sub._tpot.quantile(0.99),
+                e2e_p50=sub._e2e.quantile(0.5),
+                e2e_p95=sub._e2e.quantile(0.95),
+                e2e_p99=sub._e2e.quantile(0.99),
+                slo=sub.slo,
+            )
+        return out
 
     def finalize(
         self,
@@ -384,3 +506,54 @@ def compute_metrics(
         prefix_flops_saved=prefix_flops_saved,
         prefix_evictions=prefix_evictions,
     )
+
+
+def compute_tenant_metrics(
+    records: Sequence[RequestRecord],
+    duration: float,
+    slo: SLO,
+    tenant_slos: Optional[Mapping[str, SLO]] = None,
+) -> Dict[str, TenantMetrics]:
+    """Group finished records by tenant and aggregate each group exactly.
+
+    Records with ``tenant=None`` belong to no tenant and are skipped, so an
+    untagged run returns ``{}`` — per-tenant reporting costs nothing unless
+    the workload opted in.  Each tenant is judged against its own SLO from
+    ``tenant_slos`` (falling back to the run's global ``slo``).
+    """
+    groups: Dict[str, List[RequestRecord]] = {}
+    for record in records:
+        tenant = record.request.tenant
+        if tenant is not None and record.finished:
+            groups.setdefault(tenant, []).append(record)
+    if not groups:
+        return {}
+    span = max(duration, 1e-12)
+    slos = dict(tenant_slos) if tenant_slos else {}
+    out: Dict[str, TenantMetrics] = {}
+    for tenant in sorted(groups):
+        done = groups[tenant]
+        tenant_slo = slos.get(tenant, slo)
+        ttfts = PercentileSummary([r.ttft for r in done], metric="TTFT")
+        tpots = PercentileSummary([r.tpot for r in done], metric="TPOT")
+        e2es = PercentileSummary([r.e2e_latency for r in done], metric="E2E latency")
+        good = sum(1 for r in done if r.meets(tenant_slo))
+        out[tenant] = TenantMetrics(
+            tenant=tenant,
+            num_requests=len(done),
+            output_tokens=sum(r.request.output_tokens for r in done),
+            good_requests=good,
+            goodput_fraction=good / len(done),
+            goodput_rps=good / span,
+            ttft_p50=ttfts.at(50),
+            ttft_p95=ttfts.at(95),
+            ttft_p99=ttfts.at(99),
+            tpot_p50=tpots.at(50),
+            tpot_p95=tpots.at(95),
+            tpot_p99=tpots.at(99),
+            e2e_p50=e2es.at(50),
+            e2e_p95=e2es.at(95),
+            e2e_p99=e2es.at(99),
+            slo=tenant_slo,
+        )
+    return out

@@ -45,6 +45,19 @@ The registry:
 ``massive-week``
     Half a million requests over a seven-day curve with a weekend trough
     on top of the daily sinusoid.
+``noisy-neighbour``
+    An interactive chat tenant sharing a deployment with a batch tenant
+    that floods long prompts.  Fair scheduling plus weighted shares keeps
+    the interactive tenant's TTFT inside its SLO while the batch tenant
+    backfills the residual capacity.
+``tenant-flash-crowd``
+    A steady interactive tenant plus a best-effort tenant arriving in
+    thundering herds, with a token-bucket rate limit smoothing the crowd's
+    admissions so the steady tenant never sees the spikes.
+``batch-backfill-under-interactive``
+    A large batch backlog submitted up front underneath steady interactive
+    traffic — the classic "overnight jobs under daytime chat" shape the
+    fair scheduler is built for.
 """
 
 from __future__ import annotations
@@ -59,6 +72,7 @@ from ..obs.events import EventRecorder
 from .batcher import BatcherConfig
 from .engine import DisaggregatedEngine, ServingConfig, ServingEngine, ServingResult
 from .metrics import SLO
+from .tenancy import TenancyConfig, TenantSpec, get_slo_class
 from .workload import (
     Request,
     agentic_tree_trace,
@@ -101,6 +115,10 @@ class ServingScenario:
     #: traces decode in near-singleton batches, so their iteration count is
     #: ~``num_requests * output_tokens`` and the default ceiling is too low.
     max_iterations: Optional[int] = None
+    #: Per-tenant QoS configuration (SLO classes, weights, rate limits).
+    #: ``None`` — every pre-tenancy scenario — leaves the engine byte-for-byte
+    #: identical to a build without the tenancy layer.
+    tenancy: Optional[TenancyConfig] = None
 
     def make_trace(self, seed: int = 0) -> List[Request]:
         return self.trace_factory(seed)
@@ -130,6 +148,8 @@ class ServingScenario:
         )
         if self.max_iterations is not None:
             kwargs["max_iterations"] = self.max_iterations
+        if self.tenancy is not None:
+            kwargs["tenancy"] = self.tenancy
         return ServingConfig(**kwargs)
 
 
@@ -301,6 +321,102 @@ def _massive_week_trace(seed: int) -> List[Request]:
     return list(_massive_week_stream(seed))
 
 
+# Multi-tenant scenarios.  Each tags every request with a tenant name and
+# pins a TenancyConfig (SLO classes, fair-share weights, rate limits); all
+# three run the virtual-token-counter fair scheduler so one tenant's flood
+# cannot starve another's interactive traffic.
+def _noisy_neighbour_trace(seed: int) -> List[Request]:
+    interactive = poisson_trace(
+        num_requests=80,
+        arrival_rate=2.0,
+        prompt_mean=1024,
+        output_mean=128,
+        seed=seed,
+        tenant="acme",
+    )
+    # Heavy enough to saturate the deployment: under FCFS the interactive
+    # tenant's TTFT p99 blows past 60s; under fair scheduling it stays
+    # inside its 2s SLO while the batch tenant backfills the residual.
+    noisy = poisson_trace(
+        num_requests=60,
+        arrival_rate=8.0,
+        prompt_mean=16_384,
+        output_mean=384,
+        seed=seed + 1,
+        tenant="crunch",
+    )
+    return merge_traces(interactive, noisy)
+
+
+_NOISY_NEIGHBOUR_TENANCY = TenancyConfig.of(
+    TenantSpec("acme", slo_class=get_slo_class("interactive"), weight=3.0),
+    TenantSpec("crunch", slo_class=get_slo_class("batch"), weight=1.0),
+)
+
+
+def _tenant_flash_crowd_trace(seed: int) -> List[Request]:
+    steady = poisson_trace(
+        num_requests=90,
+        arrival_rate=1.5,
+        prompt_mean=2048,
+        output_mean=192,
+        seed=seed,
+        tenant="acme",
+    )
+    crowd = bursty_trace(
+        num_bursts=4,
+        burst_size=15,
+        burst_interval=15.0,
+        prompt_mean=4096,
+        output_mean=128,
+        seed=seed + 1,
+        tenant="mob",
+    )
+    return merge_traces(steady, crowd)
+
+
+_FLASH_CROWD_TENANCY = TenancyConfig.of(
+    TenantSpec("acme", slo_class=get_slo_class("interactive"), weight=2.0),
+    TenantSpec(
+        "mob",
+        slo_class=get_slo_class("best-effort"),
+        weight=1.0,
+        # ~63K prompt+output tokens arrive per 15s burst; a 3K tok/s refill
+        # with a one-burst-sized bucket spreads each herd over the idle gap.
+        rate_limit=3000.0,
+        burst_tokens=16_384.0,
+    ),
+)
+
+
+def _batch_backfill_trace(seed: int) -> List[Request]:
+    interactive = poisson_trace(
+        num_requests=100,
+        arrival_rate=2.5,
+        prompt_mean=1536,
+        output_mean=160,
+        seed=seed,
+        tenant="acme",
+    )
+    # The backlog arrives almost instantly (high rate), then waits: pure
+    # backfill pressure for the whole run.
+    backlog = poisson_trace(
+        num_requests=60,
+        arrival_rate=20.0,
+        prompt_mean=4096,
+        output_mean=256,
+        seed=seed + 1,
+        tenant="grind",
+    )
+    return merge_traces(interactive, backlog)
+
+
+_BATCH_BACKFILL_TENANCY = TenancyConfig.of(
+    TenantSpec("acme", slo_class=get_slo_class("interactive"), weight=4.0),
+    TenantSpec("grind", slo_class=get_slo_class("best-effort"), weight=1.0),
+)
+
+
 SCENARIO_REGISTRY: Dict[str, ServingScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -402,6 +518,36 @@ SCENARIO_REGISTRY: Dict[str, ServingScenario] = {
             batcher=BatcherConfig(max_batch_tokens=8192, prefill_chunk_tokens=2048),
             retain_records=False,
             max_iterations=50_000_000,
+        ),
+        ServingScenario(
+            name="noisy-neighbour",
+            description="interactive chat tenant vs a batch tenant flooding 16K prompts, fair scheduling",
+            trace_factory=_noisy_neighbour_trace,
+            model="llama-13b",
+            num_gpus=2,
+            slo=SLO(ttft=2.0, tpot=0.1),
+            batcher=BatcherConfig(policy="fair"),
+            tenancy=_NOISY_NEIGHBOUR_TENANCY,
+        ),
+        ServingScenario(
+            name="tenant-flash-crowd",
+            description="steady interactive tenant plus a rate-limited best-effort flash crowd",
+            trace_factory=_tenant_flash_crowd_trace,
+            model="llama-13b",
+            num_gpus=4,
+            slo=SLO(ttft=2.0, tpot=0.1),
+            batcher=BatcherConfig(policy="fair"),
+            tenancy=_FLASH_CROWD_TENANCY,
+        ),
+        ServingScenario(
+            name="batch-backfill-under-interactive",
+            description="up-front batch backlog backfilling under steady interactive traffic",
+            trace_factory=_batch_backfill_trace,
+            model="llama-13b",
+            num_gpus=4,
+            slo=SLO(ttft=2.0, tpot=0.1),
+            batcher=BatcherConfig(policy="fair"),
+            tenancy=_BATCH_BACKFILL_TENANCY,
         ),
     )
 }

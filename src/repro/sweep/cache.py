@@ -82,6 +82,7 @@ _FINGERPRINTED_MODULES = (
     "repro.serving.paged_kv",
     "repro.serving.prefix_cache",
     "repro.serving.scenarios",
+    "repro.serving.tenancy",
     "repro.serving.workload",
     "repro.sweep.evaluators",
     "repro.systems.estimator",
@@ -125,6 +126,7 @@ def code_fingerprint() -> str:
             "batcher": _jsonable(s.batcher),
             "block_tokens": s.block_tokens,
             "prefill_fraction": s.prefill_fraction,
+            "tenancy": _jsonable(s.tenancy),
         }
         for name, s in SCENARIO_REGISTRY.items()
     }

@@ -243,17 +243,19 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
     prefix_caching = point.get("prefix_caching")
     retain_records = point.get("retain_records")
     max_requests = point.get("max_requests")
+    policy = point.get("policy")
     result = run_scenario(
         scenario,
         str(point.get("mode", "colocated")),
         seed=int(point.get("seed", 0)),
+        policy=None if policy is None else str(policy),
         fast_forward=bool(point.get("fast_forward", True)),
         prefix_caching=None if prefix_caching is None else bool(prefix_caching),
         retain_records=None if retain_records is None else bool(retain_records),
         max_requests=None if max_requests is None else int(max_requests),
     )
     m = result.metrics
-    return {
+    row: Dict[str, Scalar] = {
         "num_requests": m.num_requests,
         "duration": m.duration,
         "ttft_p50": m.ttft_p50,
@@ -280,6 +282,21 @@ def evaluate_serving_scenario(point: Dict[str, Scalar]) -> Dict[str, Scalar]:
         "prefill_flops_executed": result.prefill_flops_executed,
         "prefix_evictions": result.prefix_evictions,
     }
+    # Per-tenant QoS keys appear only for tenant-tagged scenarios, so every
+    # pre-tenancy golden keeps exactly its historical key set.
+    for tenant, tm in sorted(result.tenant_metrics.items()):
+        prefix = f"tenant.{tenant}."
+        row[prefix + "num_requests"] = tm.num_requests
+        row[prefix + "output_tokens"] = tm.output_tokens
+        row[prefix + "ttft_p50"] = tm.ttft_p50
+        row[prefix + "ttft_p99"] = tm.ttft_p99
+        row[prefix + "tpot_p50"] = tm.tpot_p50
+        row[prefix + "tpot_p99"] = tm.tpot_p99
+        row[prefix + "goodput_fraction"] = tm.goodput_fraction
+        row[prefix + "goodput_rps"] = tm.goodput_rps
+        row[prefix + "slo_ttft"] = tm.slo.ttft
+        row[prefix + "slo_tpot"] = tm.slo.tpot
+    return row
 
 
 # ===========================================================================

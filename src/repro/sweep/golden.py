@@ -490,6 +490,52 @@ _register_serving_goldens()
 
 
 # ---------------------------------------------------------------------------
+# Multi-tenant scenarios: global SLO metrics plus every per-tenant QoS key
+# (``tenant.<name>.<metric>``) under both deployments.  Pinning the tenant
+# keys makes fair-scheduler and admission-control drift visible per tenant,
+# not just in the blended aggregate.
+# ---------------------------------------------------------------------------
+def _tenant_golden(scenario: str) -> Dict[str, Scalar]:
+    from .engine import run_sweep
+    from .spec import SweepSpec
+
+    spec = SweepSpec.make(
+        name=f"golden-tenant-{scenario}",
+        evaluator="serving-scenario",
+        axes={"mode": ("colocated", "disaggregated")},
+        base={"scenario": scenario, "seed": 0},
+    )
+    result = run_sweep(spec)
+    metrics: Dict[str, Scalar] = {}
+    for point, row in result:
+        for key in _SERVING_GOLDEN_METRICS:
+            metrics[f"{point['mode']}.{key}"] = row[key]
+        for key in sorted(row):
+            if key.startswith("tenant."):
+                metrics[f"{point['mode']}.{key}"] = row[key]
+    return metrics
+
+
+def _register_tenant_goldens() -> None:
+    for scenario in (
+        "noisy-neighbour",
+        "tenant-flash-crowd",
+        "batch-backfill-under-interactive",
+    ):
+        GOLDEN_REGISTRY[f"tenant-{scenario}"] = GoldenDefinition(
+            name=f"tenant-{scenario}",
+            compute=(lambda s: (lambda: _tenant_golden(s)))(scenario),
+            description=(
+                f"per-tenant TTFT/TPOT/goodput of the {scenario!r} scenario "
+                "under fair scheduling, both deployments"
+            ),
+        )
+
+
+_register_tenant_goldens()
+
+
+# ---------------------------------------------------------------------------
 # Prefix caching A/B: the acceptance evidence that shared-prefix KV caching
 # buys >= 2x median TTFT and >= 2x prefill FLOPs on shared-prompt traffic.
 # ---------------------------------------------------------------------------

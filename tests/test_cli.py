@@ -150,6 +150,69 @@ class TestServeCommand:
         assert "colocated" in capsys.readouterr().err
 
 
+class TestServeTenancy:
+    def test_tenant_scenario_prints_per_tenant_report(self, capsys):
+        exit_code = main(["serve", "--scenario", "noisy-neighbour"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "per-tenant QoS" in out
+        assert "acme" in out and "crunch" in out
+
+    def test_fair_policy_flag_accepted(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "noisy-neighbour", "--policy", "fair"]
+        )
+        assert exit_code == 0
+        assert "per-tenant QoS" in capsys.readouterr().out
+
+    def test_tenant_filter_narrows_report(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "noisy-neighbour", "--tenant", "acme"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        report = out[out.index("per-tenant QoS") :]
+        assert "acme" in report and "crunch" not in report
+
+    def test_unknown_tenant_exits_with_names(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "noisy-neighbour", "--tenant", "nosuch"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "unknown tenant" in err
+        assert "acme" in err and "crunch" in err  # the valid names are listed
+
+    def test_unknown_slo_class_exits_with_names(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "chat", "--slo-class", "nosuch"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "unknown SLO class" in err
+        assert "interactive" in err and "batch" in err and "best-effort" in err
+
+    def test_tenant_needs_tenancy_scenario(self, capsys):
+        exit_code = main(["serve", "--scenario", "chat", "--tenant", "acme"])
+        assert exit_code == 2
+        assert "configures no tenants" in capsys.readouterr().err
+
+    def test_tenant_report_artifact(self, tmp_path, capsys):
+        path = tmp_path / "qos.json"
+        exit_code = main(
+            ["serve", "--scenario", "noisy-neighbour", "--tenant-report", str(path)]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        report = json.loads(path.read_text())
+        assert report["scenario"] == "noisy-neighbour"
+        assert report["policy"] == "fair"
+        assert set(report["tenants"]) == {"acme", "crunch"}
+        for tenant in report["tenants"].values():
+            assert tenant["num_requests"] > 0
+            assert tenant["slo_ttft"] > 0
+
+
 class TestDiagnosisFlags:
     def test_serve_explain_prints_attribution_and_anomalies(self, capsys):
         exit_code = main(["serve", "--scenario", "chat", "--explain"])
